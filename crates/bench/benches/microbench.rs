@@ -1,0 +1,182 @@
+//! Criterion microbenchmarks for the computational (non-oracle) costs.
+//!
+//! The paper argues the bootstrap's CPU cost is negligible next to oracle
+//! invocations (§3.1: 1,000 bootstrap trials ≈ the cost of 2,500 oracle
+//! calls on a T4); `bootstrap_1000_trials` measures our implementation.
+//! The other benches cover the per-query computational path: proxy-quantile
+//! stratification, WOR sampling, the Nelder–Mead group-by solve, logistic
+//! training for proxy combination, and an end-to-end SQL query with a free
+//! (zero-cost) oracle.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use abae_core::bootstrap::stratified_bootstrap_ci;
+use abae_core::config::{AbaeConfig, Aggregate, BootstrapConfig};
+use abae_core::strata::Stratification;
+use abae_core::two_stage::run_two_stage;
+use abae_data::{FnOracle, Labeled, Table};
+use abae_ml::logistic::{LogisticRegression, TrainOptions};
+use abae_optim::simplex::{minimize_on_simplex, SimplexOptions};
+use abae_query::{Catalog, Executor};
+use abae_sampling::pool::IndexPool;
+use abae_sampling::wor::sample_without_replacement;
+
+fn bench_stratification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stratification");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scores, |b, scores| {
+            b.iter(|| Stratification::by_proxy_quantile(black_box(scores), 5));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wor_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wor_sampling");
+    // Sparse draw (Floyd) and dense draw (Fisher-Yates).
+    group.bench_function("floyd_1k_of_1M", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| sample_without_replacement(black_box(1_000_000), 1000, &mut rng));
+    });
+    group.bench_function("fisher_yates_500k_of_1M", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| sample_without_replacement(black_box(1_000_000), 500_000, &mut rng));
+    });
+    group.bench_function("index_pool_two_stage_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let mut pool = IndexPool::new(black_box(100_000));
+            pool.draw(5_000, &mut rng);
+            pool.draw(5_000, &mut rng);
+            pool.drawn()
+        });
+    });
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    // 5 strata x 2,000 draws each: the paper's default configuration at
+    // budget 10,000.
+    let mut rng = StdRng::seed_from_u64(5);
+    let samples: Vec<Vec<Labeled>> = (0..5)
+        .map(|_| {
+            (0..2000)
+                .map(|_| Labeled { matches: rng.gen::<f64>() < 0.3, value: rng.gen::<f64>() * 10.0 })
+                .collect()
+        })
+        .collect();
+    let sizes = vec![100_000usize; 5];
+    c.bench_function("bootstrap_1000_trials", |b| {
+        b.iter(|| {
+            stratified_bootstrap_ci(
+                black_box(&samples),
+                &sizes,
+                Aggregate::Avg,
+                &BootstrapConfig { trials: 1000, alpha: 0.05 },
+                &mut rng,
+            )
+        });
+    });
+}
+
+fn bench_two_stage(c: &mut Criterion) {
+    let n = 200_000;
+    let mut rng = StdRng::seed_from_u64(6);
+    let scores: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+    let labels: Vec<bool> = scores.iter().map(|&s| rng.gen::<f64>() < s).collect();
+    let values: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+    let strat = Stratification::by_proxy_quantile(&scores, 5);
+    let cfg = AbaeConfig { budget: 10_000, ..Default::default() };
+    c.bench_function("two_stage_budget_10k", |b| {
+        b.iter(|| {
+            let oracle =
+                FnOracle::new(|i| Labeled { matches: labels[i], value: values[i] });
+            run_two_stage(black_box(&strat), &oracle, &cfg, Aggregate::Avg, &mut rng)
+                .expect("valid config")
+                .estimate
+        });
+    });
+}
+
+fn bench_nelder_mead(c: &mut Criterion) {
+    // The Eq. 11 diagonal objective for 4 groups.
+    let err = [4.0, 1.0, 2.0, 0.5];
+    c.bench_function("nelder_mead_eq11_4groups", |b| {
+        b.iter(|| {
+            minimize_on_simplex(
+                |l| {
+                    err.iter()
+                        .zip(l)
+                        .map(|(e, li)| e / li.max(1e-12))
+                        .fold(f64::NEG_INFINITY, f64::max)
+                },
+                black_box(4),
+                SimplexOptions::default(),
+            )
+        });
+    });
+}
+
+fn bench_logistic(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let x: Vec<Vec<f64>> = (0..2000)
+        .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
+    let y: Vec<bool> = x.iter().map(|row| row[0] + row[1] > 1.0).collect();
+    c.bench_function("logistic_train_2k_x_3", |b| {
+        b.iter(|| {
+            LogisticRegression::fit(
+                black_box(&x),
+                &y,
+                TrainOptions { max_iters: 200, ..Default::default() },
+            )
+            .expect("valid inputs")
+        });
+    });
+}
+
+fn bench_query_end_to_end(c: &mut Criterion) {
+    let n = 100_000;
+    let mut rng = StdRng::seed_from_u64(8);
+    let labels: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < 0.3).collect();
+    let proxy: Vec<f64> = labels
+        .iter()
+        .map(|&l| if l { rng.gen_range(0.5..1.0) } else { rng.gen_range(0.0..0.5) })
+        .collect();
+    let values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let table =
+        Table::builder("emails", values).predicate("is_spam", labels, proxy).build().unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register_table(table);
+    let mut exec = Executor::new(&catalog);
+    exec.bootstrap_trials = 100;
+    c.bench_function("query_end_to_end_budget_2k", |b| {
+        b.iter(|| {
+            exec.execute(
+                black_box(
+                    "SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT 2000 \
+                     WITH PROBABILITY 0.95",
+                ),
+                &mut rng,
+            )
+            .expect("valid query")
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stratification,
+        bench_wor_sampling,
+        bench_bootstrap,
+        bench_two_stage,
+        bench_nelder_mead,
+        bench_logistic,
+        bench_query_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation: bootstrap (Algorithm 2) vs closed-form delta-method CIs.
+//!
+//! Expected shape: comparable widths and coverage at the paper's default
+//! configuration — the bootstrap's value is robustness at awkward sample
+//! sizes, the closed form's value is ~1000× less CPU.
+
+use abae_bench::datasets::paper_datasets;
+use abae_bench::report::{print_series_table, Series};
+use abae_bench::runner::run_trials;
+use abae_bench::ExpConfig;
+use abae_core::bootstrap::stratified_bootstrap_ci;
+use abae_core::config::{AbaeConfig, Aggregate, BootstrapConfig};
+use abae_core::normal_ci::closed_form_ci;
+use abae_core::strata::Stratification;
+use abae_core::two_stage::run_two_stage;
+use abae_data::PredicateOracle;
+use abae_stats::bootstrap::ConfidenceInterval;
+use abae_stats::metrics::{coverage, mean_width};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Ablation: CI method", "bootstrap (Algorithm 2) vs closed-form delta method");
+    let budgets = [2000usize, 4000, 6000, 8000, 10_000];
+    let xs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+    let bs = BootstrapConfig { trials: 1000, alpha: 0.05 };
+
+    for ds in paper_datasets(&cfg).into_iter().take(2) {
+        let scores =
+            &ds.table.predicate(ds.info.predicate_column).expect("predicate exists").proxy;
+        let strat = Stratification::by_proxy_quantile(scores, 5);
+        let sizes = strat.sizes();
+
+        let per_budget: Vec<Vec<(ConfidenceInterval, ConfidenceInterval)>> = budgets
+            .iter()
+            .map(|&budget| {
+                let run_cfg = AbaeConfig { budget, ..Default::default() };
+                run_trials(cfg.trials, cfg.seed ^ budget as u64, |_, rng| {
+                    let oracle = PredicateOracle::new(&ds.table, ds.info.predicate_column)
+                        .expect("predicate exists");
+                    let run = run_two_stage(&strat, &oracle, &run_cfg, Aggregate::Avg, rng)
+                        .expect("valid config");
+                    let boot = stratified_bootstrap_ci(
+                        &run.samples,
+                        &sizes,
+                        Aggregate::Avg,
+                        &bs,
+                        rng,
+                    )
+                    .expect("non-empty samples");
+                    let clt = closed_form_ci(Aggregate::Avg, &run.strata, bs.alpha)
+                        .unwrap_or(boot);
+                    (boot, clt)
+                })
+            })
+            .collect();
+
+        let boot_cis: Vec<Vec<ConfidenceInterval>> =
+            per_budget.iter().map(|v| v.iter().map(|(b, _)| *b).collect()).collect();
+        let clt_cis: Vec<Vec<ConfidenceInterval>> =
+            per_budget.iter().map(|v| v.iter().map(|(_, c)| *c).collect()).collect();
+
+        print_series_table(
+            &format!("{} — mean CI width", ds.info.name),
+            "budget",
+            &xs,
+            &[
+                Series::new("Bootstrap", boot_cis.iter().map(|c| mean_width(c)).collect()),
+                Series::new("ClosedForm", clt_cis.iter().map(|c| mean_width(c)).collect()),
+            ],
+        );
+        print_series_table(
+            &format!("{} — coverage (nominal 0.95)", ds.info.name),
+            "budget",
+            &xs,
+            &[
+                Series::new(
+                    "Bootstrap",
+                    boot_cis.iter().map(|c| coverage(c, ds.exact)).collect(),
+                ),
+                Series::new(
+                    "ClosedForm",
+                    clt_cis.iter().map(|c| coverage(c, ds.exact)).collect(),
+                ),
+            ],
+        );
+    }
+}

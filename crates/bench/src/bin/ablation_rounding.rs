@@ -1,0 +1,49 @@
+//! Ablation: the paper's floor rounding `⌊N2·T̂_k⌋` (which discards
+//! leftover draws, §4.4.2) vs largest-remainder rounding (which spends the
+//! full budget).
+//!
+//! Expected shape: the difference is marginal — consistent with the
+//! paper's analysis that rounding does not affect the rate — with
+//! largest-remainder very slightly ahead at small budgets.
+
+use abae_bench::datasets::paper_datasets;
+use abae_bench::report::{print_series_table, Series};
+use abae_bench::sweep::{abae_estimates, SweepKnobs};
+use abae_bench::ExpConfig;
+use abae_core::config::Rounding;
+use abae_stats::metrics::rmse;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Ablation: rounding", "floor (paper) vs largest-remainder Stage-2 rounding");
+    let budgets = [500usize, 1000, 2000, 5000, 10_000];
+    let xs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+
+    for ds in paper_datasets(&cfg) {
+        let floor = abae_estimates(
+            &ds.table,
+            ds.info.predicate_column,
+            &budgets,
+            cfg.trials,
+            cfg.seed,
+            SweepKnobs { rounding: Rounding::Floor, ..Default::default() },
+        );
+        let lr = abae_estimates(
+            &ds.table,
+            ds.info.predicate_column,
+            &budgets,
+            cfg.trials,
+            cfg.seed ^ 0x22,
+            SweepKnobs { rounding: Rounding::LargestRemainder, ..Default::default() },
+        );
+        print_series_table(
+            &format!("{} (exact = {:.4})", ds.info.name, ds.exact),
+            "budget",
+            &xs,
+            &[
+                Series::new("Floor", floor.iter().map(|e| rmse(e, ds.exact)).collect()),
+                Series::new("LargestRem", lr.iter().map(|e| rmse(e, ds.exact)).collect()),
+            ],
+        );
+    }
+}

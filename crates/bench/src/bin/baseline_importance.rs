@@ -1,0 +1,66 @@
+//! Extra baseline: proxy-weighted importance sampling (Hansen–Hurwitz)
+//! vs uniform vs ABae.
+//!
+//! §4.2 contrasts ABae's `√p_k σ_k` allocation with "the standard
+//! importance sampling allocation"; this bench makes that comparison
+//! concrete. Expected shape: importance sampling helps over uniform when
+//! the statistic correlates with the proxy, but ABae's variance-aware
+//! stratification wins overall — the `√p` downweighting matters.
+
+use abae_bench::datasets::paper_datasets;
+use abae_bench::report::{print_series_table, Series};
+use abae_bench::runner::run_trials;
+use abae_bench::sweep::{abae_estimates, uniform_estimates, SweepKnobs};
+use abae_bench::ExpConfig;
+use abae_core::config::Aggregate;
+use abae_core::importance::run_importance;
+use abae_data::PredicateOracle;
+use abae_stats::metrics::rmse;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Baseline: importance sampling", "uniform vs Hansen-Hurwitz vs ABae");
+    let budgets = [2000usize, 4000, 6000, 8000, 10_000];
+    let xs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+
+    for ds in paper_datasets(&cfg) {
+        let abae = abae_estimates(
+            &ds.table,
+            ds.info.predicate_column,
+            &budgets,
+            cfg.trials,
+            cfg.seed,
+            SweepKnobs::default(),
+        );
+        let uniform =
+            uniform_estimates(&ds.table, ds.info.predicate_column, &budgets, cfg.trials, cfg.seed);
+        let importance: Vec<Vec<f64>> = budgets
+            .iter()
+            .map(|&budget| {
+                run_trials(cfg.trials, cfg.seed ^ budget as u64 ^ 0x99, |_, rng| {
+                    let oracle = PredicateOracle::new(&ds.table, ds.info.predicate_column)
+                        .expect("predicate exists");
+                    let scores = &ds
+                        .table
+                        .predicate(ds.info.predicate_column)
+                        .expect("predicate exists")
+                        .proxy;
+                    run_importance(scores, &oracle, budget, Aggregate::Avg, 0.1, rng)
+                        .expect("valid weights")
+                        .estimate
+                })
+            })
+            .collect();
+
+        print_series_table(
+            &format!("{} (exact = {:.4})", ds.info.name, ds.exact),
+            "budget",
+            &xs,
+            &[
+                Series::new("ABae", abae.iter().map(|e| rmse(e, ds.exact)).collect()),
+                Series::new("Importance", importance.iter().map(|e| rmse(e, ds.exact)).collect()),
+                Series::new("Uniform", uniform.iter().map(|e| rmse(e, ds.exact)).collect()),
+            ],
+        );
+    }
+}

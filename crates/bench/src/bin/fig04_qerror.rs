@@ -1,0 +1,46 @@
+//! Figure 4: budget vs normalized Q-error (`100·(q − 1)`).
+//!
+//! The paper plots night-street and trec05p and reports that the same
+//! trends hold elsewhere (14–70% improvements); we print all six datasets.
+
+use abae_bench::datasets::paper_datasets;
+use abae_bench::report::{print_series_table, Series};
+use abae_bench::sweep::{abae_estimates, uniform_estimates, SweepKnobs};
+use abae_bench::ExpConfig;
+use abae_stats::metrics::normalized_q_error;
+
+fn mean_nqe(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() {
+        return f64::NAN;
+    }
+    estimates.iter().map(|&e| normalized_q_error(e, truth)).sum::<f64>() / estimates.len() as f64
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Figure 4", "budget vs normalized Q-error (paper shows night-street, trec05p)");
+    let budgets = [2000usize, 4000, 6000, 8000, 10_000];
+    let xs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+
+    for ds in paper_datasets(&cfg) {
+        let abae = abae_estimates(
+            &ds.table,
+            ds.info.predicate_column,
+            &budgets,
+            cfg.trials,
+            cfg.seed,
+            SweepKnobs::default(),
+        );
+        let uniform =
+            uniform_estimates(&ds.table, ds.info.predicate_column, &budgets, cfg.trials, cfg.seed);
+        print_series_table(
+            &format!("{} — normalized Q-error (%)", ds.info.name),
+            "budget",
+            &xs,
+            &[
+                Series::new("ABae", abae.iter().map(|e| mean_nqe(e, ds.exact)).collect()),
+                Series::new("Uniform", uniform.iter().map(|e| mean_nqe(e, ds.exact)).collect()),
+            ],
+        );
+    }
+}

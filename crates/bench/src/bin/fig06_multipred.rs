@@ -1,0 +1,124 @@
+//! Figure 6: ABae-MultiPred vs single-proxy ABae vs uniform.
+//!
+//! Panel (a): the night-street query `count_cars > 0 AND red_light`
+//! (conjunction positive rate ≈ 0.17, §5.2). Panel (b): a synthetic
+//! dataset with two predicates whose per-stratum positive rates are drawn
+//! from Beta distributions. Expected shape: the combined proxy beats both
+//! single proxies and uniform at every budget.
+
+use abae_bench::datasets::paper_dataset;
+use abae_bench::report::{print_max_gain, print_series_table, Series};
+use abae_bench::runner::run_trials;
+use abae_bench::ExpConfig;
+use abae_core::config::{AbaeConfig, Aggregate};
+use abae_core::multipred::{expression_oracle, table_combined_scores, PredExpr};
+use abae_core::strata::Stratification;
+use abae_core::two_stage::run_two_stage;
+use abae_core::uniform::run_uniform;
+use abae_data::synthetic::{PredicateModel, StatisticModel, SyntheticSpec};
+use abae_data::{Oracle as _, Table};
+use abae_stats::metrics::rmse;
+
+/// Runs the conjunction query with a given stratification-score vector.
+fn rmse_with_scores(
+    table: &Table,
+    expr: &PredExpr,
+    scores: &[f64],
+    budgets: &[usize],
+    trials: usize,
+    seed: u64,
+    exact: f64,
+) -> Vec<f64> {
+    let strat = Stratification::by_proxy_quantile(scores, 5);
+    budgets
+        .iter()
+        .map(|&budget| {
+            let cfg = AbaeConfig { budget, ..Default::default() };
+            let ests = run_trials(trials, seed ^ budget as u64, |_, rng| {
+                let oracle = expression_oracle(table, expr).expect("valid expr");
+                run_two_stage(&strat, &oracle, &cfg, Aggregate::Avg, rng)
+                    .expect("valid config")
+                    .estimate
+            });
+            rmse(&ests, exact)
+        })
+        .collect()
+}
+
+fn run_panel(name: &str, table: &Table, expr: &PredExpr, cfg: &ExpConfig, budgets: &[usize]) {
+    // Exact answer over the conjunction.
+    let oracle = expression_oracle(table, expr).expect("valid expr");
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    let mut positives = 0usize;
+    for i in 0..table.len() {
+        let l = oracle.label(i);
+        if l.matches {
+            sum += l.value;
+            positives += 1;
+        }
+        count += 1;
+    }
+    let exact = if positives > 0 { sum / positives as f64 } else { 0.0 };
+    println!(
+        "{name}: conjunction positive rate = {:.3}, exact = {:.4}",
+        positives as f64 / count as f64,
+        exact
+    );
+
+    let combined = table_combined_scores(table, expr).expect("valid expr");
+    let proxy1 = &table.predicates()[0].proxy;
+    let proxy2 = &table.predicates()[1].proxy;
+
+    let xs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+    let multi =
+        rmse_with_scores(table, expr, &combined, budgets, cfg.trials, cfg.seed, exact);
+    let p1 = rmse_with_scores(table, expr, proxy1, budgets, cfg.trials, cfg.seed ^ 1, exact);
+    let p2 = rmse_with_scores(table, expr, proxy2, budgets, cfg.trials, cfg.seed ^ 2, exact);
+    let uniform: Vec<f64> = budgets
+        .iter()
+        .map(|&budget| {
+            let ests = run_trials(cfg.trials, cfg.seed ^ budget as u64 ^ 0xFFFF, |_, rng| {
+                let oracle = expression_oracle(table, expr).expect("valid expr");
+                run_uniform(table.len(), &oracle, budget, Aggregate::Avg, rng).estimate
+            });
+            rmse(&ests, exact)
+        })
+        .collect();
+
+    let s_multi = Series::new("ABae-Multi", multi);
+    let s_uni = Series::new("Uniform", uniform);
+    print_series_table(
+        name,
+        "budget",
+        &xs,
+        &[s_multi.clone(), Series::new("Proxy 1", p1), Series::new("Proxy 2", p2), s_uni.clone()],
+    );
+    print_max_gain(&format!("fig6/{name}"), &s_multi, &s_uni);
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Figure 6", "multi-predicate queries: combined proxies vs single proxies vs uniform");
+    let budgets = [2000usize, 4000, 6000, 8000, 10_000];
+
+    // Panel (a): night-street, cars AND red light.
+    let ns = paper_dataset(&cfg, "night-street");
+    let expr = PredExpr::and(PredExpr::pred(0), PredExpr::pred(1));
+    run_panel("night-street (cars AND red_light)", &ns.table, &expr, &cfg, &budgets);
+
+    // Panel (b): synthetic two-predicate dataset, Beta-distributed rates.
+    let synth = SyntheticSpec {
+        name: "synthetic-2pred".to_string(),
+        n: (200_000.0 * cfg.scale).max(20_000.0) as usize,
+        predicates: vec![
+            PredicateModel::new("p1", 0.3, 1.0, 0.4),
+            PredicateModel::new("p2", 0.5, 1.0, 0.4),
+        ],
+        statistic: StatisticModel::Normal { mean: 2.0, sd: 1.0, coupling: 2.0 },
+        seed: cfg.seed ^ 0x5959,
+    }
+    .generate()
+    .expect("valid spec");
+    run_panel("synthetic (p1 AND p2)", &synth, &expr, &cfg, &budgets);
+}

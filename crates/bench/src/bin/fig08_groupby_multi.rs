@@ -1,0 +1,100 @@
+//! Figure 8: group-by queries with *multiple* per-group oracles — max-RMSE
+//! over groups vs normalized budget (log-scale in the paper).
+//!
+//! Panel (a): celeba. Panel (b): synthetic four groups at positive rates
+//! 16%, 12%, 9%, 5% (§5.2). Expected shape: Minimax ≤ Equal < Uniform.
+
+use abae_bench::report::{print_series_table, Series};
+use abae_bench::runner::run_trials;
+use abae_bench::ExpConfig;
+use abae_core::groupby::{
+    groupby_multi_oracle, groupby_uniform_multi, GroupAllocation, GroupByConfig,
+};
+use abae_data::emulators::{celeba_groupby, EmulatorOptions};
+use abae_data::synthetic::{GroupSpec, StatisticModel};
+use abae_data::{PredicateOracle, Table};
+use abae_stats::metrics::rmse;
+
+fn max_group_rmse(table: &Table, per_trial: &[Vec<f64>]) -> f64 {
+    let groups = table.group_key().expect("grouped table").names.len();
+    (0..groups)
+        .map(|g| {
+            let exact = table.exact_group_avg(g as u16).expect("group exists");
+            let ests: Vec<f64> = per_trial.iter().map(|t| t[g]).collect();
+            rmse(&ests, exact)
+        })
+        .fold(0.0, f64::max)
+}
+
+fn run_panel(name: &str, table: &Table, cfg: &ExpConfig, budgets_per_group: &[usize]) {
+    let groups = table.group_key().expect("grouped table").names.len();
+    let proxies: Vec<&[f64]> = table.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    let pred_names: Vec<String> =
+        table.predicates().iter().map(|p| p.name.clone()).collect();
+    let xs: Vec<f64> = budgets_per_group.iter().map(|&b| b as f64).collect();
+
+    let mut series = Vec::new();
+    for (label, alloc) in
+        [("Equal", Some(GroupAllocation::Equal)), ("Minimax", Some(GroupAllocation::Minimax)), ("Uniform", None)]
+    {
+        let values: Vec<f64> = budgets_per_group
+            .iter()
+            .map(|&per_group| {
+                let total = per_group * groups;
+                let per_trial = run_trials(cfg.trials, cfg.seed ^ total as u64, |_, rng| {
+                    let oracles: Vec<PredicateOracle<'_>> = pred_names
+                        .iter()
+                        .map(|nm| PredicateOracle::new(table, nm).expect("predicate exists"))
+                        .collect();
+                    let refs: Vec<&PredicateOracle<'_>> = oracles.iter().collect();
+                    match alloc {
+                        Some(a) => {
+                            let gcfg = GroupByConfig {
+                                budget: total,
+                                allocation: a,
+                                ..Default::default()
+                            };
+                            groupby_multi_oracle(&proxies, &refs, &gcfg, rng)
+                                .expect("valid config")
+                                .iter()
+                                .map(|e| e.estimate)
+                                .collect::<Vec<f64>>()
+                        }
+                        None => groupby_uniform_multi(table.len(), &refs, total, rng)
+                            .iter()
+                            .map(|e| e.estimate)
+                            .collect(),
+                    }
+                });
+                max_group_rmse(table, &per_trial)
+            })
+            .collect();
+        series.push(Series::new(label, values));
+    }
+    print_series_table(&format!("{name} — max per-group RMSE"), "budget/group", &xs, &series);
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Figure 8", "group-by with per-group oracles: Equal vs Minimax vs Uniform");
+    let budgets_per_group = [1000usize, 2000, 3000, 4000, 5000];
+
+    let celeba = celeba_groupby(&EmulatorOptions { scale: cfg.scale, seed: cfg.seed });
+    run_panel("celeba (gray/blond)", &celeba, &cfg, &budgets_per_group);
+
+    let stat = |mean: f64| StatisticModel::Normal { mean, sd: 1.0, coupling: 0.0 };
+    let synth = GroupSpec {
+        name: "synthetic-4grp-multi".to_string(),
+        n: (400_000.0 * cfg.scale).max(30_000.0) as usize,
+        group_names: (0..4).map(|g| format!("g{g}")).collect(),
+        rates: vec![0.16, 0.12, 0.09, 0.05],
+        concentration: 1.0,
+        proxy_noise: 0.0,
+        group_stats: vec![stat(1.0), stat(3.0), stat(5.0), stat(7.0)],
+        background_stat: stat(0.0),
+        seed: cfg.seed ^ 0x48,
+    }
+    .generate()
+    .expect("valid spec");
+    run_panel("synthetic (4 groups @ 16/12/9/5%)", &synth, &cfg, &budgets_per_group);
+}

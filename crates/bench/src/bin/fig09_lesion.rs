@@ -1,0 +1,50 @@
+//! Figure 9: lesion study — full ABae vs ABae-without-sample-reuse vs
+//! uniform sampling, budgets 2,000–10,000, all six datasets.
+//!
+//! Expected shape: removing sample reuse substantially hurts (it degrades
+//! the `p̂_k` estimates), and removing everything (uniform) is worst.
+
+use abae_bench::datasets::paper_datasets;
+use abae_bench::report::{print_series_table, Series};
+use abae_bench::sweep::{abae_estimates, uniform_estimates, SweepKnobs};
+use abae_bench::ExpConfig;
+use abae_core::config::SampleReuse;
+use abae_stats::metrics::rmse;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Figure 9", "lesion: ABae vs no-sample-reuse vs uniform");
+    let budgets = [2000usize, 4000, 6000, 8000, 10_000];
+    let xs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+
+    for ds in paper_datasets(&cfg) {
+        let full = abae_estimates(
+            &ds.table,
+            ds.info.predicate_column,
+            &budgets,
+            cfg.trials,
+            cfg.seed,
+            SweepKnobs::default(),
+        );
+        let no_reuse = abae_estimates(
+            &ds.table,
+            ds.info.predicate_column,
+            &budgets,
+            cfg.trials,
+            cfg.seed ^ 0x11,
+            SweepKnobs { reuse: SampleReuse::Disabled, ..Default::default() },
+        );
+        let uniform =
+            uniform_estimates(&ds.table, ds.info.predicate_column, &budgets, cfg.trials, cfg.seed);
+        print_series_table(
+            &format!("{} (exact = {:.4})", ds.info.name, ds.exact),
+            "budget",
+            &xs,
+            &[
+                Series::new("ABae", full.iter().map(|e| rmse(e, ds.exact)).collect()),
+                Series::new("NoReuse", no_reuse.iter().map(|e| rmse(e, ds.exact)).collect()),
+                Series::new("Uniform", uniform.iter().map(|e| rmse(e, ds.exact)).collect()),
+            ],
+        );
+    }
+}

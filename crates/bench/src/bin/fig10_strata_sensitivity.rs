@@ -1,0 +1,53 @@
+//! Figure 10: sensitivity to the number of strata `K` (2–10) at budget
+//! 10,000.
+//!
+//! Expected shape: ABae beats uniform at *every* K; more strata tend to do
+//! slightly better, but the choice is not critical.
+
+use abae_bench::datasets::paper_datasets;
+use abae_bench::report::{print_series_table, Series};
+use abae_bench::sweep::{abae_estimates, uniform_estimates, SweepKnobs};
+use abae_bench::ExpConfig;
+use abae_stats::metrics::rmse;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Figure 10", "sensitivity to strata count K at budget 10,000");
+    let budget = [10_000usize];
+    let ks: Vec<usize> = (2..=10).collect();
+    let xs: Vec<f64> = ks.iter().map(|&k| k as f64).collect();
+
+    for ds in paper_datasets(&cfg) {
+        let abae: Vec<f64> = ks
+            .iter()
+            .map(|&k| {
+                let ests = abae_estimates(
+                    &ds.table,
+                    ds.info.predicate_column,
+                    &budget,
+                    cfg.trials,
+                    cfg.seed ^ k as u64,
+                    SweepKnobs { strata: k, ..Default::default() },
+                );
+                rmse(&ests[0], ds.exact)
+            })
+            .collect();
+        let uniform_ests = uniform_estimates(
+            &ds.table,
+            ds.info.predicate_column,
+            &budget,
+            cfg.trials,
+            cfg.seed,
+        );
+        let uniform_rmse = rmse(&uniform_ests[0], ds.exact);
+        print_series_table(
+            &format!("{} (exact = {:.4})", ds.info.name, ds.exact),
+            "strata K",
+            &xs,
+            &[
+                Series::new("ABae", abae),
+                Series::new("Uniform", vec![uniform_rmse; ks.len()]),
+            ],
+        );
+    }
+}

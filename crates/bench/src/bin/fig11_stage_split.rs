@@ -1,0 +1,52 @@
+//! Figure 11: sensitivity to the Stage-1 fraction `C` (0.1–0.9) at budget
+//! 10,000.
+//!
+//! Expected shape: ABae outperforms uniform for C in 0.3–0.7; extreme
+//! values (0.1, 0.9) can underperform — they starve one of the two stages.
+
+use abae_bench::datasets::paper_datasets;
+use abae_bench::report::{print_series_table, Series};
+use abae_bench::sweep::{abae_estimates, uniform_estimates, SweepKnobs};
+use abae_bench::ExpConfig;
+use abae_stats::metrics::rmse;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Figure 11", "sensitivity to stage-1 fraction C at budget 10,000");
+    let budget = [10_000usize];
+    let cs = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+    for ds in paper_datasets(&cfg) {
+        let abae: Vec<f64> = cs
+            .iter()
+            .map(|&c| {
+                let ests = abae_estimates(
+                    &ds.table,
+                    ds.info.predicate_column,
+                    &budget,
+                    cfg.trials,
+                    cfg.seed ^ (c * 100.0) as u64,
+                    SweepKnobs { stage1_fraction: c, ..Default::default() },
+                );
+                rmse(&ests[0], ds.exact)
+            })
+            .collect();
+        let uniform_ests = uniform_estimates(
+            &ds.table,
+            ds.info.predicate_column,
+            &budget,
+            cfg.trials,
+            cfg.seed,
+        );
+        let uniform_rmse = rmse(&uniform_ests[0], ds.exact);
+        print_series_table(
+            &format!("{} (exact = {:.4})", ds.info.name, ds.exact),
+            "C",
+            &cs,
+            &[
+                Series::new("ABae", abae),
+                Series::new("Uniform", vec![uniform_rmse; cs.len()]),
+            ],
+        );
+    }
+}

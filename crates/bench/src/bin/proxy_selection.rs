@@ -1,0 +1,65 @@
+//! §3.4 proxy selection: rank candidate proxies by the Proposition 2
+//! plug-in MSE, then verify the prediction against realized RMSE.
+//!
+//! Expected shape: predicted ordering matches the realized ordering (the
+//! formula "is a good predictor of relative performance", §3.4).
+
+use abae_bench::datasets::paper_dataset;
+use abae_bench::runner::run_trials;
+use abae_bench::ExpConfig;
+use abae_core::config::{AbaeConfig, Aggregate};
+use abae_core::proxy_select::{draw_pilot, rank_proxies};
+use abae_core::two_stage::run_abae;
+use abae_data::PredicateOracle;
+use abae_stats::metrics::rmse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    cfg.banner("Proxy selection (§3.4)", "predicted vs realized MSE for candidate proxies");
+    let budget = 4000usize;
+
+    let trec = paper_dataset(&cfg, "trec05p");
+    let table = &trec.table;
+    let exact = trec.exact;
+    let candidates: Vec<&[f64]> =
+        table.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    let names: Vec<&str> = table.predicates().iter().map(|p| p.name.as_str()).collect();
+
+    // One pilot, shared across candidates (selection adds no oracle cost).
+    let oracle = PredicateOracle::new(table, "is_spam").expect("predicate exists");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pilot = draw_pilot(table.len(), &oracle, 2000, &mut rng);
+    let ranking = rank_proxies(&candidates, &pilot, 5, budget);
+
+    println!(
+        "{:<18} {:>16} {:>16} {:>8}",
+        "proxy", "predicted MSE", "realized RMSE", "rank"
+    );
+    let mut realized = Vec::new();
+    for (j, name) in names.iter().enumerate() {
+        let ests = run_trials(cfg.trials, cfg.seed ^ j as u64, |_, rng| {
+            let oracle = PredicateOracle::new(table, "is_spam").expect("predicate exists");
+            let cfg_run = AbaeConfig { budget, ..Default::default() };
+            run_abae(candidates[j], &oracle, &cfg_run, Aggregate::Avg, rng)
+                .expect("valid config")
+                .estimate
+        });
+        let r = rmse(&ests, exact);
+        realized.push(r);
+        let rank = ranking.order.iter().position(|&o| o == j).expect("ranked") + 1;
+        println!("{:<18} {:>16.6} {:>16.6} {:>8}", name, ranking.predicted_mse[j], r, rank);
+    }
+    println!();
+    let predicted_best = ranking.best();
+    let realized_best = (0..realized.len())
+        .min_by(|&a, &b| realized[a].total_cmp(&realized[b]))
+        .expect("non-empty");
+    println!(
+        "predicted best = {} | realized best = {} | agree = {}",
+        names[predicted_best],
+        names[realized_best],
+        predicted_best == realized_best
+    );
+}

@@ -1,0 +1,78 @@
+//! Text-table reporting matching the paper's plotted series.
+
+/// One plotted series: a method's y-values over the sweep's x-values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Method label, e.g. `"ABae"` or `"Uniform"`.
+    pub label: String,
+    /// y-values aligned with the sweep's x-values.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self { label: label.into(), values }
+    }
+}
+
+/// Prints one figure-panel table: x-column plus one column per series, and
+/// a final `ratio` column of `series[1] / series[0]` when exactly two
+/// series are given (the paper's "ABae outperforms by up to …" factor).
+pub fn print_series_table(title: &str, x_label: &str, xs: &[f64], series: &[Series]) {
+    println!("--- {title} ---");
+    let mut header = format!("{x_label:>12}");
+    for s in series {
+        header.push_str(&format!(" {:>14}", s.label));
+    }
+    if series.len() == 2 {
+        header.push_str(&format!(" {:>10}", "ratio"));
+    }
+    println!("{header}");
+    for (i, &x) in xs.iter().enumerate() {
+        let mut row = format!("{x:>12.4}");
+        for s in series {
+            row.push_str(&format!(" {:>14.6}", s.values.get(i).copied().unwrap_or(f64::NAN)));
+        }
+        if series.len() == 2 {
+            let a = series[0].values.get(i).copied().unwrap_or(f64::NAN);
+            let b = series[1].values.get(i).copied().unwrap_or(f64::NAN);
+            row.push_str(&format!(" {:>10.3}", b / a));
+        }
+        println!("{row}");
+    }
+    println!();
+}
+
+/// Prints a summary line of the max advantage of series 0 over series 1
+/// (the paper reports "up to N× improvement").
+pub fn print_max_gain(figure: &str, abae: &Series, baseline: &Series) {
+    let gain = abae
+        .values
+        .iter()
+        .zip(&baseline.values)
+        .map(|(a, b)| b / a)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("{figure}: max {}-over-{} improvement = {gain:.2}x", abae.label, baseline.label);
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_constructor_and_table_smoke() {
+        let s1 = Series::new("ABae", vec![0.01, 0.005]);
+        let s2 = Series::new("Uniform", vec![0.02, 0.011]);
+        // Smoke: printing must not panic on ragged/NaN-free data.
+        print_series_table("test", "budget", &[1000.0, 2000.0], &[s1.clone(), s2.clone()]);
+        print_max_gain("test", &s1, &s2);
+    }
+
+    #[test]
+    fn table_handles_ragged_series() {
+        let s = Series::new("short", vec![1.0]);
+        print_series_table("ragged", "x", &[1.0, 2.0], &[s]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Budget-sweep helpers shared by the figure binaries.
+//!
+//! The stratification is built once per (dataset, K) and reused across
+//! trials and budgets — `ABaeInit` is deterministic, so this changes
+//! nothing statistically and keeps paper-scale sweeps fast.
+
+use abae_core::config::{AbaeConfig, Aggregate, BootstrapConfig, Rounding, SampleReuse};
+use abae_core::strata::Stratification;
+use abae_core::two_stage::run_two_stage;
+use abae_core::uniform::{run_uniform, run_uniform_with_ci};
+use abae_core::bootstrap::stratified_bootstrap_ci;
+use abae_data::{PredicateOracle, Table};
+use abae_stats::bootstrap::ConfidenceInterval;
+
+use crate::runner::run_trials;
+
+/// Knobs for an ABae sweep (a subset of [`AbaeConfig`] that the
+/// sensitivity studies vary).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepKnobs {
+    /// Strata count `K`.
+    pub strata: usize,
+    /// Stage-1 fraction `C`.
+    pub stage1_fraction: f64,
+    /// Sample reuse toggle.
+    pub reuse: SampleReuse,
+    /// Rounding rule.
+    pub rounding: Rounding,
+}
+
+impl Default for SweepKnobs {
+    fn default() -> Self {
+        Self {
+            strata: 5,
+            stage1_fraction: 0.5,
+            reuse: SampleReuse::Enabled,
+            rounding: Rounding::Floor,
+        }
+    }
+}
+
+/// Runs ABae for every budget, `trials` times each; returns per-budget
+/// estimate vectors.
+pub fn abae_estimates(
+    table: &Table,
+    pred: &str,
+    budgets: &[usize],
+    trials: usize,
+    seed: u64,
+    knobs: SweepKnobs,
+) -> Vec<Vec<f64>> {
+    let scores = &table.predicate(pred).expect("predicate exists").proxy;
+    let strat = Stratification::by_proxy_quantile(scores, knobs.strata);
+    budgets
+        .iter()
+        .map(|&budget| {
+            let cfg = AbaeConfig {
+                strata: knobs.strata,
+                budget,
+                stage1_fraction: knobs.stage1_fraction,
+                reuse: knobs.reuse,
+                rounding: knobs.rounding,
+                ..Default::default()
+            };
+            run_trials(trials, seed ^ budget as u64, |_, rng| {
+                let oracle = PredicateOracle::new(table, pred).expect("predicate exists");
+                run_two_stage(&strat, &oracle, &cfg, Aggregate::Avg, rng)
+                    .expect("validated config")
+                    .estimate
+            })
+        })
+        .collect()
+}
+
+/// Uniform-baseline estimates for every budget.
+pub fn uniform_estimates(
+    table: &Table,
+    pred: &str,
+    budgets: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    budgets
+        .iter()
+        .map(|&budget| {
+            run_trials(trials, seed ^ budget as u64 ^ 0xFFFF, |_, rng| {
+                let oracle = PredicateOracle::new(table, pred).expect("predicate exists");
+                run_uniform(table.len(), &oracle, budget, Aggregate::Avg, rng).estimate
+            })
+        })
+        .collect()
+}
+
+/// ABae estimates *with bootstrap CIs* for every budget.
+pub fn abae_cis(
+    table: &Table,
+    pred: &str,
+    budgets: &[usize],
+    trials: usize,
+    seed: u64,
+    knobs: SweepKnobs,
+    bootstrap: BootstrapConfig,
+) -> Vec<Vec<(f64, ConfidenceInterval)>> {
+    let scores = &table.predicate(pred).expect("predicate exists").proxy;
+    let strat = Stratification::by_proxy_quantile(scores, knobs.strata);
+    let sizes = strat.sizes();
+    budgets
+        .iter()
+        .map(|&budget| {
+            let cfg = AbaeConfig {
+                strata: knobs.strata,
+                budget,
+                stage1_fraction: knobs.stage1_fraction,
+                reuse: knobs.reuse,
+                rounding: knobs.rounding,
+                bootstrap,
+            };
+            run_trials(trials, seed ^ budget as u64, |_, rng| {
+                let oracle = PredicateOracle::new(table, pred).expect("predicate exists");
+                let run = run_two_stage(&strat, &oracle, &cfg, Aggregate::Avg, rng)
+                    .expect("validated config");
+                let ci = stratified_bootstrap_ci(&run.samples, &sizes, Aggregate::Avg, &bootstrap, rng)
+                    .unwrap_or(ConfidenceInterval {
+                        lo: run.estimate,
+                        hi: run.estimate,
+                        confidence: 1.0 - bootstrap.alpha,
+                    });
+                (run.estimate, ci)
+            })
+        })
+        .collect()
+}
+
+/// Uniform-baseline estimates with bootstrap CIs.
+pub fn uniform_cis(
+    table: &Table,
+    pred: &str,
+    budgets: &[usize],
+    trials: usize,
+    seed: u64,
+    bootstrap: BootstrapConfig,
+) -> Vec<Vec<(f64, ConfidenceInterval)>> {
+    budgets
+        .iter()
+        .map(|&budget| {
+            run_trials(trials, seed ^ budget as u64 ^ 0xFFFF, |_, rng| {
+                let oracle = PredicateOracle::new(table, pred).expect("predicate exists");
+                let r = run_uniform_with_ci(
+                    table.len(),
+                    &oracle,
+                    budget,
+                    Aggregate::Avg,
+                    &bootstrap,
+                    rng,
+                );
+                let ci = r.ci.unwrap_or(ConfidenceInterval {
+                    lo: r.estimate,
+                    hi: r.estimate,
+                    confidence: 1.0 - bootstrap.alpha,
+                });
+                (r.estimate, ci)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abae_stats::metrics::rmse;
+
+    fn toy_table() -> Table {
+        let n = 20_000;
+        let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.85 } else { 0.15 }).collect();
+        let values: Vec<f64> = (0..n).map(|i| (i % 11) as f64).collect();
+        Table::builder("toy", values).predicate("p", labels, proxy).build().unwrap()
+    }
+
+    #[test]
+    fn abae_beats_uniform_on_the_toy_dataset() {
+        let t = toy_table();
+        let exact = t.exact_avg("p").unwrap();
+        let budgets = [1500];
+        let a = abae_estimates(&t, "p", &budgets, 60, 1, SweepKnobs::default());
+        let u = uniform_estimates(&t, "p", &budgets, 60, 1);
+        let rmse_a = rmse(&a[0], exact);
+        let rmse_u = rmse(&u[0], exact);
+        assert!(rmse_a < rmse_u, "abae {rmse_a} vs uniform {rmse_u}");
+    }
+
+    #[test]
+    fn ci_sweeps_produce_valid_intervals() {
+        let t = toy_table();
+        let budgets = [1000];
+        let bs = BootstrapConfig { trials: 100, alpha: 0.05 };
+        let a = abae_cis(&t, "p", &budgets, 10, 2, SweepKnobs::default(), bs);
+        let u = uniform_cis(&t, "p", &budgets, 10, 2, bs);
+        for (est, ci) in a[0].iter().chain(u[0].iter()) {
+            assert!(ci.lo <= *est && *est <= ci.hi);
+        }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        let t = toy_table();
+        let a = abae_estimates(&t, "p", &[800], 8, 3, SweepKnobs::default());
+        let b = abae_estimates(&t, "p", &[800], 8, 3, SweepKnobs::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Optimal Stage-2 allocation (Proposition 1).
+//!
+//! With known per-stratum positive rates `p_k` and conditional standard
+//! deviations `σ_k`, the MSE-minimizing allocation of draws is
+//!
+//! ```text
+//! T*_k = √p_k · σ_k / Σ_i √p_i · σ_i
+//! ```
+//!
+//! — the classic Neyman allocation `∝ σ_k` *downweighted* by `√p_k`,
+//! because a draw from stratum `k` only yields information with probability
+//! `p_k` (the paper's "stochastic draws" setting). ABae plugs in Stage-1
+//! estimates `p̂_k, σ̂_k`.
+
+/// Computes the (normalized) optimal allocation `T*_k ∝ √p_k·σ_k`.
+///
+/// Falls back to the uniform allocation when every weight is zero (e.g. no
+/// positive pilot draws anywhere) or non-finite — ABae must still spend its
+/// Stage-2 budget somewhere, and with no information uniform is the neutral
+/// choice.
+///
+/// ```
+/// use abae_core::allocation::optimal_allocation;
+///
+/// // A stratum with 4x the positive rate gets √4 = 2x the draws (not 4x).
+/// let t = optimal_allocation(&[0.04, 0.16], &[1.0, 1.0]);
+/// assert!((t[1] / t[0] - 2.0).abs() < 1e-9);
+/// assert!((t[0] + t[1] - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics if `p` and `sigma` lengths differ.
+pub fn optimal_allocation(p: &[f64], sigma: &[f64]) -> Vec<f64> {
+    assert_eq!(p.len(), sigma.len(), "p and sigma must align");
+    let weights: Vec<f64> = p
+        .iter()
+        .zip(sigma)
+        .map(|(&pk, &sk)| {
+            let w = pk.max(0.0).sqrt() * sk.max(0.0);
+            if w.is_finite() {
+                w
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / p.len().max(1) as f64; p.len()];
+    }
+    weights.iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn proposition_1_example() {
+        // p = (0.25, 1.0), σ = (2, 1) → weights (1, 1) → equal split.
+        let t = optimal_allocation(&[0.25, 1.0], &[2.0, 1.0]);
+        assert!((t[0] - 0.5).abs() < 1e-12);
+        assert!((t[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_is_normalized() {
+        let t = optimal_allocation(&[0.1, 0.2, 0.7], &[1.0, 3.0, 0.5]);
+        assert!((t.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(t.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn zero_information_falls_back_to_uniform() {
+        let t = optimal_allocation(&[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0]);
+        assert_eq!(t, vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn zero_sigma_stratum_gets_nothing_when_others_have_signal() {
+        let t = optimal_allocation(&[0.5, 0.5], &[0.0, 1.0]);
+        assert_eq!(t[0], 0.0);
+        assert_eq!(t[1], 1.0);
+    }
+
+    #[test]
+    fn sqrt_p_downweighting_vs_neyman() {
+        // Same σ, p differing 4x → allocation ratio should be √4 = 2, not 4.
+        let t = optimal_allocation(&[0.04, 0.16], &[1.0, 1.0]);
+        assert!((t[1] / t[0] - 2.0).abs() < 1e-9, "ratio {}", t[1] / t[0]);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_ignored() {
+        let t = optimal_allocation(&[f64::NAN, 0.25], &[1.0, 2.0]);
+        assert_eq!(t[0], 0.0);
+        assert!((t[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = optimal_allocation(&[0.5], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn always_a_distribution(
+            p in proptest::collection::vec(0.0f64..1.0, 1..10),
+            sigma_seed in proptest::collection::vec(0.0f64..5.0, 1..10),
+        ) {
+            let k = p.len().min(sigma_seed.len());
+            let t = optimal_allocation(&p[..k], &sigma_seed[..k]);
+            prop_assert_eq!(t.len(), k);
+            prop_assert!((t.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(t.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+
+        #[test]
+        fn allocation_monotone_in_sigma(
+            p in 0.01f64..1.0,
+            s1 in 0.1f64..5.0,
+            s2 in 0.1f64..5.0,
+        ) {
+            // With equal p, the stratum with larger σ gets at least as much.
+            let t = optimal_allocation(&[p, p], &[s1, s2]);
+            if s1 > s2 {
+                prop_assert!(t[0] >= t[1]);
+            } else {
+                prop_assert!(t[1] >= t[0]);
+            }
+        }
+    }
+}

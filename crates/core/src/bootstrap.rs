@@ -1,0 +1,212 @@
+//! Stratified bootstrap confidence intervals (Algorithm 2).
+//!
+//! Because the per-stratum samples from both stages are i.i.d. within the
+//! stratum, Algorithm 2 resamples *within each stratum* — with replacement,
+//! at the original sample size — recomputes `p̂*_k, μ̂*_k` and the combined
+//! estimate, repeats `β` times, and reports the `[α/2, 1 − α/2]` percentile
+//! interval.
+//!
+//! The paper notes the bootstrap's CPU cost is negligible next to oracle
+//! invocations (§3.1); the Criterion bench `bootstrap_cost` measures our
+//! implementation against that claim.
+
+use crate::config::{Aggregate, BootstrapConfig};
+use crate::estimator::{combine_estimate, StratumEstimate};
+use abae_data::Labeled;
+use abae_stats::bootstrap::{percentile_ci, ConfidenceInterval};
+use rand::Rng;
+
+/// Computes one bootstrap replicate estimate by resampling every stratum's
+/// draws with replacement.
+fn bootstrap_replicate<R: Rng + ?Sized>(
+    samples: &[Vec<Labeled>],
+    sizes: &[usize],
+    agg: Aggregate,
+    scratch: &mut Vec<Labeled>,
+    rng: &mut R,
+) -> f64 {
+    let mut strata = Vec::with_capacity(samples.len());
+    for (k, draws) in samples.iter().enumerate() {
+        scratch.clear();
+        if !draws.is_empty() {
+            for _ in 0..draws.len() {
+                scratch.push(draws[rng.gen_range(0..draws.len())]);
+            }
+        }
+        strata.push(StratumEstimate::from_draws(sizes[k], scratch));
+    }
+    combine_estimate(agg, &strata)
+}
+
+/// Algorithm 2: stratified percentile-bootstrap CI.
+///
+/// `samples[k]` holds stratum `k`'s labeled draws (both stages under sample
+/// reuse); `sizes[k]` is the stratum's full population size. Returns `None`
+/// when every stratum is empty (no draws at all — no CI is definable).
+pub fn stratified_bootstrap_ci<R: Rng + ?Sized>(
+    samples: &[Vec<Labeled>],
+    sizes: &[usize],
+    agg: Aggregate,
+    config: &BootstrapConfig,
+    rng: &mut R,
+) -> Option<ConfidenceInterval> {
+    assert_eq!(samples.len(), sizes.len(), "samples/sizes must align");
+    if samples.iter().all(Vec::is_empty) || config.trials == 0 {
+        return None;
+    }
+    let mut scratch: Vec<Labeled> = Vec::new();
+    let mut replicates = Vec::with_capacity(config.trials);
+    for _ in 0..config.trials {
+        replicates.push(bootstrap_replicate(samples, sizes, agg, &mut scratch, rng));
+    }
+    percentile_ci(&mut replicates, config.alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labeled(matches: bool, value: f64) -> Labeled {
+        Labeled { matches, value }
+    }
+
+    #[test]
+    fn constant_samples_give_zero_width_interval() {
+        let samples = vec![vec![labeled(true, 5.0); 20], vec![labeled(true, 5.0); 20]];
+        let sizes = vec![100, 100];
+        let mut rng = StdRng::seed_from_u64(1);
+        let ci = stratified_bootstrap_ci(
+            &samples,
+            &sizes,
+            Aggregate::Avg,
+            &BootstrapConfig { trials: 200, alpha: 0.05 },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+    }
+
+    #[test]
+    fn empty_samples_yield_no_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(stratified_bootstrap_ci(
+            &[vec![], vec![]],
+            &[10, 10],
+            Aggregate::Avg,
+            &BootstrapConfig::default(),
+            &mut rng,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn zero_trials_yield_no_interval() {
+        let samples = vec![vec![labeled(true, 1.0)]];
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(stratified_bootstrap_ci(
+            &samples,
+            &[10],
+            Aggregate::Avg,
+            &BootstrapConfig { trials: 0, alpha: 0.05 },
+            &mut rng,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn interval_brackets_point_estimate() {
+        let samples = vec![
+            (0..50).map(|i| labeled(i % 3 != 0, (i % 5) as f64)).collect::<Vec<_>>(),
+            (0..50).map(|i| labeled(i % 2 == 0, (i % 7) as f64)).collect::<Vec<_>>(),
+        ];
+        let sizes = vec![500, 500];
+        let point = combine_estimate(
+            Aggregate::Avg,
+            &[
+                StratumEstimate::from_draws(500, &samples[0]),
+                StratumEstimate::from_draws(500, &samples[1]),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let ci = stratified_bootstrap_ci(
+            &samples,
+            &sizes,
+            Aggregate::Avg,
+            &BootstrapConfig { trials: 500, alpha: 0.05 },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(ci.lo <= point && point <= ci.hi, "[{}, {}] vs {point}", ci.lo, ci.hi);
+    }
+
+    #[test]
+    fn more_samples_narrow_the_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let gen_samples = |n: usize, rng: &mut StdRng| -> Vec<Vec<Labeled>> {
+            vec![(0..n)
+                .map(|_| labeled(rng.gen::<f64>() < 0.5, rng.gen::<f64>() * 10.0))
+                .collect()]
+        };
+        let small = gen_samples(40, &mut rng);
+        let large = gen_samples(4000, &mut rng);
+        let cfg = BootstrapConfig { trials: 400, alpha: 0.05 };
+        let ci_small =
+            stratified_bootstrap_ci(&small, &[10_000], Aggregate::Avg, &cfg, &mut rng).unwrap();
+        let ci_large =
+            stratified_bootstrap_ci(&large, &[10_000], Aggregate::Avg, &cfg, &mut rng).unwrap();
+        assert!(
+            ci_large.width() < ci_small.width(),
+            "large {} vs small {}",
+            ci_large.width(),
+            ci_small.width()
+        );
+    }
+
+    #[test]
+    fn lower_alpha_widens_interval() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples: Vec<Vec<Labeled>> = vec![(0..200)
+            .map(|_| labeled(rng.gen::<f64>() < 0.4, rng.gen::<f64>() * 5.0))
+            .collect()];
+        let wide = stratified_bootstrap_ci(
+            &samples,
+            &[1000],
+            Aggregate::Avg,
+            &BootstrapConfig { trials: 800, alpha: 0.01 },
+            &mut rng,
+        )
+        .unwrap();
+        let narrow = stratified_bootstrap_ci(
+            &samples,
+            &[1000],
+            Aggregate::Avg,
+            &BootstrapConfig { trials: 800, alpha: 0.2 },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(wide.width() >= narrow.width());
+        assert_eq!(wide.confidence, 0.99);
+        assert_eq!(narrow.confidence, 0.8);
+    }
+
+    #[test]
+    fn count_bootstrap_scales_with_population() {
+        // All samples positive; COUNT replicates are deterministic at the
+        // population size regardless of resampling.
+        let samples = vec![vec![labeled(true, 1.0); 30]];
+        let mut rng = StdRng::seed_from_u64(7);
+        let ci = stratified_bootstrap_ci(
+            &samples,
+            &[777],
+            Aggregate::Count,
+            &BootstrapConfig { trials: 100, alpha: 0.05 },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(ci.lo, 777.0);
+        assert_eq!(ci.hi, 777.0);
+    }
+}

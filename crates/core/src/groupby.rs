@@ -1,0 +1,891 @@
+//! ABae-GroupBy: group-by aggregation with minimax allocation (§3.2, §4.5).
+//!
+//! The query computes a per-group statistic (e.g. `AVG(...) GROUP BY
+//! hair_color`) where determining the group key is expensive. Each group
+//! has its own proxy, hence its own stratification; the question is how to
+//! split the Stage-2 budget *across stratifications* to minimize the
+//! maximum per-group MSE. ABae-GroupBy estimates each group's
+//! per-stratification error with the Proposition 2 plug-in formula and
+//! solves the minimax objective (Eq. 10 single-oracle, Eq. 11
+//! multiple-oracle) with Nelder–Mead over the probability simplex.
+//!
+//! Two oracle settings, as in the paper:
+//!
+//! * **Single oracle** — one invocation returns the record's group key, so
+//!   every draw informs *all* groups; estimates from different
+//!   stratifications are shared and combined by inverse-variance weighting.
+//!   Labels are cached so a record drawn under two stratifications charges
+//!   the oracle once.
+//! * **Multiple oracles** — one oracle per group; a draw for group `g`'s
+//!   stratification says nothing about other groups, so each group keeps
+//!   its own two-stage ABae run and the allocation only decides the
+//!   Stage-2 split.
+
+use crate::allocation::optimal_allocation;
+use crate::config::ConfigError;
+use crate::estimator::{combine_estimate, StratumEstimate};
+use crate::strata::Stratification;
+use abae_data::{GroupLabel, Labeled, Oracle, SingleGroupOracle};
+use abae_optim::simplex::{minimize_on_simplex, SimplexOptions};
+use abae_sampling::budget::floor_allocation;
+use abae_sampling::pool::IndexPool;
+use abae_sampling::wor::sample_without_replacement;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// How the Stage-2 budget is split across groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupAllocation {
+    /// Minimize the maximum per-group MSE (Eq. 10/11) with Nelder–Mead.
+    #[default]
+    Minimax,
+    /// Equal split `Λ_l = 1/G` — the "Equal" baseline in Figures 7 and 8.
+    Equal,
+}
+
+/// Configuration for a group-by query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupByConfig {
+    /// Strata per stratification.
+    pub strata: usize,
+    /// Total oracle budget across all groups and stages.
+    pub budget: usize,
+    /// Fraction of the budget spent in Stage 1.
+    pub stage1_fraction: f64,
+    /// Allocation strategy across groups.
+    pub allocation: GroupAllocation,
+}
+
+impl Default for GroupByConfig {
+    fn default() -> Self {
+        Self {
+            strata: 5,
+            budget: 10_000,
+            stage1_fraction: 0.5,
+            allocation: GroupAllocation::Minimax,
+        }
+    }
+}
+
+impl GroupByConfig {
+    fn validate(&self, groups: usize) -> Result<(), GroupByError> {
+        if groups == 0 {
+            return Err(GroupByError::NoGroups);
+        }
+        if self.strata == 0 {
+            return Err(GroupByError::Config(ConfigError::ZeroStrata));
+        }
+        if self.budget == 0 {
+            return Err(GroupByError::Config(ConfigError::ZeroBudget));
+        }
+        if !(self.stage1_fraction > 0.0 && self.stage1_fraction < 1.0) {
+            return Err(GroupByError::Config(ConfigError::BadStageFraction(
+                self.stage1_fraction,
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Errors from group-by execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupByError {
+    /// The query has no groups.
+    NoGroups,
+    /// Group count disagreement between proxies and oracles.
+    GroupMismatch {
+        /// Number of proxies supplied.
+        proxies: usize,
+        /// Number of groups the oracle(s) know about.
+        oracles: usize,
+    },
+    /// Underlying configuration error.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for GroupByError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupByError::NoGroups => write!(f, "group-by query needs at least one group"),
+            GroupByError::GroupMismatch { proxies, oracles } => {
+                write!(f, "{proxies} proxies but {oracles} oracle groups")
+            }
+            GroupByError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GroupByError {}
+
+/// Estimate for one group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupEstimate {
+    /// Group id (index into the proxy list).
+    pub group: u16,
+    /// Estimated per-group average.
+    pub estimate: f64,
+}
+
+/// Per-(stratification, stratum, group) sample statistics.
+#[derive(Debug, Clone, Copy)]
+struct CellStats {
+    draws: usize,
+    positives: usize,
+    p_hat: f64,
+    mu_hat: f64,
+    sigma_hat: f64,
+}
+
+fn cell_stats(ids: &[usize], cache: &HashMap<usize, GroupLabel>, g: u16) -> CellStats {
+    let mut moments = abae_stats::StreamingMoments::new();
+    let mut positives = 0usize;
+    for id in ids {
+        let label = cache.get(id).expect("every sampled id is labeled");
+        if label.group == Some(g) {
+            positives += 1;
+            moments.push(label.value);
+        }
+    }
+    CellStats {
+        draws: ids.len(),
+        positives,
+        p_hat: if ids.is_empty() { 0.0 } else { positives as f64 / ids.len() as f64 },
+        mu_hat: moments.mean_or_zero(),
+        sigma_hat: moments.sample_std_dev_or_zero(),
+    }
+}
+
+/// Eq. 10/11 inner term: the per-unit-budget error of estimating group `g`
+/// from one stratification, `Σ_k ŵ²_k σ̂²_k / (p̂_k T̂_k)`.
+fn per_unit_error(cells: &[CellStats], sizes: &[usize], t_hat: &[f64]) -> f64 {
+    let weight_total: f64 =
+        cells.iter().zip(sizes).map(|(c, &s)| s as f64 * c.p_hat).sum();
+    if weight_total <= 0.0 {
+        return f64::INFINITY;
+    }
+    let mut err = 0.0;
+    for ((c, &s), &t) in cells.iter().zip(sizes).zip(t_hat) {
+        let w = s as f64 * c.p_hat / weight_total;
+        if w == 0.0 || c.sigma_hat == 0.0 {
+            continue;
+        }
+        let eff = c.p_hat * t;
+        if eff <= 0.0 {
+            return f64::INFINITY;
+        }
+        err += w * w * c.sigma_hat * c.sigma_hat / eff;
+    }
+    err
+}
+
+/// Solves the minimax allocation over groups given per-(stratification,
+/// group) unit errors. `err_unit[l][g]` may be infinite (stratification `l`
+/// carries no information about group `g`).
+fn solve_allocation(
+    err_unit: &[Vec<f64>],
+    n2: usize,
+    strategy: GroupAllocation,
+) -> Vec<f64> {
+    let g = err_unit.len();
+    match strategy {
+        GroupAllocation::Equal => vec![1.0 / g as f64; g],
+        GroupAllocation::Minimax => {
+            let objective = |lambda: &[f64]| -> f64 {
+                // Eq. 10: max_g [ Σ_l Λ_l·N2 / err_unit[l][g] ]^{-1}
+                let mut worst = 0.0f64;
+                for gg in 0..g {
+                    let mut precision = 0.0;
+                    for (row, lam) in err_unit.iter().zip(lambda) {
+                        let e = row[gg];
+                        if e.is_finite() && e > 0.0 {
+                            precision += lam * n2 as f64 / e;
+                        } else if e == 0.0 {
+                            precision = f64::INFINITY;
+                        }
+                    }
+                    let mse = if precision > 0.0 { 1.0 / precision } else { f64::INFINITY };
+                    worst = worst.max(mse);
+                }
+                worst
+            };
+            let (lambda, _) = minimize_on_simplex(objective, g, SimplexOptions::default());
+            lambda
+        }
+    }
+}
+
+/// ABae-GroupBy in the single-oracle setting.
+///
+/// `proxies[g]` are group `g`'s proxy scores over the full dataset; the
+/// oracle returns the group key. Returns one estimate per group.
+pub fn groupby_single_oracle<R: Rng + ?Sized>(
+    proxies: &[&[f64]],
+    oracle: &SingleGroupOracle<'_>,
+    cfg: &GroupByConfig,
+    rng: &mut R,
+) -> Result<Vec<GroupEstimate>, GroupByError> {
+    let g = proxies.len();
+    cfg.validate(g)?;
+    if oracle.group_count() != g {
+        return Err(GroupByError::GroupMismatch { proxies: g, oracles: oracle.group_count() });
+    }
+    let n = proxies[0].len();
+    let k = cfg.strata;
+
+    let stratifications: Vec<Stratification> =
+        proxies.iter().map(|p| Stratification::by_proxy_quantile(p, k)).collect();
+    let stratum_of: Vec<Vec<u32>> = stratifications
+        .iter()
+        .map(|s| {
+            let mut map = vec![0u32; n];
+            for (kk, members) in s.strata().iter().enumerate() {
+                for &i in members {
+                    map[i] = kk as u32;
+                }
+            }
+            map
+        })
+        .collect();
+
+    // Label cache: one oracle charge per distinct record.
+    let mut cache: HashMap<usize, GroupLabel> = HashMap::new();
+    let label = |idx: usize, cache: &mut HashMap<usize, GroupLabel>| -> GroupLabel {
+        *cache.entry(idx).or_insert_with(|| oracle.label(idx))
+    };
+
+    // Stage 1: one uniform pilot shared by every stratification.
+    let n1_total = ((cfg.stage1_fraction * cfg.budget as f64).floor() as usize).min(n);
+    let pilot = sample_without_replacement(n, n1_total, rng);
+    for &idx in &pilot {
+        label(idx, &mut cache);
+    }
+
+    // Bucket sampled ids per (stratification, stratum).
+    let mut buckets: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); k]; g];
+    for &idx in &pilot {
+        for l in 0..g {
+            buckets[l][stratum_of[l][idx] as usize].push(idx);
+        }
+    }
+
+    // Pilot estimates and allocations.
+    let mut t_hats: Vec<Vec<f64>> = Vec::with_capacity(g);
+    let mut err_unit: Vec<Vec<f64>> = vec![vec![f64::INFINITY; g]; g];
+    for l in 0..g {
+        let sizes = stratifications[l].sizes();
+        // Allocation optimized for stratification l's own group.
+        let own: Vec<CellStats> =
+            (0..k).map(|kk| cell_stats(&buckets[l][kk], &cache, l as u16)).collect();
+        let t = optimal_allocation(
+            &own.iter().map(|c| c.p_hat).collect::<Vec<_>>(),
+            &own.iter().map(|c| c.sigma_hat).collect::<Vec<_>>(),
+        );
+        for (gg, slot) in err_unit[l].iter_mut().enumerate() {
+            let cells: Vec<CellStats> =
+                (0..k).map(|kk| cell_stats(&buckets[l][kk], &cache, gg as u16)).collect();
+            *slot = per_unit_error(&cells, &sizes, &t);
+        }
+        t_hats.push(t);
+    }
+
+    // Allocation across stratifications and Stage 2 draws.
+    let n2 = cfg.budget.saturating_sub(n1_total);
+    let lambda = solve_allocation(&err_unit, n2.max(1), cfg.allocation);
+    for l in 0..g {
+        let budget_l = (lambda[l] * n2 as f64).floor() as usize;
+        let per_stratum = floor_allocation(&t_hats[l], budget_l);
+        for kk in 0..k {
+            let members = stratifications[l].stratum(kk);
+            // Draw fresh records: exclude ids already sampled in this
+            // bucket so the two stages stay a without-replacement sample.
+            let taken: std::collections::HashSet<usize> =
+                buckets[l][kk].iter().copied().collect();
+            let fresh: Vec<usize> =
+                members.iter().copied().filter(|i| !taken.contains(i)).collect();
+            for pos in sample_without_replacement(fresh.len(), per_stratum[kk], rng) {
+                let idx = fresh[pos];
+                label(idx, &mut cache);
+                buckets[l][kk].push(idx);
+            }
+        }
+    }
+
+    // Final estimates: per group, inverse-variance weighting across
+    // stratifications (§4.5 "Single Oracle").
+    let mut out = Vec::with_capacity(g);
+    for gg in 0..g {
+        let mut weighted = 0.0;
+        let mut weight_total = 0.0;
+        let mut fallback_sum = 0.0;
+        let mut fallback_n = 0usize;
+        for l in 0..g {
+            let sizes = stratifications[l].sizes();
+            let cells: Vec<CellStats> =
+                (0..k).map(|kk| cell_stats(&buckets[l][kk], &cache, gg as u16)).collect();
+            // Point estimate from stratification l.
+            let strata_est: Vec<StratumEstimate> = cells
+                .iter()
+                .zip(&sizes)
+                .map(|(c, &s)| StratumEstimate {
+                    size: s,
+                    draws: c.draws,
+                    positives: c.positives,
+                    p_hat: c.p_hat,
+                    mu_hat: c.mu_hat,
+                    sigma_hat: c.sigma_hat,
+                })
+                .collect();
+            let est = combine_estimate(crate::config::Aggregate::Avg, &strata_est);
+            // Variance estimate: Σ_k ŵ²σ̂²/B_k over positive draws.
+            let w_total: f64 =
+                cells.iter().zip(&sizes).map(|(c, &s)| s as f64 * c.p_hat).sum();
+            if w_total <= 0.0 {
+                continue;
+            }
+            let mut var = 0.0;
+            let mut usable = true;
+            for (c, &s) in cells.iter().zip(&sizes) {
+                let w = s as f64 * c.p_hat / w_total;
+                if w == 0.0 {
+                    continue;
+                }
+                if c.positives == 0 {
+                    usable = false;
+                    break;
+                }
+                var += w * w * c.sigma_hat * c.sigma_hat / c.positives as f64;
+            }
+            if !usable {
+                continue;
+            }
+            fallback_sum += est;
+            fallback_n += 1;
+            let w = 1.0 / var.max(1e-12);
+            weighted += w * est;
+            weight_total += w;
+        }
+        let estimate = if weight_total > 0.0 {
+            weighted / weight_total
+        } else if fallback_n > 0 {
+            fallback_sum / fallback_n as f64
+        } else {
+            0.0
+        };
+        out.push(GroupEstimate { group: gg as u16, estimate });
+    }
+    Ok(out)
+}
+
+/// ABae-GroupBy in the multiple-oracle setting: one predicate oracle per
+/// group; group `g`'s samples inform only group `g`.
+pub fn groupby_multi_oracle<O: Oracle, R: Rng + ?Sized>(
+    proxies: &[&[f64]],
+    oracles: &[&O],
+    cfg: &GroupByConfig,
+    rng: &mut R,
+) -> Result<Vec<GroupEstimate>, GroupByError> {
+    Ok(multi_oracle_run(proxies, oracles, cfg, rng)?.0)
+}
+
+/// A group estimate with a per-group bootstrap CI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupEstimateWithCi {
+    /// Group id (index into the proxy list).
+    pub group: u16,
+    /// Estimated per-group average.
+    pub estimate: f64,
+    /// Stratified percentile-bootstrap CI (`None` when the group's
+    /// samples are empty).
+    pub ci: Option<abae_stats::bootstrap::ConfidenceInterval>,
+}
+
+/// ABae-GroupBy (multiple oracles) with per-group bootstrap CIs.
+///
+/// In this setting each group's draws are an independent stratified
+/// sample, so Algorithm 2 applies per group verbatim. (The single-oracle
+/// setting shares records across stratifications, which breaks the
+/// per-stratum independence Algorithm 2 resamples under; it deliberately
+/// has no `_with_ci` variant.)
+pub fn groupby_multi_oracle_with_ci<O: Oracle, R: Rng + ?Sized>(
+    proxies: &[&[f64]],
+    oracles: &[&O],
+    cfg: &GroupByConfig,
+    bootstrap: &crate::config::BootstrapConfig,
+    rng: &mut R,
+) -> Result<Vec<GroupEstimateWithCi>, GroupByError> {
+    let (estimates, draws, sizes) = multi_oracle_run(proxies, oracles, cfg, rng)?;
+    Ok(estimates
+        .into_iter()
+        .enumerate()
+        .map(|(l, est)| {
+            let ci = crate::bootstrap::stratified_bootstrap_ci(
+                &draws[l],
+                &sizes[l],
+                crate::config::Aggregate::Avg,
+                bootstrap,
+                rng,
+            );
+            GroupEstimateWithCi { group: est.group, estimate: est.estimate, ci }
+        })
+        .collect())
+}
+
+type MultiOracleRun = (Vec<GroupEstimate>, Vec<Vec<Vec<Labeled>>>, Vec<Vec<usize>>);
+
+/// Shared two-stage machinery of the multiple-oracle setting; returns the
+/// estimates plus, per group, the per-stratum draws and stratum sizes (the
+/// inputs Algorithm 2 needs).
+fn multi_oracle_run<O: Oracle, R: Rng + ?Sized>(
+    proxies: &[&[f64]],
+    oracles: &[&O],
+    cfg: &GroupByConfig,
+    rng: &mut R,
+) -> Result<MultiOracleRun, GroupByError> {
+    let g = proxies.len();
+    cfg.validate(g)?;
+    if oracles.len() != g {
+        return Err(GroupByError::GroupMismatch { proxies: g, oracles: oracles.len() });
+    }
+    let k = cfg.strata;
+
+    let stratifications: Vec<Stratification> =
+        proxies.iter().map(|p| Stratification::by_proxy_quantile(p, k)).collect();
+
+    // Stage 1: per-group pilot of ⌊C·budget/G⌋ draws, spread over strata.
+    let n1_group = ((cfg.stage1_fraction * cfg.budget as f64) / g as f64).floor() as usize;
+    let n1_stratum = (n1_group / k).max(1);
+
+    let mut pools: Vec<Vec<IndexPool>> = Vec::with_capacity(g);
+    let mut draws: Vec<Vec<Vec<Labeled>>> = Vec::with_capacity(g);
+    for l in 0..g {
+        let mut group_pools = Vec::with_capacity(k);
+        let mut group_draws = Vec::with_capacity(k);
+        for kk in 0..k {
+            let members = stratifications[l].stratum(kk);
+            let mut pool = IndexPool::new(members.len());
+            let labeled: Vec<Labeled> = pool
+                .draw(n1_stratum, rng)
+                .iter()
+                .map(|&local| oracles[l].label(members[local]))
+                .collect();
+            group_pools.push(pool);
+            group_draws.push(labeled);
+        }
+        pools.push(group_pools);
+        draws.push(group_draws);
+    }
+
+    // Pilot estimates, T̂ per group, Eq. 11 unit errors.
+    let mut t_hats: Vec<Vec<f64>> = Vec::with_capacity(g);
+    let mut unit_err: Vec<f64> = Vec::with_capacity(g);
+    for l in 0..g {
+        let sizes = stratifications[l].sizes();
+        let ests: Vec<StratumEstimate> = (0..k)
+            .map(|kk| StratumEstimate::from_draws(sizes[kk], &draws[l][kk]))
+            .collect();
+        let t = optimal_allocation(
+            &ests.iter().map(|e| e.p_hat).collect::<Vec<_>>(),
+            &ests.iter().map(|e| e.sigma_hat).collect::<Vec<_>>(),
+        );
+        let cells: Vec<CellStats> = ests
+            .iter()
+            .map(|e| CellStats {
+                draws: e.draws,
+                positives: e.positives,
+                p_hat: e.p_hat,
+                mu_hat: e.mu_hat,
+                sigma_hat: e.sigma_hat,
+            })
+            .collect();
+        unit_err.push(per_unit_error(&cells, &sizes, &t));
+        t_hats.push(t);
+    }
+
+    // Eq. 11 is the diagonal special case of Eq. 10.
+    let err_matrix: Vec<Vec<f64>> = (0..g)
+        .map(|l| {
+            (0..g)
+                .map(|gg| if l == gg { unit_err[l] } else { f64::INFINITY })
+                .collect()
+        })
+        .collect();
+    let n2 = cfg.budget.saturating_sub(n1_stratum * k * g);
+    let lambda = solve_allocation(&err_matrix, n2.max(1), cfg.allocation);
+
+    // Stage 2: extend each group's without-replacement draws.
+    let mut out = Vec::with_capacity(g);
+    let mut all_sizes = Vec::with_capacity(g);
+    for l in 0..g {
+        let budget_l = (lambda[l] * n2 as f64).floor() as usize;
+        let per_stratum = floor_allocation(&t_hats[l], budget_l);
+        let sizes = stratifications[l].sizes();
+        for kk in 0..k {
+            let members = stratifications[l].stratum(kk);
+            let extra: Vec<Labeled> = pools[l][kk]
+                .draw(per_stratum[kk], rng)
+                .iter()
+                .map(|&local| oracles[l].label(members[local]))
+                .collect();
+            draws[l][kk].extend(extra);
+        }
+        let ests: Vec<StratumEstimate> = (0..k)
+            .map(|kk| StratumEstimate::from_draws(sizes[kk], &draws[l][kk]))
+            .collect();
+        out.push(GroupEstimate {
+            group: l as u16,
+            estimate: combine_estimate(crate::config::Aggregate::Avg, &ests),
+        });
+        all_sizes.push(sizes);
+    }
+    Ok((out, draws, all_sizes))
+}
+
+/// Uniform baseline for the single-oracle setting: spend the whole budget
+/// on one uniform sample and average per group.
+pub fn groupby_uniform_single<R: Rng + ?Sized>(
+    n: usize,
+    oracle: &SingleGroupOracle<'_>,
+    budget: usize,
+    rng: &mut R,
+) -> Vec<GroupEstimate> {
+    let g = oracle.group_count();
+    let mut sums = vec![0.0; g];
+    let mut counts = vec![0usize; g];
+    for idx in sample_without_replacement(n, budget, rng) {
+        let l = oracle.label(idx);
+        if let Some(gg) = l.group {
+            sums[gg as usize] += l.value;
+            counts[gg as usize] += 1;
+        }
+    }
+    (0..g)
+        .map(|gg| GroupEstimate {
+            group: gg as u16,
+            estimate: if counts[gg] > 0 { sums[gg] / counts[gg] as f64 } else { 0.0 },
+        })
+        .collect()
+}
+
+/// Uniform baseline for the multiple-oracle setting: `budget/G` uniform
+/// draws per group, labeled with that group's oracle.
+pub fn groupby_uniform_multi<O: Oracle, R: Rng + ?Sized>(
+    n: usize,
+    oracles: &[&O],
+    budget: usize,
+    rng: &mut R,
+) -> Vec<GroupEstimate> {
+    let g = oracles.len();
+    let per_group = budget.checked_div(g).unwrap_or(0);
+    let mut out = Vec::with_capacity(g);
+    for (gg, oracle) in oracles.iter().enumerate() {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for idx in sample_without_replacement(n, per_group, rng) {
+            let l = oracle.label(idx);
+            if l.matches {
+                sum += l.value;
+                count += 1;
+            }
+        }
+        out.push(GroupEstimate {
+            group: gg as u16,
+            estimate: if count > 0 { sum / count as f64 } else { 0.0 },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abae_data::{PredicateOracle, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a dataset with three disjoint groups whose proxies are
+    /// informative and whose per-group means differ.
+    fn group_table(n: usize, seed: u64) -> Table {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rates = [0.15, 0.10, 0.05];
+        let means = [10.0, 20.0, 40.0];
+        let mut key = Vec::with_capacity(n);
+        let mut labels: Vec<Vec<bool>> = (0..3).map(|_| Vec::with_capacity(n)).collect();
+        let mut proxies: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(n)).collect();
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            let group = if u < rates[0] {
+                Some(0u16)
+            } else if u < rates[0] + rates[1] {
+                Some(1)
+            } else if u < rates[0] + rates[1] + rates[2] {
+                Some(2)
+            } else {
+                None
+            };
+            key.push(group);
+            for g in 0..3 {
+                let member = group == Some(g as u16);
+                labels[g].push(member);
+                let base: f64 = if member { 0.75 } else { 0.25 };
+                proxies[g].push((base + rng.gen_range(-0.2..0.2)).clamp(0.0, 1.0));
+            }
+            let mean = group.map(|g| means[g as usize]).unwrap_or(0.0);
+            values.push(mean + rng.gen_range(-2.0..2.0));
+        }
+        let mut builder = Table::builder("grp", values);
+        for (g, name) in ["g0", "g1", "g2"].iter().enumerate() {
+            builder = builder.predicate(
+                *name,
+                std::mem::take(&mut labels[g]),
+                std::mem::take(&mut proxies[g]),
+            );
+        }
+        builder
+            .group_key(vec!["g0".into(), "g1".into(), "g2".into()], key)
+            .build()
+            .unwrap()
+    }
+
+    fn max_abs_err(table: &Table, ests: &[GroupEstimate]) -> f64 {
+        ests.iter()
+            .map(|e| {
+                let exact = table.exact_group_avg(e.group).unwrap();
+                (e.estimate - exact).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn single_oracle_estimates_every_group() {
+        let t = group_table(40_000, 1);
+        let oracle = SingleGroupOracle::new(&t).unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let cfg = GroupByConfig { budget: 6000, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let ests = groupby_single_oracle(&proxies, &oracle, &cfg, &mut rng).unwrap();
+        assert_eq!(ests.len(), 3);
+        let err = max_abs_err(&t, &ests);
+        assert!(err < 2.0, "max abs err {err}: {ests:?}");
+    }
+
+    #[test]
+    fn single_oracle_label_cache_bounds_cost() {
+        let t = group_table(20_000, 3);
+        let oracle = SingleGroupOracle::new(&t).unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let cfg = GroupByConfig { budget: 3000, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = groupby_single_oracle(&proxies, &oracle, &cfg, &mut rng).unwrap();
+        assert!(oracle.calls() <= 3000, "spent {}", oracle.calls());
+        assert!(oracle.calls() >= 1500, "spent only {}", oracle.calls());
+    }
+
+    #[test]
+    fn multi_oracle_estimates_every_group() {
+        let t = group_table(40_000, 5);
+        let o0 = PredicateOracle::new(&t, "g0").unwrap();
+        let o1 = PredicateOracle::new(&t, "g1").unwrap();
+        let o2 = PredicateOracle::new(&t, "g2").unwrap();
+        let oracles = vec![&o0, &o1, &o2];
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let cfg = GroupByConfig { budget: 9000, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(6);
+        let ests = groupby_multi_oracle(&proxies, &oracles, &cfg, &mut rng).unwrap();
+        assert_eq!(ests.len(), 3);
+        let err = max_abs_err(&t, &ests);
+        assert!(err < 2.0, "max abs err {err}: {ests:?}");
+        let total: u64 = [&o0, &o1, &o2].iter().map(|o| o.calls()).sum();
+        assert!(total <= 9000, "spent {total}");
+    }
+
+    #[test]
+    fn minimax_beats_or_matches_equal_on_worst_group() {
+        // The rarest group dominates the minimax error; the optimizer
+        // should shift budget toward it.
+        let t = group_table(40_000, 7);
+        let o0 = PredicateOracle::new(&t, "g0").unwrap();
+        let o1 = PredicateOracle::new(&t, "g1").unwrap();
+        let o2 = PredicateOracle::new(&t, "g2").unwrap();
+        let oracles = vec![&o0, &o1, &o2];
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let trials = 15;
+        let mut worst = |alloc: GroupAllocation| -> f64 {
+            let cfg = GroupByConfig { budget: 6000, allocation: alloc, ..Default::default() };
+            let mut acc: f64 = 0.0;
+            for _ in 0..trials {
+                let ests = groupby_multi_oracle(&proxies, &oracles, &cfg, &mut rng).unwrap();
+                // Mean squared worst-group error across trials.
+                let e = max_abs_err(&t, &ests);
+                acc += e * e;
+            }
+            (acc / trials as f64).sqrt()
+        };
+        let minimax = worst(GroupAllocation::Minimax);
+        let equal = worst(GroupAllocation::Equal);
+        assert!(
+            minimax <= equal * 1.25,
+            "minimax {minimax} should not lose badly to equal {equal}"
+        );
+    }
+
+    #[test]
+    fn uniform_baselines_estimate_groups() {
+        let t = group_table(30_000, 9);
+        let oracle = SingleGroupOracle::new(&t).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let ests = groupby_uniform_single(t.len(), &oracle, 5000, &mut rng);
+        assert_eq!(ests.len(), 3);
+        assert!(max_abs_err(&t, &ests) < 2.5);
+
+        let o0 = PredicateOracle::new(&t, "g0").unwrap();
+        let o1 = PredicateOracle::new(&t, "g1").unwrap();
+        let o2 = PredicateOracle::new(&t, "g2").unwrap();
+        let ests = groupby_uniform_multi(t.len(), &[&o0, &o1, &o2], 9000, &mut rng);
+        assert_eq!(ests.len(), 3);
+        assert!(max_abs_err(&t, &ests) < 2.5);
+        assert_eq!(o0.calls(), 3000);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_inputs() {
+        let t = group_table(1000, 11);
+        let oracle = SingleGroupOracle::new(&t).unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(12);
+        let bad = GroupByConfig { strata: 0, ..Default::default() };
+        assert!(matches!(
+            groupby_single_oracle(&proxies, &oracle, &bad, &mut rng),
+            Err(GroupByError::Config(ConfigError::ZeroStrata))
+        ));
+        assert!(matches!(
+            groupby_single_oracle(&[], &oracle, &GroupByConfig::default(), &mut rng),
+            Err(GroupByError::NoGroups)
+        ));
+        // Group mismatch: two proxies, three oracle groups.
+        assert!(matches!(
+            groupby_single_oracle(
+                &proxies[..2],
+                &oracle,
+                &GroupByConfig::default(),
+                &mut rng
+            ),
+            Err(GroupByError::GroupMismatch { proxies: 2, oracles: 3 })
+        ));
+    }
+
+    #[test]
+    fn solve_allocation_equalizes_known_errors() {
+        // Diagonal errors (multi-oracle shape): err_g/λ_g equalized ⇒
+        // λ_g ∝ err_g.
+        let err = vec![
+            vec![4.0, f64::INFINITY, f64::INFINITY],
+            vec![f64::INFINITY, 1.0, f64::INFINITY],
+            vec![f64::INFINITY, f64::INFINITY, 1.0],
+        ];
+        let lambda = solve_allocation(&err, 1000, GroupAllocation::Minimax);
+        assert!((lambda[0] - 4.0 / 6.0).abs() < 0.02, "{lambda:?}");
+        assert!((lambda[1] - 1.0 / 6.0).abs() < 0.02, "{lambda:?}");
+    }
+}
+
+#[cfg(test)]
+mod ci_tests {
+    use super::*;
+    use crate::config::BootstrapConfig;
+    use abae_data::{PredicateOracle, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_group_table(n: usize, seed: u64) -> Table {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut key = Vec::with_capacity(n);
+        let mut labels: Vec<Vec<bool>> = vec![Vec::new(), Vec::new()];
+        let mut proxies: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            let group =
+                if u < 0.12 { Some(0u16) } else if u < 0.3 { Some(1) } else { None };
+            key.push(group);
+            for g in 0..2u16 {
+                let member = group == Some(g);
+                labels[g as usize].push(member);
+                proxies[g as usize]
+                    .push(if member { rng.gen_range(0.6..1.0) } else { rng.gen_range(0.0..0.4) });
+            }
+            values.push(match group {
+                Some(0) => 10.0 + rng.gen_range(-1.0..1.0),
+                Some(1) => 25.0 + rng.gen_range(-1.0..1.0),
+                _ => 0.0,
+            });
+        }
+        Table::builder("two", values)
+            .predicate("g0", std::mem::take(&mut labels[0]), std::mem::take(&mut proxies[0]))
+            .predicate("g1", std::mem::take(&mut labels[1]), std::mem::take(&mut proxies[1]))
+            .group_key(vec!["g0".into(), "g1".into()], key)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn per_group_cis_bracket_estimates_and_cover_truth() {
+        let t = two_group_table(30_000, 1);
+        let o0 = PredicateOracle::new(&t, "g0").unwrap();
+        let o1 = PredicateOracle::new(&t, "g1").unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let cfg = GroupByConfig { budget: 6000, ..Default::default() };
+        let bs = BootstrapConfig { trials: 300, alpha: 0.05 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut covered = [0usize; 2];
+        let trials = 20;
+        for _ in 0..trials {
+            let ests =
+                groupby_multi_oracle_with_ci(&proxies, &[&o0, &o1], &cfg, &bs, &mut rng)
+                    .unwrap();
+            assert_eq!(ests.len(), 2);
+            for e in &ests {
+                let ci = e.ci.expect("samples are non-empty");
+                assert!(ci.lo <= e.estimate && e.estimate <= ci.hi);
+                let exact = t.exact_group_avg(e.group).unwrap();
+                if ci.contains(exact) {
+                    covered[e.group as usize] += 1;
+                }
+            }
+        }
+        for (g, &c) in covered.iter().enumerate() {
+            assert!(c >= 16, "group {g} coverage {c}/{trials}");
+        }
+    }
+
+    #[test]
+    fn with_ci_point_estimates_match_plain_variant() {
+        let t = two_group_table(20_000, 3);
+        let o0 = PredicateOracle::new(&t, "g0").unwrap();
+        let o1 = PredicateOracle::new(&t, "g1").unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let cfg = GroupByConfig { budget: 3000, ..Default::default() };
+        let bs = BootstrapConfig { trials: 50, alpha: 0.05 };
+        // Same RNG stream → the sampling phase must be identical; the CI
+        // variant merely appends bootstrap draws afterwards.
+        let mut rng = StdRng::seed_from_u64(4);
+        let plain = groupby_multi_oracle(&proxies, &[&o0, &o1], &cfg, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let with_ci =
+            groupby_multi_oracle_with_ci(&proxies, &[&o0, &o1], &cfg, &bs, &mut rng).unwrap();
+        for (a, b) in plain.iter().zip(&with_ci) {
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.estimate, b.estimate);
+        }
+    }
+}

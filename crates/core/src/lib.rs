@@ -1,0 +1,56 @@
+//! # ABae core — aggregation queries with expensive predicates
+//!
+//! This crate implements the primary contribution of *Kang, Guibas, Bailis,
+//! Hashimoto, Sun, Zaharia: Accelerating Approximate Aggregation Queries
+//! with Expensive Predicates* (VLDB 2021): a two-stage stratified sampling
+//! algorithm (**ABae**) that answers `AVG` / `SUM` / `COUNT` queries whose
+//! predicate requires an expensive oracle (a DNN or human labeler), using a
+//! cheap proxy score per record to stratify, under a hard oracle-invocation
+//! budget and with bootstrap confidence intervals.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`config`] — query configuration: strata count `K`, budget `N`,
+//!   Stage-1 fraction `C`, sample-reuse and rounding toggles (§3.1).
+//! * [`strata`] — stratification by proxy-score quantile (`ABaeInit`).
+//! * [`allocation`] — the optimal allocation `T*_k ∝ √p_k·σ_k`
+//!   (Proposition 1).
+//! * [`error_model`] — the closed-form MSE of the optimal allocation
+//!   (Proposition 2), used for proxy selection and group-by allocation.
+//! * [`estimator`] — per-stratum plug-in estimates `p̂_k, μ̂_k, σ̂_k` and
+//!   the combined estimator `Σ p̂_k μ̂_k / Σ p̂_k` (Algorithm 1 lines 9–20).
+//! * [`two_stage`] — the two-stage sampling algorithm (`ABaeSample`).
+//! * [`bootstrap`] — stratified bootstrap CIs over both stages
+//!   (Algorithm 2).
+//! * [`uniform`] — the uniform-sampling baseline every experiment compares
+//!   against.
+//! * [`multipred`] — ABae-MultiPred: boolean predicate expressions with
+//!   proxy-score combination (§3.3).
+//! * [`groupby`] — ABae-GroupBy: minimax allocation across per-group
+//!   stratifications, single- and multiple-oracle settings (§3.2, §4.5).
+//! * [`proxy_select`] — proxy selection by plug-in optimal MSE (§3.4).
+//! * [`proxy_combine`] — proxy combination via logistic regression (§3.4).
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod allocation;
+pub mod bootstrap;
+pub mod config;
+pub mod error_model;
+pub mod estimator;
+pub mod groupby;
+pub mod importance;
+pub mod multipred;
+pub mod normal_ci;
+pub mod proxy_combine;
+pub mod proxy_select;
+pub mod strata;
+pub mod two_stage;
+pub mod uniform;
+
+pub use config::{Aggregate, AbaeConfig, BootstrapConfig, ConfigError, Rounding, SampleReuse};
+pub use estimator::{combine_estimate, StratumEstimate};
+pub use strata::Stratification;
+pub use two_stage::{run_abae, run_abae_with_ci, AbaeResult, TwoStageRun};
+pub use uniform::{run_uniform, run_uniform_with_ci};

@@ -1,0 +1,281 @@
+//! ABae-MultiPred: queries with boolean combinations of predicates (§3.3).
+//!
+//! Each constituent predicate has its own oracle column and proxy scores.
+//! ABae-MultiPred combines the per-predicate proxy scores into a single
+//! per-record score by treating them as (approximately calibrated)
+//! probabilities:
+//!
+//! * negation → `1 − s`
+//! * conjunction → `s₁ · s₂` (independence approximation)
+//! * disjunction → `max(s₁, s₂)`
+//!
+//! The whole expression is evaluated by *one* oracle invocation per record
+//! (the expensive DNN pass extracts everything needed), so ABae runs
+//! unchanged on the combined score with an expression oracle.
+
+use crate::config::{AbaeConfig, Aggregate, ConfigError};
+use crate::two_stage::{run_abae_with_ci, AbaeResult};
+use abae_data::{FnOracle, Labeled, Table, TableError};
+use rand::Rng;
+
+/// A boolean expression over predicate indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredExpr {
+    /// A leaf predicate, by index into the query's predicate list.
+    Pred(usize),
+    /// Logical negation.
+    Not(Box<PredExpr>),
+    /// Logical conjunction.
+    And(Box<PredExpr>, Box<PredExpr>),
+    /// Logical disjunction.
+    Or(Box<PredExpr>, Box<PredExpr>),
+}
+
+impl PredExpr {
+    /// Leaf constructor.
+    pub fn pred(i: usize) -> Self {
+        PredExpr::Pred(i)
+    }
+
+    /// Negation constructor.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: PredExpr) -> Self {
+        PredExpr::Not(Box::new(e))
+    }
+
+    /// Conjunction constructor.
+    pub fn and(a: PredExpr, b: PredExpr) -> Self {
+        PredExpr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction constructor.
+    pub fn or(a: PredExpr, b: PredExpr) -> Self {
+        PredExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Largest predicate index referenced, or `None` for an impossible
+    /// empty expression (unreachable through the constructors).
+    pub fn max_pred_index(&self) -> usize {
+        match self {
+            PredExpr::Pred(i) => *i,
+            PredExpr::Not(e) => e.max_pred_index(),
+            PredExpr::And(a, b) | PredExpr::Or(a, b) => {
+                a.max_pred_index().max(b.max_pred_index())
+            }
+        }
+    }
+
+    /// Combined proxy score for record `i` (§3.3 substitution rules).
+    pub fn score_at(&self, proxies: &[&[f64]], i: usize) -> f64 {
+        match self {
+            PredExpr::Pred(p) => proxies[*p][i],
+            PredExpr::Not(e) => 1.0 - e.score_at(proxies, i),
+            PredExpr::And(a, b) => a.score_at(proxies, i) * b.score_at(proxies, i),
+            PredExpr::Or(a, b) => a.score_at(proxies, i).max(b.score_at(proxies, i)),
+        }
+    }
+
+    /// Combined proxy scores for all records.
+    ///
+    /// # Panics
+    /// Panics if `proxies` is empty, a referenced index is out of range, or
+    /// the score vectors have unequal lengths.
+    pub fn combined_scores(&self, proxies: &[&[f64]]) -> Vec<f64> {
+        assert!(!proxies.is_empty(), "need at least one proxy");
+        let n = proxies[0].len();
+        assert!(proxies.iter().all(|p| p.len() == n), "proxy lengths must match");
+        assert!(self.max_pred_index() < proxies.len(), "predicate index out of range");
+        (0..n).map(|i| self.score_at(proxies, i)).collect()
+    }
+
+    /// Evaluates the expression given per-predicate truth values.
+    pub fn evaluate(&self, truth: &dyn Fn(usize) -> bool) -> bool {
+        match self {
+            PredExpr::Pred(p) => truth(*p),
+            PredExpr::Not(e) => !e.evaluate(truth),
+            PredExpr::And(a, b) => a.evaluate(truth) && b.evaluate(truth),
+            PredExpr::Or(a, b) => a.evaluate(truth) || b.evaluate(truth),
+        }
+    }
+}
+
+/// Builds the expression's combined proxy scores from a table's predicate
+/// columns (in table order).
+pub fn table_combined_scores(table: &Table, expr: &PredExpr) -> Result<Vec<f64>, TableError> {
+    let proxies: Vec<&[f64]> = table.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    if expr.max_pred_index() >= proxies.len() {
+        return Err(TableError::UnknownPredicate(format!(
+            "predicate index {} out of range",
+            expr.max_pred_index()
+        )));
+    }
+    Ok(expr.combined_scores(&proxies))
+}
+
+/// Builds a one-invocation-per-record oracle evaluating `expr` against the
+/// table's ground-truth labels.
+pub fn expression_oracle<'a>(
+    table: &'a Table,
+    expr: &'a PredExpr,
+) -> Result<FnOracle<impl Fn(usize) -> Labeled + 'a>, TableError> {
+    if expr.max_pred_index() >= table.predicates().len() {
+        return Err(TableError::UnknownPredicate(format!(
+            "predicate index {} out of range",
+            expr.max_pred_index()
+        )));
+    }
+    Ok(FnOracle::new(move |i: usize| Labeled {
+        matches: expr.evaluate(&|p| table.predicates()[p].labels[i]),
+        value: table.statistic(i),
+    }))
+}
+
+/// Runs ABae-MultiPred end to end on a table: combine scores, build the
+/// expression oracle, run Algorithm 1 + bootstrap CI.
+pub fn run_multipred<R: Rng + ?Sized>(
+    table: &Table,
+    expr: &PredExpr,
+    config: &AbaeConfig,
+    agg: Aggregate,
+    rng: &mut R,
+) -> Result<AbaeResult, MultiPredError> {
+    let scores = table_combined_scores(table, expr).map_err(MultiPredError::Table)?;
+    let oracle = expression_oracle(table, expr).map_err(MultiPredError::Table)?;
+    run_abae_with_ci(&scores, &oracle, config, agg, rng).map_err(MultiPredError::Config)
+}
+
+/// Errors from multi-predicate execution.
+#[derive(Debug)]
+pub enum MultiPredError {
+    /// Expression refers to predicates the table does not have.
+    Table(TableError),
+    /// Invalid ABae configuration.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for MultiPredError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiPredError::Table(e) => write!(f, "table: {e}"),
+            MultiPredError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiPredError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abae_data::Oracle as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn score_combination_rules() {
+        let p0 = [0.8, 0.2];
+        let p1 = [0.5, 0.9];
+        let proxies: Vec<&[f64]> = vec![&p0, &p1];
+
+        let and = PredExpr::and(PredExpr::pred(0), PredExpr::pred(1));
+        let got = and.combined_scores(&proxies);
+        assert!((got[0] - 0.4).abs() < 1e-12 && (got[1] - 0.18).abs() < 1e-12);
+
+        let or = PredExpr::or(PredExpr::pred(0), PredExpr::pred(1));
+        assert_eq!(or.combined_scores(&proxies), vec![0.8, 0.9]);
+
+        let not = PredExpr::not(PredExpr::pred(0));
+        let got = not.combined_scores(&proxies);
+        assert!((got[0] - 0.2).abs() < 1e-12 && (got[1] - 0.8).abs() < 1e-12);
+
+        // Nested: ¬(p0 ∧ p1).
+        let nested = PredExpr::not(PredExpr::and(PredExpr::pred(0), PredExpr::pred(1)));
+        let got = nested.combined_scores(&proxies);
+        assert!((got[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_matches_boolean_semantics() {
+        // Truth table over two predicates.
+        for a in [false, true] {
+            for b in [false, true] {
+                let truth = |p: usize| if p == 0 { a } else { b };
+                assert_eq!(
+                    PredExpr::and(PredExpr::pred(0), PredExpr::pred(1)).evaluate(&truth),
+                    a && b
+                );
+                assert_eq!(
+                    PredExpr::or(PredExpr::pred(0), PredExpr::pred(1)).evaluate(&truth),
+                    a || b
+                );
+                assert_eq!(PredExpr::not(PredExpr::pred(0)).evaluate(&truth), !a);
+                // De Morgan: ¬(a ∧ b) == ¬a ∨ ¬b.
+                let lhs = PredExpr::not(PredExpr::and(PredExpr::pred(0), PredExpr::pred(1)));
+                let rhs = PredExpr::or(
+                    PredExpr::not(PredExpr::pred(0)),
+                    PredExpr::not(PredExpr::pred(1)),
+                );
+                assert_eq!(lhs.evaluate(&truth), rhs.evaluate(&truth));
+            }
+        }
+    }
+
+    fn two_pred_table(n: usize) -> Table {
+        let labels_a: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let labels_b: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let proxy_a: Vec<f64> = labels_a.iter().map(|&l| if l { 0.9 } else { 0.1 }).collect();
+        let proxy_b: Vec<f64> = labels_b.iter().map(|&l| if l { 0.8 } else { 0.2 }).collect();
+        let values: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        Table::builder("two", values)
+            .predicate("a", labels_a, proxy_a)
+            .predicate("b", labels_b, proxy_b)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn expression_oracle_counts_one_call_per_record() {
+        let t = two_pred_table(100);
+        let expr = PredExpr::and(PredExpr::pred(0), PredExpr::pred(1));
+        let oracle = expression_oracle(&t, &expr).unwrap();
+        let l = oracle.label(0);
+        assert!(l.matches); // 0 % 2 == 0 && 0 % 3 == 0
+        let l = oracle.label(2);
+        assert!(!l.matches); // 2 % 3 != 0
+        assert_eq!(oracle.calls(), 2);
+    }
+
+    #[test]
+    fn out_of_range_predicate_index_errors() {
+        let t = two_pred_table(10);
+        let expr = PredExpr::pred(5);
+        assert!(expression_oracle(&t, &expr).is_err());
+        assert!(table_combined_scores(&t, &expr).is_err());
+    }
+
+    #[test]
+    fn run_multipred_estimates_conjunction_average() {
+        let n = 30_000;
+        let t = two_pred_table(n);
+        // Exact answer: avg of values where i%2==0 && i%3==0, i.e. i%6==0.
+        let exact = {
+            let (mut s, mut c) = (0.0, 0);
+            for i in (0..n).step_by(6) {
+                s += (i % 5) as f64;
+                c += 1;
+            }
+            s / c as f64
+        };
+        let expr = PredExpr::and(PredExpr::pred(0), PredExpr::pred(1));
+        let cfg = AbaeConfig { budget: 3000, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut errs = Vec::new();
+        for _ in 0..20 {
+            let r = run_multipred(&t, &expr, &cfg, Aggregate::Avg, &mut rng).unwrap();
+            errs.push(r.estimate - exact);
+            assert!(r.ci.is_some());
+        }
+        let rmse = (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+        assert!(rmse < 0.15, "rmse {rmse} against exact {exact}");
+    }
+}

@@ -1,0 +1,410 @@
+//! The two-stage sampling algorithm (Algorithm 1, `ABaeSample`).
+//!
+//! Stage 1 (pilot): draw `N1` records without replacement from every
+//! stratum, label them with the oracle, and form plug-in estimates of
+//! `p_k` and `σ_k`. Stage 2: allocate `N2` further draws proportionally to
+//! `T̂_k ∝ √p̂_k·σ̂_k` (floored per the paper), continuing the
+//! without-replacement draw within each stratum. Final estimates use the
+//! samples of both stages (sample reuse; §5.3 shows disabling it —
+//! [`SampleReuse::Disabled`] — costs substantial accuracy).
+
+use crate::bootstrap::stratified_bootstrap_ci;
+use crate::config::{AbaeConfig, Aggregate, ConfigError, Rounding, SampleReuse};
+use crate::estimator::{combine_estimate, StratumEstimate};
+use crate::strata::Stratification;
+use abae_data::{Labeled, Oracle};
+use abae_sampling::budget::{floor_allocation, largest_remainder_allocation, stage_split};
+use abae_sampling::pool::IndexPool;
+use abae_stats::bootstrap::ConfidenceInterval;
+use rand::Rng;
+
+/// Full output of one two-stage run, including everything the bootstrap
+/// needs to resample.
+#[derive(Debug, Clone)]
+pub struct TwoStageRun {
+    /// The point estimate for the requested aggregate.
+    pub estimate: f64,
+    /// Per-stratum estimates underlying the final answer.
+    pub strata: Vec<StratumEstimate>,
+    /// Pilot (Stage-1) estimates, before Stage-2 refinement.
+    pub pilot: Vec<StratumEstimate>,
+    /// The estimated optimal allocation `T̂_k` computed after Stage 1.
+    pub t_hat: Vec<f64>,
+    /// Per-stratum labeled draws that entered the final estimates (both
+    /// stages under reuse, Stage-2 only otherwise).
+    pub samples: Vec<Vec<Labeled>>,
+    /// Total oracle invocations spent.
+    pub oracle_calls: u64,
+}
+
+/// A point estimate with an optional confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbaeResult {
+    /// The point estimate.
+    pub estimate: f64,
+    /// Bootstrap percentile CI, when requested.
+    pub ci: Option<ConfidenceInterval>,
+    /// Total oracle invocations spent.
+    pub oracle_calls: u64,
+}
+
+/// Runs Algorithm 1 on a prepared stratification.
+///
+/// `stratification` comes from [`Stratification::by_proxy_quantile`]
+/// (`ABaeInit`); `oracle` is charged once per drawn record; `agg` selects
+/// the aggregate; `rng` drives all randomness.
+///
+/// # Errors
+/// Returns the configuration's validation error, if any.
+pub fn run_two_stage<O: Oracle, R: Rng + ?Sized>(
+    stratification: &Stratification,
+    oracle: &O,
+    config: &AbaeConfig,
+    agg: Aggregate,
+    rng: &mut R,
+) -> Result<TwoStageRun, ConfigError> {
+    config.validate()?;
+    let k = stratification.len();
+    let split = stage_split(config.budget, config.stage1_fraction, k);
+
+    let calls_before = oracle.calls();
+
+    // Stage 1: N1 pilot draws per stratum.
+    let mut pools: Vec<IndexPool> = Vec::with_capacity(k);
+    let mut stage1: Vec<Vec<Labeled>> = Vec::with_capacity(k);
+    for s in 0..k {
+        let records = stratification.stratum(s);
+        let mut pool = IndexPool::new(records.len());
+        let draws: Vec<Labeled> = pool
+            .draw(split.n1_per_stratum, rng)
+            .iter()
+            .map(|&local| oracle.label(records[local]))
+            .collect();
+        pools.push(pool);
+        stage1.push(draws);
+    }
+
+    let pilot: Vec<StratumEstimate> = stage1
+        .iter()
+        .enumerate()
+        .map(|(s, draws)| StratumEstimate::from_draws(stratification.stratum(s).len(), draws))
+        .collect();
+
+    // Allocation from pilot estimates: T̂_k ∝ √p̂_k σ̂_k.
+    let weights: Vec<f64> = pilot.iter().map(|e| e.p_hat.sqrt() * e.sigma_hat).collect();
+    let t_hat = crate::allocation::optimal_allocation(
+        &pilot.iter().map(|e| e.p_hat).collect::<Vec<_>>(),
+        &pilot.iter().map(|e| e.sigma_hat).collect::<Vec<_>>(),
+    );
+    let stage2_alloc = match config.rounding {
+        Rounding::Floor => floor_allocation(&weights, split.n2_total),
+        Rounding::LargestRemainder => largest_remainder_allocation(&weights, split.n2_total),
+    };
+
+    // Stage 2: extend each stratum's without-replacement draw.
+    let mut samples: Vec<Vec<Labeled>> = Vec::with_capacity(k);
+    for (s, mut stage1_draws) in stage1.into_iter().enumerate() {
+        let records = stratification.stratum(s);
+        let stage2_draws: Vec<Labeled> = pools[s]
+            .draw(stage2_alloc[s], rng)
+            .iter()
+            .map(|&local| oracle.label(records[local]))
+            .collect();
+        let combined = match config.reuse {
+            SampleReuse::Enabled => {
+                stage1_draws.extend(stage2_draws);
+                stage1_draws
+            }
+            SampleReuse::Disabled => stage2_draws,
+        };
+        samples.push(combined);
+    }
+
+    let strata: Vec<StratumEstimate> = samples
+        .iter()
+        .enumerate()
+        .map(|(s, draws)| StratumEstimate::from_draws(stratification.stratum(s).len(), draws))
+        .collect();
+
+    Ok(TwoStageRun {
+        estimate: combine_estimate(agg, &strata),
+        strata,
+        pilot,
+        t_hat,
+        samples,
+        oracle_calls: oracle.calls() - calls_before,
+    })
+}
+
+/// Convenience entry point: stratify by proxy quantile and run Algorithm 1.
+///
+/// ```
+/// use abae_core::{run_abae, Aggregate, AbaeConfig};
+/// use abae_data::{FnOracle, Labeled};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // 10k records; the expensive predicate holds for the top half, and the
+/// // proxy score increases with the record index.
+/// let scores: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
+/// let oracle = FnOracle::new(|i| Labeled { matches: i >= 5_000, value: i as f64 });
+///
+/// let config = AbaeConfig { budget: 1_000, ..Default::default() };
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let result = run_abae(&scores, &oracle, &config, Aggregate::Avg, &mut rng).unwrap();
+///
+/// // Exact answer is the mean of 5000..10000 = 7499.5.
+/// assert!((result.estimate - 7499.5).abs() < 150.0);
+/// assert!(result.oracle_calls <= 1_000);
+/// ```
+pub fn run_abae<O: Oracle, R: Rng + ?Sized>(
+    proxy_scores: &[f64],
+    oracle: &O,
+    config: &AbaeConfig,
+    agg: Aggregate,
+    rng: &mut R,
+) -> Result<AbaeResult, ConfigError> {
+    config.validate()?;
+    let strat = Stratification::by_proxy_quantile(proxy_scores, config.strata);
+    let run = run_two_stage(&strat, oracle, config, agg, rng)?;
+    Ok(AbaeResult { estimate: run.estimate, ci: None, oracle_calls: run.oracle_calls })
+}
+
+/// Runs ABae and attaches a bootstrap percentile CI (`ABaeWithCI`,
+/// Algorithm 2).
+pub fn run_abae_with_ci<O: Oracle, R: Rng + ?Sized>(
+    proxy_scores: &[f64],
+    oracle: &O,
+    config: &AbaeConfig,
+    agg: Aggregate,
+    rng: &mut R,
+) -> Result<AbaeResult, ConfigError> {
+    config.validate()?;
+    let strat = Stratification::by_proxy_quantile(proxy_scores, config.strata);
+    let run = run_two_stage(&strat, oracle, config, agg, rng)?;
+    let sizes = strat.sizes();
+    let ci = stratified_bootstrap_ci(&run.samples, &sizes, agg, &config.bootstrap, rng);
+    Ok(AbaeResult { estimate: run.estimate, ci, oracle_calls: run.oracle_calls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abae_data::FnOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A synthetic population where the proxy perfectly orders positives:
+    /// records with index ≥ 60% of n match, and the statistic rises with
+    /// the index so strata have different means.
+    fn make_population(n: usize) -> (Vec<f64>, Vec<bool>, Vec<f64>) {
+        let scores: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i >= n * 3 / 5).collect();
+        let values: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 + i as f64 / n as f64).collect();
+        (scores, labels, values)
+    }
+
+    fn oracle_for(
+        labels: Vec<bool>,
+        values: Vec<f64>,
+    ) -> FnOracle<impl Fn(usize) -> Labeled> {
+        FnOracle::new(move |i| Labeled { matches: labels[i], value: values[i] })
+    }
+
+    fn exact_avg(labels: &[bool], values: &[f64]) -> f64 {
+        let (mut sum, mut cnt) = (0.0, 0usize);
+        for (i, &l) in labels.iter().enumerate() {
+            if l {
+                sum += values[i];
+                cnt += 1;
+            }
+        }
+        sum / cnt as f64
+    }
+
+    #[test]
+    fn estimates_converge_to_exact_answer() {
+        let (scores, labels, values) = make_population(20_000);
+        let truth = exact_avg(&labels, &values);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig { budget: 4000, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut errs = Vec::new();
+        for _ in 0..30 {
+            let r = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+            errs.push(r.estimate - truth);
+        }
+        let rmse = (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+        assert!(rmse < 0.15, "rmse {rmse} vs truth {truth}");
+    }
+
+    #[test]
+    fn oracle_budget_is_respected_and_counted() {
+        let (scores, labels, values) = make_population(50_000);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig { budget: 1000, strata: 5, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+        assert!(r.oracle_calls <= 1000, "spent {}", r.oracle_calls);
+        // Floor rounding leaves < K draws unspent from each stage boundary.
+        assert!(r.oracle_calls >= 1000 - 10, "spent only {}", r.oracle_calls);
+        assert_eq!(oracle.calls(), r.oracle_calls);
+    }
+
+    #[test]
+    fn count_and_sum_estimates_scale_correctly() {
+        let (scores, labels, values) = make_population(10_000);
+        let exact_count = labels.iter().filter(|&&l| l).count() as f64;
+        let exact_sum: f64 = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l)
+            .map(|(i, _)| values[i])
+            .sum();
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig { budget: 3000, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let count = run_abae(&scores, &oracle, &cfg, Aggregate::Count, &mut rng).unwrap();
+        let sum = run_abae(&scores, &oracle, &cfg, Aggregate::Sum, &mut rng).unwrap();
+        assert!((count.estimate - exact_count).abs() / exact_count < 0.05, "{}", count.estimate);
+        assert!((sum.estimate - exact_sum).abs() / exact_sum < 0.05, "{}", sum.estimate);
+    }
+
+    #[test]
+    fn perfect_proxy_allocates_stage2_to_positive_strata() {
+        let (scores, labels, values) = make_population(10_000);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig { budget: 2000, strata: 5, ..Default::default() };
+        let strat = Stratification::by_proxy_quantile(&scores, cfg.strata);
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = run_two_stage(&strat, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+        // Positives live at indices ≥ 60%: strata 0–2 are all-negative, so
+        // their √p̂σ̂ = 0 and Stage 2 spends nothing there.
+        assert_eq!(run.t_hat[0], 0.0);
+        assert_eq!(run.t_hat[1], 0.0);
+        assert!(run.t_hat[3] + run.t_hat[4] > 0.9);
+        // Stage-2 draws (samples beyond the pilot) only in positive strata.
+        let n1 = run.pilot[0].draws;
+        assert_eq!(run.samples[0].len(), n1);
+        assert!(run.samples[4].len() > n1);
+    }
+
+    #[test]
+    fn no_reuse_discards_pilot_samples() {
+        let (scores, labels, values) = make_population(10_000);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig {
+            budget: 2000,
+            reuse: SampleReuse::Disabled,
+            ..Default::default()
+        };
+        let strat = Stratification::by_proxy_quantile(&scores, cfg.strata);
+        let mut rng = StdRng::seed_from_u64(5);
+        let run = run_two_stage(&strat, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+        // Strata that received no Stage-2 allocation have zero samples.
+        let total_kept: usize = run.samples.iter().map(Vec::len).sum();
+        let total_drawn = run.oracle_calls as usize;
+        assert!(total_kept < total_drawn, "kept {total_kept} of {total_drawn}");
+    }
+
+    #[test]
+    fn tiny_strata_are_exhausted_not_overdrawn() {
+        // 50 records, budget 200: every record can be labeled at most once.
+        let scores: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        let labels = vec![true; 50];
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let truth = exact_avg(&labels, &values);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig { budget: 200, strata: 5, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+        assert!(r.oracle_calls <= 50);
+        // Labeling everything once gives the exact answer.
+        assert!((r.estimate - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_negative_population_estimates_zero() {
+        let scores: Vec<f64> = (0..5000).map(|i| i as f64 / 5000.0).collect();
+        let oracle = FnOracle::new(|_| Labeled { matches: false, value: 42.0 });
+        let cfg = AbaeConfig { budget: 500, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+        assert_eq!(r.estimate, 0.0);
+        let r = run_abae(&scores, &oracle, &cfg, Aggregate::Count, &mut rng).unwrap();
+        assert_eq!(r.estimate, 0.0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let scores = vec![0.5; 100];
+        let oracle = FnOracle::new(|_| Labeled { matches: true, value: 1.0 });
+        let cfg = AbaeConfig { strata: 0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn largest_remainder_spends_full_stage2_budget() {
+        let (scores, labels, values) = make_population(50_000);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig {
+            budget: 1003,
+            rounding: Rounding::LargestRemainder,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+        // N1 = ⌊0.5·1003/5⌋ = 100 per stratum; N2 = 1003 − 500 = 503, all
+        // spent under largest-remainder rounding.
+        assert_eq!(r.oracle_calls, 1003);
+    }
+
+    #[test]
+    fn reuse_beats_no_reuse_on_rmse() {
+        // The Figure 9 lesion, in miniature.
+        let (scores, labels, values) = make_population(30_000);
+        let truth = exact_avg(&labels, &values);
+        let oracle = oracle_for(labels.clone(), values.clone());
+        let mut rng = StdRng::seed_from_u64(10);
+        let trials = 60;
+        let mut rmse_for = |reuse: SampleReuse| {
+            let cfg = AbaeConfig { budget: 600, reuse, ..Default::default() };
+            let mut errs = Vec::new();
+            for _ in 0..trials {
+                let r = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+                errs.push(r.estimate - truth);
+            }
+            (errs.iter().map(|e| e * e).sum::<f64>() / trials as f64).sqrt()
+        };
+        let with_reuse = rmse_for(SampleReuse::Enabled);
+        let without = rmse_for(SampleReuse::Disabled);
+        assert!(
+            with_reuse < without,
+            "reuse {with_reuse} should beat no-reuse {without}"
+        );
+    }
+
+    #[test]
+    fn with_ci_produces_covering_interval() {
+        let (scores, labels, values) = make_population(20_000);
+        let truth = exact_avg(&labels, &values);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig {
+            budget: 2000,
+            bootstrap: crate::config::BootstrapConfig { trials: 300, alpha: 0.05 },
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut covered = 0;
+        let trials = 40;
+        for _ in 0..trials {
+            let r = run_abae_with_ci(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+            let ci = r.ci.expect("bootstrap CI");
+            assert!(ci.lo <= r.estimate && r.estimate <= ci.hi);
+            if ci.contains(truth) {
+                covered += 1;
+            }
+        }
+        assert!(covered as f64 / trials as f64 > 0.8, "coverage {covered}/{trials}");
+    }
+}

@@ -1,0 +1,366 @@
+//! Minimal CSV ingestion for user datasets.
+//!
+//! Loads a [`Table`] from CSV with a header row. Expected columns:
+//!
+//! * `statistic` — the aggregated expression `f(x)` (required).
+//! * `label:<name>` / `proxy:<name>` — one pair per predicate.
+//! * `group` — optional group name per record (empty = no group).
+//! * `text` — optional raw text payload.
+//!
+//! The parser handles RFC-4180-style quoting (`"a,b"`, doubled quotes) but
+//! deliberately nothing more exotic; it exists so the library is usable on
+//! real exported data without pulling in a dependency.
+
+use crate::table::{Table, TableError};
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the CSV content.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The header is missing a required column.
+    MissingColumn(String),
+    /// Table validation failed after parsing.
+    Table(TableError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            CsvError::MissingColumn(c) => write!(f, "missing required column `{c}`"),
+            CsvError::Table(e) => write!(f, "table validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl From<TableError> for CsvError {
+    fn from(e: TableError) -> Self {
+        CsvError::Table(e)
+    }
+}
+
+/// Splits one CSV line into fields, honoring double-quote quoting.
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(CsvError::Malformed {
+                            line: line_no,
+                            reason: "quote inside unquoted field".to_string(),
+                        });
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::Malformed { line: line_no, reason: "unterminated quote".to_string() });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Reads a table named `name` from CSV content.
+pub fn read_table<R: BufRead>(name: &str, reader: R) -> Result<Table, CsvError> {
+    let mut lines = reader.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break split_line(line.trim_end_matches('\r'), i + 1)?;
+                }
+            }
+            None => {
+                return Err(CsvError::Malformed { line: 0, reason: "empty input".to_string() })
+            }
+        }
+    };
+
+    let col_index: HashMap<String, usize> =
+        header.iter().enumerate().map(|(i, h)| (h.trim().to_string(), i)).collect();
+    let stat_col = *col_index
+        .get("statistic")
+        .ok_or_else(|| CsvError::MissingColumn("statistic".to_string()))?;
+    let group_col = col_index.get("group").copied();
+    let text_col = col_index.get("text").copied();
+
+    // Predicate columns come in label:/proxy: pairs.
+    let mut pred_names: Vec<String> = Vec::new();
+    for h in &header {
+        if let Some(name) = h.trim().strip_prefix("label:") {
+            pred_names.push(name.to_string());
+        }
+    }
+    let mut pred_cols: Vec<(usize, usize)> = Vec::with_capacity(pred_names.len());
+    for pname in &pred_names {
+        let label = *col_index
+            .get(&format!("label:{pname}"))
+            .ok_or_else(|| CsvError::MissingColumn(format!("label:{pname}")))?;
+        let proxy = *col_index
+            .get(&format!("proxy:{pname}"))
+            .ok_or_else(|| CsvError::MissingColumn(format!("proxy:{pname}")))?;
+        pred_cols.push((label, proxy));
+    }
+
+    let mut statistic: Vec<f64> = Vec::new();
+    let mut labels: Vec<Vec<bool>> = vec![Vec::new(); pred_names.len()];
+    let mut proxies: Vec<Vec<f64>> = vec![Vec::new(); pred_names.len()];
+    let mut groups: Vec<String> = Vec::new();
+    let mut texts: Vec<String> = Vec::new();
+
+    for (i, line) in lines {
+        let line = line?;
+        let trimmed = line.trim_end_matches('\r');
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let fields = split_line(trimmed, line_no)?;
+        if fields.len() != header.len() {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                reason: format!("{} fields, header has {}", fields.len(), header.len()),
+            });
+        }
+        let stat: f64 = fields[stat_col].trim().parse().map_err(|_| CsvError::Malformed {
+            line: line_no,
+            reason: format!("bad statistic `{}`", fields[stat_col]),
+        })?;
+        statistic.push(stat);
+        for (j, &(lc, pc)) in pred_cols.iter().enumerate() {
+            let label = match fields[lc].trim() {
+                "1" | "true" | "TRUE" | "True" => true,
+                "0" | "false" | "FALSE" | "False" => false,
+                other => {
+                    return Err(CsvError::Malformed {
+                        line: line_no,
+                        reason: format!("bad label `{other}`"),
+                    })
+                }
+            };
+            let proxy: f64 = fields[pc].trim().parse().map_err(|_| CsvError::Malformed {
+                line: line_no,
+                reason: format!("bad proxy `{}`", fields[pc]),
+            })?;
+            labels[j].push(label);
+            proxies[j].push(proxy);
+        }
+        if let Some(gc) = group_col {
+            groups.push(fields[gc].trim().to_string());
+        }
+        if let Some(tc) = text_col {
+            texts.push(fields[tc].clone());
+        }
+    }
+
+    let mut builder = Table::builder(name, statistic);
+    for (j, pname) in pred_names.iter().enumerate() {
+        builder = builder.predicate(
+            pname.clone(),
+            std::mem::take(&mut labels[j]),
+            std::mem::take(&mut proxies[j]),
+        );
+    }
+    if group_col.is_some() {
+        // Map distinct non-empty group names to ids in order of appearance.
+        let mut names: Vec<String> = Vec::new();
+        let mut ids: HashMap<String, u16> = HashMap::new();
+        let key: Vec<Option<u16>> = groups
+            .iter()
+            .map(|g| {
+                if g.is_empty() {
+                    None
+                } else {
+                    Some(*ids.entry(g.clone()).or_insert_with(|| {
+                        names.push(g.clone());
+                        (names.len() - 1) as u16
+                    }))
+                }
+            })
+            .collect();
+        builder = builder.group_key(names, key);
+    }
+    if text_col.is_some() {
+        builder = builder.texts(texts);
+    }
+    Ok(builder.build()?)
+}
+
+/// Serializes a table back to CSV (the inverse of [`read_table`], for
+/// exporting emulated datasets).
+pub fn write_table<W: std::io::Write>(table: &Table, mut w: W) -> std::io::Result<()> {
+    let mut header = vec!["statistic".to_string()];
+    for p in table.predicates() {
+        header.push(format!("label:{}", p.name));
+        header.push(format!("proxy:{}", p.name));
+    }
+    if table.group_key().is_some() {
+        header.push("group".to_string());
+    }
+    if table.texts().is_some() {
+        header.push("text".to_string());
+    }
+    writeln!(w, "{}", header.join(","))?;
+    for i in 0..table.len() {
+        let mut row = vec![format!("{}", table.statistic(i))];
+        for p in table.predicates() {
+            row.push(if p.labels[i] { "1".to_string() } else { "0".to_string() });
+            row.push(format!("{}", p.proxy[i]));
+        }
+        if let Some(gk) = table.group_key() {
+            row.push(match gk.key[i] {
+                Some(g) => gk.names[g as usize].clone(),
+                None => String::new(),
+            });
+        }
+        if let Some(texts) = table.texts() {
+            let quoted = format!("\"{}\"", texts[i].replace('"', "\"\""));
+            row.push(quoted);
+        }
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+statistic,label:spam,proxy:spam,group,text
+3.5,1,0.9,a,\"hello, world\"
+1.0,0,0.2,b,plain
+2.0,1,0.7,,\"quote\"\"inside\"
+";
+
+    #[test]
+    fn parses_full_featured_csv() {
+        let t = read_table("s", SAMPLE.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.statistics(), &[3.5, 1.0, 2.0]);
+        let p = t.predicate("spam").unwrap();
+        assert_eq!(p.labels, vec![true, false, true]);
+        assert_eq!(p.proxy, vec![0.9, 0.2, 0.7]);
+        let gk = t.group_key().unwrap();
+        assert_eq!(gk.names, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(gk.key, vec![Some(0), Some(1), None]);
+        assert_eq!(t.texts().unwrap()[0], "hello, world");
+    }
+
+    #[test]
+    fn quoted_fields_with_escapes() {
+        let t = read_table("s", SAMPLE.as_bytes()).unwrap();
+        assert_eq!(t.texts().unwrap()[2], "quote\"inside");
+    }
+
+    #[test]
+    fn missing_statistic_column_errors() {
+        let csv = "label:p,proxy:p\n1,0.5\n";
+        assert!(matches!(
+            read_table("x", csv.as_bytes()),
+            Err(CsvError::MissingColumn(c)) if c == "statistic"
+        ));
+    }
+
+    #[test]
+    fn missing_proxy_pair_errors() {
+        let csv = "statistic,label:p\n1.0,1\n";
+        assert!(matches!(
+            read_table("x", csv.as_bytes()),
+            Err(CsvError::MissingColumn(c)) if c == "proxy:p"
+        ));
+    }
+
+    #[test]
+    fn bad_field_counts_error_with_line_numbers() {
+        let csv = "statistic,label:p,proxy:p\n1.0,1\n";
+        match read_table("x", csv.as_bytes()) {
+            Err(CsvError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_values_error() {
+        let csv = "statistic,label:p,proxy:p\nxyz,1,0.5\n";
+        assert!(matches!(read_table("x", csv.as_bytes()), Err(CsvError::Malformed { .. })));
+        let csv = "statistic,label:p,proxy:p\n1.0,maybe,0.5\n";
+        assert!(matches!(read_table("x", csv.as_bytes()), Err(CsvError::Malformed { .. })));
+        let csv = "statistic,label:p,proxy:p\n1.0,1,high\n";
+        assert!(matches!(read_table("x", csv.as_bytes()), Err(CsvError::Malformed { .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        let csv = "statistic,text\n1.0,\"oops\n";
+        assert!(matches!(read_table("x", csv.as_bytes()), Err(CsvError::Malformed { .. })));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(matches!(read_table("x", "".as_bytes()), Err(CsvError::Malformed { .. })));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "statistic,label:p,proxy:p\n\n1.0,1,0.5\n\n2.0,0,0.25\n";
+        let t = read_table("x", csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_write_then_read() {
+        let original = read_table("s", SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_table(&original, &mut buf).unwrap();
+        let reparsed = read_table("s", buf.as_slice()).unwrap();
+        assert_eq!(original.statistics(), reparsed.statistics());
+        assert_eq!(original.predicate("spam"), reparsed.predicate("spam"));
+        assert_eq!(original.group_key(), reparsed.group_key());
+        assert_eq!(original.texts(), reparsed.texts());
+    }
+}

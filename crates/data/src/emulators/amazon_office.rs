@@ -1,0 +1,32 @@
+//! Amazon office-supplies reviews emulator.
+//!
+//! Paper workload: `SELECT AVG(rating) FROM data WHERE sentiment(review) =
+//! 'strongly positive'`; FlairNLP's BERT sentiment model as the oracle and
+//! NLTK's rule-based (VADER) predictor as the proxy. 800,144 reviews.
+//!
+//! Substitution: positive rate 0.45 (Amazon reviews skew very positive;
+//! "strongly positive" per a BERT classifier captures just under half),
+//! ratings 1–5 strongly coupled to the sentiment propensity (strongly
+//! positive reviews average ≈ 4.8 stars), and a deliberately weaker proxy
+//! (a rule-based sentiment scorer trails a fine-tuned BERT by a wide
+//! margin: AUC ≈ 0.75 here).
+
+use super::EmulatorOptions;
+use crate::synthetic::{PredicateModel, StatisticModel, SyntheticSpec};
+use crate::table::Table;
+
+/// Paper record count.
+pub const FULL_SIZE: usize = 800_144;
+
+/// Builds the amazon-office emulation.
+pub fn amazon_office(opts: &EmulatorOptions) -> Table {
+    SyntheticSpec {
+        name: "amazon-office".to_string(),
+        n: opts.scaled(FULL_SIZE),
+        predicates: vec![PredicateModel::new("strongly_positive", 0.45, 3.0, 0.9)],
+        statistic: StatisticModel::Rating { mean: 4.3, sd: 0.8, coupling: 1.2 },
+        seed: opts.seed ^ 0x6f66_6669_6365, // "office"
+    }
+    .generate()
+    .expect("static spec is valid")
+}

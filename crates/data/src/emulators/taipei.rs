@@ -1,0 +1,30 @@
+//! `taipei` video emulator.
+//!
+//! Paper workload: same query as night-street (`AVG(count_cars) WHERE
+//! count_cars > 0`) over a busier daytime intersection feed. 1,187,850
+//! frames, Mask R-CNN oracle, TASTI proxy.
+//!
+//! Substitution: same latent-intensity construction as night-street with a
+//! higher base positive rate (≈ 0.48 — cars are present about half the
+//! time) and a higher car-count rate. The proxy is slightly weaker than on
+//! night-street (busy scenes are harder for an embedding index).
+
+use super::EmulatorOptions;
+use crate::synthetic::{PredicateModel, StatisticModel, SyntheticSpec};
+use crate::table::Table;
+
+/// Paper record count.
+pub const FULL_SIZE: usize = 1_187_850;
+
+/// Builds the taipei emulation.
+pub fn taipei(opts: &EmulatorOptions) -> Table {
+    SyntheticSpec {
+        name: "taipei".to_string(),
+        n: opts.scaled(FULL_SIZE),
+        predicates: vec![PredicateModel::new("has_car", 0.48, 1.5, 0.6)],
+        statistic: StatisticModel::ShiftedPoisson { base: 0.8, coupling: 2.5 },
+        seed: opts.seed ^ 0x7461_6970_6569, // "taipei"
+    }
+    .generate()
+    .expect("static spec is valid")
+}

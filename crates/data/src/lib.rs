@@ -1,0 +1,36 @@
+//! Dataset substrate for the ABae reproduction.
+//!
+//! ABae operates over unstructured datasets where an expensive *oracle*
+//! (DNN or human labeler) decides predicate membership and a cheap *proxy*
+//! supplies a `[0, 1]` score per record. This crate provides:
+//!
+//! * [`table`] — an in-memory columnar [`Table`] holding the statistic
+//!   column, one or more predicate columns (ground-truth labels plus
+//!   exhaustively-computed proxy scores, as the paper assumes), an optional
+//!   group key, and optional text payloads. Exact aggregates over the
+//!   ground truth provide the `μ` every experiment measures error against.
+//! * [`oracle`] — the [`Oracle`] abstraction with invocation accounting
+//!   (the paper's cost metric is the number of oracle calls), plus
+//!   closure-based oracles for composed predicates.
+//! * [`csvio`] — a dependency-free CSV reader/writer so user datasets can
+//!   be loaded from disk.
+//! * [`synthetic`] — seeded latent-variable generators: the joint
+//!   distribution of (proxy score, oracle label, statistic) is what ABae's
+//!   behaviour depends on, and these generators control it precisely.
+//! * [`emulators`] — the six paper datasets (Table 2) rebuilt as documented
+//!   synthetic equivalents at the paper's scale.
+//! * [`registry`] — the Table 2 inventory: dataset metadata plus measured
+//!   positive rate and proxy AUC.
+
+#![warn(missing_docs)]
+
+pub mod csvio;
+pub mod emulators;
+pub mod oracle;
+pub mod registry;
+pub mod synthetic;
+pub mod table;
+
+pub use oracle::{FnOracle, GroupLabel, Labeled, Oracle, PredicateOracle, SingleGroupOracle};
+pub use synthetic::{GroupSpec, PredicateModel, StatisticModel, SyntheticSpec};
+pub use table::{GroupKey, Predicate, Table, TableBuilder, TableError};

@@ -1,0 +1,223 @@
+//! Oracles: the expensive predicate evaluators, with cost accounting.
+//!
+//! The paper measures query cost "in terms of oracle predicate invocations
+//! as it is the dominant cost of query execution by orders of magnitude"
+//! (§5.1). Every oracle here counts its invocations through a [`Cell`], so
+//! tests and the harness can assert that an algorithm spent exactly its
+//! budget. Each experiment trial constructs its own oracle view, so the
+//! non-`Sync` counter is not a constraint.
+
+use crate::table::Table;
+use std::cell::Cell;
+
+/// Result of one oracle invocation: whether the record satisfies the
+/// predicate, and the statistic value `f(x)`.
+///
+/// The paper assumes "the statistic can be computed in conjunction with the
+/// predicates or is cheap to compute" (§2.1), so one invocation yields both.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Labeled {
+    /// Predicate result `O(x)`.
+    pub matches: bool,
+    /// Statistic `f(x)`; only meaningful when `matches` is true.
+    pub value: f64,
+}
+
+/// Result of a single-oracle group-by invocation: which group (if any) the
+/// record belongs to, and the statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupLabel {
+    /// Group id, or `None` when the record matches no group.
+    pub group: Option<u16>,
+    /// Statistic `f(x)`.
+    pub value: f64,
+}
+
+/// An expensive predicate oracle over record indices.
+pub trait Oracle {
+    /// Labels one record, charging one invocation.
+    fn label(&self, idx: usize) -> Labeled;
+
+    /// Invocations so far.
+    fn calls(&self) -> u64;
+
+    /// Resets the invocation counter.
+    fn reset_calls(&self);
+}
+
+/// Oracle for a named predicate column of a [`Table`].
+pub struct PredicateOracle<'a> {
+    table: &'a Table,
+    pred: usize,
+    calls: Cell<u64>,
+}
+
+impl<'a> PredicateOracle<'a> {
+    /// Creates an oracle over `table`'s predicate `pred`.
+    pub fn new(table: &'a Table, pred: &str) -> Result<Self, crate::table::TableError> {
+        let idx = table.predicate_index(pred)?;
+        Ok(Self { table, pred: idx, calls: Cell::new(0) })
+    }
+}
+
+impl Oracle for PredicateOracle<'_> {
+    fn label(&self, idx: usize) -> Labeled {
+        self.calls.set(self.calls.get() + 1);
+        Labeled {
+            matches: self.table.predicates()[self.pred].labels[idx],
+            value: self.table.statistic(idx),
+        }
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    fn reset_calls(&self) {
+        self.calls.set(0);
+    }
+}
+
+/// A closure-backed oracle; the building block for composed predicates
+/// (ABae-MultiPred evaluates a whole boolean expression as one oracle call)
+/// and for synthetic oracles in tests.
+pub struct FnOracle<F: Fn(usize) -> Labeled> {
+    f: F,
+    calls: Cell<u64>,
+}
+
+impl<F: Fn(usize) -> Labeled> FnOracle<F> {
+    /// Wraps a labeling function.
+    pub fn new(f: F) -> Self {
+        Self { f, calls: Cell::new(0) }
+    }
+}
+
+impl<F: Fn(usize) -> Labeled> Oracle for FnOracle<F> {
+    fn label(&self, idx: usize) -> Labeled {
+        self.calls.set(self.calls.get() + 1);
+        (self.f)(idx)
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    fn reset_calls(&self) {
+        self.calls.set(0);
+    }
+}
+
+/// A single oracle that "determines the group key directly" (§3.2, first
+/// group-by scenario): one invocation returns the record's group.
+pub struct SingleGroupOracle<'a> {
+    table: &'a Table,
+    calls: Cell<u64>,
+}
+
+impl<'a> SingleGroupOracle<'a> {
+    /// Creates the oracle; the table must carry a group key.
+    pub fn new(table: &'a Table) -> Option<Self> {
+        table.group_key()?;
+        Some(Self { table, calls: Cell::new(0) })
+    }
+
+    /// Labels one record with its group id and statistic.
+    pub fn label(&self, idx: usize) -> GroupLabel {
+        self.calls.set(self.calls.get() + 1);
+        GroupLabel {
+            group: self.table.group_key().expect("validated at construction").key[idx],
+            value: self.table.statistic(idx),
+        }
+    }
+
+    /// Invocations so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Resets the invocation counter.
+    pub fn reset_calls(&self) {
+        self.calls.set(0);
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.table.group_key().expect("validated at construction").names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::builder("t", vec![1.0, 2.0, 3.0])
+            .predicate("p", vec![true, false, true], vec![0.9, 0.1, 0.8])
+            .group_key(vec!["g0".into(), "g1".into()], vec![Some(0), None, Some(1)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn predicate_oracle_labels_and_counts() {
+        let t = table();
+        let o = PredicateOracle::new(&t, "p").unwrap();
+        assert_eq!(o.calls(), 0);
+        let l = o.label(0);
+        assert!(l.matches);
+        assert_eq!(l.value, 1.0);
+        let l = o.label(1);
+        assert!(!l.matches);
+        assert_eq!(o.calls(), 2);
+        o.reset_calls();
+        assert_eq!(o.calls(), 0);
+    }
+
+    #[test]
+    fn predicate_oracle_unknown_name_errors() {
+        let t = table();
+        assert!(PredicateOracle::new(&t, "zzz").is_err());
+    }
+
+    #[test]
+    fn fn_oracle_wraps_closures() {
+        let o = FnOracle::new(|idx| Labeled { matches: idx % 2 == 0, value: idx as f64 });
+        assert!(o.label(0).matches);
+        assert!(!o.label(1).matches);
+        assert_eq!(o.label(4).value, 4.0);
+        assert_eq!(o.calls(), 3);
+    }
+
+    #[test]
+    fn composed_expression_counts_once_per_record() {
+        // A conjunction of two predicates is still one oracle invocation.
+        let t = table();
+        let p = t.predicate("p").unwrap().labels.clone();
+        let stats = t.statistics().to_vec();
+        let o = FnOracle::new(move |idx| Labeled {
+            matches: p[idx] && stats[idx] > 1.5,
+            value: stats[idx],
+        });
+        assert!(!o.label(0).matches); // p true but stat 1.0
+        assert!(o.label(2).matches);
+        assert_eq!(o.calls(), 2);
+    }
+
+    #[test]
+    fn group_oracle_labels_groups() {
+        let t = table();
+        let o = SingleGroupOracle::new(&t).unwrap();
+        assert_eq!(o.group_count(), 2);
+        assert_eq!(o.label(0).group, Some(0));
+        assert_eq!(o.label(1).group, None);
+        assert_eq!(o.label(2).group, Some(1));
+        assert_eq!(o.calls(), 3);
+    }
+
+    #[test]
+    fn group_oracle_requires_group_key() {
+        let t = Table::builder("t", vec![1.0]).build().unwrap();
+        assert!(SingleGroupOracle::new(&t).is_none());
+    }
+}

@@ -1,0 +1,486 @@
+//! Seeded latent-variable dataset generators.
+//!
+//! ABae's behaviour depends on the data only through the per-record triple
+//! `(P(x), O(x), f(x))` — proxy score, oracle label, statistic. These
+//! generators control that joint distribution directly:
+//!
+//! * Each record draws a latent propensity `q ~ Beta(μ·c, (1−μ)·c)` with
+//!   mean `μ` (the target positive rate) and concentration `c`. Small `c`
+//!   spreads propensities toward 0/1 (an informative proxy); large `c`
+//!   concentrates them at `μ` (an uninformative proxy).
+//! * The oracle label is `Bernoulli(q)` — so the propensity is *exactly*
+//!   the quantity a perfectly calibrated proxy would output.
+//! * The proxy is `σ(logit(q) + ε)`, `ε ~ N(0, noise)` — logit-space noise
+//!   keeps scores in `[0, 1]` and degrades AUC smoothly, which the proxy
+//!   quality ablation sweeps.
+//! * The statistic follows a configurable family
+//!   ([`StatisticModel`]), optionally *coupled* to `q` so that per-stratum
+//!   means and variances vary (the σ_k heterogeneity that stratified
+//!   sampling exploits).
+//!
+//! [`GroupSpec`] generates group-by datasets: disjoint group membership with
+//! per-group perfectly calibrated proxies, the construction the paper's
+//! synthetic group-by experiments describe ("the predicate was generated as
+//! a Bernoulli with the proxy probability", §5.2).
+
+use crate::table::{Table, TableError};
+use abae_stats::dist::{Beta, Normal, Poisson};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Clamps `q` away from 0/1 and takes its logit.
+fn logit(q: f64) -> f64 {
+    let q = q.clamp(1e-9, 1.0 - 1e-9);
+    (q / (1.0 - q)).ln()
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Beta distribution parametrized by mean and concentration.
+fn beta_mean_conc(mean: f64, concentration: f64) -> Beta {
+    let mean = mean.clamp(1e-6, 1.0 - 1e-6);
+    Beta::new(mean * concentration, (1.0 - mean) * concentration)
+        .expect("mean/concentration validated by caller")
+}
+
+/// Latent model for one expensive predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateModel {
+    /// Predicate name.
+    pub name: String,
+    /// Target positive rate (mean of the latent propensity).
+    pub base_rate: f64,
+    /// Beta concentration of the propensity. Lower = proxy more
+    /// informative. Typical range 0.5 (near-perfect) to 50 (near-useless).
+    pub concentration: f64,
+    /// Standard deviation of logit-space proxy noise.
+    pub proxy_noise: f64,
+}
+
+impl PredicateModel {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, base_rate: f64, concentration: f64, proxy_noise: f64) -> Self {
+        Self { name: name.into(), base_rate, concentration, proxy_noise }
+    }
+}
+
+/// Statistic families used by the dataset emulators. `coupling` ties the
+/// statistic's location to the predicate propensity `q`, creating the
+/// per-stratum mean/variance structure stratified sampling exploits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatisticModel {
+    /// Gaussian `N(mean + coupling·(q − rate), sd)`.
+    Normal {
+        /// Location at `q = base_rate`.
+        mean: f64,
+        /// Scale.
+        sd: f64,
+        /// Linear dependence on the propensity.
+        coupling: f64,
+    },
+    /// Car-count style: `1 + Poisson(base + coupling·q)` (≥ 1, integral).
+    ShiftedPoisson {
+        /// Poisson rate at `q = 0`.
+        base: f64,
+        /// Linear dependence of the rate on the propensity.
+        coupling: f64,
+    },
+    /// Star-rating style: Gaussian rounded and clamped to `1..=5`.
+    Rating {
+        /// Location at `q = base_rate`.
+        mean: f64,
+        /// Scale before rounding.
+        sd: f64,
+        /// Linear dependence on the propensity.
+        coupling: f64,
+    },
+    /// Binary percentage (0 or 100), e.g. `PERCENTAGE(is_smiling)`.
+    BinaryPercent {
+        /// Success probability at `q = base_rate`.
+        rate: f64,
+        /// Linear dependence on the propensity.
+        coupling: f64,
+    },
+    /// Heavy-tailed count, e.g. links per email:
+    /// `⌊exp(N(mu + coupling·q, sigma))⌋`.
+    LogNormalCount {
+        /// Log-location at `q = 0`.
+        mu: f64,
+        /// Log-scale.
+        sigma: f64,
+        /// Linear dependence of the log-location on the propensity.
+        coupling: f64,
+    },
+}
+
+impl StatisticModel {
+    /// Samples one statistic value given the record's propensity `q` and
+    /// the predicate's base rate.
+    pub fn sample<R: Rng + ?Sized>(&self, q: f64, base_rate: f64, rng: &mut R) -> f64 {
+        match *self {
+            StatisticModel::Normal { mean, sd, coupling } => {
+                let m = mean + coupling * (q - base_rate);
+                Normal::new(m, sd).expect("sd validated").sample(rng)
+            }
+            StatisticModel::ShiftedPoisson { base, coupling } => {
+                let lambda = (base + coupling * q).max(0.05);
+                1.0 + Poisson::new(lambda).expect("lambda > 0").sample(rng) as f64
+            }
+            StatisticModel::Rating { mean, sd, coupling } => {
+                let m = mean + coupling * (q - base_rate);
+                let raw = Normal::new(m, sd).expect("sd validated").sample(rng);
+                raw.round().clamp(1.0, 5.0)
+            }
+            StatisticModel::BinaryPercent { rate, coupling } => {
+                let p = (rate + coupling * (q - base_rate)).clamp(0.0, 1.0);
+                if rng.gen::<f64>() < p {
+                    100.0
+                } else {
+                    0.0
+                }
+            }
+            StatisticModel::LogNormalCount { mu, sigma, coupling } => {
+                let m = mu + coupling * q;
+                let raw = Normal::new(m, sigma).expect("sigma validated").sample(rng).exp();
+                raw.floor().max(0.0)
+            }
+        }
+    }
+}
+
+/// Specification of a synthetic dataset with one or more predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Record count.
+    pub n: usize,
+    /// Predicate models; the first predicate's propensity drives the
+    /// statistic coupling.
+    pub predicates: Vec<PredicateModel>,
+    /// Statistic family.
+    pub statistic: StatisticModel,
+    /// RNG seed — same seed, same dataset.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Generates the dataset.
+    ///
+    /// # Errors
+    /// Propagates table-validation failures (which indicate a bad spec,
+    /// e.g. `n == 0`).
+    pub fn generate(&self) -> Result<Table, TableError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.n;
+        let mut statistic = Vec::with_capacity(n);
+        let mut labels: Vec<Vec<bool>> = self.predicates.iter().map(|_| Vec::with_capacity(n)).collect();
+        let mut proxies: Vec<Vec<f64>> = self.predicates.iter().map(|_| Vec::with_capacity(n)).collect();
+        let betas: Vec<Beta> = self
+            .predicates
+            .iter()
+            .map(|p| beta_mean_conc(p.base_rate, p.concentration))
+            .collect();
+
+        for _ in 0..n {
+            let mut primary_q = 0.5;
+            for (j, pm) in self.predicates.iter().enumerate() {
+                let q = betas[j].sample(&mut rng);
+                if j == 0 {
+                    primary_q = q;
+                }
+                labels[j].push(rng.gen::<f64>() < q);
+                let noise = if pm.proxy_noise > 0.0 {
+                    Normal::new(0.0, pm.proxy_noise).expect("noise >= 0").sample(&mut rng)
+                } else {
+                    0.0
+                };
+                proxies[j].push(sigmoid(logit(q) + noise));
+            }
+            statistic.push(self.statistic.sample(
+                primary_q,
+                self.predicates.first().map(|p| p.base_rate).unwrap_or(0.5),
+                &mut rng,
+            ));
+        }
+
+        let mut builder = Table::builder(self.name.clone(), statistic);
+        for (j, pm) in self.predicates.iter().enumerate() {
+            builder = builder.predicate(
+                pm.name.clone(),
+                std::mem::take(&mut labels[j]),
+                std::mem::take(&mut proxies[j]),
+            );
+        }
+        builder.build()
+    }
+}
+
+/// Specification of a synthetic group-by dataset.
+///
+/// Per group `g`, each record draws an independent propensity with mean
+/// `rates[g]`; the record's group key is the first group whose Bernoulli
+/// fires (rates are small, so overlap is negligible), and each group's proxy
+/// is its (noisy) propensity — perfectly calibrated at `proxy_noise = 0`,
+/// matching the paper's synthetic construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Record count.
+    pub n: usize,
+    /// Group names.
+    pub group_names: Vec<String>,
+    /// Per-group positive rates.
+    pub rates: Vec<f64>,
+    /// Beta concentration of the per-group propensities.
+    pub concentration: f64,
+    /// Logit-space proxy noise.
+    pub proxy_noise: f64,
+    /// Per-group statistic families.
+    pub group_stats: Vec<StatisticModel>,
+    /// Statistic family for records in no group.
+    pub background_stat: StatisticModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GroupSpec {
+    /// Generates the dataset with per-group predicate columns and a group
+    /// key.
+    ///
+    /// # Panics
+    /// Panics if `rates`, `group_names` and `group_means` lengths differ —
+    /// that is a spec-construction bug.
+    pub fn generate(&self) -> Result<Table, TableError> {
+        assert_eq!(self.rates.len(), self.group_names.len(), "rates/names mismatch");
+        assert_eq!(self.rates.len(), self.group_stats.len(), "rates/stats mismatch");
+        let g = self.rates.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let betas: Vec<Beta> =
+            self.rates.iter().map(|&r| beta_mean_conc(r, self.concentration)).collect();
+
+        let mut statistic = Vec::with_capacity(self.n);
+        let mut labels: Vec<Vec<bool>> = (0..g).map(|_| Vec::with_capacity(self.n)).collect();
+        let mut proxies: Vec<Vec<f64>> = (0..g).map(|_| Vec::with_capacity(self.n)).collect();
+        let mut key: Vec<Option<u16>> = Vec::with_capacity(self.n);
+
+        for _ in 0..self.n {
+            let mut assigned: Option<u16> = None;
+            let mut assigned_q = 0.5;
+            for j in 0..g {
+                let q = betas[j].sample(&mut rng);
+                let fired = rng.gen::<f64>() < q;
+                // Disjoint group key: first firing group wins.
+                let label = fired && assigned.is_none();
+                if label {
+                    assigned = Some(j as u16);
+                    assigned_q = q;
+                }
+                labels[j].push(label);
+                let noise = if self.proxy_noise > 0.0 {
+                    Normal::new(0.0, self.proxy_noise).expect("noise >= 0").sample(&mut rng)
+                } else {
+                    0.0
+                };
+                proxies[j].push(sigmoid(logit(q) + noise));
+            }
+            key.push(assigned);
+            let value = match assigned {
+                Some(j) => self.group_stats[j as usize].sample(
+                    assigned_q,
+                    self.rates[j as usize],
+                    &mut rng,
+                ),
+                None => self.background_stat.sample(0.5, 0.5, &mut rng),
+            };
+            statistic.push(value);
+        }
+
+        let mut builder = Table::builder(self.name.clone(), statistic);
+        for (j, gname) in self.group_names.iter().enumerate() {
+            builder = builder.predicate(
+                format!("is_{gname}"),
+                std::mem::take(&mut labels[j]),
+                std::mem::take(&mut proxies[j]),
+            );
+        }
+        builder = builder.group_key(self.group_names.clone(), key);
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abae_ml::metrics::auc;
+
+    fn base_spec() -> SyntheticSpec {
+        SyntheticSpec {
+            name: "syn".to_string(),
+            n: 20_000,
+            predicates: vec![PredicateModel::new("p", 0.3, 2.0, 0.3)],
+            statistic: StatisticModel::Normal { mean: 5.0, sd: 1.0, coupling: 2.0 },
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn positive_rate_matches_target() {
+        let t = base_spec().generate().unwrap();
+        let rate = t.positive_rate("p").unwrap();
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = base_spec().generate().unwrap();
+        let b = base_spec().generate().unwrap();
+        assert_eq!(a, b);
+        let mut spec = base_spec();
+        spec.seed = 43;
+        let c = spec.generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lower_concentration_means_higher_auc() {
+        let mut sharp = base_spec();
+        sharp.predicates[0].concentration = 0.5;
+        sharp.predicates[0].proxy_noise = 0.0;
+        let mut blunt = base_spec();
+        blunt.predicates[0].concentration = 40.0;
+        blunt.predicates[0].proxy_noise = 0.0;
+
+        let auc_of = |t: &Table| {
+            let p = t.predicate("p").unwrap();
+            auc(&p.proxy, &p.labels).unwrap()
+        };
+        let a_sharp = auc_of(&sharp.generate().unwrap());
+        let a_blunt = auc_of(&blunt.generate().unwrap());
+        assert!(a_sharp > 0.9, "sharp AUC {a_sharp}");
+        assert!(a_blunt < 0.65, "blunt AUC {a_blunt}");
+    }
+
+    #[test]
+    fn proxy_noise_degrades_auc() {
+        let clean = base_spec();
+        let mut noisy = base_spec();
+        noisy.predicates[0].proxy_noise = 3.0;
+        let auc_of = |t: &Table| {
+            let p = t.predicate("p").unwrap();
+            auc(&p.proxy, &p.labels).unwrap()
+        };
+        assert!(auc_of(&clean.generate().unwrap()) > auc_of(&noisy.generate().unwrap()) + 0.03);
+    }
+
+    #[test]
+    fn statistic_families_have_expected_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let q: f64 = rng.gen();
+            let v = StatisticModel::ShiftedPoisson { base: 1.0, coupling: 2.0 }.sample(q, 0.3, &mut rng);
+            assert!(v >= 1.0 && v.fract() == 0.0, "poisson {v}");
+            let v = StatisticModel::Rating { mean: 4.2, sd: 0.8, coupling: 0.5 }.sample(q, 0.3, &mut rng);
+            assert!((1.0..=5.0).contains(&v) && v.fract() == 0.0, "rating {v}");
+            let v = StatisticModel::BinaryPercent { rate: 0.5, coupling: 0.2 }.sample(q, 0.3, &mut rng);
+            assert!(v == 0.0 || v == 100.0, "percent {v}");
+            let v = StatisticModel::LogNormalCount { mu: 1.0, sigma: 0.8, coupling: 1.0 }
+                .sample(q, 0.3, &mut rng);
+            assert!(v >= 0.0 && v.fract() == 0.0, "links {v}");
+        }
+    }
+
+    #[test]
+    fn coupling_creates_mean_heterogeneity() {
+        // With positive coupling, positives (high q) should have a higher
+        // mean statistic than the overall population.
+        let t = base_spec().generate().unwrap();
+        let p = t.predicate("p").unwrap();
+        let pos_mean = t.exact_avg("p").unwrap();
+        let all_mean: f64 = t.statistics().iter().sum::<f64>() / t.len() as f64;
+        assert!(pos_mean > all_mean + 0.1, "pos {pos_mean} vs all {all_mean}");
+        assert!(p.labels.iter().any(|&l| l));
+    }
+
+    #[test]
+    fn multi_predicate_spec_generates_independent_columns() {
+        let spec = SyntheticSpec {
+            name: "two".into(),
+            n: 10_000,
+            predicates: vec![
+                PredicateModel::new("a", 0.4, 2.0, 0.2),
+                PredicateModel::new("b", 0.6, 2.0, 0.2),
+            ],
+            statistic: StatisticModel::Normal { mean: 0.0, sd: 1.0, coupling: 1.0 },
+            seed: 7,
+        };
+        let t = spec.generate().unwrap();
+        assert!((t.positive_rate("a").unwrap() - 0.4).abs() < 0.03);
+        assert!((t.positive_rate("b").unwrap() - 0.6).abs() < 0.03);
+        // Labels should be (roughly) independent: P(a ∧ b) ≈ P(a)·P(b).
+        let a = &t.predicate("a").unwrap().labels;
+        let b = &t.predicate("b").unwrap().labels;
+        let both = a.iter().zip(b).filter(|(&x, &y)| x && y).count() as f64 / t.len() as f64;
+        assert!((both - 0.24).abs() < 0.03, "joint {both}");
+    }
+
+    fn group_spec() -> GroupSpec {
+        let stat = |mean: f64| StatisticModel::Normal { mean, sd: 0.5, coupling: 0.0 };
+        GroupSpec {
+            name: "grp".into(),
+            n: 30_000,
+            group_names: vec!["g0".into(), "g1".into(), "g2".into(), "g3".into()],
+            rates: vec![0.16, 0.12, 0.09, 0.05],
+            concentration: 1.5,
+            proxy_noise: 0.0,
+            group_stats: vec![stat(1.0), stat(2.0), stat(3.0), stat(4.0)],
+            background_stat: stat(0.0),
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn group_key_is_disjoint_and_rates_approximate_targets() {
+        let t = group_spec().generate().unwrap();
+        let gk = t.group_key().unwrap();
+        assert_eq!(gk.names.len(), 4);
+        // Group rates approximate targets (first-wins assignment shaves a
+        // little off later groups).
+        for (g, &target) in group_spec().rates.iter().enumerate() {
+            let measured = t.exact_group_count(g as u16).unwrap() / t.len() as f64;
+            assert!(
+                (measured - target).abs() < 0.035,
+                "group {g}: measured {measured}, target {target}"
+            );
+        }
+        // Labels equal group key (disjointness).
+        for (j, p) in t.predicates().iter().enumerate() {
+            for (i, &l) in p.labels.iter().enumerate() {
+                assert_eq!(l, gk.key[i] == Some(j as u16));
+            }
+        }
+    }
+
+    #[test]
+    fn group_statistic_means_separate() {
+        let t = group_spec().generate().unwrap();
+        for (g, mean) in [1.0, 2.0, 3.0, 4.0].into_iter().enumerate() {
+            let measured = t.exact_group_avg(g as u16).unwrap();
+            assert!((measured - mean).abs() < 0.1, "group {g}: {measured} vs {mean}");
+        }
+    }
+
+    #[test]
+    fn group_generation_is_deterministic() {
+        assert_eq!(group_spec().generate().unwrap(), group_spec().generate().unwrap());
+    }
+}

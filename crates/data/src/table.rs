@@ -1,0 +1,451 @@
+//! In-memory columnar tables.
+//!
+//! A [`Table`] stores, per record: the aggregated statistic `f(x)`, one
+//! column per expensive predicate (ground-truth label `O(x)` and proxy score
+//! `P(x)`), an optional group key, and optional text payloads (used by the
+//! emulated spam corpus, whose proxy actually scans tokens). The ground
+//! truth stays *hidden* from the sampling algorithms — they only see it
+//! through [`crate::oracle`] implementations that charge the budget — but is
+//! available to the evaluation harness for exact answers.
+
+use std::collections::HashMap;
+
+/// A named expensive predicate: ground-truth labels and exhaustively
+/// computed proxy scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Predicate name (e.g. `"contains_car"`).
+    pub name: String,
+    /// Ground-truth oracle results, one per record.
+    pub labels: Vec<bool>,
+    /// Proxy scores in `[0, 1]`, one per record.
+    pub proxy: Vec<f64>,
+}
+
+/// A group-by key column: per-record group id (or `None`) plus group names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupKey {
+    /// Names of the groups, indexed by group id.
+    pub names: Vec<String>,
+    /// Group membership per record; `None` when the record matches no group.
+    pub key: Vec<Option<u16>>,
+}
+
+/// Errors from table construction or lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// A column's length differs from the table's record count.
+    LengthMismatch {
+        /// Which column was inconsistent.
+        column: String,
+        /// Expected record count.
+        expected: usize,
+        /// Actual column length.
+        actual: usize,
+    },
+    /// A predicate name was registered twice.
+    DuplicatePredicate(String),
+    /// A lookup referenced an unknown predicate.
+    UnknownPredicate(String),
+    /// A proxy score was outside `[0, 1]` or not finite.
+    InvalidProxyScore {
+        /// Offending predicate.
+        predicate: String,
+        /// Offending record index.
+        index: usize,
+        /// The bad value.
+        value: f64,
+    },
+    /// The table has no records.
+    Empty,
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::LengthMismatch { column, expected, actual } => {
+                write!(f, "column `{column}` has {actual} rows, expected {expected}")
+            }
+            TableError::DuplicatePredicate(name) => write!(f, "duplicate predicate `{name}`"),
+            TableError::UnknownPredicate(name) => write!(f, "unknown predicate `{name}`"),
+            TableError::InvalidProxyScore { predicate, index, value } => {
+                write!(f, "proxy `{predicate}` has invalid score {value} at record {index}")
+            }
+            TableError::Empty => write!(f, "table has no records"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// An immutable columnar dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    statistic: Vec<f64>,
+    predicates: Vec<Predicate>,
+    by_name: HashMap<String, usize>,
+    group_key: Option<GroupKey>,
+    texts: Option<Vec<String>>,
+}
+
+impl Table {
+    /// Starts building a table with the given name and statistic column.
+    ///
+    /// ```
+    /// use abae_data::Table;
+    ///
+    /// let table = Table::builder("emails", vec![3.0, 1.0, 2.0])
+    ///     .predicate("is_spam", vec![true, false, true], vec![0.9, 0.1, 0.7])
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(table.len(), 3);
+    /// assert_eq!(table.exact_avg("is_spam").unwrap(), 2.5); // (3 + 2) / 2
+    /// assert_eq!(table.exact_count("is_spam").unwrap(), 2.0);
+    /// ```
+    pub fn builder(name: impl Into<String>, statistic: Vec<f64>) -> TableBuilder {
+        TableBuilder {
+            name: name.into(),
+            statistic,
+            predicates: Vec::new(),
+            group_key: None,
+            texts: None,
+        }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.statistic.len()
+    }
+
+    /// True when the table has no records (never constructed; builder
+    /// rejects empty tables).
+    pub fn is_empty(&self) -> bool {
+        self.statistic.is_empty()
+    }
+
+    /// The statistic column.
+    pub fn statistics(&self) -> &[f64] {
+        &self.statistic
+    }
+
+    /// Statistic of one record.
+    pub fn statistic(&self, idx: usize) -> f64 {
+        self.statistic[idx]
+    }
+
+    /// All predicates.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Looks up a predicate by name.
+    pub fn predicate(&self, name: &str) -> Result<&Predicate, TableError> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.predicates[i])
+            .ok_or_else(|| TableError::UnknownPredicate(name.to_string()))
+    }
+
+    /// Index of a predicate by name.
+    pub fn predicate_index(&self, name: &str) -> Result<usize, TableError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TableError::UnknownPredicate(name.to_string()))
+    }
+
+    /// The group key column, when present.
+    pub fn group_key(&self) -> Option<&GroupKey> {
+        self.group_key.as_ref()
+    }
+
+    /// Text payloads, when present.
+    pub fn texts(&self) -> Option<&[String]> {
+        self.texts.as_deref()
+    }
+
+    /// Exact positive rate of a predicate (ground truth).
+    pub fn positive_rate(&self, pred: &str) -> Result<f64, TableError> {
+        let p = self.predicate(pred)?;
+        Ok(p.labels.iter().filter(|&&l| l).count() as f64 / self.len() as f64)
+    }
+
+    /// Exact `AVG(statistic) WHERE pred` over the ground truth. Returns 0
+    /// when no record matches (mirroring the estimators' convention).
+    pub fn exact_avg(&self, pred: &str) -> Result<f64, TableError> {
+        let p = self.predicate(pred)?;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (i, &l) in p.labels.iter().enumerate() {
+            if l {
+                sum += self.statistic[i];
+                count += 1;
+            }
+        }
+        Ok(if count == 0 { 0.0 } else { sum / count as f64 })
+    }
+
+    /// Exact `SUM(statistic) WHERE pred` over the ground truth.
+    pub fn exact_sum(&self, pred: &str) -> Result<f64, TableError> {
+        let p = self.predicate(pred)?;
+        Ok(p
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l)
+            .map(|(i, _)| self.statistic[i])
+            .sum())
+    }
+
+    /// Exact `COUNT(*) WHERE pred` over the ground truth.
+    pub fn exact_count(&self, pred: &str) -> Result<f64, TableError> {
+        let p = self.predicate(pred)?;
+        Ok(p.labels.iter().filter(|&&l| l).count() as f64)
+    }
+
+    /// Exact conditional average for records in group `g` (single-oracle
+    /// group-by semantics). Returns 0 when the group is empty.
+    pub fn exact_group_avg(&self, g: u16) -> Option<f64> {
+        let gk = self.group_key.as_ref()?;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (i, key) in gk.key.iter().enumerate() {
+            if *key == Some(g) {
+                sum += self.statistic[i];
+                count += 1;
+            }
+        }
+        Some(if count == 0 { 0.0 } else { sum / count as f64 })
+    }
+
+    /// Exact count of records in group `g`.
+    pub fn exact_group_count(&self, g: u16) -> Option<f64> {
+        let gk = self.group_key.as_ref()?;
+        Some(gk.key.iter().filter(|k| **k == Some(g)).count() as f64)
+    }
+}
+
+/// Builder for [`Table`], validating column lengths and proxy ranges.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    statistic: Vec<f64>,
+    predicates: Vec<Predicate>,
+    group_key: Option<GroupKey>,
+    texts: Option<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Adds a predicate column.
+    pub fn predicate(
+        mut self,
+        name: impl Into<String>,
+        labels: Vec<bool>,
+        proxy: Vec<f64>,
+    ) -> Self {
+        self.predicates.push(Predicate { name: name.into(), labels, proxy });
+        self
+    }
+
+    /// Sets the group key column.
+    pub fn group_key(mut self, names: Vec<String>, key: Vec<Option<u16>>) -> Self {
+        self.group_key = Some(GroupKey { names, key });
+        self
+    }
+
+    /// Attaches text payloads.
+    pub fn texts(mut self, texts: Vec<String>) -> Self {
+        self.texts = Some(texts);
+        self
+    }
+
+    /// Validates and builds the table.
+    pub fn build(self) -> Result<Table, TableError> {
+        let n = self.statistic.len();
+        if n == 0 {
+            return Err(TableError::Empty);
+        }
+        let mut by_name = HashMap::new();
+        for (i, p) in self.predicates.iter().enumerate() {
+            if by_name.insert(p.name.clone(), i).is_some() {
+                return Err(TableError::DuplicatePredicate(p.name.clone()));
+            }
+            if p.labels.len() != n {
+                return Err(TableError::LengthMismatch {
+                    column: format!("{}(labels)", p.name),
+                    expected: n,
+                    actual: p.labels.len(),
+                });
+            }
+            if p.proxy.len() != n {
+                return Err(TableError::LengthMismatch {
+                    column: format!("{}(proxy)", p.name),
+                    expected: n,
+                    actual: p.proxy.len(),
+                });
+            }
+            for (idx, &s) in p.proxy.iter().enumerate() {
+                if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+                    return Err(TableError::InvalidProxyScore {
+                        predicate: p.name.clone(),
+                        index: idx,
+                        value: s,
+                    });
+                }
+            }
+        }
+        if let Some(gk) = &self.group_key {
+            if gk.key.len() != n {
+                return Err(TableError::LengthMismatch {
+                    column: "group_key".to_string(),
+                    expected: n,
+                    actual: gk.key.len(),
+                });
+            }
+        }
+        if let Some(texts) = &self.texts {
+            if texts.len() != n {
+                return Err(TableError::LengthMismatch {
+                    column: "texts".to_string(),
+                    expected: n,
+                    actual: texts.len(),
+                });
+            }
+        }
+        Ok(Table {
+            name: self.name,
+            statistic: self.statistic,
+            predicates: self.predicates,
+            by_name,
+            group_key: self.group_key,
+            texts: self.texts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table::builder("t", vec![1.0, 2.0, 3.0, 4.0])
+            .predicate("even", vec![false, true, false, true], vec![0.1, 0.9, 0.2, 0.8])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = sample_table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.statistic(2), 3.0);
+        assert!(t.predicate("even").unwrap().labels[1]);
+        assert_eq!(t.predicate_index("even").unwrap(), 0);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let t = sample_table();
+        assert_eq!(t.exact_avg("even").unwrap(), 3.0); // (2 + 4) / 2
+        assert_eq!(t.exact_sum("even").unwrap(), 6.0);
+        assert_eq!(t.exact_count("even").unwrap(), 2.0);
+        assert_eq!(t.positive_rate("even").unwrap(), 0.5);
+    }
+
+    #[test]
+    fn empty_predicate_average_is_zero() {
+        let t = Table::builder("t", vec![1.0, 2.0])
+            .predicate("never", vec![false, false], vec![0.0, 0.0])
+            .build()
+            .unwrap();
+        assert_eq!(t.exact_avg("never").unwrap(), 0.0);
+        assert_eq!(t.exact_count("never").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unknown_predicate_errors() {
+        let t = sample_table();
+        assert_eq!(
+            t.exact_avg("nope").unwrap_err(),
+            TableError::UnknownPredicate("nope".to_string())
+        );
+    }
+
+    #[test]
+    fn builder_rejects_empty_table() {
+        assert_eq!(Table::builder("t", vec![]).build().unwrap_err(), TableError::Empty);
+    }
+
+    #[test]
+    fn builder_rejects_ragged_columns() {
+        let err = Table::builder("t", vec![1.0, 2.0])
+            .predicate("p", vec![true], vec![0.5, 0.5])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TableError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_predicates() {
+        let err = Table::builder("t", vec![1.0])
+            .predicate("p", vec![true], vec![0.5])
+            .predicate("p", vec![false], vec![0.5])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TableError::DuplicatePredicate("p".to_string()));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_proxy() {
+        let err = Table::builder("t", vec![1.0, 2.0])
+            .predicate("p", vec![true, false], vec![0.5, 1.5])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TableError::InvalidProxyScore { index: 1, .. }));
+        let err = Table::builder("t", vec![1.0])
+            .predicate("p", vec![true], vec![f64::NAN])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TableError::InvalidProxyScore { .. }));
+    }
+
+    #[test]
+    fn group_key_aggregates() {
+        let t = Table::builder("g", vec![10.0, 20.0, 30.0, 40.0])
+            .group_key(
+                vec!["a".into(), "b".into()],
+                vec![Some(0), Some(1), Some(0), None],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(t.exact_group_avg(0), Some(20.0));
+        assert_eq!(t.exact_group_avg(1), Some(20.0));
+        assert_eq!(t.exact_group_count(0), Some(2.0));
+        assert_eq!(t.exact_group_avg(9), Some(0.0)); // empty group
+    }
+
+    #[test]
+    fn group_key_length_validated() {
+        let err = Table::builder("g", vec![1.0, 2.0])
+            .group_key(vec!["a".into()], vec![Some(0)])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TableError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn texts_roundtrip() {
+        let t = Table::builder("txt", vec![1.0])
+            .texts(vec!["hello world".into()])
+            .build()
+            .unwrap();
+        assert_eq!(t.texts().unwrap()[0], "hello world");
+    }
+}

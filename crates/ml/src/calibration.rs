@@ -1,0 +1,186 @@
+//! Proxy-score calibration.
+//!
+//! ABae-MultiPred's score-combination rules (`∧ → product`, `∨ → max`,
+//! `¬ → 1−s`) "will return exact results if the proxies are perfectly
+//! calibrated and perfectly sharp" (§3.3). This module provides Platt
+//! scaling — a 1-D logistic regression mapping raw scores to calibrated
+//! probabilities — plus reliability-diagram bins and the expected
+//! calibration error (ECE) used to quantify proxy quality in the harness.
+
+use crate::logistic::{LogisticRegression, TrainError, TrainOptions};
+
+/// A fitted Platt scaler: `P(y=1 | s) = σ(a·s + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlattScaler {
+    model: LogisticRegression,
+}
+
+impl PlattScaler {
+    /// Fits the scaler on raw scores and binary outcomes.
+    pub fn fit(scores: &[f64], labels: &[bool]) -> Result<Self, TrainError> {
+        let x: Vec<Vec<f64>> = scores.iter().map(|&s| vec![s]).collect();
+        let model = LogisticRegression::fit(
+            &x,
+            labels,
+            TrainOptions { max_iters: 1000, l2: 1e-8, ..Default::default() },
+        )?;
+        Ok(Self { model })
+    }
+
+    /// Maps a raw score to a calibrated probability.
+    pub fn calibrate(&self, score: f64) -> f64 {
+        self.model.predict_proba(&[score])
+    }
+
+    /// Slope `a` of the fitted logistic.
+    pub fn slope(&self) -> f64 {
+        self.model.weights()[0]
+    }
+
+    /// Intercept `b` of the fitted logistic.
+    pub fn intercept(&self) -> f64 {
+        self.model.intercept()
+    }
+}
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Mean predicted score of samples in the bin.
+    pub mean_score: f64,
+    /// Empirical positive rate of samples in the bin.
+    pub positive_rate: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+}
+
+/// Buckets `(score, label)` pairs into `bins` equal-width score bins over
+/// `[0, 1]` and reports mean score vs. empirical positive rate per bin.
+/// Empty bins are omitted.
+pub fn reliability_bins(scores: &[f64], labels: &[bool], bins: usize) -> Vec<ReliabilityBin> {
+    assert!(bins > 0, "need at least one bin");
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let mut sum_score = vec![0.0; bins];
+    let mut positives = vec![0usize; bins];
+    let mut counts = vec![0usize; bins];
+    for (&s, &y) in scores.iter().zip(labels) {
+        let idx = ((s.clamp(0.0, 1.0) * bins as f64) as usize).min(bins - 1);
+        sum_score[idx] += s;
+        counts[idx] += 1;
+        if y {
+            positives[idx] += 1;
+        }
+    }
+    (0..bins)
+        .filter(|&i| counts[i] > 0)
+        .map(|i| ReliabilityBin {
+            mean_score: sum_score[i] / counts[i] as f64,
+            positive_rate: positives[i] as f64 / counts[i] as f64,
+            count: counts[i],
+        })
+        .collect()
+}
+
+/// Expected calibration error: the count-weighted mean absolute gap between
+/// predicted score and empirical positive rate across bins. 0 means
+/// perfectly calibrated.
+pub fn expected_calibration_error(scores: &[f64], labels: &[bool], bins: usize) -> f64 {
+    let rel = reliability_bins(scores, labels, bins);
+    let total: usize = rel.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    rel.iter()
+        .map(|b| (b.mean_score - b.positive_rate).abs() * b.count as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn platt_fixes_a_systematically_overconfident_score() {
+        // Raw score s, true probability s/2 (overconfident by 2x).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..6000 {
+            let s: f64 = rng.gen();
+            scores.push(s);
+            labels.push(rng.gen::<f64>() < s / 2.0);
+        }
+        let scaler = PlattScaler::fit(&scores, &labels).unwrap();
+        // Calibrated scores should track s/2 far better than raw scores.
+        let ece_raw = expected_calibration_error(&scores, &labels, 10);
+        let cal: Vec<f64> = scores.iter().map(|&s| scaler.calibrate(s)).collect();
+        let ece_cal = expected_calibration_error(&cal, &labels, 10);
+        assert!(ece_cal < ece_raw / 2.0, "raw {ece_raw}, calibrated {ece_cal}");
+    }
+
+    #[test]
+    fn calibrated_score_is_monotone_in_raw_score() {
+        let scores: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let labels: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let scaler = PlattScaler::fit(&scores, &labels).unwrap();
+        // Slope sign determines monotonicity; check sequential ordering.
+        let c0 = scaler.calibrate(0.1);
+        let c1 = scaler.calibrate(0.9);
+        if scaler.slope() >= 0.0 {
+            assert!(c1 >= c0);
+        } else {
+            assert!(c1 <= c0);
+        }
+    }
+
+    #[test]
+    fn reliability_bins_perfectly_calibrated_scores() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..20_000 {
+            let s: f64 = rng.gen();
+            scores.push(s);
+            labels.push(rng.gen::<f64>() < s);
+        }
+        let ece = expected_calibration_error(&scores, &labels, 10);
+        assert!(ece < 0.02, "ece {ece}");
+        let bins = reliability_bins(&scores, &labels, 10);
+        assert_eq!(bins.len(), 10);
+        for b in bins {
+            assert!((b.mean_score - b.positive_rate).abs() < 0.06);
+        }
+    }
+
+    #[test]
+    fn reliability_bins_skip_empty() {
+        let scores = [0.05, 0.06, 0.95];
+        let labels = [false, true, true];
+        let bins = reliability_bins(&scores, &labels, 10);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].count, 2);
+        assert_eq!(bins[1].count, 1);
+    }
+
+    #[test]
+    fn ece_of_empty_input_is_zero() {
+        assert_eq!(expected_calibration_error(&[], &[], 10), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_scores_are_clamped_into_bins() {
+        let scores = [-0.5, 1.5];
+        let labels = [false, true];
+        let bins = reliability_bins(&scores, &labels, 4);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = reliability_bins(&[0.5], &[], 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Text tokenization and feature hashing.
+//!
+//! The emulated trec05p corpus carries synthetic token streams; the keyword
+//! proxy and the logistic combiner need a fixed-width numeric representation
+//! of them. [`HashingVectorizer`] implements the standard feature-hashing
+//! trick (FNV-1a into `dim` buckets with a sign hash) so no vocabulary has
+//! to be materialized.
+
+/// Splits text into lowercase alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Feature-hashing vectorizer: maps token multisets into a fixed-width
+/// dense vector using a bucket hash and an independent sign hash (which
+/// makes collisions cancel in expectation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashingVectorizer {
+    dim: usize,
+    signed: bool,
+}
+
+impl HashingVectorizer {
+    /// Creates a vectorizer with `dim` output buckets.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "vectorizer needs at least one bucket");
+        Self { dim, signed: true }
+    }
+
+    /// Disables the sign hash (all contributions positive).
+    pub fn unsigned(mut self) -> Self {
+        self.signed = false;
+        self
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vectorizes a token slice into bucket counts (L2-normalized so
+    /// documents of different lengths are comparable).
+    pub fn transform_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<f64> {
+        let mut v = vec![0.0; self.dim];
+        for tok in tokens {
+            let h = fnv1a(tok.as_ref().as_bytes());
+            let bucket = (h % self.dim as u64) as usize;
+            let sign = if self.signed && (h >> 63) == 1 { -1.0 } else { 1.0 };
+            v[bucket] += sign;
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in v.iter_mut() {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    /// Tokenizes then vectorizes raw text.
+    pub fn transform_text(&self, text: &str) -> Vec<f64> {
+        self.transform_tokens(&tokenize(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        assert_eq!(tokenize("Hello, World! x2"), vec!["hello", "world", "x2"]);
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+        assert_eq!(tokenize("a-b_c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // Known FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn transform_is_deterministic_and_normalized() {
+        let v = HashingVectorizer::new(32);
+        let a = v.transform_text("spam money please click");
+        let b = v.transform_text("spam money please click");
+        assert_eq!(a, b);
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_texts_differ() {
+        let v = HashingVectorizer::new(64);
+        let a = v.transform_text("completely ordinary newsletter");
+        let b = v.transform_text("wire transfer lottery winner");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let v = HashingVectorizer::new(8);
+        assert_eq!(v.transform_text(""), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn unsigned_mode_has_no_negative_entries() {
+        let v = HashingVectorizer::new(16).unsigned();
+        let out = v.transform_text("one two three four five six seven eight");
+        assert!(out.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_dim_panics() {
+        let _ = HashingVectorizer::new(0);
+    }
+
+    #[test]
+    fn repeated_tokens_increase_magnitude_before_normalization() {
+        let v = HashingVectorizer::new(4).unsigned();
+        let single = v.transform_tokens(&["money"]);
+        let double = v.transform_tokens(&["money", "money"]);
+        // Same direction after L2 normalization.
+        for (a, b) in single.iter().zip(&double) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Keyword-count proxies.
+//!
+//! The paper's trec05p proxy is "a manual, keyword-based proxy based on the
+//! presence of words (e.g., 'money', 'please')" (§5.1). [`KeywordProxy`]
+//! scores a token stream by a weighted keyword hit count squashed through a
+//! logistic, yielding the `[0, 1]` proxy score ABae expects.
+
+use std::collections::HashMap;
+
+/// A proxy scoring text by weighted keyword occurrences.
+///
+/// ```
+/// use abae_ml::KeywordProxy;
+///
+/// let proxy = KeywordProxy::uniform(["money", "lottery", "winner"]);
+/// let spammy = proxy.score_text("claim your lottery money now");
+/// let plain = proxy.score_text("meeting notes attached");
+/// assert!(spammy > plain);
+/// assert!((0.0..=1.0).contains(&spammy));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeywordProxy {
+    weights: HashMap<String, f64>,
+    bias: f64,
+    scale: f64,
+}
+
+impl KeywordProxy {
+    /// Builds a proxy from `(keyword, weight)` pairs. Keywords are matched
+    /// case-insensitively against whole tokens. `bias` shifts the logistic
+    /// and `scale` sharpens it.
+    pub fn new<I, S>(keywords: I, bias: f64, scale: f64) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let weights = keywords
+            .into_iter()
+            .map(|(k, w)| (k.into().to_lowercase(), w))
+            .collect();
+        Self { weights, bias, scale }
+    }
+
+    /// A proxy with unit weight per keyword, bias −1 and scale 1 — a
+    /// reasonable default for "any of these words suggests spam".
+    pub fn uniform<I, S>(keywords: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::new(keywords.into_iter().map(|k| (k, 1.0)), -1.0, 1.0)
+    }
+
+    /// Scores pre-tokenized text in `[0, 1]`.
+    pub fn score_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> f64 {
+        let mut activation = self.bias;
+        for tok in tokens {
+            if let Some(w) = self.weights.get(&tok.as_ref().to_lowercase()) {
+                activation += w;
+            }
+        }
+        let z = self.scale * activation;
+        if z >= 0.0 {
+            1.0 / (1.0 + (-z).exp())
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+
+    /// Tokenizes then scores raw text.
+    pub fn score_text(&self, text: &str) -> f64 {
+        self.score_tokens(&crate::features::tokenize(text))
+    }
+
+    /// Number of keywords in the proxy.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the proxy has no keywords.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_keywords_score_higher() {
+        let proxy = KeywordProxy::uniform(["money", "lottery", "winner"]);
+        let none = proxy.score_text("regular weekly meeting notes");
+        let one = proxy.score_text("you won money");
+        let all = proxy.score_text("money lottery winner claim now");
+        assert!(none < one && one < all, "{none} {one} {all}");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let proxy = KeywordProxy::new([("spam", 10.0), ("ham", -10.0)], 0.0, 5.0);
+        for text in ["spam spam spam", "ham ham", "", "unrelated words"] {
+            let s = proxy.score_text(text);
+            assert!((0.0..=1.0).contains(&s), "score {s} for {text:?}");
+        }
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let proxy = KeywordProxy::uniform(["Money"]);
+        assert_eq!(proxy.score_text("MONEY"), proxy.score_text("money"));
+    }
+
+    #[test]
+    fn negative_weights_push_score_down() {
+        let proxy = KeywordProxy::new([("unsubscribe", 2.0), ("meeting", -2.0)], 0.0, 1.0);
+        assert!(proxy.score_text("please unsubscribe") > 0.5);
+        assert!(proxy.score_text("team meeting agenda") < 0.5);
+    }
+
+    #[test]
+    fn repeated_keywords_accumulate() {
+        let proxy = KeywordProxy::new([("free", 1.0)], -2.0, 1.0);
+        let once = proxy.score_text("free");
+        let thrice = proxy.score_text("free free free");
+        assert!(thrice > once);
+    }
+
+    #[test]
+    fn empty_proxy_is_constant() {
+        let proxy = KeywordProxy::uniform(Vec::<String>::new());
+        assert!(proxy.is_empty());
+        assert_eq!(proxy.score_text("anything"), proxy.score_text("else"));
+    }
+}

@@ -1,0 +1,285 @@
+//! L2-regularized logistic regression, trained with full-batch gradient
+//! descent and a backtracking step size.
+//!
+//! ABae uses logistic regression in two places:
+//! * §3.4 "Selecting Proxies": combine several candidate proxies by training
+//!   on the Stage-1 pilot samples with the proxy scores as features and the
+//!   oracle predicate as the target (Figure 12).
+//! * Platt calibration of a single raw score ([`crate::calibration`]).
+//!
+//! The feature count is tiny (one per proxy), and the sample count is the
+//! pilot budget (hundreds to thousands), so a dense full-batch solver is
+//! both simple and fast.
+
+/// Options controlling training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainOptions {
+    /// Maximum gradient-descent iterations.
+    pub max_iters: usize,
+    /// L2 regularization strength on the weights (not the intercept).
+    pub l2: f64,
+    /// Initial learning rate; adapted by backtracking.
+    pub learning_rate: f64,
+    /// Stop when the gradient's infinity norm falls below this.
+    pub grad_tol: f64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self { max_iters: 500, l2: 1e-4, learning_rate: 1.0, grad_tol: 1e-6 }
+    }
+}
+
+/// A trained logistic-regression model `P(y=1|x) = σ(w·x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+/// Error returned when training inputs are malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No training rows were provided.
+    EmptyTrainingSet,
+    /// Rows have inconsistent feature counts.
+    RaggedFeatures,
+    /// Labels and features have different lengths.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "empty training set"),
+            TrainError::RaggedFeatures => write!(f, "rows have inconsistent feature counts"),
+            TrainError::LengthMismatch => write!(f, "labels and features differ in length"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Trains on rows of features `x` with boolean labels `y`.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], opts: TrainOptions) -> Result<Self, TrainError> {
+        if x.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
+        if x.len() != y.len() {
+            return Err(TrainError::LengthMismatch);
+        }
+        let dim = x[0].len();
+        if x.iter().any(|row| row.len() != dim) {
+            return Err(TrainError::RaggedFeatures);
+        }
+        let n = x.len() as f64;
+
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        let mut lr = opts.learning_rate;
+
+        let loss = |w: &[f64], b: f64| -> f64 {
+            let mut total = 0.0;
+            for (row, &label) in x.iter().zip(y) {
+                let z = row.iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f64>() + b;
+                // Numerically stable log-loss: log(1 + e^{-|z|}) + max(z,0) - z*y
+                let t = if label { 1.0 } else { 0.0 };
+                total += z.max(0.0) - z * t + (-z.abs()).exp().ln_1p();
+            }
+            total / n + 0.5 * opts.l2 * w.iter().map(|wi| wi * wi).sum::<f64>()
+        };
+
+        let mut current = loss(&w, b);
+        for _ in 0..opts.max_iters {
+            // Gradient.
+            let mut gw = vec![0.0; dim];
+            let mut gb = 0.0;
+            for (row, &label) in x.iter().zip(y) {
+                let z = row.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f64>() + b;
+                let err = sigmoid(z) - if label { 1.0 } else { 0.0 };
+                for (g, xi) in gw.iter_mut().zip(row) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            for (g, wi) in gw.iter_mut().zip(&w) {
+                *g = *g / n + opts.l2 * wi;
+            }
+            gb /= n;
+
+            let grad_norm = gw.iter().chain(std::iter::once(&gb)).fold(0.0f64, |m, g| m.max(g.abs()));
+            if grad_norm < opts.grad_tol {
+                break;
+            }
+
+            // Backtracking line search on the descent step.
+            loop {
+                let wt: Vec<f64> = w.iter().zip(&gw).map(|(wi, gi)| wi - lr * gi).collect();
+                let bt = b - lr * gb;
+                let next = loss(&wt, bt);
+                if next <= current || lr < 1e-12 {
+                    w = wt;
+                    b = bt;
+                    current = next;
+                    // Gentle growth so we re-probe larger steps.
+                    lr *= 1.1;
+                    break;
+                }
+                lr *= 0.5;
+            }
+        }
+        Ok(Self { weights: w, intercept: b })
+    }
+
+    /// Predicted probability `P(y = 1 | x)` for one feature row.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the trained feature count.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature count mismatch");
+        let z = x.iter().zip(&self.weights).map(|(xi, wi)| xi * wi).sum::<f64>() + self.intercept;
+        sigmoid(z)
+    }
+
+    /// Predicted probabilities for many rows.
+    pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_proba(x)).collect()
+    }
+
+    /// Learned weights (one per feature).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fit_rejects_bad_inputs() {
+        assert_eq!(
+            LogisticRegression::fit(&[], &[], TrainOptions::default()),
+            Err(TrainError::EmptyTrainingSet)
+        );
+        assert_eq!(
+            LogisticRegression::fit(&[vec![1.0]], &[true, false], TrainOptions::default()),
+            Err(TrainError::LengthMismatch)
+        );
+        assert_eq!(
+            LogisticRegression::fit(
+                &[vec![1.0], vec![1.0, 2.0]],
+                &[true, false],
+                TrainOptions::default()
+            ),
+            Err(TrainError::RaggedFeatures)
+        );
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        // y = 1 iff x > 0.
+        let x: Vec<Vec<f64>> = (-50..50).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<bool> = (-50..50).map(|i| i > 0).collect();
+        let model = LogisticRegression::fit(&x, &y, TrainOptions::default()).unwrap();
+        assert!(model.predict_proba(&[2.0]) > 0.9);
+        assert!(model.predict_proba(&[-2.0]) < 0.1);
+        assert!(model.weights()[0] > 0.0);
+    }
+
+    #[test]
+    fn recovers_probabilities_of_a_logistic_ground_truth() {
+        // Data generated from a known logistic model; predictions should be
+        // close to the true probabilities.
+        let mut rng = StdRng::seed_from_u64(9);
+        let (w_true, b_true) = ([2.0, -1.0], 0.5);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..4000 {
+            let row = vec![rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)];
+            let z = w_true[0] * row[0] + w_true[1] * row[1] + b_true;
+            let p = 1.0 / (1.0 + (-z as f64).exp());
+            y.push(rng.gen::<f64>() < p);
+            x.push(row);
+        }
+        let model = LogisticRegression::fit(
+            &x,
+            &y,
+            TrainOptions { max_iters: 2000, l2: 1e-6, ..Default::default() },
+        )
+        .unwrap();
+        for probe in [[0.0, 0.0], [1.0, 1.0], [-1.0, 0.5], [1.5, -1.5]] {
+            let z = w_true[0] * probe[0] + w_true[1] * probe[1] + b_true;
+            let want = 1.0 / (1.0 + (-z).exp());
+            let got = model.predict_proba(&probe);
+            assert!((got - want).abs() < 0.06, "probe {probe:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn ignores_uninformative_noise_feature() {
+        // Feature 0 decides the label, feature 1 is pure noise: |w1| should
+        // be much smaller than |w0|. This is exactly the "ignore low-quality
+        // proxies" behaviour Figure 12 relies on.
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..3000 {
+            let signal = rng.gen_range(-1.0..1.0);
+            let noise = rng.gen_range(-1.0..1.0);
+            x.push(vec![signal, noise]);
+            y.push(signal > 0.0);
+        }
+        let model = LogisticRegression::fit(&x, &y, TrainOptions::default()).unwrap();
+        assert!(
+            model.weights()[0].abs() > 5.0 * model.weights()[1].abs(),
+            "weights {:?}",
+            model.weights()
+        );
+    }
+
+    #[test]
+    fn constant_labels_predict_extreme_probability() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y = vec![true; 100];
+        let model = LogisticRegression::fit(&x, &y, TrainOptions::default()).unwrap();
+        assert!(model.predict_proba(&[50.0]) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_with_wrong_dim_panics() {
+        let model =
+            LogisticRegression::fit(&[vec![1.0], vec![0.0]], &[true, false], TrainOptions::default())
+                .unwrap();
+        let _ = model.predict_proba(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_prediction_matches_single() {
+        let model =
+            LogisticRegression::fit(&[vec![1.0], vec![-1.0]], &[true, false], TrainOptions::default())
+                .unwrap();
+        let rows = vec![vec![0.3], vec![-0.7]];
+        let batch = model.predict_proba_batch(&rows);
+        assert_eq!(batch[0], model.predict_proba(&rows[0]));
+        assert_eq!(batch[1], model.predict_proba(&rows[1]));
+    }
+}

@@ -1,0 +1,140 @@
+//! Classifier metrics for proxy-quality reporting.
+//!
+//! Table 2 of this reproduction reports the measured AUC of each emulated
+//! proxy against its oracle, and the proxy-quality ablation sweeps AUC from
+//! 0.5 (useless) to 1.0 (perfect). AUC is computed exactly via the
+//! Mann–Whitney U statistic with midrank tie handling.
+
+/// Area under the ROC curve of `scores` against boolean `labels`.
+///
+/// Computed as the Mann–Whitney U statistic normalized by the number of
+/// positive/negative pairs, with midranks for ties. Returns `None` when
+/// either class is absent (AUC is undefined).
+pub fn auc(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    // Sort indices by score; assign midranks to tied runs.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; midrank of the tied run [i, j].
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - pos as f64 * (pos as f64 + 1.0) / 2.0;
+    Some(u / (pos as f64 * neg as f64))
+}
+
+/// Brier score: mean squared error of probabilistic predictions. Lower is
+/// better; 0 is perfect.
+pub fn brier_score(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &y)| {
+            let t = if y { 1.0 } else { 0.0 };
+            (s - t) * (s - t)
+        })
+        .sum::<f64>()
+        / scores.len() as f64
+}
+
+/// Classification accuracy at a score threshold.
+pub fn accuracy(scores: &[f64], labels: &[bool], threshold: f64) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores
+        .iter()
+        .zip(labels)
+        .filter(|(&s, &y)| (s >= threshold) == y)
+        .count() as f64
+        / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), Some(0.0));
+    }
+
+    #[test]
+    fn all_tied_scores_give_half() {
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, true, false];
+        let a = auc(&scores, &labels).unwrap();
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_mixed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+        // Pairs: (0.8 > 0.6), (0.8 > 0.2), (0.4 < 0.6), (0.4 > 0.2) → 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_return_none() {
+        assert_eq!(auc(&[0.5, 0.6], &[true, true]), None);
+        assert_eq!(auc(&[0.5, 0.6], &[false, false]), None);
+        assert_eq!(auc(&[], &[]), None);
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transform() {
+        let scores = [0.1, 0.5, 0.3, 0.9, 0.7];
+        let labels = [false, true, false, true, true];
+        let squashed: Vec<f64> = scores.iter().map(|s| s * s).collect();
+        assert_eq!(auc(&scores, &labels), auc(&squashed, &labels));
+    }
+
+    #[test]
+    fn brier_perfect_and_worst() {
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[true, false]), 1.0);
+        assert_eq!(brier_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_at_threshold() {
+        let scores = [0.9, 0.2, 0.6, 0.4];
+        let labels = [true, false, false, true];
+        // At 0.5: predictions T,F,T,F → 2 correct out of 4.
+        assert!((accuracy(&scores, &labels, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Bernoulli naive Bayes over hashed token features.
+//!
+//! A second *learned* proxy family beyond logistic regression: the classic
+//! spam-filter model. Where the paper's trec05p proxy is a hand-written
+//! keyword list, a user with a few labeled emails can train this instead;
+//! the spam example and the proxy-selection tests use it as an additional
+//! candidate proxy.
+
+use crate::features::tokenize;
+use std::collections::HashMap;
+
+/// A trained Bernoulli naive Bayes classifier over token presence.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    log_prior_pos: f64,
+    log_prior_neg: f64,
+    /// Per-token log-likelihood ratios `log P(t|+)/P(t|−)` with Laplace
+    /// smoothing; tokens unseen at training time contribute nothing.
+    token_llr: HashMap<String, f64>,
+}
+
+/// Training errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NbError {
+    /// No documents provided.
+    EmptyTrainingSet,
+    /// Labels/documents length mismatch.
+    LengthMismatch,
+    /// Training requires at least one document of each class.
+    SingleClass,
+}
+
+impl std::fmt::Display for NbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NbError::EmptyTrainingSet => write!(f, "empty training set"),
+            NbError::LengthMismatch => write!(f, "documents and labels differ in length"),
+            NbError::SingleClass => write!(f, "training needs both classes"),
+        }
+    }
+}
+
+impl std::error::Error for NbError {}
+
+impl NaiveBayes {
+    /// Trains on pre-tokenized documents with boolean labels.
+    pub fn fit_tokens<S: AsRef<str>>(docs: &[Vec<S>], labels: &[bool]) -> Result<Self, NbError> {
+        if docs.is_empty() {
+            return Err(NbError::EmptyTrainingSet);
+        }
+        if docs.len() != labels.len() {
+            return Err(NbError::LengthMismatch);
+        }
+        let pos = labels.iter().filter(|&&l| l).count();
+        let neg = labels.len() - pos;
+        if pos == 0 || neg == 0 {
+            return Err(NbError::SingleClass);
+        }
+
+        // Document frequency of each token per class (Bernoulli model:
+        // presence, not counts).
+        let mut df_pos: HashMap<String, usize> = HashMap::new();
+        let mut df_neg: HashMap<String, usize> = HashMap::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for (doc, &label) in docs.iter().zip(labels) {
+            seen.clear();
+            for tok in doc {
+                let t = tok.as_ref();
+                if !seen.contains(&t) {
+                    seen.push(t);
+                    let map = if label { &mut df_pos } else { &mut df_neg };
+                    *map.entry(t.to_lowercase()).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut token_llr = HashMap::new();
+        let vocab: std::collections::HashSet<&String> =
+            df_pos.keys().chain(df_neg.keys()).collect();
+        for tok in vocab {
+            let p_pos =
+                (*df_pos.get(tok).unwrap_or(&0) as f64 + 1.0) / (pos as f64 + 2.0);
+            let p_neg =
+                (*df_neg.get(tok).unwrap_or(&0) as f64 + 1.0) / (neg as f64 + 2.0);
+            token_llr.insert(tok.clone(), (p_pos / p_neg).ln());
+        }
+
+        Ok(Self {
+            log_prior_pos: (pos as f64 / labels.len() as f64).ln(),
+            log_prior_neg: (neg as f64 / labels.len() as f64).ln(),
+            token_llr,
+        })
+    }
+
+    /// Trains on raw text documents.
+    pub fn fit_text(docs: &[&str], labels: &[bool]) -> Result<Self, NbError> {
+        let tokenized: Vec<Vec<String>> = docs.iter().map(|d| tokenize(d)).collect();
+        Self::fit_tokens(&tokenized, labels)
+    }
+
+    /// Posterior probability of the positive class for a token stream.
+    pub fn score_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> f64 {
+        let mut log_odds = self.log_prior_pos - self.log_prior_neg;
+        let mut counted: Vec<String> = Vec::new();
+        for tok in tokens {
+            let t = tok.as_ref().to_lowercase();
+            if counted.contains(&t) {
+                continue; // presence model
+            }
+            if let Some(&llr) = self.token_llr.get(&t) {
+                log_odds += llr;
+            }
+            counted.push(t);
+        }
+        // Clamp to avoid overflow in exp.
+        let z = log_odds.clamp(-500.0, 500.0);
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Posterior probability for raw text.
+    pub fn score_text(&self, text: &str) -> f64 {
+        self.score_tokens(&tokenize(text))
+    }
+
+    /// Number of tokens with learned likelihood ratios.
+    pub fn vocabulary_size(&self) -> usize {
+        self.token_llr.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training_set() -> (Vec<&'static str>, Vec<bool>) {
+        (
+            vec![
+                "win money now claim prize",
+                "free lottery winner click",
+                "cheap pills money back guarantee",
+                "meeting agenda for tomorrow",
+                "project review notes attached",
+                "lunch plans this week",
+            ],
+            vec![true, true, true, false, false, false],
+        )
+    }
+
+    #[test]
+    fn separates_spam_from_ham() {
+        let (docs, labels) = training_set();
+        let nb = NaiveBayes::fit_text(&docs, &labels).unwrap();
+        assert!(nb.score_text("claim your free money prize") > 0.8);
+        assert!(nb.score_text("agenda for the project meeting") < 0.2);
+        assert!(nb.vocabulary_size() > 10);
+    }
+
+    #[test]
+    fn unseen_tokens_fall_back_to_prior() {
+        let (docs, labels) = training_set();
+        let nb = NaiveBayes::fit_text(&docs, &labels).unwrap();
+        let s = nb.score_text("zzz qqq xxx");
+        // Balanced priors → near 0.5.
+        assert!((s - 0.5).abs() < 0.05, "score {s}");
+    }
+
+    #[test]
+    fn presence_model_ignores_repetition() {
+        let (docs, labels) = training_set();
+        let nb = NaiveBayes::fit_text(&docs, &labels).unwrap();
+        let once = nb.score_text("money");
+        let many = nb.score_text("money money money money");
+        assert!((once - many).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (docs, labels) = training_set();
+        let nb = NaiveBayes::fit_text(&docs, &labels).unwrap();
+        for text in ["money money", "", "meeting", "win win win meeting"] {
+            let s = nb.score_text(text);
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn training_errors() {
+        assert!(matches!(
+            NaiveBayes::fit_text(&[], &[]),
+            Err(NbError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            NaiveBayes::fit_text(&["a"], &[true, false]),
+            Err(NbError::LengthMismatch)
+        ));
+        assert!(matches!(
+            NaiveBayes::fit_text(&["a", "b"], &[true, true]),
+            Err(NbError::SingleClass)
+        ));
+    }
+
+    #[test]
+    fn beats_chance_on_the_emulated_spam_corpus() {
+        // Train on a slice of the emulated trec05p-style text and check
+        // AUC on held-out records.
+        use crate::metrics::auc;
+        let spam_words = ["money", "free", "winner", "click", "prize"];
+        let ham_words = ["meeting", "report", "project", "thanks", "notes"];
+        let mut docs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..400 {
+            let spam = i % 2 == 0;
+            let vocab: &[&str] = if spam { &spam_words } else { &ham_words };
+            let mut text = String::new();
+            for j in 0..12 {
+                text.push_str(vocab[(i + j) % vocab.len()]);
+                text.push(' ');
+                // Mix in neutral tokens.
+                text.push_str(["the", "a", "and"][(i * 7 + j) % 3]);
+                text.push(' ');
+            }
+            docs.push(text);
+            labels.push(spam);
+        }
+        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let nb = NaiveBayes::fit_text(&doc_refs[..300], &labels[..300]).unwrap();
+        let scores: Vec<f64> = doc_refs[300..].iter().map(|d| nb.score_text(d)).collect();
+        let a = auc(&scores, &labels[300..]).unwrap();
+        assert!(a > 0.95, "AUC {a}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Numerical optimization substrate for the ABae reproduction.
+//!
+//! ABae-GroupBy allocates Stage-2 samples across per-group stratifications
+//! by minimizing a minimax mean-squared-error objective over the probability
+//! simplex (paper Eq. 10 and Eq. 11), solved with "the Nelder-Mead simplex
+//! algorithm" (§3.2). The paper's implementation reaches for
+//! `scipy.optimize`; this crate rebuilds the solver from scratch:
+//!
+//! * [`nelder_mead`] — the derivative-free Nelder–Mead downhill simplex
+//!   method with adaptive parameters and domain-shrink convergence tests.
+//! * [`simplex`] — a softmax reparametrization that turns constrained
+//!   minimization over `{Λ ∈ [0,1]^G : Σ Λ = 1}` into unconstrained
+//!   minimization, plus helpers shared by the group-by allocator.
+
+#![warn(missing_docs)]
+
+pub mod nelder_mead;
+pub mod simplex;
+
+pub use nelder_mead::{minimize, NelderMeadOptions, OptimResult};
+pub use simplex::{minimize_on_simplex, softmax, SimplexOptions};

@@ -1,0 +1,295 @@
+//! Nelder–Mead downhill simplex minimization.
+//!
+//! A faithful implementation of the classic derivative-free method with the
+//! adaptive parameter schedule of Gao & Han (2012), which improves behaviour
+//! in higher dimensions (the group-by objectives have one dimension per
+//! group). Convergence is declared when both the function-value spread and
+//! the simplex diameter fall below tolerances, or the evaluation budget is
+//! exhausted.
+
+/// Options controlling the Nelder–Mead run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the spread of simplex function values.
+    pub f_tol: f64,
+    /// Convergence tolerance on the simplex diameter.
+    pub x_tol: f64,
+    /// Size of the initial simplex around the starting point.
+    pub initial_step: f64,
+    /// Use the Gao–Han adaptive coefficients (recommended for dim ≥ 2).
+    pub adaptive: bool,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self { max_evals: 20_000, f_tol: 1e-10, x_tol: 1e-10, initial_step: 0.1, adaptive: true }
+    }
+}
+
+/// Result of a minimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+    /// True when the tolerance test passed before the budget ran out.
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0` with the Nelder–Mead simplex method.
+///
+/// `f` may return non-finite values (e.g. +∞ for infeasible points); they
+/// are ordered to the bad end of the simplex, so penalty-style constraint
+/// handling works out of the box.
+///
+/// ```
+/// use abae_optim::{minimize, NelderMeadOptions};
+///
+/// let result = minimize(
+///     |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+///     &[0.0, 0.0],
+///     NelderMeadOptions::default(),
+/// );
+/// assert!(result.converged);
+/// assert!((result.x[0] - 3.0).abs() < 1e-4);
+/// assert!((result.x[1] + 1.0).abs() < 1e-4);
+/// ```
+///
+/// # Panics
+/// Panics if `x0` is empty — a zero-dimensional problem is a caller bug.
+pub fn minimize<F>(mut f: F, x0: &[f64], opts: NelderMeadOptions) -> OptimResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!x0.is_empty(), "Nelder-Mead needs at least one dimension");
+    let dim = x0.len();
+    let n = dim as f64;
+
+    // Gao–Han adaptive coefficients (fall back to the textbook constants).
+    let (alpha, gamma, rho, sigma) = if opts.adaptive && dim >= 2 {
+        (1.0, 1.0 + 2.0 / n, 0.75 - 1.0 / (2.0 * n), 1.0 - 1.0 / n)
+    } else {
+        (1.0, 2.0, 0.5, 0.5)
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(dim + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..dim {
+        let mut v = x0.to_vec();
+        let step = if v[i].abs() > 1e-12 { opts.initial_step * v[i].abs() } else { opts.initial_step };
+        v[i] += step;
+        simplex.push(v);
+    }
+
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    let mut fvals: Vec<f64> = simplex.iter().map(|v| eval(v, &mut evals)).collect();
+
+    let order_indices = |fvals: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..fvals.len()).collect();
+        idx.sort_by(|&a, &b| fvals[a].total_cmp(&fvals[b]));
+        idx
+    };
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        // Sort the simplex: best ... worst.
+        let idx = order_indices(&fvals);
+        let reordered: Vec<Vec<f64>> = idx.iter().map(|&i| simplex[i].clone()).collect();
+        let reordered_f: Vec<f64> = idx.iter().map(|&i| fvals[i]).collect();
+        simplex = reordered;
+        fvals = reordered_f;
+
+        // Convergence: function spread and simplex diameter.
+        let f_spread = fvals[dim] - fvals[0];
+        let x_spread = simplex[1..]
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .zip(&simplex[0])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(0.0f64, f64::max);
+        if f_spread.abs() <= opts.f_tol && x_spread <= opts.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all points but the worst.
+        let mut centroid = vec![0.0; dim];
+        for v in &simplex[..dim] {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x;
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= n;
+        }
+
+        let worst = simplex[dim].clone();
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let xr = lerp(&centroid, &worst, -alpha);
+        let fr = eval(&xr, &mut evals);
+        if fr < fvals[0] {
+            // Expansion.
+            let xe = lerp(&centroid, &worst, -alpha * gamma);
+            let fe = eval(&xe, &mut evals);
+            if fe < fr {
+                simplex[dim] = xe;
+                fvals[dim] = fe;
+            } else {
+                simplex[dim] = xr;
+                fvals[dim] = fr;
+            }
+            continue;
+        }
+        if fr < fvals[dim - 1] {
+            simplex[dim] = xr;
+            fvals[dim] = fr;
+            continue;
+        }
+        // Contraction (outside if the reflection improved on the worst,
+        // inside otherwise).
+        let (xc, fc) = if fr < fvals[dim] {
+            let xc = lerp(&centroid, &xr, rho);
+            let fc = eval(&xc, &mut evals);
+            (xc, fc)
+        } else {
+            let xc = lerp(&centroid, &worst, rho);
+            let fc = eval(&xc, &mut evals);
+            (xc, fc)
+        };
+        if fc < fvals[dim].min(fr) {
+            simplex[dim] = xc;
+            fvals[dim] = fc;
+            continue;
+        }
+        // Shrink toward the best vertex.
+        let best = simplex[0].clone();
+        for i in 1..=dim {
+            simplex[i] = lerp(&best, &simplex[i], sigma);
+            fvals[i] = eval(&simplex[i], &mut evals);
+        }
+    }
+
+    let idx = order_indices(&fvals);
+    OptimResult {
+        x: simplex[idx[0]].clone(),
+        fx: fvals[idx[0]],
+        evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_1d_quadratic() {
+        let r = minimize(|x| (x[0] - 3.0).powi(2), &[0.0], NelderMeadOptions::default());
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "x = {:?}", r.x);
+    }
+
+    #[test]
+    fn minimizes_shifted_sphere_5d() {
+        let target = [1.0, -2.0, 0.5, 3.0, -0.25];
+        let r = minimize(
+            |x| x.iter().zip(&target).map(|(a, b)| (a - b).powi(2)).sum(),
+            &[0.0; 5],
+            NelderMeadOptions { max_evals: 50_000, ..Default::default() },
+        );
+        for (got, want) in r.x.iter().zip(&target) {
+            assert!((got - want).abs() < 1e-3, "x = {:?}", r.x);
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = minimize(
+            rosen,
+            &[-1.2, 1.0],
+            NelderMeadOptions { max_evals: 50_000, ..Default::default() },
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
+        assert!(r.fx < 1e-6);
+    }
+
+    #[test]
+    fn handles_infinite_penalty_regions() {
+        // Constrained problem via penalty: minimize x^2 subject to x >= 1.
+        let f = |x: &[f64]| if x[0] < 1.0 { f64::INFINITY } else { x[0] * x[0] };
+        let r = minimize(f, &[5.0], NelderMeadOptions::default());
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
+    }
+
+    #[test]
+    fn nan_objective_is_treated_as_infinity() {
+        let f = |x: &[f64]| if x[0] < 0.0 { f64::NAN } else { (x[0] - 2.0).powi(2) };
+        let r = minimize(f, &[1.0], NelderMeadOptions::default());
+        assert!((r.x[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut count = 0usize;
+        let r = minimize(
+            |x| {
+                count += 1;
+                x[0].powi(2)
+            },
+            &[100.0],
+            NelderMeadOptions { max_evals: 10, ..Default::default() },
+        );
+        assert!(!r.converged);
+        assert!(count <= 12, "count {count}"); // initial simplex + a step
+        assert_eq!(r.evals, count);
+    }
+
+    #[test]
+    fn starts_at_minimum_converges_immediately() {
+        let r = minimize(|x| (x[0]).powi(2) + x[1].powi(2), &[0.0, 0.0], NelderMeadOptions::default());
+        assert!(r.converged);
+        assert!(r.fx < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_start_panics() {
+        let _ = minimize(|_| 0.0, &[], NelderMeadOptions::default());
+    }
+
+    #[test]
+    fn non_adaptive_mode_also_converges() {
+        let r = minimize(
+            |x| (x[0] - 1.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[4.0, 4.0],
+            NelderMeadOptions { adaptive: false, ..Default::default() },
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-4);
+        assert!((r.x[1] + 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimization over the probability simplex.
+//!
+//! The group-by objectives (paper Eq. 10/11) constrain the allocation to
+//! `Λ ∈ [0,1]^G` with `Σ_l Λ_l = 1`. We reparametrize through a softmax —
+//! `Λ = softmax(z)`, `z ∈ ℝ^G` — so Nelder–Mead can run unconstrained. The
+//! map is smooth and surjective onto the open simplex; the redundant degree
+//! of freedom (softmax is shift-invariant) is harmless for a direct-search
+//! method.
+
+use crate::nelder_mead::{minimize, NelderMeadOptions, OptimResult};
+
+/// Options for simplex-constrained minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexOptions {
+    /// Underlying Nelder–Mead options.
+    pub nm: NelderMeadOptions,
+    /// Lower bound applied to each coordinate after optimization, to keep
+    /// allocations strictly positive (a zero allocation would divide by zero
+    /// in the error objectives). The result is re-normalized.
+    pub min_weight: f64,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self { nm: NelderMeadOptions::default(), min_weight: 1e-6 }
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    if sum == 0.0 || !sum.is_finite() {
+        return vec![1.0 / z.len() as f64; z.len()];
+    }
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Minimizes `f(Λ)` over the probability simplex of dimension `g`, starting
+/// from the uniform allocation.
+///
+/// Returns the optimal weights (summing to 1, each at least
+/// `opts.min_weight` before re-normalization) together with the raw
+/// optimizer result.
+///
+/// # Panics
+/// Panics if `g == 0`.
+pub fn minimize_on_simplex<F>(mut f: F, g: usize, opts: SimplexOptions) -> (Vec<f64>, OptimResult)
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(g > 0, "simplex minimization needs at least one coordinate");
+    if g == 1 {
+        let lambda = vec![1.0];
+        let fx = f(&lambda);
+        return (
+            lambda.clone(),
+            OptimResult { x: lambda, fx, evals: 1, converged: true },
+        );
+    }
+    let result = minimize(|z| f(&softmax(z)), &vec![0.0; g], opts.nm);
+    let mut lambda = softmax(&result.x);
+    // Clamp away zeros, then re-normalize.
+    for w in lambda.iter_mut() {
+        *w = w.max(opts.min_weight);
+    }
+    let total: f64 = lambda.iter().sum();
+    for w in lambda.iter_mut() {
+        *w /= total;
+    }
+    (lambda, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_is_monotone() {
+        let s = softmax(&[0.0, 1.0, 2.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[0] < s[1] && s[1] < s[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_values() {
+        let s = softmax(&[1e308, 0.0]);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn single_group_is_trivially_one() {
+        let (lambda, r) = minimize_on_simplex(|l| l[0] * 2.0, 1, SimplexOptions::default());
+        assert_eq!(lambda, vec![1.0]);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn minimax_ratio_objective_recovers_proportional_allocation() {
+        // minimize max_g (a_g / Λ_g): at the optimum all a_g/Λ_g are equal,
+        // so Λ_g ∝ a_g. This is exactly the structure of paper Eq. 11.
+        let a = [4.0, 1.0, 2.0, 1.0];
+        let (lambda, _) = minimize_on_simplex(
+            |l| {
+                a.iter()
+                    .zip(l)
+                    .map(|(ai, li)| ai / li.max(1e-12))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            },
+            a.len(),
+            SimplexOptions::default(),
+        );
+        let total: f64 = a.iter().sum();
+        for (got, ai) in lambda.iter().zip(&a) {
+            let want = ai / total;
+            assert!((got - want).abs() < 5e-3, "lambda {lambda:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_sum_objective_puts_mass_on_cheapest_group() {
+        // minimize Σ c_g Λ_g → all mass on argmin c (up to the min_weight
+        // clamp).
+        let c = [5.0, 1.0, 3.0];
+        let (lambda, _) = minimize_on_simplex(
+            |l| c.iter().zip(l).map(|(ci, li)| ci * li).sum(),
+            3,
+            SimplexOptions::default(),
+        );
+        assert!(lambda[1] > 0.95, "lambda {lambda:?}");
+    }
+
+    #[test]
+    fn inverse_sum_objective_matches_sqrt_rule() {
+        // minimize Σ a_g / Λ_g has the closed form Λ_g ∝ √a_g.
+        let a = [9.0, 4.0, 1.0];
+        let (lambda, _) = minimize_on_simplex(
+            |l| a.iter().zip(l).map(|(ai, li)| ai / li.max(1e-12)).sum(),
+            3,
+            SimplexOptions::default(),
+        );
+        let sqrt_sum: f64 = a.iter().map(|v| v.sqrt()).sum();
+        for (got, ai) in lambda.iter().zip(&a) {
+            let want = ai.sqrt() / sqrt_sum;
+            assert!((got - want).abs() < 5e-3, "lambda {lambda:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn result_is_always_a_distribution(
+            coeffs in proptest::collection::vec(0.1f64..10.0, 2..6),
+        ) {
+            let g = coeffs.len();
+            let (lambda, _) = minimize_on_simplex(
+                |l| coeffs.iter().zip(l).map(|(c, li)| c / li.max(1e-12)).sum(),
+                g,
+                SimplexOptions::default(),
+            );
+            prop_assert!((lambda.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(lambda.iter().all(|&w| w > 0.0 && w <= 1.0));
+        }
+    }
+}

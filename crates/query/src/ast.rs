@@ -1,0 +1,183 @@
+//! Abstract syntax tree for the ABae SQL dialect.
+
+/// Aggregate functions of Figure 1 (`PERCENTAGE` is the paper's celeba
+/// query sugar: an `AVG` whose expression is a 0/100 indicator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `AVG(expr)`
+    Avg,
+    /// `SUM(expr)`
+    Sum,
+    /// `COUNT(expr | *)`
+    Count,
+    /// `PERCENTAGE(expr)` — executed as `AVG`.
+    Percentage,
+}
+
+impl AggFunc {
+    /// Maps to the core aggregate.
+    pub fn to_core(self) -> abae_core::Aggregate {
+        match self {
+            AggFunc::Avg | AggFunc::Percentage => abae_core::Aggregate::Avg,
+            AggFunc::Sum => abae_core::Aggregate::Sum,
+            AggFunc::Count => abae_core::Aggregate::Count,
+        }
+    }
+}
+
+/// A predicate atom: a named expensive predicate, possibly written as a
+/// function call and/or compared to a literal. The atom's *canonical key*
+/// is what the catalog resolves:
+///
+/// * `is_spam(text)` → `is_spam`
+/// * `hair_color(img) = 'blonde'` → `hair_color=blonde`
+/// * `count_cars(frame) > 0` → `count_cars>0`
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredAtom {
+    /// Function or column name.
+    pub name: String,
+    /// Call arguments (recorded for display; resolution uses the key).
+    pub args: Vec<String>,
+    /// Optional comparison suffix, e.g. `=blonde` or `>0`.
+    pub comparison: Option<String>,
+}
+
+impl PredAtom {
+    /// The canonical key used for catalog resolution.
+    pub fn key(&self) -> String {
+        match &self.comparison {
+            Some(c) => format!("{}{}", self.name, c),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Boolean filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolExpr {
+    /// An expensive predicate atom.
+    Atom(PredAtom),
+    /// Logical negation.
+    Not(Box<BoolExpr>),
+    /// Logical conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Logical disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Collects the distinct atom keys, left to right.
+    pub fn atom_keys(&self) -> Vec<String> {
+        let mut keys = Vec::new();
+        self.collect_keys(&mut keys);
+        keys
+    }
+
+    fn collect_keys(&self, out: &mut Vec<String>) {
+        match self {
+            BoolExpr::Atom(a) => {
+                let key = a.key();
+                if !out.contains(&key) {
+                    out.push(key);
+                }
+            }
+            BoolExpr::Not(e) => e.collect_keys(out),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.collect_keys(out);
+                b.collect_keys(out);
+            }
+        }
+    }
+
+    /// Lowers to a core predicate expression given the atom-key → predicate
+    /// index mapping produced by the binder.
+    pub fn to_pred_expr(&self, index_of: &dyn Fn(&str) -> usize) -> abae_core::multipred::PredExpr {
+        use abae_core::multipred::PredExpr;
+        match self {
+            BoolExpr::Atom(a) => PredExpr::Pred(index_of(&a.key())),
+            BoolExpr::Not(e) => PredExpr::not(e.to_pred_expr(index_of)),
+            BoolExpr::And(a, b) => {
+                PredExpr::and(a.to_pred_expr(index_of), b.to_pred_expr(index_of))
+            }
+            BoolExpr::Or(a, b) => {
+                PredExpr::or(a.to_pred_expr(index_of), b.to_pred_expr(index_of))
+            }
+        }
+    }
+}
+
+/// A parsed ABae query (Figure 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Aggregate function.
+    pub agg: AggFunc,
+    /// Aggregated expression as written (`views`, `count_cars(frame)`,
+    /// `*`). The dataset substrate carries one statistic column per table;
+    /// this field is validated for display but not re-computed.
+    pub agg_expr: String,
+    /// Source table name.
+    pub table: String,
+    /// Filter over expensive predicates.
+    pub predicate: BoolExpr,
+    /// Optional group-by key expression.
+    pub group_by: Option<String>,
+    /// Oracle budget (`ORACLE LIMIT o`).
+    pub oracle_limit: usize,
+    /// Proxy name (`USING proxy`); `None` lets the executor use each
+    /// predicate's own proxy column.
+    pub proxy: Option<String>,
+    /// Success probability (`WITH PROBABILITY p`).
+    pub probability: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_keys_are_canonical() {
+        let plain = PredAtom { name: "is_spam".into(), args: vec!["text".into()], comparison: None };
+        assert_eq!(plain.key(), "is_spam");
+        let eq = PredAtom {
+            name: "hair_color".into(),
+            args: vec!["img".into()],
+            comparison: Some("=blonde".into()),
+        };
+        assert_eq!(eq.key(), "hair_color=blonde");
+    }
+
+    #[test]
+    fn atom_keys_deduplicate() {
+        let atom = |n: &str| {
+            BoolExpr::Atom(PredAtom { name: n.into(), args: vec![], comparison: None })
+        };
+        let expr = BoolExpr::And(
+            Box::new(atom("a")),
+            Box::new(BoolExpr::Or(Box::new(atom("b")), Box::new(atom("a")))),
+        );
+        assert_eq!(expr.atom_keys(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn lowering_preserves_structure() {
+        use abae_core::multipred::PredExpr;
+        let atom = |n: &str| {
+            BoolExpr::Atom(PredAtom { name: n.into(), args: vec![], comparison: None })
+        };
+        let expr = BoolExpr::Not(Box::new(BoolExpr::And(
+            Box::new(atom("x")),
+            Box::new(atom("y")),
+        )));
+        let lowered = expr.to_pred_expr(&|key| if key == "x" { 0 } else { 1 });
+        assert_eq!(
+            lowered,
+            PredExpr::not(PredExpr::and(PredExpr::Pred(0), PredExpr::Pred(1)))
+        );
+    }
+
+    #[test]
+    fn percentage_maps_to_avg() {
+        assert_eq!(AggFunc::Percentage.to_core(), abae_core::Aggregate::Avg);
+        assert_eq!(AggFunc::Count.to_core(), abae_core::Aggregate::Count);
+    }
+}

@@ -1,0 +1,110 @@
+//! Catalog: table registry and predicate-atom bindings.
+//!
+//! A query's predicate atoms (`hair_color(img) = 'blonde'`) must resolve to
+//! predicate columns of the target table (`blonde_hair`). Resolution is by
+//! exact column name first, then by explicit bindings the application
+//! registers — the moral equivalent of the paper's setup step where the
+//! user supplies the oracle and proxy for each predicate.
+
+use abae_data::Table;
+use std::collections::HashMap;
+
+/// A registry of tables and atom-key bindings.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    bindings: HashMap<(String, String), String>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table under its own name. Replaces any previous table
+    /// with the same name.
+    pub fn register_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Binds a predicate atom key (e.g. `hair_color=blonde`) to a predicate
+    /// column (e.g. `blonde_hair`) of `table`.
+    pub fn bind_predicate(
+        &mut self,
+        table: impl Into<String>,
+        atom_key: impl Into<String>,
+        column: impl Into<String>,
+    ) {
+        self.bindings.insert((table.into(), atom_key.into()), column.into());
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Resolves an atom key to a predicate column name for `table`.
+    pub fn resolve(&self, table: &str, atom_key: &str) -> Option<String> {
+        if let Some(t) = self.tables.get(table) {
+            if t.predicate(atom_key).is_ok() {
+                return Some(atom_key.to_string());
+            }
+        }
+        self.bindings.get(&(table.to_string(), atom_key.to_string())).cloned()
+    }
+
+    /// Names of all registered tables (unordered).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::builder("t", vec![1.0, 2.0])
+            .predicate("is_spam", vec![true, false], vec![0.9, 0.1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_column_name_resolves_without_binding() {
+        let mut cat = Catalog::new();
+        cat.register_table(table());
+        assert_eq!(cat.resolve("t", "is_spam"), Some("is_spam".to_string()));
+    }
+
+    #[test]
+    fn bindings_resolve_canonical_atom_keys() {
+        let mut cat = Catalog::new();
+        cat.register_table(table());
+        cat.bind_predicate("t", "sentiment=strongly positive", "is_spam");
+        assert_eq!(
+            cat.resolve("t", "sentiment=strongly positive"),
+            Some("is_spam".to_string())
+        );
+    }
+
+    #[test]
+    fn unknown_keys_and_tables_resolve_to_none() {
+        let mut cat = Catalog::new();
+        cat.register_table(table());
+        assert_eq!(cat.resolve("t", "nope"), None);
+        assert_eq!(cat.resolve("unknown", "is_spam"), None);
+        assert!(cat.table("unknown").is_none());
+    }
+
+    #[test]
+    fn re_registering_replaces() {
+        let mut cat = Catalog::new();
+        cat.register_table(table());
+        let other = Table::builder("t", vec![9.0]).build().unwrap();
+        cat.register_table(other);
+        assert_eq!(cat.table("t").unwrap().len(), 1);
+        assert_eq!(cat.table_names(), vec!["t"]);
+    }
+}

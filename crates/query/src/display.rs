@@ -1,0 +1,124 @@
+//! SQL rendering and `EXPLAIN`.
+//!
+//! [`Query`] and [`BoolExpr`] render back to the dialect's syntax (so
+//! programmatically built queries can be logged and re-parsed), and
+//! [`crate::exec::Executor::explain`] describes the physical plan — which
+//! algorithm will run, the resolved predicate columns, and how the oracle
+//! budget splits across stages — without spending any oracle calls.
+
+use crate::ast::{AggFunc, BoolExpr, Query};
+use std::fmt;
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AggFunc::Avg => "AVG",
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Percentage => "PERCENTAGE",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Atom(a) => {
+                write!(f, "{}", a.name)?;
+                if !a.args.is_empty() {
+                    write!(f, "({})", a.args.join(", "))?;
+                }
+                if let Some(cmp) = &a.comparison {
+                    // Comparison suffixes store e.g. "=blonde" / ">0";
+                    // string literals re-quote for valid SQL.
+                    let (op, value) = split_comparison(cmp);
+                    if value.parse::<f64>().is_ok() {
+                        write!(f, " {op} {value}")?;
+                    } else {
+                        write!(f, " {op} '{value}'")?;
+                    }
+                }
+                Ok(())
+            }
+            BoolExpr::Not(e) => write!(f, "NOT ({e})"),
+            BoolExpr::And(a, b) => write!(f, "({a} AND {b})"),
+            BoolExpr::Or(a, b) => write!(f, "({a} OR {b})"),
+        }
+    }
+}
+
+fn split_comparison(cmp: &str) -> (&str, &str) {
+    for op in ["!=", ">=", "<=", "=", ">", "<"] {
+        if let Some(rest) = cmp.strip_prefix(op) {
+            return (op, rest);
+        }
+    }
+    ("=", cmp)
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {}({})", self.agg, self.agg_expr)?;
+        if let Some(key) = &self.group_by {
+            write!(f, ", {key}")?;
+        }
+        write!(f, " FROM {} WHERE {}", self.table, self.predicate)?;
+        if let Some(key) = &self.group_by {
+            write!(f, " GROUP BY {key}")?;
+        }
+        write!(f, " ORACLE LIMIT {}", self.oracle_limit)?;
+        if let Some(p) = &self.proxy {
+            write!(f, " USING {p}")?;
+        }
+        write!(f, " WITH PROBABILITY {}", self.probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    fn roundtrip(sql: &str) {
+        let q1 = parse_query(sql).expect("valid input");
+        let rendered = format!("{q1}");
+        let q2 = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("rendered `{rendered}` failed to parse: {e}"));
+        // Semantic equivalence: everything except argument formatting.
+        assert_eq!(q1.agg, q2.agg);
+        assert_eq!(q1.table, q2.table);
+        assert_eq!(q1.oracle_limit, q2.oracle_limit);
+        assert_eq!(q1.probability, q2.probability);
+        assert_eq!(q1.group_by, q2.group_by);
+        assert_eq!(q1.predicate.atom_keys(), q2.predicate.atom_keys());
+    }
+
+    #[test]
+    fn single_predicate_roundtrips() {
+        roundtrip("SELECT AVG(views) FROM news WHERE is_spam ORACLE LIMIT 100");
+    }
+
+    #[test]
+    fn complex_predicates_roundtrip() {
+        roundtrip(
+            "SELECT AVG(count_cars(frame)) FROM video \
+             WHERE count_cars(frame) > 0 AND (red_light(frame) OR NOT fog(frame)) \
+             ORACLE LIMIT 1,000 USING proxy WITH PROBABILITY 0.9",
+        );
+    }
+
+    #[test]
+    fn string_comparisons_roundtrip() {
+        roundtrip(
+            "SELECT PERCENTAGE(smiles(img)), hair FROM faces \
+             WHERE hair_color(img) = 'strongly blond' GROUP BY hair_color(img) \
+             ORACLE LIMIT 500",
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let q = parse_query("SELECT SUM(x) FROM t WHERE a AND b OR c ORACLE LIMIT 7").unwrap();
+        assert_eq!(format!("{q}"), format!("{q}"));
+    }
+}

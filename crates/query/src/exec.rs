@@ -1,0 +1,516 @@
+//! Query executor: routes parsed queries to the ABae algorithms.
+//!
+//! * Single- or multi-predicate `WHERE` → [`abae_core::multipred`] (a lone
+//!   atom is just a one-leaf expression) with a bootstrap CI honoring the
+//!   query's `WITH PROBABILITY`.
+//! * `GROUP BY` → [`abae_core::groupby`] in the single-oracle setting (the
+//!   table's group key plays the oracle); per-group predicates must be
+//!   registered in group order, mirroring the paper's assumption that each
+//!   group has its own proxy.
+//! * `ORACLE LIMIT` is the total oracle budget; `USING <proxy>` may name a
+//!   predicate column whose proxy stratifies the query (otherwise each
+//!   predicate's own proxy is combined per §3.3).
+
+use crate::ast::{AggFunc, Query};
+use crate::catalog::Catalog;
+use crate::parser::{parse_query, ParseError};
+use abae_core::config::{AbaeConfig, BootstrapConfig, ConfigError};
+use abae_core::groupby::{groupby_single_oracle, GroupByConfig, GroupByError};
+use abae_core::multipred::expression_oracle;
+use abae_core::two_stage::run_abae_with_ci;
+use abae_data::{SingleGroupOracle, TableError};
+use abae_stats::bootstrap::ConfidenceInterval;
+use rand::Rng;
+
+/// Per-group result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// Group name (from the table's group key).
+    pub name: String,
+    /// Estimated per-group aggregate.
+    pub estimate: f64,
+}
+
+/// Result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Scalar estimate (for group-by queries, the mean of group
+    /// estimates; inspect `groups` for the rows).
+    pub estimate: f64,
+    /// Bootstrap CI at the query's probability (scalar queries only).
+    pub ci: Option<ConfidenceInterval>,
+    /// Oracle invocations actually spent.
+    pub oracle_calls: u64,
+    /// Group rows for `GROUP BY` queries.
+    pub groups: Option<Vec<GroupRow>>,
+}
+
+/// Errors from query execution.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Parsing failed.
+    Parse(ParseError),
+    /// The `FROM` table is not in the catalog.
+    UnknownTable(String),
+    /// A predicate atom could not be resolved to a column.
+    UnresolvedPredicate {
+        /// The atom's canonical key.
+        atom: String,
+        /// The table searched.
+        table: String,
+    },
+    /// Table-level failure.
+    Table(TableError),
+    /// Invalid ABae configuration derived from the query.
+    Config(ConfigError),
+    /// Group-by execution failure.
+    GroupBy(GroupByError),
+    /// The query shape is not supported.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            QueryError::UnresolvedPredicate { atom, table } => {
+                write!(f, "predicate `{atom}` is not a column or binding of `{table}`")
+            }
+            QueryError::Table(e) => write!(f, "table: {e}"),
+            QueryError::Config(e) => write!(f, "config: {e}"),
+            QueryError::GroupBy(e) => write!(f, "group-by: {e}"),
+            QueryError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+/// Executes ABae queries against a catalog.
+#[derive(Debug)]
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    /// Strata count `K` for every query (Figure 10 default: 5).
+    pub strata: usize,
+    /// Stage-1 fraction `C` (Figure 11 default: 0.5).
+    pub stage1_fraction: f64,
+    /// Bootstrap resamples `β` per CI.
+    pub bootstrap_trials: usize,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor with the paper's default knobs.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self { catalog, strata: 5, stage1_fraction: 0.5, bootstrap_trials: 1000 }
+    }
+
+    /// Parses and executes `sql`.
+    pub fn execute<R: Rng + ?Sized>(
+        &self,
+        sql: &str,
+        rng: &mut R,
+    ) -> Result<QueryResult, QueryError> {
+        let query = parse_query(sql)?;
+        self.execute_parsed(&query, rng)
+    }
+
+    /// `EXPLAIN`: describes the physical plan for `sql` — the chosen
+    /// algorithm, the resolved predicate columns, and the budget split —
+    /// without spending any oracle calls.
+    pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
+        let query = parse_query(sql)?;
+        let table = self
+            .catalog
+            .table(&query.table)
+            .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
+        let keys = query.predicate.atom_keys();
+        let mut lines = Vec::new();
+        lines.push(format!("query  : {query}"));
+        lines.push(format!("table  : {} ({} records)", table.name(), table.len()));
+        for key in &keys {
+            let col = self.catalog.resolve(&query.table, key).ok_or_else(|| {
+                QueryError::UnresolvedPredicate { atom: key.clone(), table: query.table.clone() }
+            })?;
+            lines.push(format!("atom   : {key} -> predicate column `{col}`"));
+        }
+        let strategy = if query.group_by.is_some() {
+            format!(
+                "ABae-GroupBy (single oracle, minimax allocation over {} groups)",
+                table.group_key().map(|g| g.names.len()).unwrap_or(0)
+            )
+        } else if keys.len() > 1 {
+            "ABae-MultiPred (combined proxy scores, one oracle call per record)".to_string()
+        } else {
+            "ABae two-stage stratified sampling".to_string()
+        };
+        lines.push(format!("plan   : {strategy}"));
+        let n1 = ((self.stage1_fraction * query.oracle_limit as f64) / self.strata as f64)
+            .floor() as usize;
+        lines.push(format!(
+            "budget : {} oracle calls = stage 1 ({} strata x {}) + stage 2 ({})",
+            query.oracle_limit,
+            self.strata,
+            n1,
+            query.oracle_limit.saturating_sub(n1 * self.strata),
+        ));
+        lines.push(format!(
+            "ci     : percentile bootstrap, {} resamples, confidence {}",
+            self.bootstrap_trials, query.probability
+        ));
+        Ok(lines.join("\n"))
+    }
+
+    /// Executes an already-parsed query.
+    pub fn execute_parsed<R: Rng + ?Sized>(
+        &self,
+        query: &Query,
+        rng: &mut R,
+    ) -> Result<QueryResult, QueryError> {
+        let table = self
+            .catalog
+            .table(&query.table)
+            .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
+
+        // Resolve every atom to a predicate column index.
+        let keys = query.predicate.atom_keys();
+        let mut columns = Vec::with_capacity(keys.len());
+        for key in &keys {
+            let col = self.catalog.resolve(&query.table, key).ok_or_else(|| {
+                QueryError::UnresolvedPredicate { atom: key.clone(), table: query.table.clone() }
+            })?;
+            columns.push(table.predicate_index(&col).map_err(QueryError::Table)?);
+        }
+        let index_of = |key: &str| -> usize {
+            let pos = keys.iter().position(|k| k == key).expect("key collected above");
+            columns[pos]
+        };
+
+        if query.group_by.is_some() {
+            return self.execute_groupby(query, table, &columns, rng);
+        }
+
+        let expr = query.predicate.to_pred_expr(&index_of);
+        // Stratification scores: a `USING <column>` proxy when it resolves,
+        // otherwise the §3.3 combination of the predicates' own proxies.
+        let scores = match query
+            .proxy
+            .as_deref()
+            .and_then(|p| self.catalog.resolve(&query.table, p))
+        {
+            Some(col) => table.predicate(&col).map_err(QueryError::Table)?.proxy.clone(),
+            None => abae_core::multipred::table_combined_scores(table, &expr)
+                .map_err(QueryError::Table)?,
+        };
+        let oracle = expression_oracle(table, &expr).map_err(QueryError::Table)?;
+        let config = AbaeConfig {
+            strata: self.strata,
+            budget: query.oracle_limit,
+            stage1_fraction: self.stage1_fraction,
+            bootstrap: BootstrapConfig {
+                trials: self.bootstrap_trials,
+                alpha: 1.0 - query.probability,
+            },
+            ..Default::default()
+        };
+        let agg = query.agg.to_core();
+        let result =
+            run_abae_with_ci(&scores, &oracle, &config, agg, rng).map_err(QueryError::Config)?;
+        let estimate = scale_percentage(query.agg, result.estimate);
+        Ok(QueryResult {
+            estimate,
+            ci: result.ci,
+            oracle_calls: result.oracle_calls,
+            groups: None,
+        })
+    }
+
+    fn execute_groupby<R: Rng + ?Sized>(
+        &self,
+        query: &Query,
+        table: &abae_data::Table,
+        columns: &[usize],
+        rng: &mut R,
+    ) -> Result<QueryResult, QueryError> {
+        let group_key = table.group_key().ok_or_else(|| {
+            QueryError::Unsupported(format!("table `{}` has no group key", query.table))
+        })?;
+        let groups = group_key.names.clone();
+        if columns.len() != groups.len() {
+            return Err(QueryError::Unsupported(format!(
+                "group-by query names {} predicates but table `{}` has {} groups",
+                columns.len(),
+                query.table,
+                groups.len()
+            )));
+        }
+        // Per-group proxies in group order: the atom resolved for position
+        // g must be the per-group predicate of group g.
+        let proxies: Vec<&[f64]> = columns
+            .iter()
+            .map(|&c| table.predicates()[c].proxy.as_slice())
+            .collect();
+        let oracle = SingleGroupOracle::new(table)
+            .expect("group key presence checked above");
+        let cfg = GroupByConfig {
+            strata: self.strata,
+            budget: query.oracle_limit,
+            stage1_fraction: self.stage1_fraction,
+            ..Default::default()
+        };
+        let estimates =
+            groupby_single_oracle(&proxies, &oracle, &cfg, rng).map_err(QueryError::GroupBy)?;
+        let rows: Vec<GroupRow> = estimates
+            .iter()
+            .map(|e| GroupRow {
+                name: groups[e.group as usize].clone(),
+                estimate: scale_percentage(query.agg, e.estimate),
+            })
+            .collect();
+        let mean =
+            rows.iter().map(|r| r.estimate).sum::<f64>() / rows.len().max(1) as f64;
+        Ok(QueryResult {
+            estimate: mean,
+            ci: None,
+            oracle_calls: oracle.calls(),
+            groups: Some(rows),
+        })
+    }
+}
+
+/// `PERCENTAGE` is executed as `AVG`; when the statistic is a 0/1
+/// indicator the result is scaled to percent. Statistics already scaled to
+/// 0/100 (as the celeba emulator stores them) pass through unchanged, so
+/// the scaling applies only to sub-unit averages.
+fn scale_percentage(agg: AggFunc, estimate: f64) -> f64 {
+    if agg == AggFunc::Percentage && estimate <= 1.0 {
+        estimate * 100.0
+    } else {
+        estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abae_data::Table;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spam_table(n: usize) -> Table {
+        let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+        let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.8 } else { 0.2 }).collect();
+        let values: Vec<f64> = (0..n).map(|i| (i % 9) as f64).collect();
+        Table::builder("emails", values)
+            .predicate("is_spam", labels, proxy)
+            .build()
+            .unwrap()
+    }
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register_table(spam_table(20_000));
+        cat
+    }
+
+    #[test]
+    fn executes_single_predicate_avg() {
+        let cat = catalog();
+        let table = cat.table("emails").unwrap();
+        let exact = table.exact_avg("is_spam").unwrap();
+        let exec = Executor { bootstrap_trials: 200, ..Executor::new(&cat) };
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = exec
+            .execute(
+                "SELECT AVG(nb_links) FROM emails WHERE is_spam \
+                 ORACLE LIMIT 3000 WITH PROBABILITY 0.95",
+                &mut rng,
+            )
+            .unwrap();
+        assert!((r.estimate - exact).abs() < 0.3, "{} vs {exact}", r.estimate);
+        let ci = r.ci.unwrap();
+        assert!((ci.confidence - 0.95).abs() < 1e-9);
+        assert!(ci.lo <= r.estimate && r.estimate <= ci.hi);
+        assert!(r.oracle_calls <= 3000);
+    }
+
+    #[test]
+    fn executes_count_query() {
+        let cat = catalog();
+        let exec = Executor { bootstrap_trials: 100, ..Executor::new(&cat) };
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = exec
+            .execute("SELECT COUNT(*) FROM emails WHERE is_spam ORACLE LIMIT 4000", &mut rng)
+            .unwrap();
+        assert!((r.estimate - 5000.0).abs() < 400.0, "{}", r.estimate);
+    }
+
+    #[test]
+    fn binds_atoms_through_the_catalog() {
+        let mut cat = catalog();
+        cat.bind_predicate("emails", "sentiment=spamish", "is_spam");
+        let exec = Executor { bootstrap_trials: 50, ..Executor::new(&cat) };
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = exec
+            .execute(
+                "SELECT AVG(x) FROM emails WHERE sentiment(text) = 'spamish' ORACLE LIMIT 1000",
+                &mut rng,
+            )
+            .unwrap();
+        assert!(r.estimate > 0.0);
+    }
+
+    #[test]
+    fn error_paths_are_reported() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(matches!(
+            exec.execute("SELECT AVG(x) FROM nowhere WHERE p ORACLE LIMIT 10", &mut rng),
+            Err(QueryError::UnknownTable(t)) if t == "nowhere"
+        ));
+        assert!(matches!(
+            exec.execute("SELECT AVG(x) FROM emails WHERE mystery ORACLE LIMIT 10", &mut rng),
+            Err(QueryError::UnresolvedPredicate { atom, .. }) if atom == "mystery"
+        ));
+        assert!(matches!(
+            exec.execute("SELECT oops", &mut rng),
+            Err(QueryError::Parse(_))
+        ));
+        // Group-by on a table without a group key.
+        assert!(matches!(
+            exec.execute(
+                "SELECT AVG(x) FROM emails WHERE is_spam GROUP BY kind ORACLE LIMIT 100",
+                &mut rng
+            ),
+            Err(QueryError::Unsupported(_))
+        ));
+    }
+
+    fn grouped_table(n: usize) -> Table {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut key = Vec::with_capacity(n);
+        let mut labels: Vec<Vec<bool>> = vec![Vec::new(); 2];
+        let mut proxies: Vec<Vec<f64>> = vec![Vec::new(); 2];
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            let g = if u < 0.1 {
+                Some(0u16)
+            } else if u < 0.3 {
+                Some(1)
+            } else {
+                None
+            };
+            key.push(g);
+            for j in 0..2 {
+                let member = g == Some(j as u16);
+                labels[j].push(member);
+                proxies[j].push(if member { 0.8 } else { 0.2 });
+            }
+            values.push(match g {
+                Some(0) => 30.0,
+                Some(1) => 60.0,
+                _ => 0.0,
+            });
+        }
+        Table::builder("images", values)
+            .predicate("is_gray", std::mem::take(&mut labels[0]), std::mem::take(&mut proxies[0]))
+            .predicate("is_blond", std::mem::take(&mut labels[1]), std::mem::take(&mut proxies[1]))
+            .group_key(vec!["gray".into(), "blond".into()], key)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn executes_group_by_query() {
+        let mut cat = Catalog::new();
+        cat.register_table(grouped_table(20_000));
+        cat.bind_predicate("images", "hair=gray", "is_gray");
+        cat.bind_predicate("images", "hair=blond", "is_blond");
+        let exec = Executor::new(&cat);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = exec
+            .execute(
+                "SELECT AVG(smile), hair FROM images \
+                 WHERE hair(img) = 'gray' OR hair(img) = 'blond' \
+                 GROUP BY hair(img) ORACLE LIMIT 3000",
+                &mut rng,
+            )
+            .unwrap();
+        let rows = r.groups.unwrap();
+        assert_eq!(rows.len(), 2);
+        let gray = rows.iter().find(|g| g.name == "gray").unwrap();
+        let blond = rows.iter().find(|g| g.name == "blond").unwrap();
+        assert!((gray.estimate - 30.0).abs() < 3.0, "gray {}", gray.estimate);
+        assert!((blond.estimate - 60.0).abs() < 3.0, "blond {}", blond.estimate);
+        assert!(r.oracle_calls <= 3000);
+    }
+
+    #[test]
+    fn percentage_scales_unit_indicators() {
+        // Statistic in {0, 1}: PERCENTAGE should report percent.
+        let n = 10_000;
+        let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.9 } else { 0.1 }).collect();
+        let values: Vec<f64> = (0..n).map(|i| f64::from(i % 3 == 0)).collect();
+        let t = Table::builder("faces", values).predicate("p", labels, proxy).build().unwrap();
+        let mut cat = Catalog::new();
+        cat.register_table(t);
+        let exec = Executor { bootstrap_trials: 50, ..Executor::new(&cat) };
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = exec
+            .execute("SELECT PERCENTAGE(is_smiling(img)) FROM faces WHERE p ORACLE LIMIT 2000", &mut rng)
+            .unwrap();
+        assert!(r.estimate > 20.0 && r.estimate < 50.0, "{}", r.estimate);
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+    use abae_data::Table;
+
+    #[test]
+    fn explain_describes_plan_without_oracle_calls() {
+        let labels = vec![true, false, true, false];
+        let proxy = vec![0.9, 0.1, 0.8, 0.2];
+        let t = Table::builder("emails", vec![1.0, 2.0, 3.0, 4.0])
+            .predicate("is_spam", labels, proxy)
+            .build()
+            .unwrap();
+        let mut cat = Catalog::new();
+        cat.register_table(t);
+        let exec = Executor::new(&cat);
+        let plan = exec
+            .explain("SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT 1000")
+            .unwrap();
+        assert!(plan.contains("two-stage"), "{plan}");
+        assert!(plan.contains("is_spam"), "{plan}");
+        assert!(plan.contains("1000"), "{plan}");
+        assert!(plan.contains("stage 1"), "{plan}");
+    }
+
+    #[test]
+    fn explain_reports_multipred_and_errors() {
+        let t = Table::builder("t", vec![1.0])
+            .predicate("a", vec![true], vec![0.5])
+            .predicate("b", vec![false], vec![0.5])
+            .build()
+            .unwrap();
+        let mut cat = Catalog::new();
+        cat.register_table(t);
+        let exec = Executor::new(&cat);
+        let plan = exec.explain("SELECT AVG(x) FROM t WHERE a AND b ORACLE LIMIT 10").unwrap();
+        assert!(plan.contains("MultiPred"), "{plan}");
+        assert!(exec.explain("SELECT AVG(x) FROM nope WHERE a ORACLE LIMIT 10").is_err());
+        assert!(exec.explain("SELECT AVG(x) FROM t WHERE zzz ORACLE LIMIT 10").is_err());
+    }
+}

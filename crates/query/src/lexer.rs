@@ -1,0 +1,312 @@
+//! Hand-written lexer for the ABae SQL dialect.
+
+/// A lexical token with its source position (byte offset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input (for error messages).
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Numeric literal (integers may use `_` or `,` separators: `10,000`).
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the input.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                // A comma may be a numeric separator (`10,000`) when the
+                // previous token is a number and a digit follows. We treat
+                // it as a separator only in that case.
+                if let (Some(Token { kind: TokenKind::Number(_), .. }), Some(next)) =
+                    (tokens.last(), bytes.get(i + 1))
+                {
+                    if next.is_ascii_digit() {
+                        // Merge: re-lex the digits and fold into the number.
+                        let start = i + 1;
+                        let mut j = start;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                        let group: &str = &input[start..j];
+                        if group.len() == 3 {
+                            if let Some(Token { kind: TokenKind::Number(n), .. }) =
+                                tokens.last_mut()
+                            {
+                                *n = *n * 1000.0 + group.parse::<f64>().unwrap();
+                                i = j;
+                                continue;
+                            }
+                        }
+                        tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                        i += 1;
+                        continue;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Neq, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, message: "expected `!=`".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token { kind: TokenKind::Neq, offset: i });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError { offset: i, message: "unterminated string".into() });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(input[start..j].trim().to_string()),
+                    offset: i,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_digit() || b == '_' {
+                        j += 1;
+                    } else if b == '.' && !seen_dot {
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = input[start..j].chars().filter(|&ch| ch != '_').collect();
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("bad number `{text}`"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(value), offset: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    // Hyphens are identifier characters (dataset names like
+                    // `night-street`); the dialect has no minus operator.
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '.' || b == '-' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_full_query() {
+        let toks = kinds(
+            "SELECT AVG(views) FROM news WHERE contains_candidate(frame, 'Biden') \
+             ORACLE LIMIT 10,000 USING proxy WITH PROBABILITY 0.95",
+        );
+        assert!(toks.contains(&TokenKind::Ident("SELECT".into())));
+        assert!(toks.contains(&TokenKind::Str("Biden".into())));
+        assert!(toks.contains(&TokenKind::Number(10_000.0)));
+        assert!(toks.contains(&TokenKind::Number(0.95)));
+    }
+
+    #[test]
+    fn numeric_separators() {
+        assert_eq!(kinds("10,000"), vec![TokenKind::Number(10_000.0)]);
+        assert_eq!(kinds("1_000_000"), vec![TokenKind::Number(1_000_000.0)]);
+        // A comma followed by a non-3-digit group is a real comma.
+        assert_eq!(
+            kinds("10,25"),
+            vec![TokenKind::Number(10.0), TokenKind::Comma, TokenKind::Number(25.0)]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a >= 1 b <= 2 c <> 3 d != 4 e < 5 f > 6 g = 7"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ge,
+                TokenKind::Number(1.0),
+                TokenKind::Ident("b".into()),
+                TokenKind::Le,
+                TokenKind::Number(2.0),
+                TokenKind::Ident("c".into()),
+                TokenKind::Neq,
+                TokenKind::Number(3.0),
+                TokenKind::Ident("d".into()),
+                TokenKind::Neq,
+                TokenKind::Number(4.0),
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Number(5.0),
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Number(6.0),
+                TokenKind::Ident("g".into()),
+                TokenKind::Eq,
+                TokenKind::Number(7.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_preserve_interior_and_trim_padding() {
+        // The paper's examples write 'Biden ' with trailing space.
+        assert_eq!(kinds("'Biden '"), vec![TokenKind::Str("Biden".into())]);
+        assert_eq!(kinds("'strongly positive'"), vec![TokenKind::Str("strongly positive".into())]);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("SELECT @").unwrap_err();
+        assert_eq!(err.offset, 7);
+        let err = tokenize("'unterminated").unwrap_err();
+        assert_eq!(err.offset, 0);
+        let err = tokenize("a ! b").unwrap_err();
+        assert!(err.message.contains("!="));
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(kinds("video.frame"), vec![TokenKind::Ident("video.frame".into())]);
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        assert_eq!(kinds("night-street"), vec![TokenKind::Ident("night-street".into())]);
+    }
+}

@@ -1,0 +1,35 @@
+//! SQL-dialect frontend for ABae (paper Figure 1).
+//!
+//! ```sql
+//! SELECT {AVG | SUM | COUNT | PERCENTAGE} ({field | EXPR(field) | *})
+//! FROM table_name WHERE filter_predicate
+//! [GROUP BY key]
+//! ORACLE LIMIT o USING proxy
+//! WITH PROBABILITY p
+//! ```
+//!
+//! The `WHERE` clause is a boolean expression (`NOT` / `AND` / `OR`,
+//! parentheses) over *expensive predicate atoms* such as
+//! `contains_candidate(frame, 'Biden')` or `hair_color(img) = 'blonde'`.
+//! Atoms are resolved against a [`catalog::Catalog`]: first by exact
+//! predicate-column name, then through explicit bindings registered by the
+//! application (e.g. binding the atom `hair_color=blonde` to the table's
+//! `blonde_hair` column).
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`ast::Query`] → [`exec::Executor`],
+//! which routes to `abae-core` (single predicate, multi-predicate, or
+//! group-by) and returns estimates with bootstrap CIs.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod catalog;
+pub mod display;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggFunc, BoolExpr, Query};
+pub use catalog::Catalog;
+pub use exec::{Executor, QueryError, QueryResult};
+pub use parser::parse_query;

@@ -1,0 +1,556 @@
+//! Recursive-descent parser for the ABae SQL dialect (Figure 1).
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query    := SELECT agg '(' agg_expr ')' FROM ident
+//!             WHERE or_expr
+//!             [GROUP BY ident_expr]
+//!             ORACLE LIMIT number [USING ident]
+//!             [WITH PROBABILITY number] [';']
+//! agg      := AVG | SUM | COUNT | PERCENTAGE
+//! or_expr  := and_expr (OR and_expr)*
+//! and_expr := not_expr (AND not_expr)*
+//! not_expr := NOT not_expr | '(' or_expr ')' | atom
+//! atom     := ident ['(' args ')'] [cmp literal]
+//! ```
+
+use crate::ast::{AggFunc, BoolExpr, PredAtom, Query};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token or end of input.
+    Unexpected {
+        /// What the parser needed.
+        expected: String,
+        /// What it found (`<eof>` at end of input).
+        found: String,
+        /// Byte offset.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { expected, found, offset } => {
+                write!(f, "parse error at byte {offset}: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(usize::MAX)
+    }
+
+    fn found(&self) -> String {
+        match self.peek() {
+            Some(k) => format!("{k:?}"),
+            None => "<eof>".to_string(),
+        }
+    }
+
+    fn error(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            expected: expected.to_string(),
+            found: self.found(),
+            offset: self.offset(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    /// Consumes an identifier matching `kw` case-insensitively.
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error(&format!("keyword {kw}"))),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case(kw))
+            && self.bump().is_some()
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error(what)),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Number(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => Err(self.error(what)),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn agg_func(&mut self) -> Result<AggFunc, ParseError> {
+        let name = self.ident("aggregate function (AVG | SUM | COUNT | PERCENTAGE)")?;
+        match name.to_ascii_uppercase().as_str() {
+            "AVG" => Ok(AggFunc::Avg),
+            "SUM" => Ok(AggFunc::Sum),
+            "COUNT" => Ok(AggFunc::Count),
+            "PERCENTAGE" => Ok(AggFunc::Percentage),
+            other => Err(ParseError::Unexpected {
+                expected: "AVG | SUM | COUNT | PERCENTAGE".to_string(),
+                found: other.to_string(),
+                offset: self.offset(),
+            }),
+        }
+    }
+
+    /// Parses the aggregated expression inside `AGG( ... )` as raw text
+    /// (identifier, nested call, or `*`).
+    fn agg_expr(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Star) => {
+                self.pos += 1;
+                Ok("*".to_string())
+            }
+            Some(TokenKind::Ident(_)) => {
+                let name = self.ident("expression")?;
+                if self.peek() == Some(&TokenKind::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.ident("argument")?);
+                            if self.peek() == Some(&TokenKind::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    Ok(format!("{name}({})", args.join(", ")))
+                } else {
+                    Ok(name)
+                }
+            }
+            _ => Err(self.error("aggregated expression")),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.try_keyword("OR") {
+            let right = self.and_expr()?;
+            left = BoolExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.try_keyword("AND") {
+            let right = self.not_expr()?;
+            left = BoolExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        if self.try_keyword("NOT") {
+            return Ok(BoolExpr::Not(Box::new(self.not_expr()?)));
+        }
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.pos += 1;
+            let inner = self.or_expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(inner);
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<BoolExpr, ParseError> {
+        let name = self.ident("predicate")?;
+        let mut args = Vec::new();
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.pos += 1;
+            if self.peek() != Some(&TokenKind::RParen) {
+                loop {
+                    match self.peek() {
+                        Some(TokenKind::Ident(s)) => {
+                            args.push(s.clone());
+                            self.pos += 1;
+                        }
+                        Some(TokenKind::Str(s)) => {
+                            args.push(s.clone());
+                            self.pos += 1;
+                        }
+                        Some(TokenKind::Number(n)) => {
+                            args.push(format!("{n}"));
+                            self.pos += 1;
+                        }
+                        _ => return Err(self.error("argument")),
+                    }
+                    if self.peek() == Some(&TokenKind::Comma) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+        }
+        // Optional comparison to a literal.
+        let comparison = match self.peek() {
+            Some(TokenKind::Eq) => {
+                self.pos += 1;
+                Some(format!("={}", self.literal()?))
+            }
+            Some(TokenKind::Neq) => {
+                self.pos += 1;
+                Some(format!("!={}", self.literal()?))
+            }
+            Some(TokenKind::Gt) => {
+                self.pos += 1;
+                Some(format!(">{}", self.literal()?))
+            }
+            Some(TokenKind::Ge) => {
+                self.pos += 1;
+                Some(format!(">={}", self.literal()?))
+            }
+            Some(TokenKind::Lt) => {
+                self.pos += 1;
+                Some(format!("<{}", self.literal()?))
+            }
+            Some(TokenKind::Le) => {
+                self.pos += 1;
+                Some(format!("<={}", self.literal()?))
+            }
+            _ => None,
+        };
+        Ok(BoolExpr::Atom(PredAtom { name, args, comparison }))
+    }
+
+    fn literal(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(TokenKind::Number(n)) => {
+                let n = *n;
+                self.pos += 1;
+                // Render integers without the trailing `.0`.
+                if n.fract() == 0.0 {
+                    Ok(format!("{}", n as i64))
+                } else {
+                    Ok(format!("{n}"))
+                }
+            }
+            Some(TokenKind::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error("literal")),
+        }
+    }
+
+    /// Parses a group-by key: identifier with optional call arguments,
+    /// returned as the bare name (e.g. `HAIR_COLOR(image)` → `HAIR_COLOR`).
+    fn group_key(&mut self) -> Result<String, ParseError> {
+        let name = self.ident("group-by key")?;
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.pos += 1;
+            while self.peek() != Some(&TokenKind::RParen) {
+                if self.bump().is_none() {
+                    return Err(self.error("`)`"));
+                }
+            }
+            self.pos += 1;
+        }
+        Ok(name)
+    }
+}
+
+/// Parses one ABae query.
+///
+/// ```
+/// use abae_query::parse_query;
+///
+/// let q = parse_query(
+///     "SELECT AVG(views) FROM news WHERE contains_candidate(frame, 'Biden') \
+///      ORACLE LIMIT 10,000 USING proxy WITH PROBABILITY 0.95",
+/// ).unwrap();
+/// assert_eq!(q.table, "news");
+/// assert_eq!(q.oracle_limit, 10_000);
+/// assert_eq!(q.predicate.atom_keys(), vec!["contains_candidate".to_string()]);
+/// ```
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+
+    p.keyword("SELECT")?;
+    let agg = p.agg_func()?;
+    p.expect(&TokenKind::LParen, "`(`")?;
+    let agg_expr = p.agg_expr()?;
+    p.expect(&TokenKind::RParen, "`)`")?;
+
+    // Optional `, key` projection for group-by queries (as in the paper's
+    // `SELECT COUNT(frame), person FROM ...`).
+    let mut projected_key: Option<String> = None;
+    if p.peek() == Some(&TokenKind::Comma) {
+        p.pos += 1;
+        projected_key = Some(p.ident("projected key")?);
+    }
+
+    p.keyword("FROM")?;
+    let table = p.ident("table name")?;
+    p.keyword("WHERE")?;
+    let predicate = p.or_expr()?;
+
+    let mut group_by = None;
+    if p.try_keyword("GROUP") {
+        p.keyword("BY")?;
+        group_by = Some(p.group_key()?);
+    } else if projected_key.is_some() {
+        return Err(p.error("GROUP BY (query projects a key)"));
+    }
+
+    p.keyword("ORACLE")?;
+    p.keyword("LIMIT")?;
+    let limit = p.number("oracle limit")?;
+
+    let mut proxy = None;
+    if p.try_keyword("USING") {
+        proxy = Some(p.ident("proxy name")?);
+        // Allow a call form `proxy(frame)`.
+        if p.peek() == Some(&TokenKind::LParen) {
+            p.pos += 1;
+            while p.peek() != Some(&TokenKind::RParen) {
+                if p.bump().is_none() {
+                    return Err(p.error("`)`"));
+                }
+            }
+            p.pos += 1;
+        }
+    }
+
+    let mut probability = 0.95;
+    if p.try_keyword("WITH") {
+        p.keyword("PROBABILITY")?;
+        probability = p.number("probability")?;
+    }
+
+    let _ = p.peek() == Some(&TokenKind::Semicolon) && p.bump().is_some();
+    if p.peek().is_some() {
+        return Err(p.error("end of query"));
+    }
+
+    Ok(Query {
+        agg,
+        agg_expr,
+        table,
+        predicate,
+        group_by,
+        oracle_limit: limit.max(0.0) as usize,
+        proxy,
+        probability,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BoolExpr;
+
+    #[test]
+    fn parses_the_tv_news_example() {
+        let q = parse_query(
+            "SELECT AVG(views) FROM news \
+             WHERE contains_candidate(frame, 'Biden') \
+             ORACLE LIMIT 10,000 USING proxy(frame) \
+             WITH PROBABILITY 0.95",
+        )
+        .unwrap();
+        assert_eq!(q.agg, AggFunc::Avg);
+        assert_eq!(q.agg_expr, "views");
+        assert_eq!(q.table, "news");
+        assert_eq!(q.oracle_limit, 10_000);
+        assert_eq!(q.proxy.as_deref(), Some("proxy"));
+        assert_eq!(q.probability, 0.95);
+        match &q.predicate {
+            BoolExpr::Atom(a) => {
+                assert_eq!(a.name, "contains_candidate");
+                assert_eq!(a.args, vec!["frame".to_string(), "Biden".to_string()]);
+                assert_eq!(a.key(), "contains_candidate");
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_traffic_example_with_conjunction_and_comparison() {
+        let q = parse_query(
+            "SELECT AVG(count_cars(frame)) FROM video \
+             WHERE count_cars(frame) > 0 AND red_light(frame) \
+             ORACLE LIMIT 1,000 USING proxy(frame) \
+             WITH PROBABILITY 0.95",
+        )
+        .unwrap();
+        assert_eq!(q.agg_expr, "count_cars(frame)");
+        match &q.predicate {
+            BoolExpr::And(l, r) => {
+                match l.as_ref() {
+                    BoolExpr::Atom(a) => assert_eq!(a.key(), "count_cars>0"),
+                    other => panic!("{other:?}"),
+                }
+                match r.as_ref() {
+                    BoolExpr::Atom(a) => assert_eq!(a.key(), "red_light"),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_by_with_projection_and_in_style_or() {
+        let q = parse_query(
+            "SELECT PERCENTAGE(is_smiling(image)) FROM images \
+             WHERE HAIR_COLOR(image) = 'gray' OR HAIR_COLOR(image) = 'blond' \
+             GROUP BY HAIR_COLOR(image) \
+             ORACLE LIMIT 2000 WITH PROBABILITY 0.95",
+        )
+        .unwrap();
+        assert_eq!(q.agg, AggFunc::Percentage);
+        assert_eq!(q.group_by.as_deref(), Some("HAIR_COLOR"));
+        assert_eq!(
+            q.predicate.atom_keys(),
+            vec!["HAIR_COLOR=gray".to_string(), "HAIR_COLOR=blond".to_string()]
+        );
+    }
+
+    #[test]
+    fn defaults_probability_when_omitted() {
+        let q = parse_query(
+            "SELECT COUNT(*) FROM emails WHERE is_spam ORACLE LIMIT 500",
+        )
+        .unwrap();
+        assert_eq!(q.probability, 0.95);
+        assert_eq!(q.agg_expr, "*");
+        assert!(q.proxy.is_none());
+    }
+
+    #[test]
+    fn parses_not_and_parentheses_with_precedence() {
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE NOT a AND (b OR c) ORACLE LIMIT 100",
+        )
+        .unwrap();
+        // NOT binds tighter than AND; parens force the OR.
+        match &q.predicate {
+            BoolExpr::And(l, r) => {
+                assert!(matches!(l.as_ref(), BoolExpr::Not(_)));
+                assert!(matches!(r.as_ref(), BoolExpr::Or(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries_with_positions() {
+        assert!(parse_query("SELECT MAX(x) FROM t WHERE p ORACLE LIMIT 10").is_err());
+        assert!(parse_query("SELECT AVG(x) FROM t ORACLE LIMIT 10").is_err()); // no WHERE
+        assert!(parse_query("SELECT AVG(x) FROM t WHERE p").is_err()); // no ORACLE LIMIT
+        assert!(parse_query("SELECT AVG(x), k FROM t WHERE p ORACLE LIMIT 5").is_err()); // projection without GROUP BY
+        let err = parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10 trailing garbage")
+            .unwrap_err();
+        assert!(matches!(err, ParseError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn semicolon_is_accepted() {
+        assert!(parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10;").is_ok());
+    }
+}
+
+#[cfg(test)]
+mod robustness {
+    use super::parse_query;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser must never panic — arbitrary input yields Ok or Err.
+        #[test]
+        fn parser_never_panics_on_arbitrary_input(input in "\\PC*") {
+            let _ = parse_query(&input);
+        }
+
+        /// Near-miss inputs built from dialect fragments also must not
+        /// panic (these reach deeper parser states than random bytes).
+        #[test]
+        fn parser_never_panics_on_fragment_soup(
+            parts in proptest::collection::vec(
+                prop_oneof![
+                    Just("SELECT"), Just("AVG"), Just("("), Just(")"),
+                    Just("FROM"), Just("WHERE"), Just("AND"), Just("OR"),
+                    Just("NOT"), Just("GROUP"), Just("BY"), Just("ORACLE"),
+                    Just("LIMIT"), Just("USING"), Just("WITH"),
+                    Just("PROBABILITY"), Just("x"), Just("1"), Just("0.5"),
+                    Just("'s'"), Just(","), Just("="), Just(">"),
+                ],
+                0..25,
+            ),
+        ) {
+            let input = parts.join(" ");
+            let _ = parse_query(&input);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Sample-budget arithmetic.
+//!
+//! ABae splits its oracle budget `N` into a pilot stage (`N1` per stratum)
+//! and an allocation stage (`N2` split across strata proportionally to the
+//! estimated optimal allocation `T̂_k`). The paper floors the fractional
+//! allocation (`⌊N2·T̂_k⌋`, §4.4.2 "Fractional allocations") and shows the
+//! rate is unaffected; we additionally provide largest-remainder rounding,
+//! which spends the leftover draws, as an ablation
+//! (`abae-bench --bin ablation_rounding`).
+
+/// How the Stage-1/Stage-2 budget is divided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSplit {
+    /// Pilot draws per stratum (`N1` in the paper).
+    pub n1_per_stratum: usize,
+    /// Total Stage-2 draws (`N2`).
+    pub n2_total: usize,
+}
+
+/// Splits a total oracle budget `n` between stages for `k` strata with
+/// Stage-1 fraction `c` (the paper's `C`, recommended 0.3–0.5).
+///
+/// `N1 = ⌊c·n/k⌋` per stratum; everything not spent in Stage 1 goes to
+/// Stage 2 (`N2 = n − k·N1`). Degenerate inputs (zero strata or zero
+/// budget) yield a zero split.
+pub fn stage_split(n: usize, c: f64, k: usize) -> StageSplit {
+    if k == 0 || n == 0 {
+        return StageSplit { n1_per_stratum: 0, n2_total: 0 };
+    }
+    let c = c.clamp(0.0, 1.0);
+    let n1 = ((c * n as f64) / k as f64).floor() as usize;
+    let n2 = n - (n1 * k).min(n);
+    StageSplit { n1_per_stratum: n1, n2_total: n2 }
+}
+
+/// The paper's allocation rounding: `⌊n·w_k⌋` per stratum, leftovers
+/// discarded. Weights are normalized internally; non-finite or negative
+/// weights are treated as zero. If every weight is zero the allocation is
+/// uniform (`n/k` each), matching ABae's fallback when all
+/// `√p̂_k·σ̂_k = 0`.
+pub fn floor_allocation(weights: &[f64], n: usize) -> Vec<usize> {
+    allocate(weights, n, false)
+}
+
+/// Largest-remainder (Hamilton) rounding: floors first, then hands the
+/// leftover draws to the strata with the largest fractional parts, so the
+/// allocation sums to exactly `n`.
+pub fn largest_remainder_allocation(weights: &[f64], n: usize) -> Vec<usize> {
+    allocate(weights, n, true)
+}
+
+fn allocate(weights: &[f64], n: usize, redistribute: bool) -> Vec<usize> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let clean: Vec<f64> =
+        weights.iter().map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 }).collect();
+    let total: f64 = clean.iter().sum();
+    let shares: Vec<f64> = if total > 0.0 {
+        clean.iter().map(|w| w / total * n as f64).collect()
+    } else {
+        // Uniform fallback.
+        vec![n as f64 / weights.len() as f64; weights.len()]
+    };
+    let mut alloc: Vec<usize> = shares.iter().map(|s| s.floor() as usize).collect();
+    if redistribute {
+        let assigned: usize = alloc.iter().sum();
+        let mut leftover = n.saturating_sub(assigned);
+        if leftover > 0 {
+            let mut order: Vec<usize> = (0..shares.len()).collect();
+            order.sort_by(|&a, &b| {
+                let fa = shares[a] - shares[a].floor();
+                let fb = shares[b] - shares[b].floor();
+                fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            });
+            for &i in order.iter().cycle() {
+                if leftover == 0 {
+                    break;
+                }
+                alloc[i] += 1;
+                leftover -= 1;
+            }
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stage_split_matches_paper_recommendation() {
+        // N = 10_000, C = 0.5, K = 5 → N1 = 1000 per stratum, N2 = 5000.
+        let s = stage_split(10_000, 0.5, 5);
+        assert_eq!(s.n1_per_stratum, 1000);
+        assert_eq!(s.n2_total, 5000);
+    }
+
+    #[test]
+    fn stage_split_degenerate() {
+        assert_eq!(stage_split(0, 0.5, 5), StageSplit { n1_per_stratum: 0, n2_total: 0 });
+        assert_eq!(stage_split(100, 0.5, 0), StageSplit { n1_per_stratum: 0, n2_total: 0 });
+    }
+
+    #[test]
+    fn stage_split_never_overspends() {
+        for n in [1usize, 7, 100, 9999] {
+            for k in [1usize, 3, 5, 10] {
+                for c in [0.0, 0.1, 0.3, 0.5, 0.9, 1.0] {
+                    let s = stage_split(n, c, k);
+                    assert!(s.n1_per_stratum * k + s.n2_total <= n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floor_allocation_floors() {
+        // Weights 1:1:2 with n = 10 → exact shares 2.5, 2.5, 5.
+        let a = floor_allocation(&[1.0, 1.0, 2.0], 10);
+        assert_eq!(a, vec![2, 2, 5]);
+        assert_eq!(a.iter().sum::<usize>(), 9); // one draw discarded
+    }
+
+    #[test]
+    fn largest_remainder_spends_everything() {
+        let a = largest_remainder_allocation(&[1.0, 1.0, 2.0], 10);
+        assert_eq!(a.iter().sum::<usize>(), 10);
+        // The leftover goes to one of the 0.5-fraction strata.
+        assert_eq!(a[2], 5);
+        assert_eq!(a[0] + a[1], 5);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let a = floor_allocation(&[0.0, 0.0, 0.0, 0.0], 8);
+        assert_eq!(a, vec![2, 2, 2, 2]);
+        let a = largest_remainder_allocation(&[0.0, 0.0, 0.0], 8);
+        assert_eq!(a.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn non_finite_and_negative_weights_ignored() {
+        let a = largest_remainder_allocation(&[f64::NAN, -3.0, 1.0], 6);
+        assert_eq!(a, vec![0, 0, 6]);
+    }
+
+    #[test]
+    fn empty_weights_empty_allocation() {
+        assert!(floor_allocation(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn single_stratum_takes_all() {
+        assert_eq!(floor_allocation(&[3.7], 9), vec![9]);
+    }
+
+    proptest! {
+        #[test]
+        fn floor_never_exceeds_budget(
+            weights in proptest::collection::vec(0.0f64..100.0, 1..20),
+            n in 0usize..10_000,
+        ) {
+            let a = floor_allocation(&weights, n);
+            prop_assert!(a.iter().sum::<usize>() <= n);
+        }
+
+        #[test]
+        fn largest_remainder_sums_exactly(
+            weights in proptest::collection::vec(0.0f64..100.0, 1..20),
+            n in 0usize..10_000,
+        ) {
+            let a = largest_remainder_allocation(&weights, n);
+            prop_assert_eq!(a.iter().sum::<usize>(), n);
+        }
+
+        #[test]
+        fn allocation_is_monotone_in_weight(
+            base in proptest::collection::vec(0.1f64..10.0, 2..10),
+            n in 100usize..5000,
+        ) {
+            // Doubling one stratum's weight must not decrease its allocation.
+            let a = floor_allocation(&base, n);
+            let mut boosted = base.clone();
+            boosted[0] *= 2.0;
+            let b = floor_allocation(&boosted, n);
+            prop_assert!(b[0] >= a[0]);
+        }
+    }
+}

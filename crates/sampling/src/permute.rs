@@ -1,0 +1,78 @@
+//! Fisher–Yates shuffles.
+//!
+//! Used by the dataset emulators to break any correlation between record id
+//! and latent difficulty, and by the WOR samplers for order exchangeability.
+
+use rand::Rng;
+
+/// Shuffles a slice in place with the Fisher–Yates algorithm.
+pub fn shuffle<T, R: Rng + ?Sized>(data: &mut [T], rng: &mut R) {
+    for i in (1..data.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        data.swap(i, j);
+    }
+}
+
+/// Returns a uniformly random permutation of `0..n`.
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    shuffle(&mut perm, rng);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut data: Vec<u32> = (0..100).collect();
+        let mut r = StdRng::seed_from_u64(1);
+        shuffle(&mut data, &mut r);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn permutation_is_bijection() {
+        let mut r = StdRng::seed_from_u64(2);
+        let p = random_permutation(50, &mut r);
+        let mut seen = [false; 50];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_and_singleton_are_fine() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut empty: Vec<u8> = vec![];
+        shuffle(&mut empty, &mut r);
+        let mut one = vec![42];
+        shuffle(&mut one, &mut r);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn positions_are_uniform() {
+        // Element 0 should land in each slot with equal probability.
+        let n = 10;
+        let trials = 50_000;
+        let mut counts = vec![0u32; n];
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..trials {
+            let p = random_permutation(n, &mut r);
+            let pos = p.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() / expect < 0.06);
+        }
+    }
+}

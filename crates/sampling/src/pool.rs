@@ -1,0 +1,204 @@
+//! Incremental without-replacement draws from an index range.
+//!
+//! ABae samples a stratum twice: `N1` pilot draws in Stage 1, then
+//! `⌊N2·T̂_k⌋` additional draws in Stage 2 that must not repeat Stage 1's
+//! records (Algorithm 1 line 16: `R(2)_k ← R(1)_k + SampleFn(...)`). An
+//! [`IndexPool`] keeps a permutation buffer over `0..n` with a drawn prefix;
+//! each `draw` extends the prefix with a continued partial Fisher–Yates
+//! shuffle, so draws across calls are jointly a uniform without-replacement
+//! sample.
+
+use rand::Rng;
+
+/// A pool of indices `0..n` supporting repeated without-replacement draws.
+#[derive(Debug, Clone)]
+pub struct IndexPool {
+    /// Permutation buffer; `indices[..drawn]` have been handed out.
+    indices: Vec<usize>,
+    drawn: usize,
+}
+
+impl IndexPool {
+    /// Creates a pool over `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self { indices: (0..n).collect(), drawn: 0 }
+    }
+
+    /// Total pool size `n`.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the pool is empty (`n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of indices drawn so far.
+    pub fn drawn(&self) -> usize {
+        self.drawn
+    }
+
+    /// Number of indices still available.
+    pub fn remaining(&self) -> usize {
+        self.indices.len() - self.drawn
+    }
+
+    /// Draws up to `k` indices uniformly without replacement from the
+    /// remaining pool, returning the drawn slice. Fewer than `k` are
+    /// returned when the pool runs dry (matching the paper's behaviour when
+    /// a stratum is exhausted).
+    pub fn draw<R: Rng + ?Sized>(&mut self, k: usize, rng: &mut R) -> &[usize] {
+        let take = k.min(self.remaining());
+        let start = self.drawn;
+        for i in 0..take {
+            let pos = self.drawn + i;
+            let j = rng.gen_range(pos..self.indices.len());
+            self.indices.swap(pos, j);
+        }
+        self.drawn += take;
+        &self.indices[start..self.drawn]
+    }
+
+    /// All indices drawn so far, in draw order.
+    pub fn drawn_indices(&self) -> &[usize] {
+        &self.indices[..self.drawn]
+    }
+
+    /// Resets the pool so every index is available again (draw order is not
+    /// restored to identity; the next draws remain uniform).
+    pub fn reset(&mut self) {
+        self.drawn = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn draws_are_distinct_across_stages() {
+        let mut pool = IndexPool::new(100);
+        let mut r = rng(1);
+        let stage1: Vec<usize> = pool.draw(30, &mut r).to_vec();
+        let stage2: Vec<usize> = pool.draw(50, &mut r).to_vec();
+        let all: HashSet<usize> = stage1.iter().chain(stage2.iter()).copied().collect();
+        assert_eq!(all.len(), 80, "duplicate draw across stages");
+        assert_eq!(pool.drawn(), 80);
+        assert_eq!(pool.remaining(), 20);
+    }
+
+    #[test]
+    fn over_draw_is_clamped_to_pool_size() {
+        let mut pool = IndexPool::new(10);
+        let mut r = rng(2);
+        let got = pool.draw(25, &mut r).to_vec();
+        assert_eq!(got.len(), 10);
+        let unique: HashSet<usize> = got.iter().copied().collect();
+        assert_eq!(unique.len(), 10);
+        assert!(pool.draw(5, &mut r).is_empty());
+    }
+
+    #[test]
+    fn empty_pool_yields_nothing() {
+        let mut pool = IndexPool::new(0);
+        let mut r = rng(3);
+        assert!(pool.is_empty());
+        assert!(pool.draw(4, &mut r).is_empty());
+    }
+
+    #[test]
+    fn drawn_indices_accumulate_in_order() {
+        let mut pool = IndexPool::new(20);
+        let mut r = rng(4);
+        let a = pool.draw(3, &mut r).to_vec();
+        let b = pool.draw(2, &mut r).to_vec();
+        let all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(pool.drawn_indices(), all.as_slice());
+    }
+
+    #[test]
+    fn reset_makes_everything_available() {
+        let mut pool = IndexPool::new(15);
+        let mut r = rng(5);
+        pool.draw(10, &mut r);
+        pool.reset();
+        assert_eq!(pool.remaining(), 15);
+        let got = pool.draw(15, &mut r).to_vec();
+        let unique: HashSet<usize> = got.iter().copied().collect();
+        assert_eq!(unique.len(), 15);
+    }
+
+    #[test]
+    fn marginal_inclusion_is_uniform() {
+        // Each index should appear in a k-of-n draw with probability k/n.
+        let n = 20;
+        let k = 5;
+        let trials = 40_000;
+        let mut counts = vec![0u32; n];
+        let mut r = rng(6);
+        for _ in 0..trials {
+            let mut pool = IndexPool::new(n);
+            for &i in pool.draw(k, &mut r) {
+                counts[i] += 1;
+            }
+        }
+        let expect = trials as f64 * k as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "index {i} inclusion off by {dev}");
+        }
+    }
+
+    #[test]
+    fn two_stage_draw_is_jointly_uniform() {
+        // Drawing 3 then 2 must give every index the same marginal inclusion
+        // probability as drawing 5 at once.
+        let n = 12;
+        let trials = 60_000;
+        let mut counts = vec![0u32; n];
+        let mut r = rng(7);
+        for _ in 0..trials {
+            let mut pool = IndexPool::new(n);
+            for &i in pool.draw(3, &mut r) {
+                counts[i] += 1;
+            }
+            for &i in pool.draw(2, &mut r) {
+                counts[i] += 1;
+            }
+        }
+        let expect = trials as f64 * 5.0 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "index {i} inclusion off by {dev}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn no_duplicates_for_any_draw_sequence(
+            n in 0usize..200,
+            draws in proptest::collection::vec(0usize..50, 0..8),
+            seed in 0u64..1000,
+        ) {
+            let mut pool = IndexPool::new(n);
+            let mut r = rng(seed);
+            let mut seen = HashSet::new();
+            for k in draws {
+                for &i in pool.draw(k, &mut r) {
+                    prop_assert!(i < n);
+                    prop_assert!(seen.insert(i), "duplicate index {i}");
+                }
+            }
+            prop_assert_eq!(seen.len(), pool.drawn());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Reservoir sampling for streams of unknown length.
+//!
+//! The CSV ingestion path in `abae-data` can down-sample very large inputs
+//! without materializing them; Algorithm R is the simple exact method, and
+//! Algorithm L (Li, 1994) skips ahead geometrically so the expected number
+//! of RNG calls is O(k·(1 + log(n/k))) instead of O(n).
+
+use rand::Rng;
+
+/// Uniformly samples `k` items from an iterator of unknown length
+/// (Algorithm R). Returns fewer than `k` items when the stream is shorter.
+pub fn reservoir_sample<T, I, R>(iter: I, k: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Uniformly samples `k` items with Algorithm L's geometric skipping.
+///
+/// Statistically equivalent to [`reservoir_sample`] but makes far fewer RNG
+/// calls on long streams.
+pub fn reservoir_sample_skip<T, I, R>(iter: I, k: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut it = iter.into_iter();
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for _ in 0..k {
+        match it.next() {
+            Some(item) => reservoir.push(item),
+            None => return reservoir,
+        }
+    }
+    // w tracks the k-th largest of the uniform keys implicitly.
+    let mut w: f64 = ((rng.gen::<f64>().max(f64::MIN_POSITIVE)).ln() / k as f64).exp();
+    loop {
+        let skip =
+            (rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / (1.0 - w).ln()).floor() as usize;
+        match it.nth(skip) {
+            Some(item) => {
+                let slot = rng.gen_range(0..k);
+                reservoir[slot] = item;
+                w *= ((rng.gen::<f64>().max(f64::MIN_POSITIVE)).ln() / k as f64).exp();
+            }
+            None => return reservoir,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_stream_returns_everything() {
+        let mut r = StdRng::seed_from_u64(1);
+        let s = reservoir_sample(0..5, 10, &mut r);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+        let s = reservoir_sample_skip(0..5, 10, &mut r);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_k_is_empty() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(reservoir_sample(0..100, 0, &mut r).is_empty());
+        assert!(reservoir_sample_skip(0..100, 0, &mut r).is_empty());
+    }
+
+    #[test]
+    fn exact_k_items_from_long_stream() {
+        let mut r = StdRng::seed_from_u64(3);
+        let s = reservoir_sample(0..10_000, 32, &mut r);
+        assert_eq!(s.len(), 32);
+        let s = reservoir_sample_skip(0..10_000, 32, &mut r);
+        assert_eq!(s.len(), 32);
+    }
+
+    fn check_uniformity(skip: bool) {
+        let n = 30usize;
+        let k = 6;
+        let trials = 40_000;
+        let mut counts = vec![0u32; n];
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..trials {
+            let s = if skip {
+                reservoir_sample_skip(0..n, k, &mut r)
+            } else {
+                reservoir_sample(0..n, k, &mut r)
+            };
+            for i in s {
+                counts[i] += 1;
+            }
+        }
+        let expect = trials as f64 * k as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.06, "item {i} inclusion deviates by {dev} (skip={skip})");
+        }
+    }
+
+    #[test]
+    fn algorithm_r_is_uniform() {
+        check_uniformity(false);
+    }
+
+    #[test]
+    fn algorithm_l_is_uniform() {
+        check_uniformity(true);
+    }
+}

@@ -1,0 +1,160 @@
+//! Weighted sampling with replacement.
+//!
+//! Importance sampling draws records proportional to a weight (for ABae's
+//! setting: the proxy score, mixed with a uniform floor so no record has
+//! zero probability). [`WeightedSampler`] preprocesses cumulative weights
+//! once and draws in O(log n) by binary search; the draw probabilities are
+//! exposed so estimators can reweight.
+
+use rand::Rng;
+
+/// A sampler over `0..n` with fixed, non-uniform draw probabilities.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    cumulative: Vec<f64>,
+    prob: Vec<f64>,
+}
+
+/// Errors from sampler construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightError {
+    /// No weights supplied.
+    Empty,
+    /// A weight was negative or non-finite.
+    Invalid {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// All weights were zero.
+    ZeroTotal,
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::Empty => write!(f, "no weights supplied"),
+            WeightError::Invalid { index } => {
+                write!(f, "weight at index {index} is negative or non-finite")
+            }
+            WeightError::ZeroTotal => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+impl WeightedSampler {
+    /// Builds the sampler from non-negative weights (not necessarily
+    /// normalized).
+    pub fn new(weights: &[f64]) -> Result<Self, WeightError> {
+        if weights.is_empty() {
+            return Err(WeightError::Empty);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightError::Invalid { index: i });
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(WeightError::ZeroTotal);
+        }
+        let prob = weights.iter().map(|&w| w / total).collect();
+        Ok(Self { cumulative, prob })
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when there are no items (unreachable through `new`).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw probability of item `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.prob[i]
+    }
+
+    /// Draws one index with probability proportional to its weight.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let u = rng.gen::<f64>() * total;
+        // First index whose cumulative weight exceeds u.
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => (i + 1).min(self.prob.len() - 1),
+            Err(i) => i.min(self.prob.len() - 1),
+        }
+    }
+
+    /// Draws `k` indices with replacement.
+    pub fn draw_many<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<usize> {
+        (0..k).map(|_| self.draw(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_weights() {
+        assert!(matches!(WeightedSampler::new(&[]), Err(WeightError::Empty)));
+        assert!(matches!(
+            WeightedSampler::new(&[1.0, -0.5]),
+            Err(WeightError::Invalid { index: 1 })
+        ));
+        assert!(matches!(
+            WeightedSampler::new(&[0.0, f64::NAN]),
+            Err(WeightError::Invalid { index: 1 })
+        ));
+        assert!(matches!(WeightedSampler::new(&[0.0, 0.0]), Err(WeightError::ZeroTotal)));
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let s = WeightedSampler::new(&[1.0, 3.0, 6.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        let n = 200_000;
+        for i in s.draw_many(n, &mut rng) {
+            counts[i] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
+            let want = s.probability(i);
+            assert!((got - want).abs() < 0.01, "item {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_items_are_never_drawn() {
+        let s = WeightedSampler::new(&[0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in s.draw_many(10_000, &mut rng) {
+            assert_eq!(i, 1);
+        }
+        assert_eq!(s.probability(0), 0.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let s = WeightedSampler::new(&[0.2, 0.5, 0.1, 0.7]).unwrap();
+        let total: f64 = (0..s.len()).map(|i| s.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_item_always_drawn() {
+        let s = WeightedSampler::new(&[42.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(s.draw(&mut rng), 0);
+    }
+}

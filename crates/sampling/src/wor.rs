@@ -1,0 +1,173 @@
+//! One-shot uniform sampling without replacement from `0..n`.
+//!
+//! Two strategies, picked by sample fraction:
+//! * **Floyd's algorithm** for sparse draws (`k ≪ n`): O(k) time and memory,
+//!   no O(n) buffer.
+//! * **Partial Fisher–Yates** when the draw is a large fraction of the pool:
+//!   O(n) buffer but no hash-set churn.
+//!
+//! The uniform-sampling baseline in the paper's evaluation draws its entire
+//! budget this way; ABae's per-stratum two-stage draws use
+//! [`crate::pool::IndexPool`] instead.
+
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Fraction of the pool above which we switch from Floyd's algorithm to a
+/// partial Fisher–Yates shuffle.
+const FISHER_YATES_THRESHOLD: f64 = 0.25;
+
+/// Draws `min(k, n)` distinct indices uniformly at random from `0..n`.
+///
+/// The returned order is itself uniformly random (both strategies produce
+/// exchangeable draw orders), so callers may treat prefixes as smaller
+/// uniform samples.
+pub fn sample_without_replacement<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    if (k as f64) < FISHER_YATES_THRESHOLD * n as f64 {
+        floyd_sample(n, k, rng)
+    } else {
+        partial_fisher_yates(n, k, rng)
+    }
+}
+
+/// Floyd's algorithm: O(k) expected time, O(k) memory.
+///
+/// The classic formulation produces a set; to obtain a uniformly random
+/// *order* we do a final Fisher–Yates shuffle of the k-element result.
+fn floyd_sample<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(k * 2);
+    let mut out: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    // Shuffle to make the order exchangeable.
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Partial Fisher–Yates over a materialized `0..n` buffer.
+fn partial_fisher_yates<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let mut buf: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        buf.swap(i, j);
+    }
+    buf.truncate(k);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn draws_are_distinct_and_in_range() {
+        let mut r = rng(1);
+        for &(n, k) in &[(100usize, 5usize), (100, 80), (10, 10), (1, 1)] {
+            let s = sample_without_replacement(n, k, &mut r);
+            assert_eq!(s.len(), k);
+            let set: HashSet<usize> = s.iter().copied().collect();
+            assert_eq!(set.len(), k, "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn oversized_k_is_clamped() {
+        let mut r = rng(2);
+        let s = sample_without_replacement(5, 100, &mut r);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let mut r = rng(3);
+        assert!(sample_without_replacement(0, 10, &mut r).is_empty());
+        assert!(sample_without_replacement(10, 0, &mut r).is_empty());
+    }
+
+    #[test]
+    fn floyd_path_inclusion_is_uniform() {
+        // k/n small → Floyd path.
+        let n = 50;
+        let k = 5;
+        let trials = 50_000;
+        let mut counts = vec![0u32; n];
+        let mut r = rng(4);
+        for _ in 0..trials {
+            for &i in &sample_without_replacement(n, k, &mut r) {
+                counts[i] += 1;
+            }
+        }
+        let expect = trials as f64 * k as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() / expect < 0.06);
+        }
+    }
+
+    #[test]
+    fn fisher_yates_path_inclusion_is_uniform() {
+        // k/n large → Fisher–Yates path.
+        let n = 20;
+        let k = 15;
+        let trials = 30_000;
+        let mut counts = vec![0u32; n];
+        let mut r = rng(5);
+        for _ in 0..trials {
+            for &i in &sample_without_replacement(n, k, &mut r) {
+                counts[i] += 1;
+            }
+        }
+        let expect = trials as f64 * k as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() / expect < 0.03);
+        }
+    }
+
+    #[test]
+    fn first_element_is_uniform_over_pool() {
+        // Order exchangeability: position 0 should be uniform over 0..n on
+        // both code paths.
+        for (n, k, seed) in [(40usize, 4usize, 6u64), (12, 9, 7)] {
+            let trials = 40_000;
+            let mut counts = vec![0u32; n];
+            let mut r = rng(seed);
+            for _ in 0..trials {
+                counts[sample_without_replacement(n, k, &mut r)[0]] += 1;
+            }
+            let expect = trials as f64 / n as f64;
+            for &c in &counts {
+                assert!((c as f64 - expect).abs() / expect < 0.1, "n={n} k={k}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn always_distinct(n in 0usize..300, k in 0usize..300, seed in 0u64..500) {
+            let mut r = rng(seed);
+            let s = sample_without_replacement(n, k, &mut r);
+            prop_assert_eq!(s.len(), k.min(n));
+            let set: HashSet<usize> = s.iter().copied().collect();
+            prop_assert_eq!(set.len(), s.len());
+            prop_assert!(s.iter().all(|&i| i < n));
+        }
+    }
+}

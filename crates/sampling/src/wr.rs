@@ -1,0 +1,74 @@
+//! Uniform sampling with replacement.
+//!
+//! Algorithm 2's bootstrap resamples each stratum's record set with
+//! replacement (`SampleWithReplacement(R(2)_k, |R(2)_k|)`).
+
+use rand::Rng;
+
+/// Draws `k` indices uniformly at random from `0..n`, with replacement.
+///
+/// Returns an empty vector when `n == 0`.
+pub fn sample_with_replacement<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..k).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Draws `k` items from `data` with replacement, cloning each pick.
+pub fn choose_with_replacement<T: Clone, R: Rng + ?Sized>(
+    data: &[T],
+    k: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    (0..k).map(|_| data[rng.gen_range(0..data.len())].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn length_and_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let s = sample_with_replacement(10, 100, &mut r);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn empty_pool_is_empty_sample() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(sample_with_replacement(0, 5, &mut r).is_empty());
+        assert!(choose_with_replacement::<u8, _>(&[], 5, &mut r).is_empty());
+    }
+
+    #[test]
+    fn frequencies_are_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 8;
+        let k = 160_000;
+        let mut counts = vec![0u32; n];
+        for i in sample_with_replacement(n, k, &mut r) {
+            counts[i] += 1;
+        }
+        let expect = k as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() / expect < 0.03);
+        }
+    }
+
+    #[test]
+    fn choose_clones_values() {
+        let mut r = StdRng::seed_from_u64(4);
+        let data = vec!["a", "b", "c"];
+        let picks = choose_with_replacement(&data, 50, &mut r);
+        assert_eq!(picks.len(), 50);
+        assert!(picks.iter().all(|p| data.contains(p)));
+    }
+}

@@ -1,0 +1,220 @@
+//! Nonparametric bootstrap resampling and percentile confidence intervals.
+//!
+//! ABae's Algorithm 2 forms CIs by resampling, within each stratum, the
+//! records drawn across both stages and recomputing the estimate `β` times;
+//! the CI is the empirical `[α/2, 1 − α/2]` percentile interval. This module
+//! provides the generic machinery (index resampling, percentile interval)
+//! that `abae-core` composes per stratum.
+
+use crate::quantile::quantile_sorted;
+use rand::Rng;
+
+/// A two-sided confidence interval `[lo, hi]` with its nominal coverage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Nominal coverage probability, e.g. `0.95`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        self.lo <= value && value <= self.hi
+    }
+}
+
+/// Draws `n` indices uniformly with replacement from `0..n` (one bootstrap
+/// resample of an `n`-element sample).
+///
+/// Returns an empty vector when `n == 0`.
+pub fn resample_indices<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n.max(1)) % n.max(1)).take(n).collect()
+}
+
+/// Fills `out` with `out.len()` indices drawn with replacement from `0..n`.
+/// Reusing a workhorse buffer avoids an allocation per bootstrap trial.
+pub fn resample_indices_into<R: Rng + ?Sized>(n: usize, out: &mut [usize], rng: &mut R) {
+    debug_assert!(n > 0 || out.is_empty());
+    for slot in out.iter_mut() {
+        *slot = rng.gen_range(0..n);
+    }
+}
+
+/// Computes the percentile bootstrap CI from replicate estimates.
+///
+/// `alpha` is the total tail mass (e.g. `0.05` for a 95% CI). The replicate
+/// vector is sorted in place. Returns `None` when no replicates are given or
+/// `alpha` is outside `(0, 1)`.
+pub fn percentile_ci(replicates: &mut [f64], alpha: f64) -> Option<ConfidenceInterval> {
+    if replicates.is_empty() || !(0.0..1.0).contains(&alpha) || alpha <= 0.0 {
+        return None;
+    }
+    replicates.sort_by(f64::total_cmp);
+    let lo = quantile_sorted(replicates, alpha / 2.0)?;
+    let hi = quantile_sorted(replicates, 1.0 - alpha / 2.0)?;
+    Some(ConfidenceInterval { lo, hi, confidence: 1.0 - alpha })
+}
+
+/// Runs a generic bootstrap: draws `b` resamples of `data` (with
+/// replacement) and applies `statistic` to each resample.
+///
+/// This is the textbook single-sample bootstrap, used for the uniform
+/// sampling baseline; ABae itself uses the stratified variant in
+/// `abae-core::bootstrap`.
+pub fn bootstrap_estimates<T: Copy, F, R>(
+    data: &[T],
+    b: usize,
+    mut statistic: F,
+    rng: &mut R,
+) -> Vec<f64>
+where
+    F: FnMut(&[T]) -> f64,
+    R: Rng + ?Sized,
+{
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut resample: Vec<T> = Vec::with_capacity(data.len());
+    let mut out = Vec::with_capacity(b);
+    for _ in 0..b {
+        resample.clear();
+        for _ in 0..data.len() {
+            resample.push(data[rng.gen_range(0..data.len())]);
+        }
+        out.push(statistic(&resample));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn interval_accessors() {
+        let ci = ConfidenceInterval { lo: 1.0, hi: 3.0, confidence: 0.95 };
+        assert_eq!(ci.width(), 2.0);
+        assert!(ci.contains(2.0));
+        assert!(ci.contains(1.0));
+        assert!(ci.contains(3.0));
+        assert!(!ci.contains(0.99));
+        assert!(!ci.contains(3.01));
+    }
+
+    #[test]
+    fn resample_indices_in_range_and_right_length() {
+        let mut r = rng();
+        let idx = resample_indices(17, &mut r);
+        assert_eq!(idx.len(), 17);
+        assert!(idx.iter().all(|&i| i < 17));
+        assert!(resample_indices(0, &mut r).is_empty());
+    }
+
+    #[test]
+    fn resample_into_fills_buffer() {
+        let mut r = rng();
+        let mut buf = vec![usize::MAX; 25];
+        resample_indices_into(10, &mut buf, &mut r);
+        assert!(buf.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn percentile_ci_of_known_replicates() {
+        // Replicates 0..=100: 95% percentile interval is [2.5, 97.5].
+        let mut reps: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let ci = percentile_ci(&mut reps, 0.05).unwrap();
+        assert!((ci.lo - 2.5).abs() < 1e-9);
+        assert!((ci.hi - 97.5).abs() < 1e-9);
+        assert_eq!(ci.confidence, 0.95);
+    }
+
+    #[test]
+    fn percentile_ci_rejects_degenerate_inputs() {
+        assert!(percentile_ci(&mut [], 0.05).is_none());
+        assert!(percentile_ci(&mut [1.0], 0.0).is_none());
+        assert!(percentile_ci(&mut [1.0], 1.0).is_none());
+        assert!(percentile_ci(&mut [1.0], -0.1).is_none());
+    }
+
+    #[test]
+    fn bootstrap_mean_ci_covers_truth_for_normal_data() {
+        // Coverage check: bootstrap CI for the mean of N(5, 1) data should
+        // contain 5 in roughly 95% of trials.
+        let mut r = rng();
+        let norm = crate::dist::Normal::new(5.0, 1.0).unwrap();
+        use rand::distributions::Distribution;
+        let mut covered = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let data: Vec<f64> = (0..80).map(|_| norm.sample(&mut r)).collect();
+            let mut reps = bootstrap_estimates(
+                &data,
+                400,
+                |s| s.iter().sum::<f64>() / s.len() as f64,
+                &mut r,
+            );
+            let ci = percentile_ci(&mut reps, 0.05).unwrap();
+            if ci.contains(5.0) {
+                covered += 1;
+            }
+        }
+        let cov = covered as f64 / trials as f64;
+        assert!(cov > 0.85, "coverage {cov} too low");
+    }
+
+    #[test]
+    fn bootstrap_of_empty_data_is_empty() {
+        let mut r = rng();
+        let reps = bootstrap_estimates(&[] as &[f64], 10, |_| 0.0, &mut r);
+        assert!(reps.is_empty());
+    }
+
+    #[test]
+    fn bootstrap_of_constant_data_is_constant() {
+        let mut r = rng();
+        let data = [3.0; 40];
+        let mut reps =
+            bootstrap_estimates(&data, 100, |s| s.iter().sum::<f64>() / s.len() as f64, &mut r);
+        let ci = percentile_ci(&mut reps, 0.05).unwrap();
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn ci_endpoints_are_ordered(
+            mut reps in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            alpha in 0.01f64..0.5,
+        ) {
+            let ci = percentile_ci(&mut reps, alpha).unwrap();
+            prop_assert!(ci.lo <= ci.hi);
+        }
+
+        #[test]
+        fn narrower_alpha_gives_wider_interval(
+            mut reps in proptest::collection::vec(-1e3f64..1e3, 10..200),
+        ) {
+            let mut reps2 = reps.clone();
+            let wide = percentile_ci(&mut reps, 0.01).unwrap();
+            let narrow = percentile_ci(&mut reps2, 0.20).unwrap();
+            prop_assert!(wide.width() >= narrow.width() - 1e-9);
+        }
+    }
+}

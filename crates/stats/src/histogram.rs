@@ -1,0 +1,168 @@
+//! Fixed-width histograms for diagnostics.
+//!
+//! Used in tests to sanity-check the dataset emulators (distribution of
+//! statistics, proxy-score shapes) and in the experiment harness to report
+//! proxy-score spread per stratum.
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow/overflow
+/// counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width buckets.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` — these are programming errors,
+    /// not data errors.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Records every value in the iterator.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Raw bin counts (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fraction of in-range mass in each bin; all zeros when nothing in
+    /// range.
+    pub fn densities(&self) -> Vec<f64> {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins.iter().map(|&b| b as f64 / in_range as f64).collect()
+    }
+
+    /// Renders a compact ASCII sparkline of bin densities (for harness
+    /// output).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let dens = self.densities();
+        let max = dens.iter().cloned().fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return LEVELS[0].to_string().repeat(self.bins.len());
+        }
+        dens.iter()
+            .map(|&d| {
+                let lvl = ((d / max) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[lvl]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record_all([0.5, 1.5, 1.6, 9.9]);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(0.0); // inclusive lo → bin 0
+        h.record(0.5); // second bin
+        assert_eq!(h.bins(), &[1, 1]);
+    }
+
+    #[test]
+    fn densities_normalize_in_range_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record_all([0.1, 0.2, 0.7, 5.0]);
+        let d = h.densities();
+        assert!((d[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_densities_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.densities(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(h.sparkline().chars().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn sparkline_peaks_at_mode() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record_all([0.5, 1.5, 1.6, 1.7, 2.5]);
+        let spark: Vec<char> = h.sparkline().chars().collect();
+        assert_eq!(spark[1], '█');
+    }
+}

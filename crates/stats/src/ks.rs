@@ -1,0 +1,129 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! Used by this workspace's own test suites to validate the from-scratch
+//! distribution samplers ([`crate::dist`]) against their theoretical CDFs —
+//! a much sharper check than comparing moments — and available to users
+//! validating emulated datasets against target distributions.
+
+/// The KS statistic `D_n = sup_x |F_n(x) − F(x)|` of a sample against a
+/// reference CDF. Returns `None` for an empty sample.
+pub fn ks_statistic<F>(sample: &mut [f64], cdf: F) -> Option<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    if sample.is_empty() {
+        return None;
+    }
+    sample.sort_by(f64::total_cmp);
+    let n = sample.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sample.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let above = (i as f64 + 1.0) / n - f;
+        let below = f - i as f64 / n;
+        d = d.max(above).max(below);
+    }
+    Some(d)
+}
+
+/// Asymptotic p-value of the KS statistic via the Kolmogorov distribution
+/// series `Q(λ) = 2 Σ (−1)^{j−1} e^{−2 j² λ²}` with the Stephens
+/// small-sample correction. Accurate enough for hypothesis checks at
+/// conventional levels with `n ≥ 35`.
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Convenience: true when the sample is *consistent* with the reference CDF
+/// at significance level `alpha` (i.e. the test fails to reject).
+pub fn ks_test<F>(sample: &mut [f64], cdf: F, alpha: f64) -> bool
+where
+    F: Fn(f64) -> f64,
+{
+    match ks_statistic(sample, cdf) {
+        Some(d) => ks_p_value(d, sample.len()) > alpha,
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Normal};
+    use crate::special::normal_cdf;
+    use rand::distributions::Distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sample_passes_uniform_cdf() {
+        let mut rng = StdRng::seed_from_u64(1);
+        use rand::Rng;
+        let mut sample: Vec<f64> = (0..5000).map(|_| rng.gen::<f64>()).collect();
+        assert!(ks_test(&mut sample, |x| x.clamp(0.0, 1.0), 0.01));
+    }
+
+    #[test]
+    fn normal_sampler_matches_normal_cdf() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut sample: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        assert!(ks_test(&mut sample, |x| normal_cdf((x - 3.0) / 2.0), 0.01));
+    }
+
+    #[test]
+    fn exponential_sampler_matches_exponential_cdf() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Exponential::new(1.5).unwrap();
+        let mut sample: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        assert!(ks_test(&mut sample, |x| 1.0 - (-1.5 * x.max(0.0)).exp(), 0.01));
+    }
+
+    #[test]
+    fn wrong_distribution_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Normal::new(0.5, 0.3).unwrap();
+        let mut sample: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        // Claim it is uniform: should reject decisively.
+        assert!(!ks_test(&mut sample, |x| x.clamp(0.0, 1.0), 0.01));
+    }
+
+    #[test]
+    fn empty_sample_is_vacuously_consistent() {
+        assert!(ks_test(&mut [], |x| x, 0.05));
+        assert_eq!(ks_statistic(&mut [], |x| x), None);
+    }
+
+    #[test]
+    fn p_value_is_monotone_in_d() {
+        let p1 = ks_p_value(0.01, 1000);
+        let p2 = ks_p_value(0.05, 1000);
+        let p3 = ks_p_value(0.10, 1000);
+        assert!(p1 > p2 && p2 > p3);
+        assert!(p1 <= 1.0 && p3 >= 0.0);
+    }
+
+    #[test]
+    fn known_statistic_hand_check() {
+        // Sample {0.5}: F_n jumps 0→1 at 0.5 against uniform CDF:
+        // D = max(1 - 0.5, 0.5 - 0) = 0.5.
+        let mut sample = [0.5];
+        let d = ks_statistic(&mut sample, |x| x).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Evaluation metrics used by the paper's experiments.
+//!
+//! * RMSE between estimates and the exact answer (Figures 2, 3, 7–12).
+//! * Normalized Q-error `100·(q − 1)` with `q = max(μ̂/μ, μ/μ̂)` (Figure 4,
+//!   following Moerkotte et al.'s symmetric relative metric).
+//! * Relative error (reported in §5.2 prose).
+//! * CI width and empirical coverage (Figure 5 and the nominal-coverage
+//!   check).
+
+use crate::bootstrap::ConfidenceInterval;
+
+/// Root-mean-squared error of `estimates` against a scalar ground truth.
+///
+/// Returns 0 for an empty slice.
+pub fn rmse(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 =
+        estimates.iter().map(|e| (e - truth) * (e - truth)).sum::<f64>() / estimates.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean squared error of `estimates` against a scalar ground truth.
+pub fn mse(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates.iter().map(|e| (e - truth) * (e - truth)).sum::<f64>() / estimates.len() as f64
+}
+
+/// Q-error of one estimate: `max(est/truth, truth/est)`.
+///
+/// Both values must be strictly positive for the ratio to be meaningful;
+/// non-positive inputs yield `f64::INFINITY` (maximally wrong), matching the
+/// cardinality-estimation convention.
+pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    if estimate <= 0.0 || truth <= 0.0 {
+        return f64::INFINITY;
+    }
+    (estimate / truth).max(truth / estimate)
+}
+
+/// Normalized Q-error as plotted in Figure 4: `100 · (q − 1)`, roughly the
+/// percent error.
+pub fn normalized_q_error(estimate: f64, truth: f64) -> f64 {
+    100.0 * (q_error(estimate, truth) - 1.0)
+}
+
+/// Relative error `|est − truth| / |truth|`; `infinity` when `truth == 0`.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        return f64::INFINITY;
+    }
+    (estimate - truth).abs() / truth.abs()
+}
+
+/// Fraction of intervals that contain the truth (empirical CI coverage).
+///
+/// Returns 0 for an empty slice.
+pub fn coverage(intervals: &[ConfidenceInterval], truth: f64) -> f64 {
+    if intervals.is_empty() {
+        return 0.0;
+    }
+    intervals.iter().filter(|ci| ci.contains(truth)).count() as f64 / intervals.len() as f64
+}
+
+/// Mean CI width (the y-axis of Figure 5). Returns 0 for an empty slice.
+pub fn mean_width(intervals: &[ConfidenceInterval]) -> f64 {
+    if intervals.is_empty() {
+        return 0.0;
+    }
+    intervals.iter().map(ConfidenceInterval::width).sum::<f64>() / intervals.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rmse_of_exact_estimates_is_zero() {
+        assert_eq!(rmse(&[5.0, 5.0, 5.0], 5.0), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // Errors -1 and +1: MSE = 1, RMSE = 1.
+        assert!((rmse(&[4.0, 6.0], 5.0) - 1.0).abs() < 1e-12);
+        // Errors 3 and 4: MSE = 12.5.
+        assert!((mse(&[8.0, 9.0], 5.0) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_empty_is_zero() {
+        assert_eq!(rmse(&[], 1.0), 0.0);
+        assert_eq!(mse(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_in_over_and_under_estimation() {
+        assert!((q_error(2.0, 1.0) - 2.0).abs() < 1e-12);
+        assert!((q_error(0.5, 1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(q_error(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_degenerate_inputs_are_infinite() {
+        assert!(q_error(0.0, 1.0).is_infinite());
+        assert!(q_error(1.0, 0.0).is_infinite());
+        assert!(q_error(-1.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn normalized_q_error_is_percentish() {
+        // 10% overestimate → normalized Q-error 10.
+        assert!((normalized_q_error(1.1, 1.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(0.9, 1.0) - 0.1).abs() < 1e-12);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn coverage_counts_containing_intervals() {
+        let cis = vec![
+            ConfidenceInterval { lo: 0.0, hi: 2.0, confidence: 0.95 },
+            ConfidenceInterval { lo: 1.5, hi: 3.0, confidence: 0.95 },
+            ConfidenceInterval { lo: 0.5, hi: 1.5, confidence: 0.95 },
+        ];
+        assert!((coverage(&cis, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(coverage(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn mean_width_averages() {
+        let cis = vec![
+            ConfidenceInterval { lo: 0.0, hi: 1.0, confidence: 0.95 },
+            ConfidenceInterval { lo: 0.0, hi: 3.0, confidence: 0.95 },
+        ];
+        assert!((mean_width(&cis) - 2.0).abs() < 1e-12);
+        assert_eq!(mean_width(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn q_error_at_least_one(est in 1e-6f64..1e6, truth in 1e-6f64..1e6) {
+            prop_assert!(q_error(est, truth) >= 1.0);
+        }
+
+        #[test]
+        fn q_error_symmetry(est in 1e-3f64..1e3, truth in 1e-3f64..1e3) {
+            let a = q_error(est, truth);
+            let b = q_error(truth, est);
+            prop_assert!((a - b).abs() < 1e-9 * a.max(b));
+        }
+
+        #[test]
+        fn rmse_nonnegative(
+            ests in proptest::collection::vec(-1e6f64..1e6, 0..50),
+            truth in -1e6f64..1e6,
+        ) {
+            prop_assert!(rmse(&ests, truth) >= 0.0);
+        }
+    }
+}

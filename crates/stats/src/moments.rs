@@ -1,0 +1,281 @@
+//! Numerically stable streaming moments (Welford's algorithm).
+//!
+//! ABae's pilot stage computes per-stratum means and sample variances
+//! (`μ̂_k`, `σ̂²_k` in Algorithm 1) from the records that satisfy the
+//! predicate. [`StreamingMoments`] provides those estimates in one pass with
+//! Welford updates, supports merging partial accumulators (Chan et al.) for
+//! the parallel trial runner, and [`summarize`] is the batch convenience
+//! wrapper.
+
+/// One-pass accumulator for count, mean, variance, min, and max.
+///
+/// ```
+/// use abae_stats::StreamingMoments;
+///
+/// let mut acc = StreamingMoments::new();
+/// acc.extend([2.0, 4.0, 6.0]);
+/// assert_eq!(acc.mean(), Some(4.0));
+/// assert_eq!(acc.sample_variance(), Some(4.0));
+/// assert_eq!(acc.min(), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingMoments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations, or 0 when empty — matching Algorithm 1's
+    /// convention `μ̂_k = 0` when a stratum has no positive samples.
+    pub fn mean_or_zero(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Mean of the observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (denominator `n − 1`), or 0 when fewer than
+    /// two observations — matching Algorithm 1's convention `σ̂²_k = 0` when
+    /// `|X_k| ≤ 1`.
+    pub fn sample_variance_or_zero(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Unbiased sample variance, or `None` when fewer than two observations.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count >= 2).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population variance (denominator `n`), or `None` when empty.
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample standard deviation, or 0 when fewer than two observations.
+    pub fn sample_std_dev_or_zero(&self) -> f64 {
+        self.sample_variance_or_zero().sqrt()
+    }
+
+    /// Minimum observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl Extend<f64> for StreamingMoments {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Batch summary of a slice of observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty slice).
+    pub mean: f64,
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum (`+inf` for an empty slice).
+    pub min: f64,
+    /// Maximum (`-inf` for an empty slice).
+    pub max: f64,
+}
+
+/// Summarizes a slice in one pass.
+pub fn summarize(data: &[f64]) -> Summary {
+    let mut acc = StreamingMoments::new();
+    acc.extend(data.iter().copied());
+    Summary {
+        count: data.len(),
+        mean: acc.mean_or_zero(),
+        variance: acc.sample_variance_or_zero(),
+        std_dev: acc.sample_std_dev_or_zero(),
+        min: acc.min().unwrap_or(f64::INFINITY),
+        max: acc.max().unwrap_or(f64::NEG_INFINITY),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_accumulator_follows_paper_conventions() {
+        let acc = StreamingMoments::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean_or_zero(), 0.0);
+        assert_eq!(acc.sample_variance_or_zero(), 0.0);
+        assert_eq!(acc.mean(), None);
+        assert_eq!(acc.sample_variance(), None);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let mut acc = StreamingMoments::new();
+        acc.push(7.0);
+        assert_eq!(acc.mean(), Some(7.0));
+        assert_eq!(acc.sample_variance_or_zero(), 0.0);
+        assert_eq!(acc.population_variance(), Some(0.0));
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        // Population variance is exactly 4; sample variance is 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut seq = StreamingMoments::new();
+        seq.extend(data.iter().copied());
+
+        let (a, b) = data.split_at(313);
+        let mut left = StreamingMoments::new();
+        left.extend(a.iter().copied());
+        let mut right = StreamingMoments::new();
+        right.extend(b.iter().copied());
+        left.merge(&right);
+
+        assert_eq!(left.count(), seq.count());
+        assert!((left.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-10);
+        assert!(
+            (left.sample_variance().unwrap() - seq.sample_variance().unwrap()).abs() < 1e-8
+        );
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut acc = StreamingMoments::new();
+        acc.extend([1.0, 2.0, 3.0]);
+        let before = acc;
+        acc.merge(&StreamingMoments::new());
+        assert_eq!(acc, before);
+
+        let mut empty = StreamingMoments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn catastrophic_cancellation_resistance() {
+        // Large offset + small variance: naive sum-of-squares would lose all
+        // precision here.
+        let offset = 1e9;
+        let mut acc = StreamingMoments::new();
+        for i in 0..1000 {
+            acc.push(offset + (i % 2) as f64);
+        }
+        let v = acc.sample_variance().unwrap();
+        assert!((v - 0.25025).abs() < 1e-3, "variance {v}");
+    }
+
+    proptest! {
+        #[test]
+        fn variance_is_never_negative(data in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            let s = summarize(&data);
+            prop_assert!(s.variance >= 0.0);
+        }
+
+        #[test]
+        fn mean_is_bounded_by_min_max(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = summarize(&data);
+            prop_assert!(s.mean >= s.min - 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+        }
+
+        #[test]
+        fn merge_any_split_matches_sequential(
+            data in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            split in 0usize..100,
+        ) {
+            let split = split % data.len();
+            let mut seq = StreamingMoments::new();
+            seq.extend(data.iter().copied());
+            let mut l = StreamingMoments::new();
+            l.extend(data[..split].iter().copied());
+            let mut r = StreamingMoments::new();
+            r.extend(data[split..].iter().copied());
+            l.merge(&r);
+            prop_assert_eq!(l.count(), seq.count());
+            prop_assert!((l.mean_or_zero() - seq.mean_or_zero()).abs() < 1e-7);
+            prop_assert!(
+                (l.sample_variance_or_zero() - seq.sample_variance_or_zero()).abs() < 1e-5
+            );
+        }
+    }
+}

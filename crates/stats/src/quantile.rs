@@ -1,0 +1,129 @@
+//! Quantiles with linear interpolation (Hyndman–Fan type 7, NumPy default).
+//!
+//! Two uses in this reproduction: the bootstrap percentile CI (Algorithm 2's
+//! `Percentile(α/2, μ̂)`), and the stratification boundary diagnostics.
+
+/// Returns the `q`-quantile (`q ∈ [0, 1]`) of an **ascending-sorted** slice
+/// using linear interpolation between order statistics.
+///
+/// Returns `None` for an empty slice. `q` outside `[0, 1]` is clamped.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted requires ascending input"
+    );
+    let q = q.clamp(0.0, 1.0);
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Returns several quantiles of an ascending-sorted slice at once.
+pub fn quantiles_sorted(sorted: &[f64], qs: &[f64]) -> Vec<Option<f64>> {
+    qs.iter().map(|&q| quantile_sorted(sorted, q)).collect()
+}
+
+/// Sorts a copy of `data` and returns the `q`-quantile. Non-finite values are
+/// ordered with `f64::total_cmp`.
+pub fn quantile_unsorted(data: &[f64], q: f64) -> Option<f64> {
+    let mut copy = data.to_vec();
+    copy.sort_by(f64::total_cmp);
+    quantile_sorted(&copy, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile_sorted(&[42.0], 0.0), Some(42.0));
+        assert_eq!(quantile_sorted(&[42.0], 0.5), Some(42.0));
+        assert_eq!(quantile_sorted(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn median_of_even_length_interpolates() {
+        assert_eq!(quantile_sorted(&[1.0, 2.0, 3.0, 4.0], 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn endpoints_are_min_and_max() {
+        let data = [1.0, 5.0, 9.0, 10.0];
+        assert_eq!(quantile_sorted(&data, 0.0), Some(1.0));
+        assert_eq!(quantile_sorted(&data, 1.0), Some(10.0));
+    }
+
+    #[test]
+    fn matches_numpy_type7_reference() {
+        // numpy.quantile([10, 20, 30, 40, 50], 0.3) == 22.0
+        let data = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert!((quantile_sorted(&data, 0.3).unwrap() - 22.0).abs() < 1e-12);
+        // numpy.quantile(..., 0.025) == 11.0
+        assert!((quantile_sorted(&data, 0.025).unwrap() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_q_is_clamped() {
+        let data = [1.0, 2.0, 3.0];
+        assert_eq!(quantile_sorted(&data, -0.5), Some(1.0));
+        assert_eq!(quantile_sorted(&data, 1.5), Some(3.0));
+    }
+
+    #[test]
+    fn multiple_quantiles() {
+        let data = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let qs = quantiles_sorted(&data, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let got: Vec<f64> = qs.into_iter().map(Option::unwrap).collect();
+        assert_eq!(got, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unsorted_helper_sorts_first() {
+        assert_eq!(quantile_unsorted(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_lies_within_range(
+            mut data in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q in 0.0f64..1.0,
+        ) {
+            data.sort_by(f64::total_cmp);
+            let v = quantile_sorted(&data, q).unwrap();
+            prop_assert!(v >= data[0] - 1e-9);
+            prop_assert!(v <= data[data.len() - 1] + 1e-9);
+        }
+
+        #[test]
+        fn quantile_is_monotone_in_q(
+            mut data in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            data.sort_by(f64::total_cmp);
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let a = quantile_sorted(&data, lo).unwrap();
+            let b = quantile_sorted(&data, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+    }
+}

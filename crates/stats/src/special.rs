@@ -1,0 +1,138 @@
+//! Special functions: error function and the standard normal CDF/quantile.
+//!
+//! Needed by the closed-form (CLT) confidence intervals in `abae-core`
+//! (the alternative to Algorithm 2's bootstrap) and by the
+//! Kolmogorov–Smirnov checks that validate the distribution samplers.
+
+/// Error function `erf(x)`, via the Abramowitz–Stegun 7.1.26 rational
+/// approximation (absolute error < 1.5e-7, ample for CI z-scores).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` via Acklam's rational approximation
+/// (relative error < 1.15e-9). Returns ±∞ at p ∈ {0, 1} and NaN outside.
+pub fn normal_quantile(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // erf(0) = 0, erf(1) ≈ 0.8427007929, erf(2) ≈ 0.9953222650.
+        // The A&S 7.1.26 approximation carries ~1e-9 absolute error at 0.
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_792_9).abs() < 2e-7);
+        assert!((erf(2.0) - 0.995_322_265_0).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.842_700_792_9).abs() < 2e-7);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        assert!((normal_cdf(1.959_963_985) - 0.975).abs() < 1e-6);
+        assert!((normal_cdf(-1.959_963_985) - 0.025).abs() < 1e-6);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-6, "p = {p}, z = {z}");
+        }
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.841_344_746) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(normal_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(normal_quantile(1.0), f64::INFINITY);
+        assert!(normal_quantile(-0.1).is_nan());
+        assert!(normal_quantile(1.1).is_nan());
+        assert!(normal_quantile(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut last = f64::NEG_INFINITY;
+        for i in 1..100 {
+            let z = normal_quantile(i as f64 / 100.0);
+            assert!(z > last);
+            last = z;
+        }
+    }
+}

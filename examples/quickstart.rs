@@ -1,0 +1,59 @@
+//! Quickstart: answer an aggregation query with an expensive predicate.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! We build a small dataset where the "oracle" is expensive (imagine a DNN
+//! or a human labeler), attach a cheap proxy score per record, and ask
+//! ABae for the average statistic over matching records — with a 95% CI —
+//! under a budget of 2,000 oracle calls.
+
+use abae::core::config::AbaeConfig;
+use abae::core::{run_abae_with_ci, Aggregate};
+use abae::data::{PredicateOracle, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 1. A dataset of 100k records. Ground truth lives in the table, but
+    //    ABae only sees it through the budget-charging oracle.
+    let n = 100_000;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut labels = Vec::with_capacity(n);
+    let mut proxy = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let propensity: f64 = rng.gen::<f64>().powi(2); // rare-ish predicate
+        labels.push(rng.gen::<f64>() < propensity);
+        proxy.push((propensity + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0));
+        values.push(5.0 + 10.0 * propensity + rng.gen_range(-1.0..1.0));
+    }
+    let table = Table::builder("events", values)
+        .predicate("matches", labels, proxy)
+        .build()
+        .expect("valid table");
+
+    let exact = table.exact_avg("matches").expect("predicate exists");
+    println!("exact answer (hidden from the algorithm): {exact:.4}");
+
+    // 2. Run ABae with the paper's defaults: K = 5 strata, half the budget
+    //    in the pilot stage, bootstrap CI.
+    let oracle = PredicateOracle::new(&table, "matches").expect("predicate exists");
+    let config = AbaeConfig { budget: 2000, ..Default::default() };
+    let scores = &table.predicate("matches").expect("predicate exists").proxy;
+    let result = run_abae_with_ci(scores, &oracle, &config, Aggregate::Avg, &mut rng)
+        .expect("valid configuration");
+
+    let ci = result.ci.expect("bootstrap CI");
+    println!(
+        "ABae estimate: {:.4}  (95% CI [{:.4}, {:.4}], width {:.4})",
+        result.estimate,
+        ci.lo,
+        ci.hi,
+        ci.width()
+    );
+    println!("oracle calls spent: {} / 2000", result.oracle_calls);
+    println!("absolute error: {:.4}", (result.estimate - exact).abs());
+    assert!(result.oracle_calls <= 2000);
+}

@@ -1,0 +1,69 @@
+//! The trec05p scenario (§5.1): average number of links in *spam* emails,
+//! with rule-based keyword proxies — including the §3.4 workflow of
+//! *selecting* among candidate proxies and *combining* them with logistic
+//! regression.
+//!
+//! ```sh
+//! cargo run --release --example spam_emails
+//! ```
+
+use abae::core::config::{AbaeConfig, Aggregate};
+use abae::core::proxy_combine::combine_proxies;
+use abae::core::proxy_select::{draw_pilot, rank_proxies};
+use abae::core::two_stage::run_abae;
+use abae::data::emulators::{trec05p, EmulatorOptions};
+use abae::data::PredicateOracle;
+use abae::ml::metrics::auc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let emails = trec05p(&EmulatorOptions { scale: 1.0, seed: 3 });
+    let exact = emails.exact_avg("is_spam").expect("predicate exists");
+    println!(
+        "corpus: {} emails, {:.1}% spam, exact AVG(NB_LINKS | spam) = {:.3}",
+        emails.len(),
+        100.0 * emails.positive_rate("is_spam").expect("predicate exists"),
+        exact
+    );
+
+    // Three candidate keyword proxies of varying quality.
+    let candidates: Vec<&[f64]> =
+        emails.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    for p in emails.predicates() {
+        println!(
+            "  proxy {:<14} AUC = {:.3}",
+            p.name,
+            auc(&p.proxy, &p.labels).expect("both classes present")
+        );
+    }
+
+    // §3.4: one shared pilot ranks candidates by predicted optimal MSE …
+    let oracle = PredicateOracle::new(&emails, "is_spam").expect("predicate exists");
+    let mut rng = StdRng::seed_from_u64(17);
+    let pilot = draw_pilot(emails.len(), &oracle, 1000, &mut rng);
+    let ranking = rank_proxies(&candidates, &pilot, 5, 4000);
+    let best = ranking.best();
+    println!(
+        "selected proxy: {} (predicted MSE {:.5})",
+        emails.predicates()[best].name,
+        ranking.predicted_mse[best]
+    );
+
+    // … and the same pilot trains a logistic combination of all three.
+    let combined = combine_proxies(&candidates, &pilot).expect("pilot is non-empty");
+    let labels = &emails.predicates()[0].labels;
+    println!("combined proxy AUC = {:.3}", auc(&combined, labels).expect("both classes"));
+
+    // Run ABae with the combined proxy on the remaining budget.
+    let config = AbaeConfig { budget: 3000, ..Default::default() };
+    let result =
+        run_abae(&combined, &oracle, &config, Aggregate::Avg, &mut rng).expect("valid config");
+    println!(
+        "ABae estimate with combined proxy: {:.3} (|err| = {:.3}, {} oracle calls + {} pilot)",
+        result.estimate,
+        (result.estimate - exact).abs(),
+        result.oracle_calls,
+        pilot.len()
+    );
+}

@@ -1,0 +1,143 @@
+//! `abae-cli` — run ABae queries against CSV data from the command line.
+//!
+//! ```sh
+//! # Query your own data (see `abae::data::csvio` for the CSV layout):
+//! abae-cli --csv mydata.csv --table mydata "SELECT AVG(x) FROM mydata WHERE is_spam ORACLE LIMIT 1000"
+//!
+//! # Explain the physical plan instead of running it:
+//! abae-cli --csv mydata.csv --table mydata --explain "SELECT ..."
+//!
+//! # No data handy? Query the emulated trec05p spam corpus:
+//! abae-cli --demo "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 2000"
+//! ```
+
+use abae::data::csvio::read_table;
+use abae::data::emulators::{trec05p, EmulatorOptions};
+use abae::query::{Catalog, Executor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+struct Args {
+    csv: Option<String>,
+    table_name: String,
+    demo: bool,
+    explain: bool,
+    seed: u64,
+    sql: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: abae-cli [--csv FILE --table NAME | --demo] [--explain] [--seed N] \"SQL\"\n\
+         \n\
+         The SQL dialect is the ABae paper's Figure 1:\n\
+         SELECT {{AVG|SUM|COUNT|PERCENTAGE}}(expr) FROM table WHERE predicate\n\
+         [GROUP BY key] ORACLE LIMIT n [USING proxy] [WITH PROBABILITY p]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        csv: None,
+        table_name: "data".to_string(),
+        demo: false,
+        explain: false,
+        seed: 0xABAE,
+        sql: String::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
+            "--table" => args.table_name = it.next().unwrap_or_else(|| usage()),
+            "--demo" => args.demo = true,
+            "--explain" => args.explain = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            sql if !sql.starts_with("--") => args.sql = sql.to_string(),
+            _ => usage(),
+        }
+    }
+    if args.sql.is_empty() || (args.csv.is_none() && !args.demo) {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let table = if args.demo {
+        eprintln!("[demo] generating the emulated trec05p corpus ...");
+        trec05p(&EmulatorOptions { scale: 1.0, seed: args.seed })
+    } else {
+        let path = args.csv.as_deref().expect("validated in parse_args");
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match read_table(&args.table_name, BufReader::new(file)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut catalog = Catalog::new();
+    catalog.register_table(table);
+    let executor = Executor::new(&catalog);
+
+    if args.explain {
+        match executor.explain(&args.sql) {
+            Ok(plan) => {
+                println!("{plan}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        match executor.execute(&args.sql, &mut rng) {
+            Ok(result) => {
+                if let Some(groups) = &result.groups {
+                    println!("{:<20} {:>14}", "group", "estimate");
+                    for row in groups {
+                        println!("{:<20} {:>14.6}", row.name, row.estimate);
+                    }
+                } else {
+                    println!("estimate     : {:.6}", result.estimate);
+                    if let Some(ci) = result.ci {
+                        println!(
+                            "{:.0}% CI       : [{:.6}, {:.6}]",
+                            ci.confidence * 100.0,
+                            ci.lo,
+                            ci.hi
+                        );
+                    }
+                }
+                println!("oracle calls : {}", result.oracle_calls);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # ABae — approximate aggregation queries with expensive predicates
+//!
+//! A from-scratch Rust reproduction of *Kang, Guibas, Bailis, Hashimoto,
+//! Sun, Zaharia: Accelerating Approximate Aggregation Queries with Expensive
+//! Predicates* (VLDB 2021).
+//!
+//! This facade crate re-exports the workspace's public API. See `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for the reproduction of the
+//! paper's tables and figures.
+
+pub use abae_core as core;
+pub use abae_data as data;
+pub use abae_ml as ml;
+pub use abae_optim as optim;
+pub use abae_query as query;
+pub use abae_sampling as sampling;
+pub use abae_stats as stats;

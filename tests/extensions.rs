@@ -1,0 +1,147 @@
+//! Integration tests for the beyond-the-paper extensions: the sequential
+//! sampler (§4.6 future work), closed-form CIs, the naive Bayes proxy, and
+//! EXPLAIN — each exercised across crate boundaries.
+
+use abae::core::adaptive::{run_adaptive, AdaptiveConfig};
+use abae::core::config::{AbaeConfig, Aggregate};
+use abae::core::normal_ci::closed_form_ci;
+use abae::core::strata::Stratification;
+use abae::core::two_stage::run_two_stage;
+use abae::data::emulators::{night_street, trec05p, EmulatorOptions};
+use abae::data::{PredicateOracle, Table};
+use abae::ml::metrics::auc;
+use abae::ml::NaiveBayes;
+use abae::query::{Catalog, Executor};
+use abae::stats::metrics::rmse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn opts() -> EmulatorOptions {
+    EmulatorOptions { scale: 0.03, seed: 99 }
+}
+
+#[test]
+fn sequential_sampler_matches_two_stage_on_emulated_data() {
+    let video = night_street(&opts());
+    let exact = video.exact_avg("has_car").unwrap();
+    let scores = video.predicate("has_car").unwrap().proxy.clone();
+    let mut rng = StdRng::seed_from_u64(1);
+    let trials = 30;
+
+    let mut seq_est = Vec::new();
+    let mut two_est = Vec::new();
+    for _ in 0..trials {
+        let oracle = PredicateOracle::new(&video, "has_car").unwrap();
+        let run = run_adaptive(
+            &scores,
+            &oracle,
+            &AdaptiveConfig { budget: 1500, ..Default::default() },
+            Aggregate::Avg,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(run.oracle_calls <= 1500);
+        seq_est.push(run.estimate);
+
+        let oracle = PredicateOracle::new(&video, "has_car").unwrap();
+        let strat = Stratification::by_proxy_quantile(&scores, 5);
+        let run = run_two_stage(
+            &strat,
+            &oracle,
+            &AbaeConfig { budget: 1500, ..Default::default() },
+            Aggregate::Avg,
+            &mut rng,
+        )
+        .unwrap();
+        two_est.push(run.estimate);
+    }
+    let seq_rmse = rmse(&seq_est, exact);
+    let two_rmse = rmse(&two_est, exact);
+    assert!(
+        seq_rmse < two_rmse * 1.5,
+        "sequential {seq_rmse} should be competitive with two-stage {two_rmse}"
+    );
+}
+
+#[test]
+fn closed_form_ci_covers_on_emulated_data() {
+    let video = night_street(&opts());
+    let exact = video.exact_avg("has_car").unwrap();
+    let scores = video.predicate("has_car").unwrap().proxy.clone();
+    let strat = Stratification::by_proxy_quantile(&scores, 5);
+    let mut rng = StdRng::seed_from_u64(2);
+    let trials = 40;
+    let mut covered = 0;
+    for _ in 0..trials {
+        let oracle = PredicateOracle::new(&video, "has_car").unwrap();
+        let run = run_two_stage(
+            &strat,
+            &oracle,
+            &AbaeConfig { budget: 2000, ..Default::default() },
+            Aggregate::Avg,
+            &mut rng,
+        )
+        .unwrap();
+        let ci = closed_form_ci(Aggregate::Avg, &run.strata, 0.05).expect("estimable");
+        if ci.contains(exact) {
+            covered += 1;
+        }
+    }
+    assert!(covered >= 33, "coverage {covered}/{trials}");
+}
+
+#[test]
+fn naive_bayes_trained_on_emulated_text_is_a_usable_proxy() {
+    // Train NB on the emulated corpus's token streams, score every email,
+    // and run ABae with the learned proxy — a full learned-proxy pipeline.
+    let emails = trec05p(&opts());
+    let texts = emails.texts().expect("trec05p carries text");
+    let labels = &emails.predicate("is_spam").unwrap().labels;
+
+    // Train on the first 2,000 records (in practice: a labeled subsample).
+    let train_docs: Vec<&str> = texts.iter().take(2000).map(String::as_str).collect();
+    let train_labels: Vec<bool> = labels.iter().take(2000).copied().collect();
+    let nb = NaiveBayes::fit_text(&train_docs, &train_labels).expect("both classes present");
+
+    let scores: Vec<f64> = texts.iter().map(|t| nb.score_text(t)).collect();
+    let nb_auc = auc(&scores, labels).expect("both classes present");
+    assert!(nb_auc > 0.8, "NB proxy AUC {nb_auc}");
+
+    // The learned proxy drives ABae; estimate should be near the truth.
+    let exact = emails.exact_avg("is_spam").unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut estimates = Vec::new();
+    for _ in 0..20 {
+        let oracle = PredicateOracle::new(&emails, "is_spam").unwrap();
+        let run = abae::core::run_abae(
+            &scores,
+            &oracle,
+            &AbaeConfig { budget: 2000, ..Default::default() },
+            Aggregate::Avg,
+            &mut rng,
+        )
+        .unwrap();
+        estimates.push(run.estimate);
+    }
+    assert!(rmse(&estimates, exact) / exact < 0.15);
+}
+
+#[test]
+fn explain_matches_actual_execution_budget() {
+    let t = Table::builder("t", vec![1.0; 1000])
+        .predicate("p", vec![true; 1000], vec![0.5; 1000])
+        .build()
+        .unwrap();
+    let mut cat = Catalog::new();
+    cat.register_table(t);
+    let mut exec = Executor::new(&cat);
+    exec.bootstrap_trials = 20;
+    let sql = "SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 600";
+    let plan = exec.explain(sql).unwrap();
+    assert!(plan.contains("600 oracle calls"), "{plan}");
+    assert!(plan.contains("stage 1 (5 strata x 60)"), "{plan}");
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let result = exec.execute(sql, &mut rng).unwrap();
+    assert!(result.oracle_calls <= 600);
+}

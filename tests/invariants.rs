@@ -1,0 +1,109 @@
+//! Property-based integration tests on the algorithm's core invariants,
+//! randomizing over configurations rather than just datasets:
+//!
+//! * the oracle budget is never exceeded, for any (K, C, budget) combo;
+//! * estimates are bounded by the population's statistic range;
+//! * runs are deterministic in the RNG seed;
+//! * COUNT estimates never go negative or exceed the population.
+
+use abae::core::config::{AbaeConfig, Aggregate, Rounding, SampleReuse};
+use abae::core::run_abae;
+use abae::data::{FnOracle, Labeled};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small synthetic population parameterized by the property inputs.
+fn population(n: usize, positive_every: usize) -> (Vec<f64>, Vec<bool>, Vec<f64>) {
+    let scores: Vec<f64> = (0..n).map(|i| (i as f64 * 0.618).fract()).collect();
+    let labels: Vec<bool> = (0..n).map(|i| i % positive_every == 0).collect();
+    let values: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+    (scores, labels, values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn budget_is_never_exceeded(
+        strata in 1usize..12,
+        budget in 50usize..3000,
+        c in 0.1f64..0.9,
+        reuse in proptest::bool::ANY,
+        rounding in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let (scores, labels, values) = population(5000, 4);
+        let oracle = FnOracle::new(move |i| Labeled { matches: labels[i], value: values[i] });
+        let cfg = AbaeConfig {
+            strata,
+            budget,
+            stage1_fraction: c,
+            reuse: if reuse { SampleReuse::Enabled } else { SampleReuse::Disabled },
+            rounding: if rounding { Rounding::Floor } else { Rounding::LargestRemainder },
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        match run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng) {
+            Ok(result) => prop_assert!(result.oracle_calls <= budget as u64),
+            // Small budgets with many strata are legitimately rejected:
+            // the stage-1 split leaves a stratum without a pilot draw.
+            Err(_) => {
+                let pilot_per_stratum = (c * budget as f64) / strata as f64;
+                prop_assert!(pilot_per_stratum < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn avg_estimate_is_bounded_by_statistic_range(
+        strata in 1usize..8,
+        budget in 100usize..2000,
+        seed in 0u64..500,
+    ) {
+        let (scores, labels, values) = population(4000, 3);
+        let oracle = FnOracle::new(move |i| Labeled { matches: labels[i], value: values[i] });
+        let cfg = AbaeConfig { strata, budget, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(result) = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng) {
+            // Values live in [0, 16]; any weighted average of them must too.
+            prop_assert!((0.0..=16.0).contains(&result.estimate), "estimate {}", result.estimate);
+        }
+    }
+
+    #[test]
+    fn count_estimate_is_bounded_by_population(
+        budget in 100usize..2000,
+        positive_every in 2usize..10,
+        seed in 0u64..500,
+    ) {
+        let n = 4000;
+        let (scores, labels, values) = population(n, positive_every);
+        let oracle = FnOracle::new(move |i| Labeled { matches: labels[i], value: values[i] });
+        let cfg = AbaeConfig { budget, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(result) = run_abae(&scores, &oracle, &cfg, Aggregate::Count, &mut rng) {
+            prop_assert!(result.estimate >= 0.0);
+            prop_assert!(result.estimate <= n as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_seed(
+        budget in 100usize..1500,
+        seed in 0u64..500,
+    ) {
+        let (scores, labels, values) = population(3000, 5);
+        let cfg = AbaeConfig { budget, ..Default::default() };
+        let run_once = || {
+            let labels = labels.clone();
+            let values = values.clone();
+            let oracle =
+                FnOracle::new(move |i| Labeled { matches: labels[i], value: values[i] });
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng)
+                .map(|r| (r.estimate, r.oracle_calls))
+        };
+        prop_assert_eq!(run_once().ok(), run_once().ok());
+    }
+}

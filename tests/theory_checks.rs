@@ -1,0 +1,113 @@
+//! Integration tests validating the paper's theory on live runs:
+//! Proposition 1/2 consistency and the Theorem 4.1 rate, exercised through
+//! the public API.
+
+use abae::core::allocation::optimal_allocation;
+use abae::core::config::{AbaeConfig, Aggregate};
+use abae::core::error_model::{allocation_mse, optimal_mse};
+use abae::core::strata::Stratification;
+use abae::core::two_stage::run_two_stage;
+use abae::data::synthetic::{PredicateModel, StatisticModel, SyntheticSpec};
+use abae::data::PredicateOracle;
+use abae::stats::metrics::mse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(n: usize, seed: u64) -> abae::data::Table {
+    SyntheticSpec {
+        name: "theory".to_string(),
+        n,
+        predicates: vec![PredicateModel::new("p", 0.25, 1.0, 0.3)],
+        statistic: StatisticModel::Normal { mean: 4.0, sd: 1.5, coupling: 3.0 },
+        seed,
+    }
+    .generate()
+    .expect("valid spec")
+}
+
+#[test]
+fn measured_mse_tracks_proposition_2_prediction() {
+    let table = dataset(150_000, 1);
+    let exact = table.exact_avg("p").unwrap();
+    let pred = table.predicate("p").unwrap();
+    let strat = Stratification::by_proxy_quantile(&pred.proxy, 5);
+    let gt = strat.ground_truth(&pred.labels, table.statistics());
+    let p: Vec<f64> = gt.iter().map(|s| s.p).collect();
+    let sigma: Vec<f64> = gt.iter().map(|s| s.sigma).collect();
+
+    let budget = 4000;
+    // Predicted MSE at the optimal allocation with this budget's Stage-2
+    // share; Stage 1 also contributes samples, so the realized MSE should
+    // be *at most* about the prediction for the full budget and at least
+    // the prediction's order of magnitude.
+    let predicted = optimal_mse(&p, &sigma, budget);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = AbaeConfig { budget, ..Default::default() };
+    let estimates: Vec<f64> = (0..80)
+        .map(|_| {
+            let oracle = PredicateOracle::new(&table, "p").unwrap();
+            run_two_stage(&strat, &oracle, &cfg, Aggregate::Avg, &mut rng)
+                .unwrap()
+                .estimate
+        })
+        .collect();
+    let measured = mse(&estimates, exact);
+    assert!(
+        measured < predicted * 3.0 && measured > predicted / 3.0,
+        "measured {measured} vs predicted {predicted}"
+    );
+}
+
+#[test]
+fn doubling_the_budget_roughly_halves_the_mse() {
+    // Theorem 4.1's O(1/N) rate, checked end to end.
+    let table = dataset(200_000, 3);
+    let exact = table.exact_avg("p").unwrap();
+    let pred = table.predicate("p").unwrap();
+    let strat = Stratification::by_proxy_quantile(&pred.proxy, 5);
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let mse_at = |budget: usize, rng: &mut StdRng| -> f64 {
+        let cfg = AbaeConfig { budget, ..Default::default() };
+        let estimates: Vec<f64> = (0..150)
+            .map(|_| {
+                let oracle = PredicateOracle::new(&table, "p").unwrap();
+                run_two_stage(&strat, &oracle, &cfg, Aggregate::Avg, rng)
+                    .unwrap()
+                    .estimate
+            })
+            .collect();
+        mse(&estimates, exact)
+    };
+    let at_2k = mse_at(2000, &mut rng);
+    let at_8k = mse_at(8000, &mut rng);
+    let ratio = at_2k / at_8k;
+    // 4x budget should shrink MSE ~4x; accept 2x-8x under sampling noise.
+    assert!(
+        (2.0..8.0).contains(&ratio),
+        "MSE ratio {ratio} (2k: {at_2k}, 8k: {at_8k}) not consistent with O(1/N)"
+    );
+}
+
+#[test]
+fn proposition_1_is_the_argmin_over_random_allocations() {
+    let p = [0.03, 0.2, 0.45, 0.7, 0.95];
+    let sigma = [1.8, 1.2, 1.0, 0.7, 0.4];
+    let n = 1000;
+    let best = optimal_mse(&p, &sigma, n);
+    let t_star = optimal_allocation(&p, &sigma);
+    assert!((allocation_mse(&p, &sigma, &t_star, n) - best).abs() < 1e-12);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    use rand::Rng as _;
+    for _ in 0..200 {
+        let raw: Vec<f64> = (0..p.len()).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let total: f64 = raw.iter().sum();
+        let t: Vec<f64> = raw.iter().map(|v| v / total).collect();
+        assert!(
+            allocation_mse(&p, &sigma, &t, n) >= best - 1e-12,
+            "random allocation {t:?} beat the optimum"
+        );
+    }
+}
