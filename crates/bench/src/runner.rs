@@ -1,8 +1,9 @@
 //! Deterministic multi-threaded trial execution.
 //!
-//! Every trial gets its own `StdRng` seeded as `master ^ trial`, so results
-//! are reproducible regardless of thread scheduling, and trials parallelize
-//! across a fixed worker pool with crossbeam scoped threads.
+//! Every trial gets its own `StdRng` seeded as
+//! `master ^ (trial · 0x9E37_79B9_7F4A_7C15)`, so results are reproducible
+//! regardless of thread scheduling, and trials parallelize across a fixed
+//! worker pool with `std::thread::scope`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,9 +22,9 @@ where
     let slots: Vec<std::sync::Mutex<Option<T>>> =
         (0..trials).map(|_| std::sync::Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let t = next.fetch_add(1, Ordering::Relaxed);
                 if t >= trials {
                     break;
@@ -33,8 +34,7 @@ where
                 *slots[t].lock().expect("no panics while holding the slot") = Some(out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()

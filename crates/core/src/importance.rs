@@ -163,7 +163,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut rmse_for = |eps: f64| {
             let mut errs = Vec::new();
-            for _ in 0..60 {
+            // Enough trials that the RMSE gap dominates Monte-Carlo noise;
+            // at 60 trials the comparison is seed-sensitive.
+            for _ in 0..240 {
                 let r =
                     run_importance(&scores, &oracle, 1000, Aggregate::Count, eps, &mut rng)
                         .unwrap();

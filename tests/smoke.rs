@@ -1,0 +1,57 @@
+//! Build-bootstrap smoke test: one end-to-end query through the facade.
+//!
+//! Exercises the `abae` re-exports from outside the workspace the way a
+//! downstream user would — build a synthetic table (`abae::data`), register
+//! it in a catalog, execute a SQL query (`abae::query`), and check the
+//! bootstrap CI against the ground truth the table can compute exactly.
+
+use abae::data::synthetic::{PredicateModel, StatisticModel, SyntheticSpec};
+use abae::query::{Catalog, Executor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn end_to_end_query_ci_brackets_ground_truth() {
+    let table = SyntheticSpec {
+        name: "events".into(),
+        n: 50_000,
+        predicates: vec![PredicateModel::new("matches", 0.3, 2.0, 0.4)],
+        statistic: StatisticModel::Normal { mean: 10.0, sd: 2.0, coupling: 4.0 },
+        seed: 0xABAE,
+    }
+    .generate()
+    .expect("valid spec");
+    let exact = table.exact_avg("matches").expect("predicate exists");
+
+    let mut catalog = Catalog::new();
+    catalog.register_table(table);
+    let mut executor = Executor::new(&catalog);
+    executor.bootstrap_trials = 400;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let trials = 10;
+    let mut covered = 0;
+    for _ in 0..trials {
+        let result = executor
+            .execute(
+                "SELECT AVG(x) FROM events WHERE matches \
+                 ORACLE LIMIT 3000 WITH PROBABILITY 0.95",
+                &mut rng,
+            )
+            .expect("query executes");
+        assert!(result.oracle_calls <= 3000, "budget exceeded: {}", result.oracle_calls);
+        let ci = result.ci.expect("scalar query returns a CI");
+        assert!(ci.lo <= result.estimate && result.estimate <= ci.hi);
+        assert!(
+            (result.estimate - exact).abs() / exact < 0.1,
+            "estimate {} far from truth {exact}",
+            result.estimate
+        );
+        if ci.contains(exact) {
+            covered += 1;
+        }
+    }
+    // 95% nominal CIs: all but (rarely) one of 10 trials should bracket
+    // the ground truth.
+    assert!(covered >= 9, "coverage {covered}/{trials}");
+}

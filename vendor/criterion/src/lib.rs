@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` benchmark harness (API subset).
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! slice of criterion the workspace's `benches/` use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros (both the
+//! simple and the `name/config/targets` forms).
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark is timed
+//! with a fixed warm-up followed by `sample_size` timed batches; the median
+//! per-iteration time is printed. Passing `--test` (as `cargo test --benches`
+//! does) runs every benchmark body exactly once for a smoke check.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver: holds run settings and prints results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 20, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Times a single function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times a single function within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, &id, f);
+        self
+    }
+
+    /// Times a function parameterized by an input value.
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        D: ?Sized,
+        F: FnMut(&mut Bencher, &D),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, &id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_size` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and pick a batch size aiming for ~10ms per sample.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        self.iters_per_sample =
+            (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_size: criterion.sample_size,
+        test_mode: criterion.test_mode,
+    };
+    f(&mut bencher);
+    if criterion.test_mode {
+        println!("test-mode: {id} ... ok");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!(
+        "{id:<48} median {} (min {}, max {})",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Expands to `main`, running every group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion { sample_size: 2, test_mode: true };
+        let mut ran = 0;
+        c.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("h", |b| {
+            b.iter(|| black_box(2 + 2));
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| {
+            ran += 1;
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

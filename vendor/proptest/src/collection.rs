@@ -1,0 +1,35 @@
+//! Strategies for collections.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+/// A `Vec` whose length is drawn from `size` and whose elements are drawn
+/// from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+/// Generates `Vec<S::Value>` with a length drawn from `size` (any
+/// `usize`-valued strategy: `0..200`, `2..=6`, …).
+pub fn vec<S, L>(element: S, size: L) -> VecStrategy<S, L>
+where
+    S: Strategy,
+    L: Strategy<Value = usize>,
+{
+    VecStrategy { element, size }
+}
+
+impl<S, L> Strategy for VecStrategy<S, L>
+where
+    S: Strategy,
+    L: Strategy<Value = usize>,
+{
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.new_value(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

@@ -1,0 +1,158 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] here is just "something that can produce a random value" —
+//! no shrink trees. Ranges of primitives, tuples of strategies, [`Just`],
+//! [`Union`] (behind `prop_oneof!`), and `collection::vec` cover the
+//! workspace's property tests.
+
+use rand::distributions::uniform::SampleUniform;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Produces random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform + Clone> Strategy for Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String-regex strategies (minimal): a `&str` pattern is a strategy for
+/// `String`, as in real proptest.
+///
+/// Only the pattern this workspace uses is supported: `\PC*` — "zero or more
+/// printable (non-control) characters". Any other pattern panics, loudly,
+/// rather than silently generating the wrong distribution.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        assert_eq!(
+            *self, "\\PC*",
+            "vendored proptest only supports the string pattern \\PC* (got {self:?})"
+        );
+        let len = rng.gen_range(0usize..=64);
+        (0..len).map(|_| printable_char(rng)).collect()
+    }
+}
+
+/// A random printable character: mostly ASCII, sometimes wider Unicode.
+fn printable_char(rng: &mut StdRng) -> char {
+    if rng.gen_bool(0.8) {
+        return char::from_u32(rng.gen_range(0x20u32..0x7f)).expect("printable ASCII");
+    }
+    loop {
+        let c = rng.gen_range(0xa0u32..0xd800);
+        if let Some(c) = char::from_u32(c) {
+            if !c.is_control() {
+                return c;
+            }
+        }
+    }
+}
+
+/// Uniform choice among boxed strategies with a common value type.
+///
+/// Built by the `prop_oneof!` macro.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union with no arms yet.
+    pub fn empty() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Adds one more strategy as an equally weighted arm.
+    pub fn or<S>(mut self, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.arms.push(Box::new(strategy));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].new_value(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} arms)", self.arms.len())
+    }
+}

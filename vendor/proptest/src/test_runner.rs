@@ -1,0 +1,124 @@
+//! The per-test case loop and its configuration.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Configuration for one `proptest!` test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream proptest's 256 to keep the suite
+    /// fast without shrinking support; failures print a reproducible seed.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the case (and test) fails.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// An input rejection (from `prop_assume!`).
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(message) => write!(f, "{message}"),
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Derives a stable per-test seed from the test's name (FNV-1a).
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `config.cases` random cases of `body`, panicking on the first
+/// failure with the case index and seed (enough to reproduce: generation is
+/// a pure function of test name and case index).
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, body: F)
+where
+    F: Fn(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    let mut passed: u32 = 0;
+    let mut case: u64 = 0;
+    // Allow a bounded number of extra iterations so prop_assume! rejections
+    // don't eat into the case budget (mirrors proptest's max_global_rejects).
+    let max_iterations = config.cases as u64 * 16 + 1024;
+    while passed < config.cases && case < max_iterations {
+        let seed = base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest `{name}` failed at case {case} (seed {seed:#x}): {message}"
+                );
+            }
+        }
+        case += 1;
+    }
+    assert!(
+        passed >= config.cases,
+        "proptest `{name}`: too many prop_assume! rejections ({passed}/{} cases ran)",
+        config.cases
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_the_configured_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run_cases(&ProptestConfig::with_cases(10), "t", |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run_cases(&ProptestConfig::with_cases(5), "t", |_| {
+            Err(TestCaseError::fail("boom".into()))
+        });
+    }
+}

@@ -1,0 +1,243 @@
+//! Distribution traits and the uniform primitives.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`, sampled with an [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" uniform distribution for primitive types: full range for
+/// integers, `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// Converts a random `u64` into a uniform `f64` in `[0, 1)` using the top 53
+/// bits (the full mantissa width, so every representable step is hit).
+#[inline]
+pub(crate) fn u64_to_unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Converts a random `u32` into a uniform `f32` in `[0, 1)` using 24 bits.
+#[inline]
+pub(crate) fn u32_to_unit_f32(x: u32) -> f32 {
+    (x >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        u64_to_unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        u32_to_unit_f32(rng.next_u32())
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform range sampling for the primitive types.
+pub mod uniform {
+    use super::{u64_to_unit_f64, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A primitive type that can be drawn uniformly from a range.
+    ///
+    /// The single blanket impl of [`SampleRange`] over this trait (rather
+    /// than one impl per primitive) is what lets type inference flow through
+    /// expressions like `x + rng.gen_range(-0.1..0.1)` with unsuffixed
+    /// literals, exactly as with the real `rand`.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+        fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+        /// Uniform draw from `[lo, hi]`. Panics if the range is empty.
+        fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    /// A range that can be sampled uniformly — the bound behind
+    /// [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    /// Uniform `u64` in `[0, n)` by widening multiplication (Lemire's fast
+    /// path: the bias for the range sizes used in this workspace — far below
+    /// 2^64 — is immeasurably small).
+    #[inline]
+    fn u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    macro_rules! int_uniform {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo < hi, "gen_range: empty range");
+                    // Route the span through the unsigned counterpart: for
+                    // signed types, hi - lo can overflow $t (e.g.
+                    // -100i8..100), and a direct `as u64` would sign-extend.
+                    let span = hi.wrapping_sub(lo) as $u as u64;
+                    lo.wrapping_add(u64_below(rng, span) as $t)
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = hi.wrapping_sub(lo) as $u as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(u64_below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_uniform!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+    );
+
+    macro_rules! float_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let u = u64_to_unit_f64(rng.next_u64());
+                    let v = (lo as f64 + (hi as f64 - lo as f64) * u) as $t;
+                    // Guard against f.p. rounding landing exactly on `hi`;
+                    // step down in the *target* type (stepping the f64 and
+                    // casting could round back up to `hi` for f32).
+                    if v >= hi {
+                        let stepped = hi.next_down();
+                        if stepped >= lo { stepped } else { lo }
+                    } else {
+                        v
+                    }
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let u = u64_to_unit_f64(rng.next_u64());
+                    (lo as f64 + (hi as f64 - lo as f64) * u) as $t
+                }
+            }
+        )*};
+    }
+
+    float_uniform!(f32, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut r = StdRng::seed_from_u64(2);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..200 {
+            match r.gen_range(0u64..=3) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn signed_range_wider_than_type_max_stays_in_bounds() {
+        // hi - lo overflows the signed type; the span must go through the
+        // unsigned counterpart, not sign-extend.
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen_lo_half = false;
+        let mut seen_hi_half = false;
+        for _ in 0..2000 {
+            let v = r.gen_range(-100i8..100);
+            assert!((-100..100).contains(&v), "{v}");
+            if v < 0 {
+                seen_lo_half = true;
+            } else {
+                seen_hi_half = true;
+            }
+            let w = r.gen_range(i32::MIN..0);
+            assert!(w < 0);
+            let x = r.gen_range(i64::MIN..=i64::MAX);
+            let _ = x;
+        }
+        assert!(seen_lo_half && seen_hi_half);
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+}

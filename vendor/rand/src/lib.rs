@@ -1,0 +1,87 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible API subset).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the small slice of `rand` it actually uses:
+//!
+//! * [`rngs::StdRng`] — a seedable PRNG (xoshiro256++ seeded via SplitMix64).
+//! * [`SeedableRng::seed_from_u64`] — the only constructor the workspace uses.
+//! * [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], [`Rng::sample`] —
+//!   uniform generation for the primitive types the workspace draws.
+//! * [`distributions::Distribution`] — the trait the hand-rolled samplers in
+//!   `abae_stats::dist` implement.
+//!
+//! The statistical quality of xoshiro256++ is more than adequate for the
+//! Monte-Carlo tests in this workspace; it is not cryptographically secure,
+//! exactly like the real `StdRng` contract (which only promises a good
+//! general-purpose source). Streams differ from upstream `rand`, so seeds do
+//! not reproduce upstream sequences — all in-repo tests were calibrated
+//! against this generator.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// A low-level source of random `u32`/`u64` words.
+///
+/// Mirrors `rand_core::RngCore` for the methods this workspace needs.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing generation methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a uniform value of type `T` (for `f64`/`f32`: in `[0, 1)`).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Returns a uniform value in the given range (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The seed is expanded to the generator's full state with SplitMix64,
+    /// so nearby seeds still produce decorrelated streams.
+    fn seed_from_u64(state: u64) -> Self;
+}
