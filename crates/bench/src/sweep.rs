@@ -114,6 +114,7 @@ pub fn abae_cis(
                 reuse: knobs.reuse,
                 rounding: knobs.rounding,
                 bootstrap,
+                ..Default::default()
             };
             run_trials(trials, seed ^ budget as u64, |_, rng| {
                 let oracle = PredicateOracle::new(table, pred).expect("predicate exists");

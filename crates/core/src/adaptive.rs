@@ -37,11 +37,19 @@ pub struct AdaptiveConfig {
     pub warmup_per_stratum: usize,
     /// Draws reallocated per adaptation round.
     pub batch: usize,
+    /// Oracle-labeling execution knobs (worker threads, batch size).
+    pub exec: crate::pipeline::ExecOptions,
 }
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        Self { strata: 5, budget: 10_000, warmup_per_stratum: 20, batch: 100 }
+        Self {
+            strata: 5,
+            budget: 10_000,
+            warmup_per_stratum: 20,
+            batch: 100,
+            exec: crate::pipeline::ExecOptions::default(),
+        }
     }
 }
 
@@ -133,8 +141,9 @@ pub fn run_adaptive<O: Oracle, R: Rng + ?Sized>(
                          k: usize,
                          rng: &mut R,
                          spent: &mut usize| {
-        for &local in state.pool.draw(k, rng) {
-            let labeled = oracle.label(members[local]);
+        let drawn: Vec<usize> =
+            state.pool.draw(k, rng).iter().map(|&local| members[local]).collect();
+        for labeled in crate::pipeline::label_all(oracle, &drawn, &config.exec) {
             state.draws += 1;
             if labeled.matches {
                 state.positives += 1;

@@ -72,6 +72,9 @@ pub struct AbaeConfig {
     pub rounding: Rounding,
     /// Bootstrap settings used by the `*_with_ci` entry points.
     pub bootstrap: BootstrapConfig,
+    /// Oracle-labeling execution knobs (worker threads, batch size). Does
+    /// not affect results — only how fast the oracle budget is spent.
+    pub exec: crate::pipeline::ExecOptions,
 }
 
 impl Default for AbaeConfig {
@@ -83,6 +86,7 @@ impl Default for AbaeConfig {
             reuse: SampleReuse::Enabled,
             rounding: Rounding::Floor,
             bootstrap: BootstrapConfig::default(),
+            exec: crate::pipeline::ExecOptions::default(),
         }
     }
 }

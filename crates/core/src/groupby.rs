@@ -25,7 +25,7 @@ use crate::allocation::optimal_allocation;
 use crate::config::ConfigError;
 use crate::estimator::{combine_estimate, StratumEstimate};
 use crate::strata::Stratification;
-use abae_data::{GroupLabel, Labeled, Oracle, SingleGroupOracle};
+use abae_data::{GroupLabel, GroupOracle, Labeled, Oracle};
 use abae_optim::simplex::{minimize_on_simplex, SimplexOptions};
 use abae_sampling::budget::floor_allocation;
 use abae_sampling::pool::IndexPool;
@@ -54,6 +54,8 @@ pub struct GroupByConfig {
     pub stage1_fraction: f64,
     /// Allocation strategy across groups.
     pub allocation: GroupAllocation,
+    /// Oracle-labeling execution knobs (worker threads, batch size).
+    pub exec: crate::pipeline::ExecOptions,
 }
 
 impl Default for GroupByConfig {
@@ -63,6 +65,7 @@ impl Default for GroupByConfig {
             budget: 10_000,
             stage1_fraction: 0.5,
             allocation: GroupAllocation::Minimax,
+            exec: crate::pipeline::ExecOptions::default(),
         }
     }
 }
@@ -214,13 +217,29 @@ fn solve_allocation(
     }
 }
 
+/// Labels the cache misses among `ids` through the batch pipeline (one
+/// oracle charge per distinct record, ever). `ids` must be duplicate-free,
+/// which every without-replacement draw guarantees.
+fn label_uncached<O: GroupOracle + ?Sized>(
+    oracle: &O,
+    ids: &[usize],
+    cache: &mut HashMap<usize, GroupLabel>,
+    cfg: &GroupByConfig,
+) {
+    let misses: Vec<usize> = ids.iter().copied().filter(|i| !cache.contains_key(i)).collect();
+    let labels = crate::pipeline::label_groups_all(oracle, &misses, &cfg.exec);
+    for (idx, label) in misses.into_iter().zip(labels) {
+        cache.insert(idx, label);
+    }
+}
+
 /// ABae-GroupBy in the single-oracle setting.
 ///
 /// `proxies[g]` are group `g`'s proxy scores over the full dataset; the
 /// oracle returns the group key. Returns one estimate per group.
-pub fn groupby_single_oracle<R: Rng + ?Sized>(
+pub fn groupby_single_oracle<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
     proxies: &[&[f64]],
-    oracle: &SingleGroupOracle<'_>,
+    oracle: &O,
     cfg: &GroupByConfig,
     rng: &mut R,
 ) -> Result<Vec<GroupEstimate>, GroupByError> {
@@ -247,18 +266,15 @@ pub fn groupby_single_oracle<R: Rng + ?Sized>(
         })
         .collect();
 
-    // Label cache: one oracle charge per distinct record.
+    // Label cache: one oracle charge per distinct record. Draw order comes
+    // from the RNG on this thread; labeling runs through the batch
+    // pipeline, cache misses only.
     let mut cache: HashMap<usize, GroupLabel> = HashMap::new();
-    let label = |idx: usize, cache: &mut HashMap<usize, GroupLabel>| -> GroupLabel {
-        *cache.entry(idx).or_insert_with(|| oracle.label(idx))
-    };
 
     // Stage 1: one uniform pilot shared by every stratification.
     let n1_total = ((cfg.stage1_fraction * cfg.budget as f64).floor() as usize).min(n);
     let pilot = sample_without_replacement(n, n1_total, rng);
-    for &idx in &pilot {
-        label(idx, &mut cache);
-    }
+    label_uncached(oracle, &pilot, &mut cache, cfg);
 
     // Bucket sampled ids per (stratification, stratum).
     let mut buckets: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); k]; g];
@@ -302,11 +318,14 @@ pub fn groupby_single_oracle<R: Rng + ?Sized>(
                 buckets[l][kk].iter().copied().collect();
             let fresh: Vec<usize> =
                 members.iter().copied().filter(|i| !taken.contains(i)).collect();
-            for pos in sample_without_replacement(fresh.len(), per_stratum[kk], rng) {
-                let idx = fresh[pos];
-                label(idx, &mut cache);
-                buckets[l][kk].push(idx);
-            }
+            let picked: Vec<usize> = sample_without_replacement(fresh.len(), per_stratum[kk], rng)
+                .into_iter()
+                .map(|pos| fresh[pos])
+                .collect();
+            // A record drawn under another stratification is already
+            // labeled; only cache misses reach (and charge) the oracle.
+            label_uncached(oracle, &picked, &mut cache, cfg);
+            buckets[l][kk].extend(picked);
         }
     }
 
@@ -463,13 +482,10 @@ fn multi_oracle_run<O: Oracle, R: Rng + ?Sized>(
         for kk in 0..k {
             let members = stratifications[l].stratum(kk);
             let mut pool = IndexPool::new(members.len());
-            let labeled: Vec<Labeled> = pool
-                .draw(n1_stratum, rng)
-                .iter()
-                .map(|&local| oracles[l].label(members[local]))
-                .collect();
+            let drawn: Vec<usize> =
+                pool.draw(n1_stratum, rng).iter().map(|&local| members[local]).collect();
             group_pools.push(pool);
-            group_draws.push(labeled);
+            group_draws.push(crate::pipeline::label_all(oracles[l], &drawn, &cfg.exec));
         }
         pools.push(group_pools);
         draws.push(group_draws);
@@ -521,12 +537,9 @@ fn multi_oracle_run<O: Oracle, R: Rng + ?Sized>(
         let sizes = stratifications[l].sizes();
         for kk in 0..k {
             let members = stratifications[l].stratum(kk);
-            let extra: Vec<Labeled> = pools[l][kk]
-                .draw(per_stratum[kk], rng)
-                .iter()
-                .map(|&local| oracles[l].label(members[local]))
-                .collect();
-            draws[l][kk].extend(extra);
+            let drawn: Vec<usize> =
+                pools[l][kk].draw(per_stratum[kk], rng).iter().map(|&local| members[local]).collect();
+            draws[l][kk].extend(crate::pipeline::label_all(oracles[l], &drawn, &cfg.exec));
         }
         let ests: Vec<StratumEstimate> = (0..k)
             .map(|kk| StratumEstimate::from_draws(sizes[kk], &draws[l][kk]))
@@ -542,17 +555,17 @@ fn multi_oracle_run<O: Oracle, R: Rng + ?Sized>(
 
 /// Uniform baseline for the single-oracle setting: spend the whole budget
 /// on one uniform sample and average per group.
-pub fn groupby_uniform_single<R: Rng + ?Sized>(
+pub fn groupby_uniform_single<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
     n: usize,
-    oracle: &SingleGroupOracle<'_>,
+    oracle: &O,
     budget: usize,
     rng: &mut R,
 ) -> Vec<GroupEstimate> {
     let g = oracle.group_count();
     let mut sums = vec![0.0; g];
     let mut counts = vec![0usize; g];
-    for idx in sample_without_replacement(n, budget, rng) {
-        let l = oracle.label(idx);
+    let drawn = sample_without_replacement(n, budget, rng);
+    for l in oracle.label_group_batch(&drawn) {
         if let Some(gg) = l.group {
             sums[gg as usize] += l.value;
             counts[gg as usize] += 1;
@@ -598,7 +611,7 @@ pub fn groupby_uniform_multi<O: Oracle, R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abae_data::{PredicateOracle, Table};
+    use abae_data::{PredicateOracle, SingleGroupOracle, Table};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

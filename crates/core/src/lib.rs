@@ -20,6 +20,8 @@
 //! * [`estimator`] — per-stratum plug-in estimates `p̂_k, μ̂_k, σ̂_k` and
 //!   the combined estimator `Σ p̂_k μ̂_k / Σ p̂_k` (Algorithm 1 lines 9–20).
 //! * [`two_stage`] — the two-stage sampling algorithm (`ABaeSample`).
+//! * [`pipeline`] — batch-parallel oracle labeling with deterministic
+//!   ordering; every algorithm labels its draws through it.
 //! * [`bootstrap`] — stratified bootstrap CIs over both stages
 //!   (Algorithm 2).
 //! * [`uniform`] — the uniform-sampling baseline every experiment compares
@@ -43,6 +45,7 @@ pub mod groupby;
 pub mod importance;
 pub mod multipred;
 pub mod normal_ci;
+pub mod pipeline;
 pub mod proxy_combine;
 pub mod proxy_select;
 pub mod strata;
@@ -51,6 +54,7 @@ pub mod uniform;
 
 pub use config::{Aggregate, AbaeConfig, BootstrapConfig, ConfigError, Rounding, SampleReuse};
 pub use estimator::{combine_estimate, StratumEstimate};
+pub use pipeline::ExecOptions;
 pub use strata::Stratification;
 pub use two_stage::{run_abae, run_abae_with_ci, AbaeResult, TwoStageRun};
 pub use uniform::{run_uniform, run_uniform_with_ci};

@@ -11,6 +11,7 @@
 use crate::bootstrap::stratified_bootstrap_ci;
 use crate::config::{AbaeConfig, Aggregate, ConfigError, Rounding, SampleReuse};
 use crate::estimator::{combine_estimate, StratumEstimate};
+use crate::pipeline;
 use crate::strata::Stratification;
 use abae_data::{Labeled, Oracle};
 use abae_sampling::budget::{floor_allocation, largest_remainder_allocation, stage_split};
@@ -69,19 +70,18 @@ pub fn run_two_stage<O: Oracle, R: Rng + ?Sized>(
 
     let calls_before = oracle.calls();
 
-    // Stage 1: N1 pilot draws per stratum.
+    // Stage 1: N1 pilot draws per stratum. The RNG only decides *which*
+    // records to draw (on this thread); labeling goes through the batch
+    // pipeline, so results are identical for any thread count.
     let mut pools: Vec<IndexPool> = Vec::with_capacity(k);
     let mut stage1: Vec<Vec<Labeled>> = Vec::with_capacity(k);
     for s in 0..k {
         let records = stratification.stratum(s);
         let mut pool = IndexPool::new(records.len());
-        let draws: Vec<Labeled> = pool
-            .draw(split.n1_per_stratum, rng)
-            .iter()
-            .map(|&local| oracle.label(records[local]))
-            .collect();
+        let drawn: Vec<usize> =
+            pool.draw(split.n1_per_stratum, rng).iter().map(|&local| records[local]).collect();
         pools.push(pool);
-        stage1.push(draws);
+        stage1.push(pipeline::label_all(oracle, &drawn, &config.exec));
     }
 
     let pilot: Vec<StratumEstimate> = stage1
@@ -105,11 +105,9 @@ pub fn run_two_stage<O: Oracle, R: Rng + ?Sized>(
     let mut samples: Vec<Vec<Labeled>> = Vec::with_capacity(k);
     for (s, mut stage1_draws) in stage1.into_iter().enumerate() {
         let records = stratification.stratum(s);
-        let stage2_draws: Vec<Labeled> = pools[s]
-            .draw(stage2_alloc[s], rng)
-            .iter()
-            .map(|&local| oracle.label(records[local]))
-            .collect();
+        let drawn: Vec<usize> =
+            pools[s].draw(stage2_alloc[s], rng).iter().map(|&local| records[local]).collect();
+        let stage2_draws = pipeline::label_all(oracle, &drawn, &config.exec);
         let combined = match config.reuse {
             SampleReuse::Enabled => {
                 stage1_draws.extend(stage2_draws);

@@ -9,9 +9,11 @@
 //!   exhaustively-computed proxy scores, as the paper assumes), an optional
 //!   group key, and optional text payloads. Exact aggregates over the
 //!   ground truth provide the `μ` every experiment measures error against.
-//! * [`oracle`] — the [`Oracle`] abstraction with invocation accounting
-//!   (the paper's cost metric is the number of oracle calls), plus
-//!   closure-based oracles for composed predicates.
+//! * [`oracle`] — the batch-first, thread-safe [`Oracle`] abstraction with
+//!   atomic invocation accounting (the paper's cost metric is the number of
+//!   oracle calls), the [`GroupOracle`] extension for group-by queries,
+//!   closure-based oracles for composed predicates, and a simulated
+//!   per-invocation latency knob for offline throughput experiments.
 //! * [`csvio`] — a dependency-free CSV reader/writer so user datasets can
 //!   be loaded from disk.
 //! * [`synthetic`] — seeded latent-variable generators: the joint
@@ -31,6 +33,8 @@ pub mod registry;
 pub mod synthetic;
 pub mod table;
 
-pub use oracle::{FnOracle, GroupLabel, Labeled, Oracle, PredicateOracle, SingleGroupOracle};
+pub use oracle::{
+    FnOracle, GroupLabel, GroupOracle, Labeled, Oracle, PredicateOracle, SingleGroupOracle,
+};
 pub use synthetic::{GroupSpec, PredicateModel, StatisticModel, SyntheticSpec};
 pub use table::{GroupKey, Predicate, Table, TableBuilder, TableError};

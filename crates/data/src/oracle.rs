@@ -2,13 +2,24 @@
 //!
 //! The paper measures query cost "in terms of oracle predicate invocations
 //! as it is the dominant cost of query execution by orders of magnitude"
-//! (§5.1). Every oracle here counts its invocations through a [`Cell`], so
-//! tests and the harness can assert that an algorithm spent exactly its
-//! budget. Each experiment trial constructs its own oracle view, so the
-//! non-`Sync` counter is not a constraint.
+//! (§5.1) because the oracle is a DNN invoked *in batches* on accelerators.
+//! The [`Oracle`] trait is therefore batch-first: [`Oracle::label_batch`]
+//! is the primary entry point (one invocation charged per record in the
+//! batch), and the per-record [`Oracle::label`] is a one-element batch.
+//! Every oracle counts its invocations through an [`AtomicU64`], and the
+//! trait requires [`Sync`], so a batch pipeline may fan batches out across
+//! threads while tests still assert that an algorithm spent exactly its
+//! budget.
+//!
+//! For offline throughput experiments, each built-in oracle carries an
+//! optional simulated per-invocation latency ([`PredicateOracle::with_latency`]
+//! and friends): labeling a batch of `m` records then costs `m × latency`
+//! of wall-clock sleep on the calling thread, which makes multi-threaded
+//! speedups measurable without a real DNN behind the oracle.
 
 use crate::table::Table;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Result of one oracle invocation: whether the record satisfies the
 /// predicate, and the statistic value `f(x)`.
@@ -33,10 +44,50 @@ pub struct GroupLabel {
     pub value: f64,
 }
 
+/// Thread-safe invocation meter shared by the built-in oracles: an atomic
+/// call counter plus the optional simulated per-invocation latency.
+#[derive(Debug, Default)]
+struct Meter {
+    calls: AtomicU64,
+    latency: Duration,
+}
+
+impl Meter {
+    /// Charges `n` invocations and, when a latency is configured, sleeps
+    /// `n × latency` (the batch's simulated inference time).
+    fn charge(&self, n: usize) {
+        self.calls.fetch_add(n as u64, Ordering::Relaxed);
+        if !self.latency.is_zero() && n > 0 {
+            std::thread::sleep(self.latency * n as u32);
+        }
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+    }
+}
+
 /// An expensive predicate oracle over record indices.
-pub trait Oracle {
-    /// Labels one record, charging one invocation.
-    fn label(&self, idx: usize) -> Labeled;
+///
+/// `Sync` is a supertrait: oracles are shared across the labeling threads
+/// of `abae_core::pipeline`, and the atomic counter keeps cost accounting
+/// exact regardless of how batches are scheduled.
+pub trait Oracle: Sync {
+    /// Labels a batch of records, in input order, charging one invocation
+    /// per record. This is the primary method — it models the batched DNN
+    /// inference the paper's cost metric counts.
+    fn label_batch(&self, indices: &[usize]) -> Vec<Labeled>;
+
+    /// Labels one record, charging one invocation (a one-element batch).
+    fn label(&self, idx: usize) -> Labeled {
+        self.label_batch(std::slice::from_ref(&idx))
+            .pop()
+            .expect("label_batch returns one label per index")
+    }
 
     /// Invocations so far.
     fn calls(&self) -> u64;
@@ -45,104 +96,168 @@ pub trait Oracle {
     fn reset_calls(&self);
 }
 
+/// An oracle that "determines the group key directly" (§3.2, first group-by
+/// scenario): one invocation returns the record's group rather than a
+/// boolean. Extends [`Oracle`] so group-by cost accounting goes through the
+/// same `calls`/`reset_calls` interface as every other algorithm path.
+pub trait GroupOracle: Oracle {
+    /// Labels a batch of records with group ids, in input order, charging
+    /// one invocation per record.
+    fn label_group_batch(&self, indices: &[usize]) -> Vec<GroupLabel>;
+
+    /// Labels one record with its group id (a one-element batch).
+    fn label_group(&self, idx: usize) -> GroupLabel {
+        self.label_group_batch(std::slice::from_ref(&idx))
+            .pop()
+            .expect("label_group_batch returns one label per index")
+    }
+
+    /// Number of groups the oracle can report.
+    fn group_count(&self) -> usize;
+}
+
 /// Oracle for a named predicate column of a [`Table`].
 pub struct PredicateOracle<'a> {
     table: &'a Table,
     pred: usize,
-    calls: Cell<u64>,
+    meter: Meter,
 }
 
 impl<'a> PredicateOracle<'a> {
     /// Creates an oracle over `table`'s predicate `pred`.
     pub fn new(table: &'a Table, pred: &str) -> Result<Self, crate::table::TableError> {
         let idx = table.predicate_index(pred)?;
-        Ok(Self { table, pred: idx, calls: Cell::new(0) })
+        Ok(Self { table, pred: idx, meter: Meter::default() })
+    }
+
+    /// Simulates `latency` of inference time per invocation (per record,
+    /// charged when its batch is labeled).
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.meter.latency = latency;
+        self
     }
 }
 
 impl Oracle for PredicateOracle<'_> {
-    fn label(&self, idx: usize) -> Labeled {
-        self.calls.set(self.calls.get() + 1);
-        Labeled {
-            matches: self.table.predicates()[self.pred].labels[idx],
-            value: self.table.statistic(idx),
-        }
+    fn label_batch(&self, indices: &[usize]) -> Vec<Labeled> {
+        self.meter.charge(indices.len());
+        indices
+            .iter()
+            .map(|&idx| Labeled {
+                matches: self.table.predicates()[self.pred].labels[idx],
+                value: self.table.statistic(idx),
+            })
+            .collect()
     }
 
     fn calls(&self) -> u64 {
-        self.calls.get()
+        self.meter.calls()
     }
 
     fn reset_calls(&self) {
-        self.calls.set(0);
+        self.meter.reset();
     }
 }
 
 /// A closure-backed oracle; the building block for composed predicates
 /// (ABae-MultiPred evaluates a whole boolean expression as one oracle call)
 /// and for synthetic oracles in tests.
-pub struct FnOracle<F: Fn(usize) -> Labeled> {
+///
+/// The struct itself places no bound on `F`; the [`Oracle`] impl requires
+/// `F: Fn(usize) -> Labeled + Sync` so a shared reference can label batches
+/// from several threads at once.
+pub struct FnOracle<F> {
     f: F,
-    calls: Cell<u64>,
+    meter: Meter,
 }
 
-impl<F: Fn(usize) -> Labeled> FnOracle<F> {
+impl<F> FnOracle<F> {
     /// Wraps a labeling function.
     pub fn new(f: F) -> Self {
-        Self { f, calls: Cell::new(0) }
+        Self { f, meter: Meter::default() }
+    }
+
+    /// Simulates `latency` of inference time per invocation.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.meter.latency = latency;
+        self
     }
 }
 
-impl<F: Fn(usize) -> Labeled> Oracle for FnOracle<F> {
-    fn label(&self, idx: usize) -> Labeled {
-        self.calls.set(self.calls.get() + 1);
-        (self.f)(idx)
+impl<F: Fn(usize) -> Labeled + Sync> Oracle for FnOracle<F> {
+    fn label_batch(&self, indices: &[usize]) -> Vec<Labeled> {
+        self.meter.charge(indices.len());
+        indices.iter().map(|&idx| (self.f)(idx)).collect()
     }
 
     fn calls(&self) -> u64 {
-        self.calls.get()
+        self.meter.calls()
     }
 
     fn reset_calls(&self) {
-        self.calls.set(0);
+        self.meter.reset();
     }
 }
 
-/// A single oracle that "determines the group key directly" (§3.2, first
-/// group-by scenario): one invocation returns the record's group.
+/// A single oracle that returns the record's group key (§3.2, first
+/// group-by scenario), backed by a [`Table`]'s group-key column.
+///
+/// Implements [`Oracle`] (the predicate view: "belongs to *some* group")
+/// and [`GroupOracle`] (the group view); both charge the same counter, so
+/// group-by cost accounting is interchangeable with every other oracle's.
 pub struct SingleGroupOracle<'a> {
     table: &'a Table,
-    calls: Cell<u64>,
+    meter: Meter,
 }
 
 impl<'a> SingleGroupOracle<'a> {
     /// Creates the oracle; the table must carry a group key.
     pub fn new(table: &'a Table) -> Option<Self> {
         table.group_key()?;
-        Some(Self { table, calls: Cell::new(0) })
+        Some(Self { table, meter: Meter::default() })
     }
 
-    /// Labels one record with its group id and statistic.
-    pub fn label(&self, idx: usize) -> GroupLabel {
-        self.calls.set(self.calls.get() + 1);
-        GroupLabel {
-            group: self.table.group_key().expect("validated at construction").key[idx],
-            value: self.table.statistic(idx),
-        }
+    /// Simulates `latency` of inference time per invocation.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.meter.latency = latency;
+        self
+    }
+}
+
+impl Oracle for SingleGroupOracle<'_> {
+    fn label_batch(&self, indices: &[usize]) -> Vec<Labeled> {
+        // Predicate view of the group key: `matches` ⇔ in any group.
+        let key = self.table.group_key().expect("validated at construction");
+        self.meter.charge(indices.len());
+        indices
+            .iter()
+            .map(|&idx| Labeled {
+                matches: key.key[idx].is_some(),
+                value: self.table.statistic(idx),
+            })
+            .collect()
     }
 
-    /// Invocations so far.
-    pub fn calls(&self) -> u64 {
-        self.calls.get()
+    fn calls(&self) -> u64 {
+        self.meter.calls()
     }
 
-    /// Resets the invocation counter.
-    pub fn reset_calls(&self) {
-        self.calls.set(0);
+    fn reset_calls(&self) {
+        self.meter.reset();
+    }
+}
+
+impl GroupOracle for SingleGroupOracle<'_> {
+    fn label_group_batch(&self, indices: &[usize]) -> Vec<GroupLabel> {
+        let key = self.table.group_key().expect("validated at construction");
+        self.meter.charge(indices.len());
+        indices
+            .iter()
+            .map(|&idx| GroupLabel { group: key.key[idx], value: self.table.statistic(idx) })
+            .collect()
     }
 
-    /// Number of groups.
-    pub fn group_count(&self) -> usize {
+    fn group_count(&self) -> usize {
         self.table.group_key().expect("validated at construction").names.len()
     }
 }
@@ -171,6 +286,26 @@ mod tests {
         assert!(!l.matches);
         assert_eq!(o.calls(), 2);
         o.reset_calls();
+        assert_eq!(o.calls(), 0);
+    }
+
+    #[test]
+    fn batch_labels_match_per_record_labels_and_charge_len() {
+        let t = table();
+        let o = PredicateOracle::new(&t, "p").unwrap();
+        let batch = o.label_batch(&[0, 1, 2]);
+        assert_eq!(o.calls(), 3);
+        o.reset_calls();
+        let singles: Vec<Labeled> = (0..3).map(|i| o.label(i)).collect();
+        assert_eq!(batch, singles);
+        assert_eq!(o.calls(), 3);
+    }
+
+    #[test]
+    fn empty_batch_charges_nothing() {
+        let t = table();
+        let o = PredicateOracle::new(&t, "p").unwrap();
+        assert!(o.label_batch(&[]).is_empty());
         assert_eq!(o.calls(), 0);
     }
 
@@ -205,19 +340,68 @@ mod tests {
     }
 
     #[test]
+    fn counters_are_exact_under_concurrent_batches() {
+        let o = FnOracle::new(|idx| Labeled { matches: true, value: idx as f64 });
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for start in 0..50usize {
+                        let ids: Vec<usize> = (start..start + 4).collect();
+                        o.label_batch(&ids);
+                    }
+                });
+            }
+        });
+        assert_eq!(o.calls(), 8 * 50 * 4);
+    }
+
+    #[test]
     fn group_oracle_labels_groups() {
         let t = table();
         let o = SingleGroupOracle::new(&t).unwrap();
         assert_eq!(o.group_count(), 2);
-        assert_eq!(o.label(0).group, Some(0));
-        assert_eq!(o.label(1).group, None);
-        assert_eq!(o.label(2).group, Some(1));
+        assert_eq!(o.label_group(0).group, Some(0));
+        assert_eq!(o.label_group(1).group, None);
+        assert_eq!(o.label_group(2).group, Some(1));
         assert_eq!(o.calls(), 3);
+    }
+
+    #[test]
+    fn group_oracle_predicate_view_shares_the_counter() {
+        let t = table();
+        let o = SingleGroupOracle::new(&t).unwrap();
+        // Oracle view: matches ⇔ some group.
+        let l = o.label_batch(&[0, 1]);
+        assert!(l[0].matches && !l[1].matches);
+        // Group view continues the same count.
+        o.label_group_batch(&[2]);
+        assert_eq!(o.calls(), 3);
+        o.reset_calls();
+        assert_eq!(o.calls(), 0);
     }
 
     #[test]
     fn group_oracle_requires_group_key() {
         let t = Table::builder("t", vec![1.0]).build().unwrap();
         assert!(SingleGroupOracle::new(&t).is_none());
+    }
+
+    #[test]
+    fn with_latency_preserves_the_running_count() {
+        let t = table();
+        let o = PredicateOracle::new(&t, "p").unwrap();
+        o.label(0);
+        let o = o.with_latency(Duration::from_micros(1));
+        assert_eq!(o.calls(), 1, "configuring latency must not reset accounting");
+    }
+
+    #[test]
+    fn latency_knob_sleeps_per_invocation() {
+        let o = FnOracle::new(|idx| Labeled { matches: true, value: idx as f64 })
+            .with_latency(Duration::from_millis(2));
+        let start = std::time::Instant::now();
+        o.label_batch(&[0, 1, 2, 3, 4]);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        assert_eq!(o.calls(), 5);
     }
 }

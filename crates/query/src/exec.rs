@@ -17,8 +17,9 @@ use crate::parser::{parse_query, ParseError};
 use abae_core::config::{AbaeConfig, BootstrapConfig, ConfigError};
 use abae_core::groupby::{groupby_single_oracle, GroupByConfig, GroupByError};
 use abae_core::multipred::expression_oracle;
+use abae_core::pipeline::ExecOptions;
 use abae_core::two_stage::run_abae_with_ci;
-use abae_data::{SingleGroupOracle, TableError};
+use abae_data::{Oracle as _, SingleGroupOracle, TableError};
 use abae_stats::bootstrap::ConfidenceInterval;
 use rand::Rng;
 
@@ -59,6 +60,14 @@ pub enum QueryError {
         /// The table searched.
         table: String,
     },
+    /// `USING <proxy>` named something that is neither a predicate column
+    /// nor a registered binding of the table.
+    UnknownProxy {
+        /// The proxy name from the query.
+        proxy: String,
+        /// The table searched.
+        table: String,
+    },
     /// Table-level failure.
     Table(TableError),
     /// Invalid ABae configuration derived from the query.
@@ -76,6 +85,9 @@ impl std::fmt::Display for QueryError {
             QueryError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             QueryError::UnresolvedPredicate { atom, table } => {
                 write!(f, "predicate `{atom}` is not a column or binding of `{table}`")
+            }
+            QueryError::UnknownProxy { proxy, table } => {
+                write!(f, "USING proxy `{proxy}` is not a column or binding of `{table}`")
             }
             QueryError::Table(e) => write!(f, "table: {e}"),
             QueryError::Config(e) => write!(f, "config: {e}"),
@@ -103,12 +115,22 @@ pub struct Executor<'a> {
     pub stage1_fraction: f64,
     /// Bootstrap resamples `β` per CI.
     pub bootstrap_trials: usize,
+    /// Oracle-labeling execution knobs (worker threads, batch size),
+    /// forwarded to every algorithm the executor routes to. Defaults honor
+    /// `ABAE_THREADS` / `ABAE_BATCH`; results are identical for any value.
+    pub exec: ExecOptions,
 }
 
 impl<'a> Executor<'a> {
     /// Creates an executor with the paper's default knobs.
     pub fn new(catalog: &'a Catalog) -> Self {
-        Self { catalog, strata: 5, stage1_fraction: 0.5, bootstrap_trials: 1000 }
+        Self {
+            catalog,
+            strata: 5,
+            stage1_fraction: 0.5,
+            bootstrap_trials: 1000,
+            exec: ExecOptions::default(),
+        }
     }
 
     /// Parses and executes `sql`.
@@ -197,14 +219,16 @@ impl<'a> Executor<'a> {
         }
 
         let expr = query.predicate.to_pred_expr(&index_of);
-        // Stratification scores: a `USING <column>` proxy when it resolves,
+        // Stratification scores: the `USING <column>` proxy when one is
+        // named (an unresolvable name is an error, not a silent fallback),
         // otherwise the §3.3 combination of the predicates' own proxies.
-        let scores = match query
-            .proxy
-            .as_deref()
-            .and_then(|p| self.catalog.resolve(&query.table, p))
-        {
-            Some(col) => table.predicate(&col).map_err(QueryError::Table)?.proxy.clone(),
+        let scores = match query.proxy.as_deref() {
+            Some(p) => {
+                let col = self.catalog.resolve(&query.table, p).ok_or_else(|| {
+                    QueryError::UnknownProxy { proxy: p.to_string(), table: query.table.clone() }
+                })?;
+                table.predicate(&col).map_err(QueryError::Table)?.proxy.clone()
+            }
             None => abae_core::multipred::table_combined_scores(table, &expr)
                 .map_err(QueryError::Table)?,
         };
@@ -217,6 +241,7 @@ impl<'a> Executor<'a> {
                 trials: self.bootstrap_trials,
                 alpha: 1.0 - query.probability,
             },
+            exec: self.exec,
             ..Default::default()
         };
         let agg = query.agg.to_core();
@@ -262,6 +287,7 @@ impl<'a> Executor<'a> {
             strata: self.strata,
             budget: query.oracle_limit,
             stage1_fraction: self.stage1_fraction,
+            exec: self.exec,
             ..Default::default()
         };
         let estimates =
@@ -391,6 +417,86 @@ mod tests {
             ),
             Err(QueryError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn malformed_with_probability_is_a_parse_error() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let mut rng = StdRng::seed_from_u64(40);
+        // Non-numeric probability.
+        assert!(matches!(
+            exec.execute(
+                "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 100 \
+                 WITH PROBABILITY banana",
+                &mut rng
+            ),
+            Err(QueryError::Parse(_))
+        ));
+        // Clause cut off before the number.
+        assert!(matches!(
+            exec.execute(
+                "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 100 WITH PROBABILITY",
+                &mut rng
+            ),
+            Err(QueryError::Parse(_))
+        ));
+        // `WITH` without `PROBABILITY`.
+        assert!(matches!(
+            exec.execute(
+                "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 100 WITH 0.95",
+                &mut rng
+            ),
+            Err(QueryError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_probability_is_a_config_error() {
+        // Parses fine, but 1 − p falls outside (0, 1) and config validation
+        // reports it rather than panicking inside the bootstrap.
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let mut rng = StdRng::seed_from_u64(41);
+        for p in ["1.5", "0", "1"] {
+            let sql = format!(
+                "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 100 WITH PROBABILITY {p}"
+            );
+            assert!(
+                matches!(exec.execute(&sql, &mut rng), Err(QueryError::Config(_))),
+                "probability {p} should be rejected as a config error"
+            );
+        }
+    }
+
+    #[test]
+    fn using_a_missing_proxy_column_errors_instead_of_falling_back() {
+        let cat = catalog();
+        let exec = Executor { bootstrap_trials: 50, ..Executor::new(&cat) };
+        let mut rng = StdRng::seed_from_u64(42);
+        let err = exec
+            .execute(
+                "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 500 USING mystery_scores",
+                &mut rng,
+            )
+            .unwrap_err();
+        match err {
+            QueryError::UnknownProxy { proxy, table } => {
+                assert_eq!(proxy, "mystery_scores");
+                assert_eq!(table, "emails");
+                let msg = QueryError::UnknownProxy { proxy, table }.to_string();
+                assert!(msg.contains("mystery_scores") && msg.contains("emails"), "{msg}");
+            }
+            other => panic!("expected UnknownProxy, got {other:?}"),
+        }
+        // Positive control: a resolvable proxy still executes.
+        let r = exec
+            .execute(
+                "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 500 USING is_spam",
+                &mut rng,
+            )
+            .unwrap();
+        assert!(r.oracle_calls <= 500);
     }
 
     fn grouped_table(n: usize) -> Table {

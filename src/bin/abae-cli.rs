@@ -11,6 +11,7 @@
 //! abae-cli --demo "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 2000"
 //! ```
 
+use abae::core::pipeline::ExecOptions;
 use abae::data::csvio::read_table;
 use abae::data::emulators::{trec05p, EmulatorOptions};
 use abae::query::{Catalog, Executor};
@@ -25,16 +26,22 @@ struct Args {
     demo: bool,
     explain: bool,
     seed: u64,
+    exec: ExecOptions,
     sql: String,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: abae-cli [--csv FILE --table NAME | --demo] [--explain] [--seed N] \"SQL\"\n\
+        "usage: abae-cli [--csv FILE --table NAME | --demo] [--explain] [--seed N]\n\
+         \x20               [--threads N] [--batch N] \"SQL\"\n\
          \n\
          The SQL dialect is the ABae paper's Figure 1:\n\
          SELECT {{AVG|SUM|COUNT|PERCENTAGE}}(expr) FROM table WHERE predicate\n\
-         [GROUP BY key] ORACLE LIMIT n [USING proxy] [WITH PROBABILITY p]"
+         [GROUP BY key] ORACLE LIMIT n [USING proxy] [WITH PROBABILITY p]\n\
+         \n\
+         --threads / --batch control the parallel oracle-labeling pipeline\n\
+         (defaults: env ABAE_THREADS / ABAE_BATCH, else 1 thread, batch 256).\n\
+         Results are identical for any thread count or batch size."
     );
     std::process::exit(2);
 }
@@ -46,9 +53,13 @@ fn parse_args() -> Args {
         demo: false,
         explain: false,
         seed: 0xABAE,
+        exec: ExecOptions::default(),
         sql: String::new(),
     };
     let mut it = std::env::args().skip(1);
+    let numeric = |it: &mut dyn Iterator<Item = String>| -> usize {
+        it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
@@ -61,6 +72,8 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--threads" => args.exec.threads = numeric(&mut it),
+            "--batch" => args.exec.batch_size = numeric(&mut it).max(1),
             "--help" | "-h" => usage(),
             sql if !sql.starts_with("--") => args.sql = sql.to_string(),
             _ => usage(),
@@ -98,7 +111,8 @@ fn main() -> ExitCode {
 
     let mut catalog = Catalog::new();
     catalog.register_table(table);
-    let executor = Executor::new(&catalog);
+    let mut executor = Executor::new(&catalog);
+    executor.exec = args.exec;
 
     if args.explain {
         match executor.explain(&args.sql) {

@@ -1,0 +1,267 @@
+//! Budget-accounting invariants: algorithms spend exactly what the paper's
+//! cost model says they spend, with the atomic counter as the witness, and
+//! the spend is invariant to how labeling is batched or threaded.
+//!
+//! The paper's cost metric is oracle invocations (§5.1); `ORACLE LIMIT`
+//! is a hard budget. Under floor rounding the spend is
+//! `K·N1 + Σ_k ⌊N2·T̂_k⌋` — strictly under budget when the fractional
+//! allocation truncates — and under largest-remainder rounding the full
+//! budget is spent. These tests pin the exact arithmetic, including the
+//! truncation edge cases, across batch sizes 1 / 7 / 64 / 1024 and 1 / 8
+//! threads.
+
+use abae::core::groupby::{groupby_multi_oracle, groupby_single_oracle, GroupByConfig};
+use abae::core::multipred::{run_multipred, PredExpr};
+use abae::core::pipeline::ExecOptions;
+use abae::core::two_stage::run_two_stage;
+use abae::core::{run_abae, AbaeConfig, Aggregate, Rounding, Stratification};
+use abae::data::{FnOracle, Labeled, Oracle, PredicateOracle, SingleGroupOracle, Table};
+use abae::sampling::budget::{floor_allocation, stage_split};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BATCHES: [usize; 4] = [1, 7, 64, 1024];
+const THREADS: [usize; 2] = [1, 8];
+
+fn population(n: usize, seed: u64) -> (Vec<f64>, Vec<bool>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scores = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s: f64 = rng.gen();
+        scores.push(s);
+        labels.push(rng.gen::<f64>() < 0.15 + 0.7 * s);
+        values.push(rng.gen_range(0.0..30.0));
+    }
+    (scores, labels, values)
+}
+
+fn oracle_for(labels: &[bool], values: &[f64]) -> FnOracle<impl Fn(usize) -> Labeled + Sync> {
+    let labels = labels.to_vec();
+    let values = values.to_vec();
+    FnOracle::new(move |i| Labeled { matches: labels[i], value: values[i] })
+}
+
+/// Largest-remainder rounding spends exactly `ORACLE LIMIT`, for awkward
+/// budgets that don't divide by the strata count, at every batch size and
+/// thread count.
+#[test]
+fn largest_remainder_spends_exactly_the_budget() {
+    let (scores, labels, values) = population(30_000, 1);
+    for budget in [997usize, 1003, 2500] {
+        for threads in THREADS {
+            for batch in BATCHES {
+                let oracle = oracle_for(&labels, &values);
+                let cfg = AbaeConfig {
+                    budget,
+                    rounding: Rounding::LargestRemainder,
+                    exec: ExecOptions::new(threads, batch),
+                    ..Default::default()
+                };
+                let mut rng = StdRng::seed_from_u64(7);
+                let r = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+                assert_eq!(
+                    r.oracle_calls, budget as u64,
+                    "budget {budget} threads {threads} batch {batch}"
+                );
+                assert_eq!(oracle.calls(), r.oracle_calls, "atomic counter disagrees");
+            }
+        }
+    }
+}
+
+/// Floor rounding spends exactly `K·N1 + Σ_k ⌊N2·T̂_k⌋` — the white-box
+/// arithmetic of Algorithm 1 — reproducible from the run's own pilot
+/// estimates. The chosen budgets force truncation (`Σ⌊·⌋ < N2`).
+#[test]
+fn floor_rounding_spend_matches_the_papers_arithmetic() {
+    let (scores, labels, values) = population(30_000, 2);
+    for (budget, strata) in [(1000usize, 5usize), (1009, 3), (777, 7)] {
+        for threads in THREADS {
+            for batch in BATCHES {
+                let oracle = oracle_for(&labels, &values);
+                let cfg = AbaeConfig {
+                    budget,
+                    strata,
+                    exec: ExecOptions::new(threads, batch),
+                    ..Default::default()
+                };
+                let strat = Stratification::by_proxy_quantile(&scores, strata);
+                let mut rng = StdRng::seed_from_u64(11);
+                let run = run_two_stage(&strat, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+
+                let split = stage_split(budget, cfg.stage1_fraction, strata);
+                let weights: Vec<f64> =
+                    run.pilot.iter().map(|e| e.p_hat.sqrt() * e.sigma_hat).collect();
+                let stage2: usize =
+                    floor_allocation(&weights, split.n2_total).into_iter().sum();
+                let expected = (strata * split.n1_per_stratum + stage2) as u64;
+                assert_eq!(
+                    run.oracle_calls, expected,
+                    "budget {budget} strata {strata} threads {threads} batch {batch}"
+                );
+                assert!(run.oracle_calls <= budget as u64);
+                assert_eq!(oracle.calls(), run.oracle_calls);
+            }
+        }
+    }
+}
+
+/// A floor-truncation edge case with known arithmetic: a uniform population
+/// makes every stratum's weight equal, so `⌊N2/K⌋` per stratum and
+/// `N2 mod K` draws are left unspent.
+#[test]
+fn floor_truncation_leaves_the_remainder_unspent() {
+    let n = 20_000;
+    let scores: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+    // Every record matches with a constant statistic: every stratum's
+    // weight `√p̂·σ̂` is exactly 0, so the allocator's uniform fallback
+    // splits N2 evenly and the floor arithmetic is knowable in advance.
+    let values = vec![2.5; n];
+    let labels = vec![true; n];
+    // budget 1000, K 5, C 0.5 → N1 = 100/stratum, N2 = 500 → all spent;
+    // budget 1004 → N1 = 100, N2 = 504 → ⌊504/5⌋·5 = 500, 4 unspent.
+    for (budget, expected) in [(1000usize, 1000u64), (1004, 1000)] {
+        for batch in BATCHES {
+            let oracle = oracle_for(&labels, &values);
+            let cfg = AbaeConfig {
+                budget,
+                exec: ExecOptions::new(8, batch),
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(3);
+            let r = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+            assert_eq!(r.oracle_calls, expected, "budget {budget} batch {batch}");
+            assert_eq!(oracle.calls(), expected);
+        }
+    }
+}
+
+fn group_table(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut key = Vec::with_capacity(n);
+    let mut labels: Vec<Vec<bool>> = (0..2).map(|_| Vec::with_capacity(n)).collect();
+    let mut proxies: Vec<Vec<f64>> = (0..2).map(|_| Vec::with_capacity(n)).collect();
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        let group = if u < 0.2 {
+            Some(0u16)
+        } else if u < 0.45 {
+            Some(1)
+        } else {
+            None
+        };
+        key.push(group);
+        for g in 0..2u16 {
+            let member = group == Some(g);
+            labels[g as usize].push(member);
+            proxies[g as usize].push(if member {
+                rng.gen_range(0.55..1.0)
+            } else {
+                rng.gen_range(0.0..0.45)
+            });
+        }
+        values.push(group.map(|g| 5.0 + g as f64).unwrap_or(0.0) + rng.gen_range(0.0..1.0));
+    }
+    Table::builder("grp", values)
+        .predicate("g0", std::mem::take(&mut labels[0]), std::mem::take(&mut proxies[0]))
+        .predicate("g1", std::mem::take(&mut labels[1]), std::mem::take(&mut proxies[1]))
+        .group_key(vec!["g0".into(), "g1".into()], key)
+        .build()
+        .unwrap()
+}
+
+/// MultiPred evaluates the whole boolean expression as ONE invocation per
+/// record; under largest-remainder rounding the expression oracle spends
+/// exactly the budget at every batch size.
+#[test]
+fn multipred_charges_one_invocation_per_record() {
+    let t = group_table(20_000, 4);
+    let expr = PredExpr::or(PredExpr::pred(0), PredExpr::pred(1));
+    for batch in BATCHES {
+        let cfg = AbaeConfig {
+            budget: 1501,
+            rounding: Rounding::LargestRemainder,
+            bootstrap: abae::core::BootstrapConfig { trials: 40, alpha: 0.05 },
+            exec: ExecOptions::new(8, batch),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = run_multipred(&t, &expr, &cfg, Aggregate::Avg, &mut rng).unwrap();
+        assert_eq!(r.oracle_calls, 1501, "batch {batch}");
+    }
+}
+
+/// Single-oracle group-by: the label cache charges each distinct record
+/// once; total spend never exceeds the budget and is identical across
+/// batch sizes and thread counts.
+#[test]
+fn groupby_single_oracle_spend_is_batch_invariant_and_bounded() {
+    let t = group_table(25_000, 6);
+    let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    let budget = 3000usize;
+    let mut reference: Option<u64> = None;
+    for threads in THREADS {
+        for batch in BATCHES {
+            let oracle = SingleGroupOracle::new(&t).unwrap();
+            let cfg = GroupByConfig {
+                budget,
+                exec: ExecOptions::new(threads, batch),
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(8);
+            groupby_single_oracle(&proxies, &oracle, &cfg, &mut rng).unwrap();
+            let spent = oracle.calls();
+            assert!(spent <= budget as u64, "spent {spent} over budget {budget}");
+            assert!(spent >= (budget / 2) as u64, "pilot alone is half the budget");
+            match reference {
+                None => reference = Some(spent),
+                Some(r) => assert_eq!(spent, r, "threads {threads} batch {batch}"),
+            }
+        }
+    }
+}
+
+/// Multi-oracle group-by: per-group oracles sum to at most the budget,
+/// identically across batch sizes and thread counts.
+#[test]
+fn groupby_multi_oracle_spend_is_batch_invariant_and_bounded() {
+    let t = group_table(25_000, 9);
+    let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    let budget = 3001usize;
+    let mut reference: Option<u64> = None;
+    for threads in THREADS {
+        for batch in BATCHES {
+            let o0 = PredicateOracle::new(&t, "g0").unwrap();
+            let o1 = PredicateOracle::new(&t, "g1").unwrap();
+            let cfg = GroupByConfig {
+                budget,
+                exec: ExecOptions::new(threads, batch),
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(10);
+            groupby_multi_oracle(&proxies, &[&o0, &o1], &cfg, &mut rng).unwrap();
+            let spent = o0.calls() + o1.calls();
+            assert!(spent <= budget as u64, "spent {spent} over budget {budget}");
+            match reference {
+                None => reference = Some(spent),
+                Some(r) => assert_eq!(spent, r, "threads {threads} batch {batch}"),
+            }
+        }
+    }
+}
+
+/// The atomic counter is exact under concurrent batches — the property the
+/// whole suite's accounting rests on.
+#[test]
+fn atomic_counter_is_exact_under_parallel_labeling() {
+    let oracle = FnOracle::new(|i: usize| Labeled { matches: i % 2 == 0, value: i as f64 });
+    let ids: Vec<usize> = (0..10_000).collect();
+    let labels = abae::core::pipeline::label_all(&oracle, &ids, &ExecOptions::new(8, 17));
+    assert_eq!(labels.len(), 10_000);
+    assert_eq!(oracle.calls(), 10_000);
+    oracle.reset_calls();
+    assert_eq!(oracle.calls(), 0);
+}
