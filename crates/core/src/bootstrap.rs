@@ -16,15 +16,15 @@ use abae_data::Labeled;
 use abae_stats::bootstrap::{percentile_ci, ConfidenceInterval};
 use rand::Rng;
 
-/// Computes one bootstrap replicate estimate by resampling every stratum's
-/// draws with replacement.
-fn bootstrap_replicate<R: Rng + ?Sized>(
+/// Resamples every stratum's draws with replacement and returns the
+/// replicate's per-stratum sufficient statistics — the input from which
+/// *any* aggregate's replicate estimate is one [`combine_estimate`] call.
+fn resample_strata<R: Rng + ?Sized>(
     samples: &[Vec<Labeled>],
     sizes: &[usize],
-    agg: Aggregate,
     scratch: &mut Vec<Labeled>,
     rng: &mut R,
-) -> f64 {
+) -> Vec<StratumEstimate> {
     let mut strata = Vec::with_capacity(samples.len());
     for (k, draws) in samples.iter().enumerate() {
         scratch.clear();
@@ -35,7 +35,7 @@ fn bootstrap_replicate<R: Rng + ?Sized>(
         }
         strata.push(StratumEstimate::from_draws(sizes[k], scratch));
     }
-    combine_estimate(agg, &strata)
+    strata
 }
 
 /// Algorithm 2: stratified percentile-bootstrap CI.
@@ -50,16 +50,40 @@ pub fn stratified_bootstrap_ci<R: Rng + ?Sized>(
     config: &BootstrapConfig,
     rng: &mut R,
 ) -> Option<ConfidenceInterval> {
+    stratified_bootstrap_cis(samples, sizes, std::slice::from_ref(&agg), config, rng)
+        .pop()
+        .flatten()
+}
+
+/// Algorithm 2 for several aggregates at once, sharing the resampling
+/// work: each of the `β` replicates resamples the strata *once* and
+/// evaluates every requested aggregate on the same resample, so a
+/// multi-aggregate query pays one bootstrap instead of `|aggs|`.
+///
+/// Returns one `Option<ConfidenceInterval>` per entry of `aggs`, in order
+/// (`None` for all of them when every stratum is empty or `trials == 0`).
+/// For a single aggregate this consumes exactly the same RNG stream as
+/// [`stratified_bootstrap_ci`] always has — seeded results are unchanged.
+pub fn stratified_bootstrap_cis<R: Rng + ?Sized>(
+    samples: &[Vec<Labeled>],
+    sizes: &[usize],
+    aggs: &[Aggregate],
+    config: &BootstrapConfig,
+    rng: &mut R,
+) -> Vec<Option<ConfidenceInterval>> {
     assert_eq!(samples.len(), sizes.len(), "samples/sizes must align");
     if samples.iter().all(Vec::is_empty) || config.trials == 0 {
-        return None;
+        return vec![None; aggs.len()];
     }
     let mut scratch: Vec<Labeled> = Vec::new();
-    let mut replicates = Vec::with_capacity(config.trials);
+    let mut replicates: Vec<Vec<f64>> = vec![Vec::with_capacity(config.trials); aggs.len()];
     for _ in 0..config.trials {
-        replicates.push(bootstrap_replicate(samples, sizes, agg, &mut scratch, rng));
+        let strata = resample_strata(samples, sizes, &mut scratch, rng);
+        for (reps, &agg) in replicates.iter_mut().zip(aggs) {
+            reps.push(combine_estimate(agg, &strata));
+        }
     }
-    percentile_ci(&mut replicates, config.alpha)
+    replicates.into_iter().map(|mut reps| percentile_ci(&mut reps, config.alpha)).collect()
 }
 
 #[cfg(test)]
@@ -190,6 +214,66 @@ mod tests {
         assert!(wide.width() >= narrow.width());
         assert_eq!(wide.confidence, 0.99);
         assert_eq!(narrow.confidence, 0.8);
+    }
+
+    #[test]
+    fn multi_aggregate_cis_share_one_resampling_pass() {
+        let samples: Vec<Vec<Labeled>> = vec![
+            (0..80).map(|i| labeled(i % 3 != 0, (i % 5) as f64)).collect(),
+            (0..80).map(|i| labeled(i % 2 == 0, (i % 7) as f64)).collect(),
+        ];
+        let sizes = vec![400, 400];
+        let cfg = BootstrapConfig { trials: 300, alpha: 0.05 };
+        // The resampling stream does not depend on which aggregates are
+        // requested, so each aggregate's CI is identical whether computed
+        // alone or as part of a multi-aggregate batch with the same seed.
+        let all = stratified_bootstrap_cis(
+            &samples,
+            &sizes,
+            &[Aggregate::Avg, Aggregate::Sum, Aggregate::Count],
+            &cfg,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let avg_alone = stratified_bootstrap_ci(
+            &samples,
+            &sizes,
+            Aggregate::Avg,
+            &cfg,
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], avg_alone);
+        // Every aggregate's CI brackets its own point estimate.
+        let strata = [
+            StratumEstimate::from_draws(400, &samples[0]),
+            StratumEstimate::from_draws(400, &samples[1]),
+        ];
+        for (ci, agg) in all.iter().zip([Aggregate::Avg, Aggregate::Sum, Aggregate::Count]) {
+            let ci = ci.expect("non-empty samples");
+            let point = combine_estimate(agg, &strata);
+            assert!(ci.lo <= point && point <= ci.hi, "{agg:?}: [{}, {}] vs {point}", ci.lo, ci.hi);
+        }
+    }
+
+    #[test]
+    fn multi_aggregate_cis_handle_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let empty = stratified_bootstrap_cis(
+            &[vec![], vec![]],
+            &[10, 10],
+            &[Aggregate::Avg, Aggregate::Sum],
+            &BootstrapConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(empty, vec![None, None]);
+        let no_aggs = stratified_bootstrap_cis(
+            &[vec![labeled(true, 1.0)]],
+            &[10],
+            &[],
+            &BootstrapConfig::default(),
+            &mut rng,
+        );
+        assert!(no_aggs.is_empty());
     }
 
     #[test]

@@ -233,6 +233,18 @@ fn label_uncached<O: GroupOracle + ?Sized>(
     }
 }
 
+/// The sampled state of one single-oracle group-by run: everything the
+/// final estimator (and its bootstrap) needs, with no further oracle cost.
+struct SingleOracleRun {
+    /// `buckets[l][k]`: record ids sampled into stratum `k` of
+    /// stratification `l` (pilot plus that stratification's Stage-2 draws).
+    buckets: Vec<Vec<Vec<usize>>>,
+    /// Every sampled id's group label (one oracle charge per distinct id).
+    cache: HashMap<usize, GroupLabel>,
+    /// Per-group stratifications, in group order.
+    stratifications: Vec<Stratification>,
+}
+
 /// ABae-GroupBy in the single-oracle setting.
 ///
 /// `proxies[g]` are group `g`'s proxy scores over the full dataset; the
@@ -243,6 +255,79 @@ pub fn groupby_single_oracle<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
     cfg: &GroupByConfig,
     rng: &mut R,
 ) -> Result<Vec<GroupEstimate>, GroupByError> {
+    let run = single_oracle_sample(proxies, oracle, cfg, rng)?;
+    let estimates = single_oracle_estimates(&run.buckets, &run.cache, &run.stratifications);
+    Ok(estimates
+        .into_iter()
+        .enumerate()
+        .map(|(gg, estimate)| GroupEstimate { group: gg as u16, estimate })
+        .collect())
+}
+
+/// ABae-GroupBy (single oracle) with per-group bootstrap CIs.
+///
+/// The sampling phase is identical to [`groupby_single_oracle`] (same RNG
+/// stream, same oracle spend); the bootstrap runs afterwards on the cached
+/// labels for free. Because the single-oracle setting shares records
+/// across stratifications, the per-stratum draws are not independent the
+/// way Algorithm 2 assumes; the CI here resamples every
+/// `(stratification, stratum)` bucket with replacement and recomputes the
+/// full inverse-variance-weighted estimator per replicate, which treats
+/// the buckets as approximately independent. The approximation is good
+/// when strata are large relative to the overlap and is reported as a
+/// percentile interval of the *actual* estimator, so it always tracks the
+/// point estimate.
+pub fn groupby_single_oracle_with_ci<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
+    proxies: &[&[f64]],
+    oracle: &O,
+    cfg: &GroupByConfig,
+    bootstrap: &crate::config::BootstrapConfig,
+    rng: &mut R,
+) -> Result<Vec<GroupEstimateWithCi>, GroupByError> {
+    if !(bootstrap.alpha > 0.0 && bootstrap.alpha < 1.0) {
+        return Err(GroupByError::Config(ConfigError::BadAlpha(bootstrap.alpha)));
+    }
+    let run = single_oracle_sample(proxies, oracle, cfg, rng)?;
+    let points = single_oracle_estimates(&run.buckets, &run.cache, &run.stratifications);
+    let g = points.len();
+    let mut replicates: Vec<Vec<f64>> = vec![Vec::with_capacity(bootstrap.trials); g];
+    let mut resampled = run.buckets.clone();
+    for _ in 0..bootstrap.trials {
+        for (res_strat, buckets) in resampled.iter_mut().zip(&run.buckets) {
+            for (res_bucket, ids) in res_strat.iter_mut().zip(buckets) {
+                res_bucket.clear();
+                if !ids.is_empty() {
+                    for _ in 0..ids.len() {
+                        res_bucket.push(ids[rng.gen_range(0..ids.len())]);
+                    }
+                }
+            }
+        }
+        let est = single_oracle_estimates(&resampled, &run.cache, &run.stratifications);
+        for (reps, e) in replicates.iter_mut().zip(est) {
+            reps.push(e);
+        }
+    }
+    Ok(points
+        .into_iter()
+        .zip(replicates)
+        .enumerate()
+        .map(|(gg, (estimate, mut reps))| GroupEstimateWithCi {
+            group: gg as u16,
+            estimate,
+            ci: abae_stats::bootstrap::percentile_ci(&mut reps, bootstrap.alpha),
+        })
+        .collect())
+}
+
+/// The sampling phase shared by the single-oracle entry points: pilot,
+/// allocation, Stage-2 draws — every oracle charge of the run.
+fn single_oracle_sample<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
+    proxies: &[&[f64]],
+    oracle: &O,
+    cfg: &GroupByConfig,
+    rng: &mut R,
+) -> Result<SingleOracleRun, GroupByError> {
     let g = proxies.len();
     cfg.validate(g)?;
     if oracle.group_count() != g {
@@ -329,8 +414,20 @@ pub fn groupby_single_oracle<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
         }
     }
 
-    // Final estimates: per group, inverse-variance weighting across
-    // stratifications (§4.5 "Single Oracle").
+    Ok(SingleOracleRun { buckets, cache, stratifications })
+}
+
+/// Final single-oracle estimates: per group, inverse-variance weighting
+/// across stratifications (§4.5 "Single Oracle"). Pure function of the
+/// sampled buckets and cached labels, so the bootstrap can re-evaluate it
+/// on resampled buckets.
+fn single_oracle_estimates(
+    buckets: &[Vec<Vec<usize>>],
+    cache: &HashMap<usize, GroupLabel>,
+    stratifications: &[Stratification],
+) -> Vec<f64> {
+    let g = stratifications.len();
+    let k = buckets.first().map(Vec::len).unwrap_or(0);
     let mut out = Vec::with_capacity(g);
     for gg in 0..g {
         let mut weighted = 0.0;
@@ -340,7 +437,7 @@ pub fn groupby_single_oracle<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
         for l in 0..g {
             let sizes = stratifications[l].sizes();
             let cells: Vec<CellStats> =
-                (0..k).map(|kk| cell_stats(&buckets[l][kk], &cache, gg as u16)).collect();
+                (0..k).map(|kk| cell_stats(&buckets[l][kk], cache, gg as u16)).collect();
             // Point estimate from stratification l.
             let strata_est: Vec<StratumEstimate> = cells
                 .iter()
@@ -390,9 +487,9 @@ pub fn groupby_single_oracle<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
         } else {
             0.0
         };
-        out.push(GroupEstimate { group: gg as u16, estimate });
+        out.push(estimate);
     }
-    Ok(out)
+    out
 }
 
 /// ABae-GroupBy in the multiple-oracle setting: one predicate oracle per
@@ -878,6 +975,60 @@ mod ci_tests {
         for (g, &c) in covered.iter().enumerate() {
             assert!(c >= 16, "group {g} coverage {c}/{trials}");
         }
+    }
+
+    #[test]
+    fn single_oracle_with_ci_matches_plain_variant_and_brackets() {
+        let t = two_group_table(30_000, 5);
+        let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let cfg = GroupByConfig { budget: 5000, ..Default::default() };
+        let bs = BootstrapConfig { trials: 300, alpha: 0.05 };
+        // Same RNG stream → identical sampling; the CI variant appends the
+        // bootstrap afterwards without extra oracle spend.
+        let mut rng = StdRng::seed_from_u64(6);
+        let plain = groupby_single_oracle(&proxies, &oracle, &cfg, &mut rng).unwrap();
+        let spent = oracle.calls();
+        let mut rng = StdRng::seed_from_u64(6);
+        let with_ci =
+            groupby_single_oracle_with_ci(&proxies, &oracle, &cfg, &bs, &mut rng).unwrap();
+        assert_eq!(oracle.calls(), 2 * spent, "bootstrap must not charge the oracle");
+        for (a, b) in plain.iter().zip(&with_ci) {
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.estimate, b.estimate);
+            let ci = b.ci.expect("non-empty groups");
+            assert!(
+                ci.lo <= b.estimate && b.estimate <= ci.hi,
+                "group {}: [{}, {}] vs {}",
+                b.group,
+                ci.lo,
+                ci.hi,
+                b.estimate
+            );
+            let exact = t.exact_group_avg(b.group).unwrap();
+            assert!(
+                (ci.lo - 3.0..=ci.hi + 3.0).contains(&exact),
+                "group {} CI [{}, {}] far from truth {exact}",
+                b.group,
+                ci.lo,
+                ci.hi
+            );
+        }
+    }
+
+    #[test]
+    fn single_oracle_with_ci_rejects_bad_alpha() {
+        let t = two_group_table(1_000, 7);
+        let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let bs = BootstrapConfig { trials: 10, alpha: 0.0 };
+        assert!(matches!(
+            groupby_single_oracle_with_ci(&proxies, &oracle, &GroupByConfig::default(), &bs, &mut rng),
+            Err(GroupByError::Config(ConfigError::BadAlpha(_)))
+        ));
     }
 
     #[test]

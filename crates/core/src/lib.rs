@@ -56,5 +56,8 @@ pub use config::{Aggregate, AbaeConfig, BootstrapConfig, ConfigError, Rounding, 
 pub use estimator::{combine_estimate, StratumEstimate};
 pub use pipeline::ExecOptions;
 pub use strata::Stratification;
-pub use two_stage::{run_abae, run_abae_with_ci, AbaeResult, TwoStageRun};
+pub use two_stage::{
+    run_abae, run_abae_multi_with_ci, run_abae_with_ci, AbaeResult, AggAnswer, MultiAggResult,
+    TwoStageRun,
+};
 pub use uniform::{run_uniform, run_uniform_with_ci};

@@ -8,7 +8,7 @@
 //! samples of both stages (sample reuse; §5.3 shows disabling it —
 //! [`SampleReuse::Disabled`] — costs substantial accuracy).
 
-use crate::bootstrap::stratified_bootstrap_ci;
+use crate::bootstrap::stratified_bootstrap_cis;
 use crate::config::{AbaeConfig, Aggregate, ConfigError, Rounding, SampleReuse};
 use crate::estimator::{combine_estimate, StratumEstimate};
 use crate::pipeline;
@@ -46,6 +46,28 @@ pub struct AbaeResult {
     /// Bootstrap percentile CI, when requested.
     pub ci: Option<ConfidenceInterval>,
     /// Total oracle invocations spent.
+    pub oracle_calls: u64,
+}
+
+/// One aggregate's answer within a shared-labeling multi-aggregate run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggAnswer {
+    /// The aggregate this answer is for.
+    pub agg: Aggregate,
+    /// The point estimate.
+    pub estimate: f64,
+    /// Bootstrap percentile CI (`None` when no draws or `trials == 0`).
+    pub ci: Option<ConfidenceInterval>,
+}
+
+/// Result of [`run_abae_multi_with_ci`]: one answer per requested
+/// aggregate, all paid for by a single oracle budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiAggResult {
+    /// Answers in the order the aggregates were requested.
+    pub answers: Vec<AggAnswer>,
+    /// Total oracle invocations spent — the same as a single-aggregate run
+    /// with the same configuration, however many aggregates were asked for.
     pub oracle_calls: u64,
 }
 
@@ -176,12 +198,51 @@ pub fn run_abae_with_ci<O: Oracle, R: Rng + ?Sized>(
     agg: Aggregate,
     rng: &mut R,
 ) -> Result<AbaeResult, ConfigError> {
+    let mut multi = run_abae_multi_with_ci(proxy_scores, oracle, config, &[agg], rng)?;
+    let answer = multi.answers.pop().expect("one aggregate requested");
+    Ok(AbaeResult {
+        estimate: answer.estimate,
+        ci: answer.ci,
+        oracle_calls: multi.oracle_calls,
+    })
+}
+
+/// Runs ABae **once** and answers several aggregates from the one labeled
+/// sample — the shared-labeling pass behind multi-aggregate `SELECT`s.
+///
+/// Algorithm 1's sampling does not depend on which aggregate is asked for:
+/// the draws, the pilot estimates, and the `√p̂_k·σ̂_k` allocation are all
+/// functions of the predicate and the statistic alone. One run therefore
+/// yields per-stratum sufficient statistics (`p̂_k`, `μ̂_k`, `σ̂_k`,
+/// `|S_k|`, sampled positives — [`StratumEstimate`]) from which *every*
+/// aggregate is a cheap [`combine_estimate`] fold, and Algorithm 2's
+/// bootstrap resamples once per replicate while scoring all aggregates on
+/// the same resample ([`stratified_bootstrap_cis`]). `SELECT COUNT(*),
+/// SUM(views), AVG(views)` thus spends exactly one oracle budget.
+///
+/// With a single aggregate this consumes the same RNG stream as
+/// [`run_abae_with_ci`] (which delegates here), so seeded results are
+/// stable. An empty `aggs` still runs the sampling pass and returns no
+/// answers.
+pub fn run_abae_multi_with_ci<O: Oracle, R: Rng + ?Sized>(
+    proxy_scores: &[f64],
+    oracle: &O,
+    config: &AbaeConfig,
+    aggs: &[Aggregate],
+    rng: &mut R,
+) -> Result<MultiAggResult, ConfigError> {
     config.validate()?;
     let strat = Stratification::by_proxy_quantile(proxy_scores, config.strata);
-    let run = run_two_stage(&strat, oracle, config, agg, rng)?;
+    let primary = aggs.first().copied().unwrap_or(Aggregate::Avg);
+    let run = run_two_stage(&strat, oracle, config, primary, rng)?;
     let sizes = strat.sizes();
-    let ci = stratified_bootstrap_ci(&run.samples, &sizes, agg, &config.bootstrap, rng);
-    Ok(AbaeResult { estimate: run.estimate, ci, oracle_calls: run.oracle_calls })
+    let cis = stratified_bootstrap_cis(&run.samples, &sizes, aggs, &config.bootstrap, rng);
+    let answers = aggs
+        .iter()
+        .zip(cis)
+        .map(|(&agg, ci)| AggAnswer { agg, estimate: combine_estimate(agg, &run.strata), ci })
+        .collect();
+    Ok(MultiAggResult { answers, oracle_calls: run.oracle_calls })
 }
 
 #[cfg(test)]
@@ -380,6 +441,52 @@ mod tests {
             with_reuse < without,
             "reuse {with_reuse} should beat no-reuse {without}"
         );
+    }
+
+    #[test]
+    fn multi_aggregate_run_spends_one_budget_for_n_answers() {
+        let (scores, labels, values) = make_population(20_000);
+        let exact_avg = exact_avg(&labels, &values);
+        let exact_count = labels.iter().filter(|&&l| l).count() as f64;
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig {
+            budget: 3000,
+            bootstrap: crate::config::BootstrapConfig { trials: 200, alpha: 0.05 },
+            ..Default::default()
+        };
+        let aggs = [Aggregate::Count, Aggregate::Sum, Aggregate::Avg];
+        let mut rng = StdRng::seed_from_u64(20);
+        let multi = run_abae_multi_with_ci(&scores, &oracle, &cfg, &aggs, &mut rng).unwrap();
+        assert_eq!(multi.answers.len(), 3);
+        // One budget for three answers: the whole run spent what a
+        // single-aggregate run spends.
+        oracle.reset_calls();
+        let mut rng = StdRng::seed_from_u64(20);
+        let single = run_abae_with_ci(&scores, &oracle, &cfg, Aggregate::Count, &mut rng).unwrap();
+        assert_eq!(multi.oracle_calls, single.oracle_calls);
+        // The first answer (same RNG stream) matches the single-agg run.
+        assert_eq!(multi.answers[0].estimate, single.estimate);
+        assert_eq!(multi.answers[0].ci, single.ci);
+        // All answers are accurate and bracketed by their CIs.
+        let count = &multi.answers[0];
+        let avg = &multi.answers[2];
+        assert!((count.estimate - exact_count).abs() / exact_count < 0.05, "{}", count.estimate);
+        assert!((avg.estimate - exact_avg).abs() < 0.5, "{}", avg.estimate);
+        for a in &multi.answers {
+            let ci = a.ci.expect("bootstrap CI");
+            assert!(ci.lo <= a.estimate && a.estimate <= ci.hi, "{:?}", a);
+        }
+    }
+
+    #[test]
+    fn multi_aggregate_run_accepts_empty_aggregate_list() {
+        let (scores, labels, values) = make_population(5_000);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig { budget: 500, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(21);
+        let multi = run_abae_multi_with_ci(&scores, &oracle, &cfg, &[], &mut rng).unwrap();
+        assert!(multi.answers.is_empty());
+        assert!(multi.oracle_calls <= 500);
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //! * [`oracle`] — the batch-first, thread-safe [`Oracle`] abstraction with
 //!   atomic invocation accounting (the paper's cost metric is the number of
 //!   oracle calls), the [`GroupOracle`] extension for group-by queries,
-//!   closure-based oracles for composed predicates, and a simulated
-//!   per-invocation latency knob for offline throughput experiments.
+//!   closure-based oracles for composed predicates, a simulated
+//!   per-invocation latency knob for offline throughput experiments, and
+//!   the cross-query [`LabelStore`] memo table (verdicts keyed by table,
+//!   predicate expression, and record index) with its [`CachedOracle`]
+//!   adapter, so repeated queries spend oracle budget only on unseen
+//!   records.
 //! * [`csvio`] — a dependency-free CSV reader/writer so user datasets can
 //!   be loaded from disk.
 //! * [`synthetic`] — seeded latent-variable generators: the joint
@@ -34,7 +38,8 @@ pub mod synthetic;
 pub mod table;
 
 pub use oracle::{
-    FnOracle, GroupLabel, GroupOracle, Labeled, Oracle, PredicateOracle, SingleGroupOracle,
+    CachedOracle, FnOracle, GroupLabel, GroupOracle, LabelStore, Labeled, Oracle,
+    PredicateCache, PredicateOracle, SingleGroupOracle,
 };
 pub use synthetic::{GroupSpec, PredicateModel, StatisticModel, SyntheticSpec};
 pub use table::{GroupKey, Predicate, Table, TableBuilder, TableError};

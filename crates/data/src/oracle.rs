@@ -16,9 +16,17 @@
 //! and friends): labeling a batch of `m` records then costs `m × latency`
 //! of wall-clock sleep on the calling thread, which makes multi-threaded
 //! speedups measurable without a real DNN behind the oracle.
+//!
+//! Because the oracle is deterministic per record, verdicts can be reused
+//! *across* queries: the [`LabelStore`] memoizes labels by
+//! `(table, predicate expression, record index)`, and its [`CachedOracle`]
+//! adapter answers cache hits for free while charging the wrapped oracle
+//! only for unseen records.
 
 use crate::table::Table;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// Result of one oracle invocation: whether the record satisfies the
@@ -262,6 +270,199 @@ impl GroupOracle for SingleGroupOracle<'_> {
     }
 }
 
+/// Cached verdicts for one `(table, predicate)` pair inside a
+/// [`LabelStore`]: record index → labeled verdict.
+///
+/// Handed out as an `Arc` so a [`CachedOracle`] can keep labeling batches
+/// after the store's own map lock is released. The inner `RwLock` makes
+/// lookups concurrent: the batch pipeline's workers only take the write
+/// lock for the misses they actually labeled.
+#[derive(Debug, Default)]
+pub struct PredicateCache {
+    labels: RwLock<HashMap<usize, Labeled>>,
+}
+
+impl PredicateCache {
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.labels.read().expect("no panics while holding the cache lock").len()
+    }
+
+    /// Whether the cache holds no verdicts yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A cross-query memo table of oracle verdicts, keyed by
+/// `(table, predicate expression, record index)`.
+///
+/// The paper's cost model counts oracle invocations because the oracle —
+/// a DNN or a human labeler — dominates query cost by orders of magnitude
+/// (§5.1). The oracle is also *deterministic per record*: `O(x)` and
+/// `f(x)` do not change between queries. A dashboard that issues
+/// `SELECT AVG(views)`, then `SELECT COUNT(*)` over the same table and
+/// predicate therefore re-buys verdicts it already owns. `LabelStore`
+/// keeps those verdicts: wrap the per-query oracle in a [`CachedOracle`]
+/// over the store's entry for that `(table, predicate)` pair, and only
+/// records never labeled before reach (and charge) the real oracle.
+///
+/// All interior state is behind locks, so a store shared by reference —
+/// e.g. owned by a query catalog that executors borrow — works without
+/// outer synchronization, including under the batch-parallel labeling
+/// pipeline. Lifetime hit/miss totals are kept as atomics for reporting
+/// (`EXPLAIN`, dashboards); per-query counts live on the [`CachedOracle`].
+#[derive(Debug, Default)]
+pub struct LabelStore {
+    entries: Mutex<HashMap<(String, String), Arc<PredicateCache>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LabelStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cache entry for `(table, predicate)`, creating it on
+    /// first use. `predicate` should be a canonical rendering of the
+    /// predicate expression (the same query must produce the same key).
+    pub fn entry(&self, table: &str, predicate: &str) -> Arc<PredicateCache> {
+        let mut entries = self.entries.lock().expect("no panics while holding the store lock");
+        Arc::clone(entries.entry((table.to_string(), predicate.to_string())).or_default())
+    }
+
+    /// Number of verdicts cached for `(table, predicate)` (0 when the pair
+    /// has never been queried).
+    pub fn cached_verdicts(&self, table: &str, predicate: &str) -> usize {
+        let entries = self.entries.lock().expect("no panics while holding the store lock");
+        entries.get(&(table.to_string(), predicate.to_string())).map_or(0, |e| e.len())
+    }
+
+    /// Lifetime cache hits across every [`CachedOracle`] over this store.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime cache misses (records that reached a real oracle).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached entry for `table` (all predicates). Must be
+    /// called when a table's data is replaced, so verdicts bought against
+    /// the old data can never answer queries over the new data.
+    pub fn invalidate_table(&self, table: &str) {
+        let mut entries = self.entries.lock().expect("no panics while holding the store lock");
+        entries.retain(|(t, _), _| t != table);
+    }
+
+    fn record(&self, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+}
+
+/// An [`Oracle`] adapter that consults a [`PredicateCache`] before charging
+/// the wrapped oracle: cache hits are answered from the store for free,
+/// misses are labeled through the inner oracle's `label_batch` and written
+/// back.
+///
+/// Invocation accounting stays exact: [`CachedOracle::calls`] forwards to
+/// the inner oracle, so algorithms that meter spend via `oracle.calls()`
+/// automatically report only the *misses* — the invocations that actually
+/// happened. Per-wrapper hit/miss counts (for one query's result report)
+/// are available via [`CachedOracle::hits`] / [`CachedOracle::misses`];
+/// the same counts are added to the store's lifetime totals.
+///
+/// Batches are checked and labeled per call. The draws of one query are
+/// without replacement, so concurrent batches never share a record index
+/// and every record is labeled at most once; results are bit-identical to
+/// the uncached oracle for any thread count or batch size.
+pub struct CachedOracle<'a, O> {
+    inner: O,
+    cache: Arc<PredicateCache>,
+    store: &'a LabelStore,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a, O: Oracle> CachedOracle<'a, O> {
+    /// Wraps `inner` with the store's cache entry for `(table, predicate)`.
+    pub fn new(inner: O, store: &'a LabelStore, table: &str, predicate: &str) -> Self {
+        Self {
+            inner,
+            cache: store.entry(table, predicate),
+            store,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits since this wrapper was created (records answered without
+    /// an oracle invocation).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since this wrapper was created (records that charged
+    /// the inner oracle).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the wrapper, returning the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Oracle> Oracle for CachedOracle<'_, O> {
+    fn label_batch(&self, indices: &[usize]) -> Vec<Labeled> {
+        // Pass 1 under the read lock: answer hits, collect misses.
+        let mut out: Vec<Option<Labeled>> = vec![None; indices.len()];
+        let mut miss_pos: Vec<usize> = Vec::new();
+        let mut miss_ids: Vec<usize> = Vec::new();
+        {
+            let map = self.cache.labels.read().expect("no panics while holding the cache lock");
+            for (pos, &idx) in indices.iter().enumerate() {
+                match map.get(&idx) {
+                    Some(&label) => out[pos] = Some(label),
+                    None => {
+                        miss_pos.push(pos);
+                        miss_ids.push(idx);
+                    }
+                }
+            }
+        }
+        // Pass 2: label the misses through the real oracle, write back.
+        if !miss_ids.is_empty() {
+            let labeled = self.inner.label_batch(&miss_ids);
+            let mut map =
+                self.cache.labels.write().expect("no panics while holding the cache lock");
+            for ((&pos, idx), label) in miss_pos.iter().zip(miss_ids).zip(labeled) {
+                map.insert(idx, label);
+                out[pos] = Some(label);
+            }
+        }
+        let hits = (indices.len() - miss_pos.len()) as u64;
+        let misses = miss_pos.len() as u64;
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.store.record(hits, misses);
+        out.into_iter().map(|l| l.expect("every index answered by hit or miss path")).collect()
+    }
+
+    fn calls(&self) -> u64 {
+        self.inner.calls()
+    }
+
+    fn reset_calls(&self) {
+        self.inner.reset_calls()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +594,102 @@ mod tests {
         o.label(0);
         let o = o.with_latency(Duration::from_micros(1));
         assert_eq!(o.calls(), 1, "configuring latency must not reset accounting");
+    }
+
+    #[test]
+    fn cached_oracle_answers_hits_without_charging() {
+        let t = table();
+        let store = LabelStore::new();
+        let inner = PredicateOracle::new(&t, "p").unwrap();
+        let cached = CachedOracle::new(inner, &store, "t", "p");
+        // Cold: every record is a miss and charges the inner oracle.
+        let cold = cached.label_batch(&[0, 1, 2]);
+        assert_eq!(cached.calls(), 3);
+        assert_eq!((cached.hits(), cached.misses()), (0, 3));
+        // Warm: the same records are free and bit-identical.
+        let warm = cached.label_batch(&[0, 1, 2]);
+        assert_eq!(warm, cold);
+        assert_eq!(cached.calls(), 3, "hits must not charge the oracle");
+        assert_eq!((cached.hits(), cached.misses()), (3, 3));
+        // Mixed batch: only the unseen record charges.
+        cached.label_batch(&[2, 0, 1, 0]);
+        assert_eq!(cached.calls(), 3);
+        assert_eq!(store.cached_verdicts("t", "p"), 3);
+        assert_eq!((store.hits(), store.misses()), (7, 3));
+    }
+
+    #[test]
+    fn store_survives_the_wrapper_and_serves_new_queries() {
+        let t = table();
+        let store = LabelStore::new();
+        let first = {
+            let cached =
+                CachedOracle::new(PredicateOracle::new(&t, "p").unwrap(), &store, "t", "p");
+            cached.label_batch(&[0, 2])
+        };
+        // A fresh oracle (new query) over the same store entry: all hits.
+        let cached = CachedOracle::new(PredicateOracle::new(&t, "p").unwrap(), &store, "t", "p");
+        let again = cached.label_batch(&[0, 2]);
+        assert_eq!(again, first);
+        assert_eq!(cached.calls(), 0, "a warm store answers repeat queries for free");
+        assert_eq!((cached.hits(), cached.misses()), (2, 0));
+    }
+
+    #[test]
+    fn store_keys_tables_and_predicates_separately() {
+        let t = table();
+        let store = LabelStore::new();
+        let on_p = CachedOracle::new(PredicateOracle::new(&t, "p").unwrap(), &store, "t", "p");
+        on_p.label_batch(&[0, 1]);
+        // Different predicate key: verdicts must not leak across entries.
+        let negated = FnOracle::new(|idx| Labeled { matches: idx != 0, value: 9.0 });
+        let on_not_p = CachedOracle::new(negated, &store, "t", "NOT p");
+        let l = on_not_p.label_batch(&[0]);
+        assert!(!l[0].matches, "entry for `NOT p` must consult its own oracle");
+        assert_eq!(store.cached_verdicts("t", "p"), 2);
+        assert_eq!(store.cached_verdicts("t", "NOT p"), 1);
+        assert_eq!(store.cached_verdicts("other", "p"), 0);
+    }
+
+    #[test]
+    fn invalidate_table_drops_every_predicate_of_that_table_only() {
+        let t = table();
+        let store = LabelStore::new();
+        for (tbl, pred) in [("t", "p"), ("t", "q"), ("u", "p")] {
+            let o = CachedOracle::new(PredicateOracle::new(&t, "p").unwrap(), &store, tbl, pred);
+            o.label_batch(&[0, 1]);
+        }
+        store.invalidate_table("t");
+        assert_eq!(store.cached_verdicts("t", "p"), 0);
+        assert_eq!(store.cached_verdicts("t", "q"), 0);
+        assert_eq!(store.cached_verdicts("u", "p"), 2, "other tables keep their verdicts");
+    }
+
+    #[test]
+    fn cached_oracle_is_exact_under_concurrent_batches() {
+        // Distinct indices across threads (as without-replacement draws
+        // guarantee): every record charges exactly once, and the verdicts
+        // match the inner oracle's.
+        let store = LabelStore::new();
+        let inner = FnOracle::new(|idx| Labeled { matches: idx % 2 == 0, value: idx as f64 });
+        let cached = CachedOracle::new(inner, &store, "t", "p");
+        std::thread::scope(|scope| {
+            for worker in 0..8usize {
+                let cached = &cached;
+                scope.spawn(move || {
+                    let ids: Vec<usize> = (worker * 100..(worker + 1) * 100).collect();
+                    for chunk in ids.chunks(7) {
+                        cached.label_batch(chunk);
+                    }
+                });
+            }
+        });
+        assert_eq!(cached.calls(), 800);
+        assert_eq!((cached.hits(), cached.misses()), (0, 800));
+        assert_eq!(store.cached_verdicts("t", "p"), 800);
+        let warm = cached.label_batch(&[5]);
+        assert_eq!(warm[0], Labeled { matches: false, value: 5.0 });
+        assert_eq!(cached.calls(), 800);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Abstract syntax tree for the ABae SQL dialect.
 
 /// Aggregate functions of Figure 1 (`PERCENTAGE` is the paper's celeba
-/// query sugar: an `AVG` whose expression is a 0/100 indicator).
+/// query sugar: an `AVG` over a 0/1 indicator, reported in percent —
+/// both the estimate and its CI are scaled by 100, unconditionally).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
     /// `AVG(expr)`
@@ -10,7 +11,7 @@ pub enum AggFunc {
     Sum,
     /// `COUNT(expr | *)`
     Count,
-    /// `PERCENTAGE(expr)` — executed as `AVG`.
+    /// `PERCENTAGE(expr)` — executed as `AVG`, scaled to percent.
     Percentage,
 }
 
@@ -106,15 +107,25 @@ impl BoolExpr {
     }
 }
 
-/// A parsed ABae query (Figure 1).
+/// One aggregate of a `SELECT` list: the function and the aggregated
+/// expression as written (`views`, `count_cars(frame)`, `*`). The dataset
+/// substrate carries one statistic column per table; the expression is
+/// validated for display but not re-computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Aggregated expression as written.
+    pub expr: String,
+}
+
+/// A parsed ABae query (Figure 1), extended with multi-aggregate `SELECT`
+/// lists: `SELECT COUNT(*), SUM(views), AVG(views) FROM ...` answers every
+/// aggregate from one shared labeling pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
-    /// Aggregate function.
-    pub agg: AggFunc,
-    /// Aggregated expression as written (`views`, `count_cars(frame)`,
-    /// `*`). The dataset substrate carries one statistic column per table;
-    /// this field is validated for display but not re-computed.
-    pub agg_expr: String,
+    /// Aggregates of the `SELECT` list, in query order (at least one).
+    pub aggs: Vec<AggItem>,
     /// Source table name.
     pub table: String,
     /// Filter over expensive predicates.
@@ -128,6 +139,13 @@ pub struct Query {
     pub proxy: Option<String>,
     /// Success probability (`WITH PROBABILITY p`).
     pub probability: f64,
+}
+
+impl Query {
+    /// The first (primary) aggregate of the `SELECT` list.
+    pub fn primary_agg(&self) -> &AggItem {
+        self.aggs.first().expect("the parser guarantees at least one aggregate")
+    }
 }
 
 #[cfg(test)]

@@ -6,14 +6,16 @@
 //! registers — the moral equivalent of the paper's setup step where the
 //! user supplies the oracle and proxy for each predicate.
 
-use abae_data::Table;
+use abae_data::{LabelStore, Table};
 use std::collections::HashMap;
 
-/// A registry of tables and atom-key bindings.
+/// A registry of tables and atom-key bindings, optionally carrying a
+/// cross-query [`LabelStore`] so repeated queries reuse oracle verdicts.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
     bindings: HashMap<(String, String), String>,
+    label_store: Option<LabelStore>,
 }
 
 impl Catalog {
@@ -23,8 +25,13 @@ impl Catalog {
     }
 
     /// Registers a table under its own name. Replaces any previous table
-    /// with the same name.
+    /// with the same name, dropping any label-cache verdicts bought
+    /// against the replaced table's data — they would otherwise answer
+    /// queries over the new data.
     pub fn register_table(&mut self, table: Table) {
+        if let Some(store) = &self.label_store {
+            store.invalidate_table(table.name());
+        }
         self.tables.insert(table.name().to_string(), table);
     }
 
@@ -57,6 +64,28 @@ impl Catalog {
     /// Names of all registered tables (unordered).
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Enables the cross-query oracle label cache: scalar queries executed
+    /// against this catalog memoize every oracle verdict by `(table,
+    /// predicate expression, record index)`, so repeated or overlapping
+    /// queries spend oracle budget only on unseen records. Idempotent —
+    /// calling it again keeps the existing store and its verdicts.
+    pub fn enable_label_cache(&mut self) {
+        if self.label_store.is_none() {
+            self.label_store = Some(LabelStore::new());
+        }
+    }
+
+    /// Drops the label cache (and every cached verdict), returning queries
+    /// to always-fresh labeling.
+    pub fn disable_label_cache(&mut self) {
+        self.label_store = None;
+    }
+
+    /// The label store, when [`Catalog::enable_label_cache`] was called.
+    pub fn label_store(&self) -> Option<&LabelStore> {
+        self.label_store.as_ref()
     }
 }
 
@@ -96,6 +125,29 @@ mod tests {
         assert_eq!(cat.resolve("t", "nope"), None);
         assert_eq!(cat.resolve("unknown", "is_spam"), None);
         assert!(cat.table("unknown").is_none());
+    }
+
+    #[test]
+    fn label_cache_knob_is_idempotent_and_droppable() {
+        use abae_data::{CachedOracle, FnOracle, Labeled, Oracle as _};
+        let mut cat = Catalog::new();
+        assert!(cat.label_store().is_none());
+        cat.enable_label_cache();
+        {
+            let store = cat.label_store().unwrap();
+            let oracle = CachedOracle::new(
+                FnOracle::new(|i| Labeled { matches: true, value: i as f64 }),
+                store,
+                "t",
+                "p",
+            );
+            oracle.label_batch(&[1, 2, 3]);
+        }
+        // Re-enabling keeps the store and its verdicts.
+        cat.enable_label_cache();
+        assert_eq!(cat.label_store().unwrap().cached_verdicts("t", "p"), 3);
+        cat.disable_label_cache();
+        assert!(cat.label_store().is_none());
     }
 
     #[test]

@@ -57,9 +57,21 @@ fn split_comparison(cmp: &str) -> (&str, &str) {
     ("=", cmp)
 }
 
+impl fmt::Display for crate::ast::AggItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.func, self.expr)
+    }
+}
+
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SELECT {}({})", self.agg, self.agg_expr)?;
+        write!(f, "SELECT ")?;
+        for (i, item) in self.aggs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
         if let Some(key) = &self.group_by {
             write!(f, ", {key}")?;
         }
@@ -85,7 +97,7 @@ mod tests {
         let q2 = parse_query(&rendered)
             .unwrap_or_else(|e| panic!("rendered `{rendered}` failed to parse: {e}"));
         // Semantic equivalence: everything except argument formatting.
-        assert_eq!(q1.agg, q2.agg);
+        assert_eq!(q1.aggs, q2.aggs);
         assert_eq!(q1.table, q2.table);
         assert_eq!(q1.oracle_limit, q2.oracle_limit);
         assert_eq!(q1.probability, q2.probability);
@@ -113,6 +125,14 @@ mod tests {
             "SELECT PERCENTAGE(smiles(img)), hair FROM faces \
              WHERE hair_color(img) = 'strongly blond' GROUP BY hair_color(img) \
              ORACLE LIMIT 500",
+        );
+    }
+
+    #[test]
+    fn multi_aggregate_lists_roundtrip() {
+        roundtrip(
+            "SELECT COUNT(*), SUM(views), AVG(views) FROM news WHERE interesting \
+             ORACLE LIMIT 2,000 WITH PROBABILITY 0.9",
         );
     }
 

@@ -2,7 +2,11 @@
 //!
 //! * Single- or multi-predicate `WHERE` → [`abae_core::multipred`] (a lone
 //!   atom is just a one-leaf expression) with a bootstrap CI honoring the
-//!   query's `WITH PROBABILITY`.
+//!   query's `WITH PROBABILITY`. Every aggregate of the `SELECT` list is
+//!   answered from the same sampling-and-labeling run
+//!   ([`abae_core::two_stage::run_abae_multi_with_ci`]), and when the
+//!   catalog carries a label store the labeling consults it first, so
+//!   repeat queries spend oracle budget only on unseen records.
 //! * `GROUP BY` → [`abae_core::groupby`] in the single-oracle setting (the
 //!   table's group key plays the oracle); per-group predicates must be
 //!   registered in group order, mirroring the paper's assumption that each
@@ -14,14 +18,28 @@
 use crate::ast::{AggFunc, Query};
 use crate::catalog::Catalog;
 use crate::parser::{parse_query, ParseError};
-use abae_core::config::{AbaeConfig, BootstrapConfig, ConfigError};
-use abae_core::groupby::{groupby_single_oracle, GroupByConfig, GroupByError};
+use abae_core::config::{AbaeConfig, Aggregate, BootstrapConfig, ConfigError};
+use abae_core::groupby::{groupby_single_oracle_with_ci, GroupByConfig, GroupByError};
 use abae_core::multipred::expression_oracle;
 use abae_core::pipeline::ExecOptions;
-use abae_core::two_stage::run_abae_with_ci;
-use abae_data::{Oracle as _, SingleGroupOracle, TableError};
+use abae_core::two_stage::{run_abae_multi_with_ci, MultiAggResult};
+use abae_data::{CachedOracle, Oracle, SingleGroupOracle, TableError};
 use abae_stats::bootstrap::ConfidenceInterval;
 use rand::Rng;
+
+/// One answered aggregate of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggRow {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Aggregated expression as written in the query.
+    pub expr: String,
+    /// Point estimate (percent for `PERCENTAGE`).
+    pub estimate: f64,
+    /// Bootstrap CI at the query's probability, on the same scale as the
+    /// estimate (scalar queries only).
+    pub ci: Option<ConfidenceInterval>,
+}
 
 /// Per-group result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,20 +48,43 @@ pub struct GroupRow {
     pub name: String,
     /// Estimated per-group aggregate.
     pub estimate: f64,
+    /// Per-group bootstrap CI, on the same scale as the estimate.
+    pub ci: Option<ConfidenceInterval>,
 }
 
-/// Result of executing a query.
+/// Result of executing a query: one [`AggRow`] per `SELECT`-list
+/// aggregate — all answered from a single labeling pass, so a
+/// three-aggregate query spends exactly the oracle budget of a
+/// one-aggregate query — plus cache accounting and, for `GROUP BY`
+/// queries, the per-group rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
-    /// Scalar estimate (for group-by queries, the mean of group
-    /// estimates; inspect `groups` for the rows).
-    pub estimate: f64,
-    /// Bootstrap CI at the query's probability (scalar queries only).
-    pub ci: Option<ConfidenceInterval>,
-    /// Oracle invocations actually spent.
+    /// Answered aggregates, in `SELECT`-list order (never empty).
+    pub rows: Vec<AggRow>,
+    /// Oracle invocations actually spent (cache hits are free).
     pub oracle_calls: u64,
+    /// Records answered from the catalog's label store without an oracle
+    /// invocation (0 when the store is disabled).
+    pub cache_hits: u64,
+    /// Records that reached the real oracle (equals `oracle_calls` when
+    /// the store is enabled; 0 only if every draw was cached).
+    pub cache_misses: u64,
     /// Group rows for `GROUP BY` queries.
     pub groups: Option<Vec<GroupRow>>,
+}
+
+impl QueryResult {
+    /// The primary (first) aggregate's estimate. For group-by queries
+    /// this is the mean of the group estimates; inspect
+    /// [`QueryResult::groups`] for the rows.
+    pub fn estimate(&self) -> f64 {
+        self.rows.first().map(|r| r.estimate).unwrap_or(0.0)
+    }
+
+    /// The primary (first) aggregate's CI.
+    pub fn ci(&self) -> Option<ConfidenceInterval> {
+        self.rows.first().and_then(|r| r.ci)
+    }
 }
 
 /// Errors from query execution.
@@ -144,8 +185,8 @@ impl<'a> Executor<'a> {
     }
 
     /// `EXPLAIN`: describes the physical plan for `sql` — the chosen
-    /// algorithm, the resolved predicate columns, and the budget split —
-    /// without spending any oracle calls.
+    /// algorithm, the resolved predicate columns, the budget split, and
+    /// the label-cache state — without spending any oracle calls.
     pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
         let query = parse_query(sql)?;
         let table = self
@@ -173,20 +214,70 @@ impl<'a> Executor<'a> {
             "ABae two-stage stratified sampling".to_string()
         };
         lines.push(format!("plan   : {strategy}"));
-        let n1 = ((self.stage1_fraction * query.oracle_limit as f64) / self.strata as f64)
-            .floor() as usize;
+        if query.aggs.len() > 1 {
+            lines.push(format!(
+                "aggs   : {} aggregates answered from one shared labeling pass",
+                query.aggs.len()
+            ));
+        }
+        // The split comes from the same `stage_split` execution uses, so
+        // the printed plan cannot drift from what actually runs.
+        let split =
+            abae_sampling::budget::stage_split(query.oracle_limit, self.stage1_fraction, self.strata);
         lines.push(format!(
             "budget : {} oracle calls = stage 1 ({} strata x {}) + stage 2 ({})",
-            query.oracle_limit,
-            self.strata,
-            n1,
-            query.oracle_limit.saturating_sub(n1 * self.strata),
+            query.oracle_limit, self.strata, split.n1_per_stratum, split.n2_total,
         ));
+        lines.push(match (self.catalog.label_store(), query.group_by.is_some()) {
+            (Some(_), true) => {
+                // GROUP BY labeling keeps its own within-query cache but
+                // does not consult the cross-query store; say so rather
+                // than implying reuse that execution won't deliver.
+                "cache  : label store enabled, but not used by GROUP BY \
+                 (grouped labeling caches within the query only)"
+                    .to_string()
+            }
+            (Some(store), false) => {
+                let pred_key = self.predicate_cache_key(&query)?;
+                format!(
+                    "cache  : label store enabled — {} verdicts cached for this predicate \
+                     ({} hits / {} misses lifetime)",
+                    store.cached_verdicts(&query.table, &pred_key),
+                    store.hits(),
+                    store.misses(),
+                )
+            }
+            (None, _) => "cache  : label store disabled (Catalog::enable_label_cache)".to_string(),
+        });
         lines.push(format!(
             "ci     : percentile bootstrap, {} resamples, confidence {}",
             self.bootstrap_trials, query.probability
         ));
         Ok(lines.join("\n"))
+    }
+
+    /// Canonical label-store key for the query's predicate: the lowered
+    /// expression over resolved predicate-column indices, so the same
+    /// predicate reaches the same cache entry however its atoms were
+    /// spelled (directly or through catalog bindings).
+    fn predicate_cache_key(&self, query: &Query) -> Result<String, QueryError> {
+        let keys = query.predicate.atom_keys();
+        let mut columns = Vec::with_capacity(keys.len());
+        let table = self
+            .catalog
+            .table(&query.table)
+            .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
+        for key in &keys {
+            let col = self.catalog.resolve(&query.table, key).ok_or_else(|| {
+                QueryError::UnresolvedPredicate { atom: key.clone(), table: query.table.clone() }
+            })?;
+            columns.push(table.predicate_index(&col).map_err(QueryError::Table)?);
+        }
+        let index_of = |key: &str| -> usize {
+            let pos = keys.iter().position(|k| k == key).expect("key collected above");
+            columns[pos]
+        };
+        Ok(predicate_key(&query.predicate.to_pred_expr(&index_of)))
     }
 
     /// Executes an already-parsed query.
@@ -244,14 +335,30 @@ impl<'a> Executor<'a> {
             exec: self.exec,
             ..Default::default()
         };
-        let agg = query.agg.to_core();
-        let result =
-            run_abae_with_ci(&scores, &oracle, &config, agg, rng).map_err(QueryError::Config)?;
-        let estimate = scale_percentage(query.agg, result.estimate);
+        // One labeling pass answers every aggregate of the SELECT list.
+        let aggs: Vec<Aggregate> = query.aggs.iter().map(|a| a.func.to_core()).collect();
+        let (multi, cache_hits, cache_misses) = match self.catalog.label_store() {
+            // Cross-query reuse: route labeling through the store's entry
+            // for this (table, predicate) pair — cached verdicts are free.
+            Some(store) => {
+                let pred_key = predicate_key(&expr);
+                let cached = CachedOracle::new(oracle, store, &query.table, &pred_key);
+                let multi = run_abae_multi_with_ci(&scores, &cached, &config, &aggs, rng)
+                    .map_err(QueryError::Config)?;
+                (multi, cached.hits(), cached.misses())
+            }
+            None => (
+                run_abae_multi_with_ci(&scores, &oracle, &config, &aggs, rng)
+                    .map_err(QueryError::Config)?,
+                0,
+                0,
+            ),
+        };
         Ok(QueryResult {
-            estimate,
-            ci: result.ci,
-            oracle_calls: result.oracle_calls,
+            rows: agg_rows(query, &multi),
+            oracle_calls: multi.oracle_calls,
+            cache_hits,
+            cache_misses,
             groups: None,
         })
     }
@@ -263,6 +370,12 @@ impl<'a> Executor<'a> {
         columns: &[usize],
         rng: &mut R,
     ) -> Result<QueryResult, QueryError> {
+        if query.aggs.len() > 1 {
+            return Err(QueryError::Unsupported(
+                "GROUP BY with a multi-aggregate SELECT list".to_string(),
+            ));
+        }
+        let agg = query.primary_agg().clone();
         let group_key = table.group_key().ok_or_else(|| {
             QueryError::Unsupported(format!("table `{}` has no group key", query.table))
         })?;
@@ -290,35 +403,74 @@ impl<'a> Executor<'a> {
             exec: self.exec,
             ..Default::default()
         };
-        let estimates =
-            groupby_single_oracle(&proxies, &oracle, &cfg, rng).map_err(QueryError::GroupBy)?;
+        let bootstrap = BootstrapConfig {
+            trials: self.bootstrap_trials,
+            alpha: 1.0 - query.probability,
+        };
+        let estimates = groupby_single_oracle_with_ci(&proxies, &oracle, &cfg, &bootstrap, rng)
+            .map_err(QueryError::GroupBy)?;
         let rows: Vec<GroupRow> = estimates
             .iter()
             .map(|e| GroupRow {
                 name: groups[e.group as usize].clone(),
-                estimate: scale_percentage(query.agg, e.estimate),
+                estimate: scale_percentage(agg.func, e.estimate),
+                ci: e.ci.map(|ci| scale_percentage_ci(agg.func, ci)),
             })
             .collect();
         let mean =
             rows.iter().map(|r| r.estimate).sum::<f64>() / rows.len().max(1) as f64;
         Ok(QueryResult {
-            estimate: mean,
-            ci: None,
+            rows: vec![AggRow { func: agg.func, expr: agg.expr, estimate: mean, ci: None }],
             oracle_calls: oracle.calls(),
+            cache_hits: 0,
+            cache_misses: 0,
             groups: Some(rows),
         })
     }
 }
 
-/// `PERCENTAGE` is executed as `AVG`; when the statistic is a 0/1
-/// indicator the result is scaled to percent. Statistics already scaled to
-/// 0/100 (as the celeba emulator stores them) pass through unchanged, so
-/// the scaling applies only to sub-unit averages.
+/// Renders a lowered predicate expression as its label-store key. The one
+/// rendering shared by execution and `EXPLAIN`, so plan occupancy always
+/// reads the entry execution writes.
+fn predicate_key(expr: &abae_core::multipred::PredExpr) -> String {
+    format!("{expr:?}")
+}
+
+/// Builds the per-aggregate result rows, applying `PERCENTAGE` scaling to
+/// estimate and CI alike.
+fn agg_rows(query: &Query, multi: &MultiAggResult) -> Vec<AggRow> {
+    query
+        .aggs
+        .iter()
+        .zip(&multi.answers)
+        .map(|(item, answer)| AggRow {
+            func: item.func,
+            expr: item.expr.clone(),
+            estimate: scale_percentage(item.func, answer.estimate),
+            ci: answer.ci.map(|ci| scale_percentage_ci(item.func, ci)),
+        })
+        .collect()
+}
+
+/// `PERCENTAGE(expr)` is `AVG(expr)` scaled to percent: the statistic is
+/// expected to be a 0/1 indicator, and the scaling depends only on the
+/// aggregate — never on the value — so the CI scales identically and
+/// always brackets the estimate.
 fn scale_percentage(agg: AggFunc, estimate: f64) -> f64 {
-    if agg == AggFunc::Percentage && estimate <= 1.0 {
+    if agg == AggFunc::Percentage {
         estimate * 100.0
     } else {
         estimate
+    }
+}
+
+/// Scales a CI the same way [`scale_percentage`] scales the estimate, so
+/// `lo <= estimate <= hi` is preserved.
+fn scale_percentage_ci(agg: AggFunc, ci: ConfidenceInterval) -> ConfidenceInterval {
+    if agg == AggFunc::Percentage {
+        ConfidenceInterval { lo: ci.lo * 100.0, hi: ci.hi * 100.0, confidence: ci.confidence }
+    } else {
+        ci
     }
 }
 
@@ -359,11 +511,13 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        assert!((r.estimate - exact).abs() < 0.3, "{} vs {exact}", r.estimate);
-        let ci = r.ci.unwrap();
+        assert!((r.estimate() - exact).abs() < 0.3, "{} vs {exact}", r.estimate());
+        let ci = r.ci().unwrap();
         assert!((ci.confidence - 0.95).abs() < 1e-9);
-        assert!(ci.lo <= r.estimate && r.estimate <= ci.hi);
+        assert!(ci.lo <= r.estimate() && r.estimate() <= ci.hi);
         assert!(r.oracle_calls <= 3000);
+        // No label store: cache accounting is all zeros.
+        assert_eq!((r.cache_hits, r.cache_misses), (0, 0));
     }
 
     #[test]
@@ -374,7 +528,34 @@ mod tests {
         let r = exec
             .execute("SELECT COUNT(*) FROM emails WHERE is_spam ORACLE LIMIT 4000", &mut rng)
             .unwrap();
-        assert!((r.estimate - 5000.0).abs() < 400.0, "{}", r.estimate);
+        assert!((r.estimate() - 5000.0).abs() < 400.0, "{}", r.estimate());
+    }
+
+    #[test]
+    fn multi_aggregate_query_answers_all_for_one_budget() {
+        let cat = catalog();
+        let exec = Executor { bootstrap_trials: 100, ..Executor::new(&cat) };
+        let sql_multi = "SELECT COUNT(*), SUM(nb_links), AVG(nb_links) FROM emails \
+                         WHERE is_spam ORACLE LIMIT 3000";
+        let sql_single = "SELECT COUNT(*) FROM emails WHERE is_spam ORACLE LIMIT 3000";
+        let mut rng = StdRng::seed_from_u64(7);
+        let multi = exec.execute(sql_multi, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let single = exec.execute(sql_single, &mut rng).unwrap();
+        // Shared labeling pass: 3 aggregates cost exactly 1 budget.
+        assert_eq!(multi.oracle_calls, single.oracle_calls);
+        assert_eq!(multi.rows.len(), 3);
+        assert_eq!(multi.rows[0].estimate, single.rows[0].estimate);
+        assert_eq!(multi.rows[0].ci, single.rows[0].ci);
+        assert_eq!(multi.rows[0].func, AggFunc::Count);
+        assert_eq!(multi.rows[1].expr, "nb_links");
+        for row in &multi.rows {
+            let ci = row.ci.expect("scalar rows carry CIs");
+            assert!(ci.lo <= row.estimate && row.estimate <= ci.hi, "{row:?}");
+        }
+        // COUNT ≈ 5000 positives, AVG within the statistic's range.
+        assert!((multi.rows[0].estimate - 5000.0).abs() < 400.0);
+        assert!(multi.rows[2].estimate > 0.0 && multi.rows[2].estimate < 9.0);
     }
 
     #[test]
@@ -389,7 +570,7 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        assert!(r.estimate > 0.0);
+        assert!(r.estimate() > 0.0);
     }
 
     #[test]
@@ -558,11 +739,45 @@ mod tests {
         assert!((gray.estimate - 30.0).abs() < 3.0, "gray {}", gray.estimate);
         assert!((blond.estimate - 60.0).abs() < 3.0, "blond {}", blond.estimate);
         assert!(r.oracle_calls <= 3000);
+        // Each group row carries a CI bracketing its estimate — grouped
+        // queries keep the WITH PROBABILITY guarantee.
+        for row in [gray, blond] {
+            let ci = row.ci.expect("per-group bootstrap CI");
+            assert!((ci.confidence - 0.95).abs() < 1e-9);
+            assert!(
+                ci.lo <= row.estimate && row.estimate <= ci.hi,
+                "{}: [{}, {}] vs {}",
+                row.name,
+                ci.lo,
+                ci.hi,
+                row.estimate
+            );
+        }
     }
 
     #[test]
-    fn percentage_scales_unit_indicators() {
-        // Statistic in {0, 1}: PERCENTAGE should report percent.
+    fn group_by_rejects_multi_aggregate_select_lists() {
+        let mut cat = Catalog::new();
+        cat.register_table(grouped_table(1_000));
+        cat.bind_predicate("images", "hair=gray", "is_gray");
+        cat.bind_predicate("images", "hair=blond", "is_blond");
+        let exec = Executor::new(&cat);
+        let mut rng = StdRng::seed_from_u64(50);
+        assert!(matches!(
+            exec.execute(
+                "SELECT AVG(smile), COUNT(*), hair FROM images \
+                 WHERE hair(img) = 'gray' OR hair(img) = 'blond' \
+                 GROUP BY hair(img) ORACLE LIMIT 500",
+                &mut rng,
+            ),
+            Err(QueryError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn percentage_scales_estimate_and_ci_together() {
+        // Statistic in {0, 1}: PERCENTAGE reports percent, and the CI is
+        // scaled identically so it still brackets the estimate.
         let n = 10_000;
         let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
         let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.9 } else { 0.1 }).collect();
@@ -575,7 +790,17 @@ mod tests {
         let r = exec
             .execute("SELECT PERCENTAGE(is_smiling(img)) FROM faces WHERE p ORACLE LIMIT 2000", &mut rng)
             .unwrap();
-        assert!(r.estimate > 20.0 && r.estimate < 50.0, "{}", r.estimate);
+        assert!(r.estimate() > 20.0 && r.estimate() < 50.0, "{}", r.estimate());
+        let ci = r.ci().expect("scalar query CI");
+        assert!(
+            ci.lo <= r.estimate() && r.estimate() <= ci.hi,
+            "PERCENTAGE CI [{}, {}] must bracket {}",
+            ci.lo,
+            ci.hi,
+            r.estimate()
+        );
+        // The CI is on the percent scale too, not the raw 0–1 scale.
+        assert!(ci.hi > 1.0, "CI upper bound {} still on the unscaled scale", ci.hi);
     }
 }
 
@@ -583,6 +808,7 @@ mod tests {
 mod explain_tests {
     use super::*;
     use abae_data::Table;
+    use rand::SeedableRng;
 
     #[test]
     fn explain_describes_plan_without_oracle_calls() {
@@ -602,6 +828,89 @@ mod explain_tests {
         assert!(plan.contains("is_spam"), "{plan}");
         assert!(plan.contains("1000"), "{plan}");
         assert!(plan.contains("stage 1"), "{plan}");
+        assert!(plan.contains("label store disabled"), "{plan}");
+    }
+
+    #[test]
+    fn explain_budget_split_comes_from_stage_split() {
+        // The printed split must be stage_split's, for any knob setting —
+        // not a re-derived formula that can drift from execution.
+        let t = Table::builder("t", vec![1.0; 100])
+            .predicate("p", vec![true; 100], vec![0.5; 100])
+            .build()
+            .unwrap();
+        let mut cat = Catalog::new();
+        cat.register_table(t);
+        for (strata, frac, limit) in [(5, 0.5, 1000), (7, 0.3, 999), (3, 0.9, 10)] {
+            let exec =
+                Executor { strata, stage1_fraction: frac, ..Executor::new(&cat) };
+            let plan = exec
+                .explain(&format!("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT {limit}"))
+                .unwrap();
+            let split = abae_sampling::budget::stage_split(limit, frac, strata);
+            let expected = format!(
+                "budget : {limit} oracle calls = stage 1 ({strata} strata x {}) + stage 2 ({})",
+                split.n1_per_stratum, split.n2_total
+            );
+            assert!(plan.contains(&expected), "{plan}\nexpected line: {expected}");
+        }
+    }
+
+    #[test]
+    fn explain_reports_multi_aggregate_plans_and_cache_state() {
+        let n = 100;
+        let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.9 } else { 0.1 }).collect();
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let t = Table::builder("emails", values)
+            .predicate("is_spam", labels, proxy)
+            .build()
+            .unwrap();
+        let mut cat = Catalog::new();
+        cat.register_table(t);
+        cat.enable_label_cache();
+        let exec = Executor { bootstrap_trials: 20, ..Executor::new(&cat) };
+        let sql = "SELECT COUNT(*), AVG(links) FROM emails WHERE is_spam ORACLE LIMIT 50";
+        let plan = exec.explain(sql).unwrap();
+        assert!(plan.contains("2 aggregates"), "{plan}");
+        assert!(plan.contains("label store enabled — 0 verdicts"), "{plan}");
+        // Execute once, then EXPLAIN reflects the warm cache.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let r = exec.execute(sql, &mut rng).unwrap();
+        assert!(r.cache_misses > 0);
+        let plan = exec.explain(sql).unwrap();
+        assert!(
+            plan.contains(&format!("label store enabled — {} verdicts", r.cache_misses)),
+            "{plan}"
+        );
+    }
+
+    #[test]
+    fn explain_does_not_promise_cache_reuse_for_group_by() {
+        // GROUP BY execution never consults the cross-query store; the
+        // plan must say so instead of printing entry occupancy.
+        let n = 1000;
+        let key: Vec<Option<u16>> = (0..n).map(|i| (i % 3 == 0).then_some(0)).collect();
+        let labels: Vec<bool> = key.iter().map(Option::is_some).collect();
+        let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.8 } else { 0.2 }).collect();
+        let t = Table::builder("images", vec![1.0; n])
+            .predicate("is_gray", labels, proxy)
+            .group_key(vec!["gray".into()], key)
+            .build()
+            .unwrap();
+        let mut cat = Catalog::new();
+        cat.register_table(t);
+        cat.bind_predicate("images", "hair=gray", "is_gray");
+        cat.enable_label_cache();
+        let exec = Executor::new(&cat);
+        let plan = exec
+            .explain(
+                "SELECT AVG(smile), hair FROM images WHERE hair(img) = 'gray' \
+                 GROUP BY hair(img) ORACLE LIMIT 100",
+            )
+            .unwrap();
+        assert!(plan.contains("not used by GROUP BY"), "{plan}");
+        assert!(!plan.contains("verdicts cached"), "{plan}");
     }
 
     #[test]

@@ -1,12 +1,20 @@
 //! SQL-dialect frontend for ABae (paper Figure 1).
 //!
 //! ```sql
-//! SELECT {AVG | SUM | COUNT | PERCENTAGE} ({field | EXPR(field) | *})
-//! FROM table_name WHERE filter_predicate
+//! SELECT agg [, agg ...] FROM table_name WHERE filter_predicate
 //! [GROUP BY key]
 //! ORACLE LIMIT o USING proxy
 //! WITH PROBABILITY p
+//! -- agg := {AVG | SUM | COUNT | PERCENTAGE} ({field | EXPR(field) | *})
 //! ```
+//!
+//! The `SELECT` list may name several aggregates; all of them are answered
+//! from **one** shared sampling-and-labeling pass, so a three-aggregate
+//! query spends exactly the oracle budget of a one-aggregate query
+//! ([`exec::QueryResult::rows`] carries one row per aggregate). When the
+//! catalog's cross-query label cache is on ([`Catalog::enable_label_cache`]),
+//! repeated queries over the same table and predicate reuse cached oracle
+//! verdicts and spend budget only on unseen records.
 //!
 //! The `WHERE` clause is a boolean expression (`NOT` / `AND` / `OR`,
 //! parentheses) over *expensive predicate atoms* such as
@@ -29,7 +37,7 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{AggFunc, BoolExpr, Query};
+pub use ast::{AggFunc, AggItem, BoolExpr, Query};
 pub use catalog::Catalog;
-pub use exec::{Executor, QueryError, QueryResult};
+pub use exec::{AggRow, Executor, GroupRow, QueryError, QueryResult};
 pub use parser::parse_query;

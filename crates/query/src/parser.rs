@@ -3,19 +3,26 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! query    := SELECT agg '(' agg_expr ')' FROM ident
+//! query    := SELECT agg_item (',' agg_item)* [',' ident] FROM ident
 //!             WHERE or_expr
 //!             [GROUP BY ident_expr]
 //!             ORACLE LIMIT number [USING ident]
 //!             [WITH PROBABILITY number] [';']
+//! agg_item := agg '(' agg_expr ')'
 //! agg      := AVG | SUM | COUNT | PERCENTAGE
 //! or_expr  := and_expr (OR and_expr)*
 //! and_expr := not_expr (AND not_expr)*
 //! not_expr := NOT not_expr | '(' or_expr ')' | atom
 //! atom     := ident ['(' args ')'] [cmp literal]
 //! ```
+//!
+//! The `SELECT` list accepts several aggregates (answered from one shared
+//! labeling pass) and, for group-by queries, a trailing projected key as in
+//! the paper's `SELECT COUNT(frame), person FROM ...`. A list entry is an
+//! aggregate when it is one of the four aggregate names followed by `(`;
+//! anything else is the projected key and must come last.
 
-use crate::ast::{AggFunc, BoolExpr, PredAtom, Query};
+use crate::ast::{AggFunc, AggItem, BoolExpr, PredAtom, Query};
 use crate::lexer::{tokenize, LexError, Token, TokenKind};
 
 /// Parse errors.
@@ -133,6 +140,30 @@ impl Parser {
         } else {
             Err(self.error(what))
         }
+    }
+
+    /// Whether the upcoming tokens start another aggregate of the `SELECT`
+    /// list: one of the four aggregate names immediately followed by `(`.
+    /// (A bare identifier is the group-by projected key instead.)
+    fn at_agg_item(&self) -> bool {
+        let is_agg_name = matches!(
+            self.peek(),
+            Some(TokenKind::Ident(s))
+                if ["AVG", "SUM", "COUNT", "PERCENTAGE"]
+                    .iter()
+                    .any(|kw| s.eq_ignore_ascii_case(kw))
+        );
+        is_agg_name
+            && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::LParen))
+    }
+
+    /// Parses one `SELECT`-list aggregate: `FUNC '(' expr ')'`.
+    fn agg_item(&mut self) -> Result<AggItem, ParseError> {
+        let func = self.agg_func()?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let expr = self.agg_expr()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(AggItem { func, expr })
     }
 
     fn agg_func(&mut self) -> Result<AggFunc, ParseError> {
@@ -337,17 +368,21 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
     let mut p = Parser { tokens, pos: 0 };
 
     p.keyword("SELECT")?;
-    let agg = p.agg_func()?;
-    p.expect(&TokenKind::LParen, "`(`")?;
-    let agg_expr = p.agg_expr()?;
-    p.expect(&TokenKind::RParen, "`)`")?;
+    let mut aggs = vec![p.agg_item()?];
 
-    // Optional `, key` projection for group-by queries (as in the paper's
-    // `SELECT COUNT(frame), person FROM ...`).
+    // Further `SELECT`-list entries: more aggregates (answered from the
+    // same labeling pass), then optionally one projected group key (as in
+    // the paper's `SELECT COUNT(frame), person FROM ...`), which must be
+    // the last entry.
     let mut projected_key: Option<String> = None;
-    if p.peek() == Some(&TokenKind::Comma) {
+    while p.peek() == Some(&TokenKind::Comma) {
         p.pos += 1;
-        projected_key = Some(p.ident("projected key")?);
+        if p.at_agg_item() {
+            aggs.push(p.agg_item()?);
+        } else {
+            projected_key = Some(p.ident("aggregate or projected key")?);
+            break;
+        }
     }
 
     p.keyword("FROM")?;
@@ -394,8 +429,7 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
     }
 
     Ok(Query {
-        agg,
-        agg_expr,
+        aggs,
         table,
         predicate,
         group_by,
@@ -419,8 +453,9 @@ mod tests {
              WITH PROBABILITY 0.95",
         )
         .unwrap();
-        assert_eq!(q.agg, AggFunc::Avg);
-        assert_eq!(q.agg_expr, "views");
+        assert_eq!(q.primary_agg().func, AggFunc::Avg);
+        assert_eq!(q.primary_agg().expr, "views");
+        assert_eq!(q.aggs.len(), 1);
         assert_eq!(q.table, "news");
         assert_eq!(q.oracle_limit, 10_000);
         assert_eq!(q.proxy.as_deref(), Some("proxy"));
@@ -444,7 +479,7 @@ mod tests {
              WITH PROBABILITY 0.95",
         )
         .unwrap();
-        assert_eq!(q.agg_expr, "count_cars(frame)");
+        assert_eq!(q.primary_agg().expr, "count_cars(frame)");
         match &q.predicate {
             BoolExpr::And(l, r) => {
                 match l.as_ref() {
@@ -469,7 +504,7 @@ mod tests {
              ORACLE LIMIT 2000 WITH PROBABILITY 0.95",
         )
         .unwrap();
-        assert_eq!(q.agg, AggFunc::Percentage);
+        assert_eq!(q.primary_agg().func, AggFunc::Percentage);
         assert_eq!(q.group_by.as_deref(), Some("HAIR_COLOR"));
         assert_eq!(
             q.predicate.atom_keys(),
@@ -484,8 +519,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.probability, 0.95);
-        assert_eq!(q.agg_expr, "*");
+        assert_eq!(q.primary_agg().expr, "*");
         assert!(q.proxy.is_none());
+    }
+
+    #[test]
+    fn parses_multi_aggregate_select_lists() {
+        let q = parse_query(
+            "SELECT COUNT(*), SUM(views), AVG(views) FROM news WHERE is_interesting \
+             ORACLE LIMIT 5000 WITH PROBABILITY 0.95",
+        )
+        .unwrap();
+        assert_eq!(q.aggs.len(), 3);
+        assert_eq!(q.aggs[0], AggItem { func: AggFunc::Count, expr: "*".into() });
+        assert_eq!(q.aggs[1], AggItem { func: AggFunc::Sum, expr: "views".into() });
+        assert_eq!(q.aggs[2], AggItem { func: AggFunc::Avg, expr: "views".into() });
+        assert!(q.group_by.is_none());
+    }
+
+    #[test]
+    fn multi_aggregate_list_allows_a_trailing_projected_key() {
+        // Aggregates, then a projected key, then GROUP BY — all accepted.
+        let q = parse_query(
+            "SELECT COUNT(frame), AVG(views), person FROM news WHERE seen(frame) \
+             GROUP BY person ORACLE LIMIT 100",
+        )
+        .unwrap();
+        assert_eq!(q.aggs.len(), 2);
+        assert_eq!(q.group_by.as_deref(), Some("person"));
+        // The projected key must be last: a key before an aggregate fails.
+        assert!(parse_query(
+            "SELECT COUNT(frame), person, AVG(views) FROM news WHERE seen(frame) \
+             GROUP BY person ORACLE LIMIT 100",
+        )
+        .is_err());
+        // A lone trailing comma is rejected.
+        assert!(parse_query(
+            "SELECT COUNT(*), FROM news WHERE seen ORACLE LIMIT 100",
+        )
+        .is_err());
     }
 
     #[test]

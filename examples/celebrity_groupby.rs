@@ -36,9 +36,12 @@ fn main() {
     catalog.bind_predicate("celeba-groupby", "HAIR_COLOR=blond", "is_blond");
     let executor = Executor::new(&catalog);
     let mut rng = StdRng::seed_from_u64(4);
+    // The celeba emulator stores `is_smiling` on the 0/100 scale, so AVG
+    // already reports percent (PERCENTAGE is for 0/1 indicators — it
+    // always multiplies by 100).
     let result = executor
         .execute(
-            "SELECT PERCENTAGE(is_smiling(image)), person FROM celeba-groupby \
+            "SELECT AVG(is_smiling(image)), person FROM celeba-groupby \
              WHERE HAIR_COLOR(image) = 'gray' OR HAIR_COLOR(image) = 'blond' \
              GROUP BY HAIR_COLOR(image) \
              ORACLE LIMIT 6000 WITH PROBABILITY 0.95",
@@ -46,11 +49,15 @@ fn main() {
         )
         .expect("query executes");
 
-    println!("SELECT PERCENTAGE(is_smiling) ... GROUP BY HAIR_COLOR  (budget 6,000):");
+    println!("SELECT AVG(is_smiling) ... GROUP BY HAIR_COLOR  (budget 6,000):");
     for row in result.groups.expect("group-by query") {
         let truth = exact.iter().find(|(n, _)| *n == row.name).expect("group").1;
+        let ci = row
+            .ci
+            .map(|ci| format!("95% CI [{:.2}, {:.2}]", ci.lo, ci.hi))
+            .unwrap_or_default();
         println!(
-            "  {:<6} estimate {:>6.2}%   exact {:>6.2}%   |err| {:.2}",
+            "  {:<6} estimate {:>6.2}%   exact {:>6.2}%   |err| {:.2}   {ci}",
             row.name,
             row.estimate,
             truth,

@@ -46,9 +46,9 @@ fn main() {
         )
         .expect("query executes");
 
-    let ci = result.ci.expect("scalar query carries a CI");
+    let ci = result.ci().expect("scalar query carries a CI");
     println!("SELECT AVG(views) WHERE contains_candidate(frame, 'Biden')");
-    println!("  estimate       : {:.4} million viewers", result.estimate);
+    println!("  estimate       : {:.4} million viewers", result.estimate());
     println!("  95% CI         : [{:.4}, {:.4}]", ci.lo, ci.hi);
     println!("  oracle calls   : {}", result.oracle_calls);
     println!("  exact (hidden) : {exact:.4}");

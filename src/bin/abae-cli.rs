@@ -9,6 +9,16 @@
 //!
 //! # No data handy? Query the emulated trec05p spam corpus:
 //! abae-cli --demo "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 2000"
+//!
+//! # A multi-aggregate dashboard query — one oracle budget, three answers:
+//! abae-cli --demo "SELECT COUNT(*), SUM(links), AVG(links) FROM trec05p \
+//!                  WHERE is_spam ORACLE LIMIT 2000"
+//!
+//! # Several statements sharing the cross-query label cache: the second
+//! # query reuses the first one's oracle verdicts.
+//! abae-cli --demo --cache \
+//!     "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 2000" \
+//!     "SELECT COUNT(*) FROM trec05p WHERE is_spam ORACLE LIMIT 2000"
 //! ```
 
 use abae::core::pipeline::ExecOptions;
@@ -25,20 +35,25 @@ struct Args {
     table_name: String,
     demo: bool,
     explain: bool,
+    cache: bool,
     seed: u64,
     exec: ExecOptions,
-    sql: String,
+    sql: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: abae-cli [--csv FILE --table NAME | --demo] [--explain] [--seed N]\n\
-         \x20               [--threads N] [--batch N] \"SQL\"\n\
+        "usage: abae-cli [--csv FILE --table NAME | --demo] [--explain] [--cache] [--seed N]\n\
+         \x20               [--threads N] [--batch N] \"SQL\" [\"SQL\" ...]\n\
          \n\
-         The SQL dialect is the ABae paper's Figure 1:\n\
-         SELECT {{AVG|SUM|COUNT|PERCENTAGE}}(expr) FROM table WHERE predicate\n\
+         The SQL dialect is the ABae paper's Figure 1, extended with\n\
+         multi-aggregate SELECT lists (one labeling pass answers them all):\n\
+         SELECT {{AVG|SUM|COUNT|PERCENTAGE}}(expr) [, ...] FROM table WHERE predicate\n\
          [GROUP BY key] ORACLE LIMIT n [USING proxy] [WITH PROBABILITY p]\n\
          \n\
+         Several SQL statements run in order against the same catalog;\n\
+         --cache enables the cross-query oracle label store, so later\n\
+         statements reuse verdicts already bought by earlier ones.\n\
          --threads / --batch control the parallel oracle-labeling pipeline\n\
          (defaults: env ABAE_THREADS / ABAE_BATCH, else 1 thread, batch 256).\n\
          Results are identical for any thread count or batch size."
@@ -52,9 +67,10 @@ fn parse_args() -> Args {
         table_name: "data".to_string(),
         demo: false,
         explain: false,
+        cache: false,
         seed: 0xABAE,
         exec: ExecOptions::default(),
-        sql: String::new(),
+        sql: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     let numeric = |it: &mut dyn Iterator<Item = String>| -> usize {
@@ -66,6 +82,7 @@ fn parse_args() -> Args {
             "--table" => args.table_name = it.next().unwrap_or_else(|| usage()),
             "--demo" => args.demo = true,
             "--explain" => args.explain = true,
+            "--cache" => args.cache = true,
             "--seed" => {
                 args.seed = it
                     .next()
@@ -75,7 +92,7 @@ fn parse_args() -> Args {
             "--threads" => args.exec.threads = numeric(&mut it),
             "--batch" => args.exec.batch_size = numeric(&mut it).max(1),
             "--help" | "-h" => usage(),
-            sql if !sql.starts_with("--") => args.sql = sql.to_string(),
+            sql if !sql.starts_with("--") => args.sql.push(sql.to_string()),
             _ => usage(),
         }
     }
@@ -111,47 +128,66 @@ fn main() -> ExitCode {
 
     let mut catalog = Catalog::new();
     catalog.register_table(table);
+    if args.cache {
+        catalog.enable_label_cache();
+    }
     let mut executor = Executor::new(&catalog);
     executor.exec = args.exec;
 
-    if args.explain {
-        match executor.explain(&args.sql) {
-            Ok(plan) => {
-                println!("{plan}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    for (i, sql) in args.sql.iter().enumerate() {
+        if args.sql.len() > 1 {
+            println!("{}-- [{}] {sql}", if i > 0 { "\n" } else { "" }, i + 1);
         }
-    } else {
-        let mut rng = StdRng::seed_from_u64(args.seed);
-        match executor.execute(&args.sql, &mut rng) {
+        if args.explain {
+            match executor.explain(sql) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
+        match executor.execute(sql, &mut rng) {
             Ok(result) => {
                 if let Some(groups) = &result.groups {
-                    println!("{:<20} {:>14}", "group", "estimate");
+                    println!("{:<20} {:>14} {:>30}", "group", "estimate", "ci");
                     for row in groups {
-                        println!("{:<20} {:>14.6}", row.name, row.estimate);
+                        let ci = row
+                            .ci
+                            .map(|ci| format!("[{:.6}, {:.6}]", ci.lo, ci.hi))
+                            .unwrap_or_else(|| "-".to_string());
+                        println!("{:<20} {:>14.6} {:>30}", row.name, row.estimate, ci);
                     }
                 } else {
-                    println!("estimate     : {:.6}", result.estimate);
-                    if let Some(ci) = result.ci {
-                        println!(
-                            "{:.0}% CI       : [{:.6}, {:.6}]",
-                            ci.confidence * 100.0,
-                            ci.lo,
-                            ci.hi
-                        );
+                    for row in &result.rows {
+                        let label = format!("{}({})", row.func, row.expr);
+                        print!("{label:<20} : {:.6}", row.estimate);
+                        if let Some(ci) = row.ci {
+                            print!(
+                                "   {:.0}% CI [{:.6}, {:.6}]",
+                                ci.confidence * 100.0,
+                                ci.lo,
+                                ci.hi
+                            );
+                        }
+                        println!();
                     }
                 }
                 println!("oracle calls : {}", result.oracle_calls);
-                ExitCode::SUCCESS
+                if args.cache {
+                    println!(
+                        "label cache  : {} hits / {} misses",
+                        result.cache_hits, result.cache_misses
+                    );
+                }
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
             }
         }
     }
+    ExitCode::SUCCESS
 }

@@ -77,5 +77,5 @@ fn queries_on_reloaded_table_behave_identically() {
     // must agree to high precision.
     let a = run(original);
     let b = run(reparsed);
-    assert!((a.estimate - b.estimate).abs() < 1e-9, "{} vs {}", a.estimate, b.estimate);
+    assert!((a.estimate() - b.estimate()).abs() < 1e-9, "{} vs {}", a.estimate(), b.estimate());
 }

@@ -37,8 +37,8 @@ fn sql_query_over_emulated_dataset_converges() {
             )
             .expect("query executes");
         assert!(r.oracle_calls <= 4000);
-        estimates.push(r.estimate);
-        if r.ci.expect("scalar query CI").contains(exact) {
+        estimates.push(r.estimate());
+        if r.ci().expect("scalar query CI").contains(exact) {
             covered += 1;
         }
     }
@@ -92,7 +92,7 @@ fn same_seed_same_answer_across_the_stack() {
     let b = run(7);
     let c = run(8);
     assert_eq!(a, b, "same seed must reproduce exactly");
-    assert_ne!(a.estimate, c.estimate, "different seeds should differ");
+    assert_ne!(a.estimate(), c.estimate(), "different seeds should differ");
 }
 
 #[test]
@@ -113,9 +113,9 @@ fn count_and_sum_aggregates_match_ground_truth_scale() {
         )
         .expect("query executes");
     assert!(
-        (count.estimate - exact_count).abs() / exact_count < 0.1,
+        (count.estimate() - exact_count).abs() / exact_count < 0.1,
         "count {} vs {exact_count}",
-        count.estimate
+        count.estimate()
     );
 
     let sum = executor
@@ -125,8 +125,8 @@ fn count_and_sum_aggregates_match_ground_truth_scale() {
         )
         .expect("query executes");
     assert!(
-        (sum.estimate - exact_sum).abs() / exact_sum < 0.1,
+        (sum.estimate() - exact_sum).abs() / exact_sum < 0.1,
         "sum {} vs {exact_sum}",
-        sum.estimate
+        sum.estimate()
     );
 }

@@ -1,0 +1,155 @@
+//! Cross-query label-cache acceptance tests (the `LabelStore` in
+//! `abae-data`, wired through `Catalog::enable_label_cache`):
+//!
+//! * a repeated identical query spends **0** extra oracle calls against a
+//!   warm store, with the hits/misses surfaced in `QueryResult`;
+//! * cached results are bit-identical to uncached, for any thread count of
+//!   the labeling pipeline;
+//! * different queries over the same (table, predicate) share verdicts.
+
+use abae::core::pipeline::ExecOptions;
+use abae::query::{Catalog, Executor, QueryResult};
+use abae::data::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spam_table(n: usize) -> Table {
+    let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+    let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.8 } else { 0.2 }).collect();
+    let values: Vec<f64> = (0..n).map(|i| (i % 9) as f64).collect();
+    Table::builder("emails", values)
+        .predicate("is_spam", labels, proxy)
+        .build()
+        .unwrap()
+}
+
+fn run(catalog: &Catalog, sql: &str, seed: u64, exec: ExecOptions) -> QueryResult {
+    let mut executor = Executor::new(catalog);
+    executor.bootstrap_trials = 100;
+    executor.exec = exec;
+    let mut rng = StdRng::seed_from_u64(seed);
+    executor.execute(sql, &mut rng).expect("query executes")
+}
+
+const SQL: &str = "SELECT AVG(nb_links) FROM emails WHERE is_spam \
+                   ORACLE LIMIT 2000 WITH PROBABILITY 0.95";
+
+#[test]
+fn warm_store_answers_repeat_queries_for_zero_oracle_calls() {
+    let mut catalog = Catalog::new();
+    catalog.register_table(spam_table(20_000));
+    catalog.enable_label_cache();
+
+    let cold = run(&catalog, SQL, 1, ExecOptions::sequential());
+    assert!(cold.oracle_calls > 0);
+    assert_eq!(cold.cache_hits, 0, "a cold store has nothing to hit");
+    assert_eq!(
+        cold.cache_misses, cold.oracle_calls,
+        "every labeled record was a miss and charged the oracle"
+    );
+
+    // Same query, same seed, warm store: the identical records are drawn,
+    // every verdict is cached, and the oracle is never invoked.
+    let warm = run(&catalog, SQL, 1, ExecOptions::sequential());
+    assert_eq!(warm.oracle_calls, 0, "a warm store must answer entirely from cache");
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(warm.cache_hits, cold.cache_misses);
+
+    // The answers are bit-identical: estimates, CIs, group rows.
+    assert_eq!(warm.rows, cold.rows);
+    assert_eq!(warm.groups, cold.groups);
+
+    // The store reports the lifetime totals.
+    let store = catalog.label_store().expect("cache enabled");
+    assert_eq!(store.misses(), cold.cache_misses);
+    assert_eq!(store.hits(), warm.cache_hits);
+}
+
+#[test]
+fn different_aggregates_share_the_same_verdicts() {
+    // A Figure-1-style dashboard: three scalar queries over the same table
+    // and predicate. With the store on, only the first pays the oracle.
+    let mut catalog = Catalog::new();
+    catalog.register_table(spam_table(20_000));
+    catalog.enable_label_cache();
+
+    let avg = run(&catalog, SQL, 3, ExecOptions::sequential());
+    assert!(avg.oracle_calls > 0);
+    for sql in [
+        "SELECT COUNT(*) FROM emails WHERE is_spam ORACLE LIMIT 2000 WITH PROBABILITY 0.95",
+        "SELECT SUM(nb_links) FROM emails WHERE is_spam ORACLE LIMIT 2000 WITH PROBABILITY 0.95",
+    ] {
+        // Same seed → same proxy stratification → identical draws: every
+        // record needed by the later query is already cached.
+        let r = run(&catalog, sql, 3, ExecOptions::sequential());
+        assert_eq!(r.oracle_calls, 0, "{sql} should be answered from cache");
+        assert_eq!(r.cache_misses, 0);
+    }
+}
+
+#[test]
+fn cached_results_are_bit_identical_across_thread_counts() {
+    // The uncached reference result.
+    let reference = {
+        let mut catalog = Catalog::new();
+        catalog.register_table(spam_table(20_000));
+        run(&catalog, SQL, 5, ExecOptions::sequential())
+    };
+    for exec in [ExecOptions::new(1, 64), ExecOptions::new(8, 7)] {
+        let mut catalog = Catalog::new();
+        catalog.register_table(spam_table(20_000));
+        catalog.enable_label_cache();
+        let cold = run(&catalog, SQL, 5, exec);
+        let warm = run(&catalog, SQL, 5, exec);
+        // Caching changes spend accounting, never answers — cold, warm,
+        // and uncached agree bit-for-bit at every thread/batch setting.
+        assert_eq!(cold.rows, reference.rows, "{exec:?} cold");
+        assert_eq!(warm.rows, reference.rows, "{exec:?} warm");
+        assert_eq!(cold.oracle_calls, reference.oracle_calls, "{exec:?}");
+        assert_eq!(warm.oracle_calls, 0, "{exec:?}");
+    }
+}
+
+#[test]
+fn replacing_a_table_invalidates_its_cached_verdicts() {
+    // Verdicts bought against v1 of a table must never answer queries
+    // over v2: register_table drops the store's entries for that name.
+    let mut catalog = Catalog::new();
+    catalog.register_table(spam_table(10_000));
+    catalog.enable_label_cache();
+    let sql = "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 1000";
+    let v1 = run(&catalog, sql, 13, ExecOptions::sequential());
+    assert!(v1.cache_misses > 0);
+
+    // v2: same shape, inverted labels — different data under the same name.
+    let n = 10_000;
+    let labels: Vec<bool> = (0..n).map(|i| i % 4 != 0).collect();
+    let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.8 } else { 0.2 }).collect();
+    let values: Vec<f64> = (0..n).map(|i| (i % 9) as f64 + 100.0).collect();
+    catalog.register_table(
+        Table::builder("emails", values).predicate("is_spam", labels, proxy).build().unwrap(),
+    );
+
+    let v2 = run(&catalog, sql, 13, ExecOptions::sequential());
+    assert_eq!(v2.cache_hits, 0, "stale v1 verdicts must not serve v2 queries");
+    assert!(v2.oracle_calls > 0, "v2 must be labeled fresh");
+    assert!(
+        v2.estimate() > 50.0,
+        "estimate {} reflects v1's statistic, not v2's",
+        v2.estimate()
+    );
+}
+
+#[test]
+fn disabling_the_cache_restores_fresh_labeling() {
+    let mut catalog = Catalog::new();
+    catalog.register_table(spam_table(10_000));
+    catalog.enable_label_cache();
+    let sql = "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 1000";
+    let first = run(&catalog, sql, 9, ExecOptions::sequential());
+    assert!(first.cache_misses > 0);
+    catalog.disable_label_cache();
+    let second = run(&catalog, sql, 9, ExecOptions::sequential());
+    assert_eq!(second.oracle_calls, first.oracle_calls, "fresh labeling pays full price");
+    assert_eq!((second.cache_hits, second.cache_misses), (0, 0));
+}

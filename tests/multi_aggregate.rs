@@ -1,0 +1,181 @@
+//! Multi-aggregate `SELECT` acceptance tests:
+//!
+//! * `ci.lo <= estimate <= ci.hi` for **every** `AggFunc`, including
+//!   `PERCENTAGE` (whose CI must scale with its estimate);
+//! * a 3-aggregate query spends exactly the oracle budget of a
+//!   1-aggregate query (one shared labeling pass);
+//! * grouped queries carry a per-group CI that brackets each row.
+
+use abae::query::{AggFunc, Catalog, Executor};
+use abae::data::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 20k records; the predicate holds for ~30%, the statistic is a 0/1
+/// indicator so `PERCENTAGE` is meaningful alongside AVG/SUM/COUNT.
+fn indicator_table(n: usize) -> Table {
+    let labels: Vec<bool> = (0..n).map(|i| i % 10 < 3).collect();
+    let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.85 } else { 0.15 }).collect();
+    let values: Vec<f64> = (0..n).map(|i| f64::from(i % 5 == 0)).collect();
+    Table::builder("events", values).predicate("matches", labels, proxy).build().unwrap()
+}
+
+#[test]
+fn every_aggregates_ci_brackets_its_estimate() {
+    let mut catalog = Catalog::new();
+    catalog.register_table(indicator_table(20_000));
+    let mut executor = Executor::new(&catalog);
+    executor.bootstrap_trials = 300;
+
+    for (func, sql_agg) in [
+        (AggFunc::Avg, "AVG(x)"),
+        (AggFunc::Sum, "SUM(x)"),
+        (AggFunc::Count, "COUNT(*)"),
+        (AggFunc::Percentage, "PERCENTAGE(x)"),
+    ] {
+        // Several seeds per aggregate: bracketing must hold every time,
+        // not just on a lucky draw.
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sql = format!(
+                "SELECT {sql_agg} FROM events WHERE matches ORACLE LIMIT 2000 \
+                 WITH PROBABILITY 0.95"
+            );
+            let r = executor.execute(&sql, &mut rng).expect("query executes");
+            assert_eq!(r.rows.len(), 1);
+            assert_eq!(r.rows[0].func, func);
+            let ci = r.ci().unwrap_or_else(|| panic!("{func:?} must carry a CI"));
+            assert!(
+                ci.lo <= r.estimate() && r.estimate() <= ci.hi,
+                "{func:?} seed {seed}: CI [{}, {}] does not bracket estimate {}",
+                ci.lo,
+                ci.hi,
+                r.estimate()
+            );
+        }
+    }
+}
+
+#[test]
+fn percentage_is_avg_times_one_hundred_with_matching_ci() {
+    let mut catalog = Catalog::new();
+    catalog.register_table(indicator_table(20_000));
+    let mut executor = Executor::new(&catalog);
+    executor.bootstrap_trials = 200;
+    let avg = executor
+        .execute(
+            "SELECT AVG(x) FROM events WHERE matches ORACLE LIMIT 2000",
+            &mut StdRng::seed_from_u64(11),
+        )
+        .unwrap();
+    let pct = executor
+        .execute(
+            "SELECT PERCENTAGE(x) FROM events WHERE matches ORACLE LIMIT 2000",
+            &mut StdRng::seed_from_u64(11),
+        )
+        .unwrap();
+    assert!((pct.estimate() - 100.0 * avg.estimate()).abs() < 1e-9);
+    let (aci, pci) = (avg.ci().unwrap(), pct.ci().unwrap());
+    assert!((pci.lo - 100.0 * aci.lo).abs() < 1e-9, "CI lower bound must scale too");
+    assert!((pci.hi - 100.0 * aci.hi).abs() < 1e-9, "CI upper bound must scale too");
+}
+
+#[test]
+fn three_aggregates_spend_exactly_one_oracle_budget() {
+    let mut catalog = Catalog::new();
+    catalog.register_table(indicator_table(20_000));
+    let mut executor = Executor::new(&catalog);
+    executor.bootstrap_trials = 100;
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let single = executor
+        .execute("SELECT AVG(x) FROM events WHERE matches ORACLE LIMIT 3000", &mut rng)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(21);
+    let multi = executor
+        .execute(
+            "SELECT AVG(x), SUM(x), COUNT(*) FROM events WHERE matches ORACLE LIMIT 3000",
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(
+        multi.oracle_calls, single.oracle_calls,
+        "a 3-aggregate query must cost what a 1-aggregate query costs"
+    );
+    assert_eq!(multi.rows.len(), 3);
+    // The shared pass answers the first aggregate identically to the
+    // dedicated single-aggregate run (same seed, same RNG stream).
+    assert_eq!(multi.rows[0], single.rows[0]);
+    // Every row's CI brackets its estimate.
+    for row in &multi.rows {
+        let ci = row.ci.expect("scalar rows carry CIs");
+        assert!(ci.lo <= row.estimate && row.estimate <= ci.hi, "{row:?}");
+    }
+    // Sanity: COUNT is on the population-count scale, AVG on the unit
+    // scale — the rows really are different aggregates of one sample.
+    assert!(multi.rows[2].estimate > 100.0 * multi.rows[0].estimate);
+}
+
+fn grouped_table(n: usize) -> Table {
+    let mut key = Vec::with_capacity(n);
+    let mut labels: Vec<Vec<bool>> = vec![Vec::new(); 2];
+    let mut proxies: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = match i % 10 {
+            0 => Some(0u16),
+            1 | 2 => Some(1),
+            _ => None,
+        };
+        key.push(g);
+        for (j, (l, p)) in labels.iter_mut().zip(proxies.iter_mut()).enumerate() {
+            let member = g == Some(j as u16);
+            l.push(member);
+            p.push(if member { 0.8 } else { 0.2 });
+        }
+        values.push(match g {
+            Some(0) => 30.0 + (i % 7) as f64,
+            Some(1) => 60.0 + (i % 5) as f64,
+            _ => 0.0,
+        });
+    }
+    Table::builder("images", values)
+        .predicate("is_gray", std::mem::take(&mut labels[0]), std::mem::take(&mut proxies[0]))
+        .predicate("is_blond", std::mem::take(&mut labels[1]), std::mem::take(&mut proxies[1]))
+        .group_key(vec!["gray".into(), "blond".into()], key)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn grouped_queries_carry_bracketing_per_group_cis() {
+    let mut catalog = Catalog::new();
+    catalog.register_table(grouped_table(20_000));
+    catalog.bind_predicate("images", "hair=gray", "is_gray");
+    catalog.bind_predicate("images", "hair=blond", "is_blond");
+    let mut executor = Executor::new(&catalog);
+    executor.bootstrap_trials = 200;
+    let mut rng = StdRng::seed_from_u64(31);
+    let r = executor
+        .execute(
+            "SELECT AVG(smile), hair FROM images \
+             WHERE hair(img) = 'gray' OR hair(img) = 'blond' \
+             GROUP BY hair(img) ORACLE LIMIT 4000 WITH PROBABILITY 0.9",
+            &mut rng,
+        )
+        .unwrap();
+    let rows = r.groups.expect("group-by query");
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        let ci = row.ci.unwrap_or_else(|| panic!("group {} must carry a CI", row.name));
+        assert!((ci.confidence - 0.9).abs() < 1e-9);
+        assert!(
+            ci.lo <= row.estimate && row.estimate <= ci.hi,
+            "group {}: [{}, {}] vs {}",
+            row.name,
+            ci.lo,
+            ci.hi,
+            row.estimate
+        );
+    }
+}

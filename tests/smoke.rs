@@ -40,12 +40,12 @@ fn end_to_end_query_ci_brackets_ground_truth() {
             )
             .expect("query executes");
         assert!(result.oracle_calls <= 3000, "budget exceeded: {}", result.oracle_calls);
-        let ci = result.ci.expect("scalar query returns a CI");
-        assert!(ci.lo <= result.estimate && result.estimate <= ci.hi);
+        let ci = result.ci().expect("scalar query returns a CI");
+        assert!(ci.lo <= result.estimate() && result.estimate() <= ci.hi);
         assert!(
-            (result.estimate - exact).abs() / exact < 0.1,
+            (result.estimate() - exact).abs() / exact < 0.1,
             "estimate {} far from truth {exact}",
-            result.estimate
+            result.estimate()
         );
         if ci.contains(exact) {
             covered += 1;
