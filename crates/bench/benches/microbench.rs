@@ -19,7 +19,7 @@ use abae_core::two_stage::run_two_stage;
 use abae_data::{FnOracle, Labeled, Table};
 use abae_ml::logistic::{LogisticRegression, TrainOptions};
 use abae_optim::simplex::{minimize_on_simplex, SimplexOptions};
-use abae_query::{Catalog, Executor};
+use abae_query::Engine;
 use abae_sampling::pool::IndexPool;
 use abae_sampling::wor::sample_without_replacement;
 
@@ -150,20 +150,16 @@ fn bench_query_end_to_end(c: &mut Criterion) {
     let values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
     let table =
         Table::builder("emails", values).predicate("is_spam", labels, proxy).build().unwrap();
-    let mut catalog = Catalog::new();
-    catalog.register_table(table);
-    let mut exec = Executor::new(&catalog);
-    exec.bootstrap_trials = 100;
+    let engine = Engine::builder().table(table).bootstrap_trials(100).seed(8).build();
+    let mut session = engine.session();
     c.bench_function("query_end_to_end_budget_2k", |b| {
         b.iter(|| {
-            exec.execute(
-                black_box(
+            session
+                .execute(black_box(
                     "SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT 2000 \
                      WITH PROBABILITY 0.95",
-                ),
-                &mut rng,
-            )
-            .expect("valid query")
+                ))
+                .expect("valid query")
         });
     });
 }

@@ -8,16 +8,15 @@
 //! toward zero. This binary measures that decay: per round, the oracle
 //! calls actually spent, the cache hits, and the cumulative hit rate.
 //!
-//! Each round uses a fresh RNG seed (derived from the master seed), so the
-//! sampled records differ between rounds — the hit rate measured here is
-//! the realistic partial-overlap case, not the trivial identical-replay
-//! case (which `tests/label_store.rs` pins at exactly 0 extra calls).
+//! Each round runs in a fresh session (its own deterministic RNG stream
+//! derived from the engine seed), so the sampled records differ between
+//! rounds — the hit rate measured here is the realistic partial-overlap
+//! case, not the trivial identical-replay case (which
+//! `tests/label_store.rs` pins at exactly 0 extra calls).
 
 use abae_bench::config::ExpConfig;
 use abae_data::emulators::{trec05p, EmulatorOptions};
-use abae_query::{Catalog, Executor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use abae_query::Engine;
 
 fn main() {
     let cfg = ExpConfig::from_env();
@@ -28,10 +27,7 @@ fn main() {
 
     let table = trec05p(&EmulatorOptions { scale: cfg.scale.max(0.02), seed: cfg.seed });
     let records = table.len();
-    let mut catalog = Catalog::new();
-    catalog.register_table(table);
-    catalog.enable_label_cache();
-    let executor = Executor::new(&catalog);
+    let engine = Engine::builder().table(table).label_cache(true).seed(cfg.seed).build();
 
     // The dashboard: one multi-aggregate query (one labeling pass answers
     // all three) plus a narrower follow-up at a smaller budget.
@@ -49,12 +45,14 @@ fn main() {
         "round", "oracle", "hits", "misses", "round hit%", "cumulative hit%"
     );
 
-    let store = catalog.label_store().expect("cache enabled above");
+    let store = engine.label_store().expect("cache enabled above");
     for round in 0..rounds {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (round as u64).wrapping_mul(0x9E37_79B9));
+        // A fresh session per round = a fresh deterministic RNG stream,
+        // so the sampled records differ between rounds.
+        let mut session = engine.session();
         let (mut calls, mut hits, mut misses) = (0u64, 0u64, 0u64);
         for sql in &dashboard {
-            let r = executor.execute(sql, &mut rng).expect("dashboard query executes");
+            let r = session.execute(sql).expect("dashboard query executes");
             calls += r.oracle_calls;
             hits += r.cache_hits;
             misses += r.cache_misses;

@@ -49,6 +49,23 @@ impl ExecOptions {
         Self { threads: 1, batch_size: Self::DEFAULT_BATCH }
     }
 
+    /// Returns `self` with the worker-thread knob replaced. Builder-style
+    /// helper for call sites that own a resolved default — e.g. the query
+    /// engine resolves [`ExecOptions::default`] once at build time and
+    /// layers explicit flags on top, instead of re-reading the environment
+    /// per call.
+    pub const fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns `self` with the batch-size knob replaced (clamped to at
+    /// least 1 record per batch at the point of use).
+    pub const fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
     /// Reads `ABAE_THREADS` and `ABAE_BATCH` from the environment;
     /// unset or unparsable values fall back to 1 thread and
     /// [`Self::DEFAULT_BATCH`] records per batch.
@@ -204,6 +221,13 @@ mod tests {
         assert!(opts.batch_size >= 1);
         let seq = ExecOptions::sequential();
         assert_eq!(seq.threads, 1);
+    }
+
+    #[test]
+    fn builder_helpers_replace_one_knob_at_a_time() {
+        let base = ExecOptions::new(2, 128);
+        assert_eq!(base.with_threads(8), ExecOptions::new(8, 128));
+        assert_eq!(base.with_batch_size(32), ExecOptions::new(2, 32));
     }
 
     #[test]

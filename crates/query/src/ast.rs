@@ -119,6 +119,26 @@ pub struct AggItem {
     pub expr: String,
 }
 
+/// Which tunable clauses were written as `?` placeholders instead of
+/// literals. A placeholder query cannot be executed directly — it must be
+/// prepared and the parameter bound (`Prepared::with_budget` /
+/// `Prepared::with_probability`), which is how a dashboard re-runs one
+/// parsed-and-planned statement under many budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Placeholders {
+    /// The query was written `ORACLE LIMIT ?`.
+    pub oracle_limit: bool,
+    /// The query was written `WITH PROBABILITY ?`.
+    pub probability: bool,
+}
+
+impl Placeholders {
+    /// Whether any clause is an unbound placeholder.
+    pub fn any(&self) -> bool {
+        self.oracle_limit || self.probability
+    }
+}
+
 /// A parsed ABae query (Figure 1), extended with multi-aggregate `SELECT`
 /// lists: `SELECT COUNT(*), SUM(views), AVG(views) FROM ...` answers every
 /// aggregate from one shared labeling pass.
@@ -132,13 +152,19 @@ pub struct Query {
     pub predicate: BoolExpr,
     /// Optional group-by key expression.
     pub group_by: Option<String>,
-    /// Oracle budget (`ORACLE LIMIT o`).
+    /// Oracle budget (`ORACLE LIMIT o`; `0` when written as the `?`
+    /// placeholder — check [`Query::placeholders`]).
     pub oracle_limit: usize,
     /// Proxy name (`USING proxy`); `None` lets the executor use each
     /// predicate's own proxy column.
     pub proxy: Option<String>,
-    /// Success probability (`WITH PROBABILITY p`).
+    /// Success probability (`WITH PROBABILITY p`; the `0.95` default when
+    /// written as the `?` placeholder — check [`Query::placeholders`]).
     pub probability: f64,
+    /// Which clauses were written as `?` placeholders. Placeholder values
+    /// must be bound before execution; the literal fields above hold inert
+    /// defaults for them.
+    pub placeholders: Placeholders,
 }
 
 impl Query {

@@ -11,6 +11,13 @@ use std::collections::HashMap;
 
 /// A registry of tables and atom-key bindings, optionally carrying a
 /// cross-query [`LabelStore`] so repeated queries reuse oracle verdicts.
+///
+/// Shared-ownership contract: a catalog is `Send + Sync` (tables and
+/// bindings are plain immutable data; the label store synchronizes
+/// internally), which is what lets [`crate::Engine`] freeze one catalog
+/// behind an `Arc` and serve it to any number of concurrent sessions.
+/// Mutation (`register_table`, `bind_predicate`, the cache toggles) is
+/// `&mut self` and therefore happens-before the engine is built.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
@@ -148,6 +155,12 @@ mod tests {
         assert_eq!(cat.label_store().unwrap().cached_verdicts("t", "p"), 3);
         cat.disable_label_cache();
         assert!(cat.label_store().is_none());
+    }
+
+    #[test]
+    fn catalog_is_send_sync_for_engine_sharing() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Catalog>();
     }
 
     #[test]

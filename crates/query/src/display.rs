@@ -79,11 +79,19 @@ impl fmt::Display for Query {
         if let Some(key) = &self.group_by {
             write!(f, " GROUP BY {key}")?;
         }
-        write!(f, " ORACLE LIMIT {}", self.oracle_limit)?;
+        if self.placeholders.oracle_limit {
+            write!(f, " ORACLE LIMIT ?")?;
+        } else {
+            write!(f, " ORACLE LIMIT {}", self.oracle_limit)?;
+        }
         if let Some(p) = &self.proxy {
             write!(f, " USING {p}")?;
         }
-        write!(f, " WITH PROBABILITY {}", self.probability)
+        if self.placeholders.probability {
+            write!(f, " WITH PROBABILITY ?")
+        } else {
+            write!(f, " WITH PROBABILITY {}", self.probability)
+        }
     }
 }
 
@@ -101,6 +109,7 @@ mod tests {
         assert_eq!(q1.table, q2.table);
         assert_eq!(q1.oracle_limit, q2.oracle_limit);
         assert_eq!(q1.probability, q2.probability);
+        assert_eq!(q1.placeholders, q2.placeholders);
         assert_eq!(q1.group_by, q2.group_by);
         assert_eq!(q1.predicate.atom_keys(), q2.predicate.atom_keys());
     }
@@ -134,6 +143,15 @@ mod tests {
             "SELECT COUNT(*), SUM(views), AVG(views) FROM news WHERE interesting \
              ORACLE LIMIT 2,000 WITH PROBABILITY 0.9",
         );
+    }
+
+    #[test]
+    fn placeholder_queries_roundtrip() {
+        roundtrip("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT ? WITH PROBABILITY ?");
+        roundtrip("SELECT COUNT(*) FROM t WHERE p ORACLE LIMIT ?");
+        roundtrip("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 100 WITH PROBABILITY ?");
+        let q = parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT ?").unwrap();
+        assert!(format!("{q}").contains("ORACLE LIMIT ?"), "{q}");
     }
 
     #[test]

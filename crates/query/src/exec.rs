@@ -1,29 +1,23 @@
-//! Query executor: routes parsed queries to the ABae algorithms.
+//! The deprecated borrow-based executor shim (and the query result types).
 //!
-//! * Single- or multi-predicate `WHERE` → [`abae_core::multipred`] (a lone
-//!   atom is just a one-leaf expression) with a bootstrap CI honoring the
-//!   query's `WITH PROBABILITY`. Every aggregate of the `SELECT` list is
-//!   answered from the same sampling-and-labeling run
-//!   ([`abae_core::two_stage::run_abae_multi_with_ci`]), and when the
-//!   catalog carries a label store the labeling consults it first, so
-//!   repeat queries spend oracle budget only on unseen records.
-//! * `GROUP BY` → [`abae_core::groupby`] in the single-oracle setting (the
-//!   table's group key plays the oracle); per-group predicates must be
-//!   registered in group order, mirroring the paper's assumption that each
-//!   group has its own proxy.
-//! * `ORACLE LIMIT` is the total oracle budget; `USING <proxy>` may name a
-//!   predicate column whose proxy stratifies the query (otherwise each
-//!   predicate's own proxy is combined per §3.3).
+//! Historically this module *was* the query layer: [`Executor`] borrowed a
+//! [`Catalog`], re-parsed its SQL on every call, and threaded a
+//! caller-owned RNG. The engine redesign moved planning and execution into
+//! the crate's shared `plan` module (one planner feeding `EXPLAIN`,
+//! [`crate::Session`],
+//! [`crate::Prepared`], and this shim); `Executor` survives as a thin
+//! deprecated adapter so existing call sites keep compiling and keep their
+//! exact RNG streams. New code should build an [`crate::Engine`] and open
+//! [`crate::Session`]s — see the crate docs for the migration note.
 
 use crate::ast::{AggFunc, Query};
 use crate::catalog::Catalog;
+use crate::engine::EngineOptions;
 use crate::parser::{parse_query, ParseError};
-use abae_core::config::{AbaeConfig, Aggregate, BootstrapConfig, ConfigError};
-use abae_core::groupby::{groupby_single_oracle_with_ci, GroupByConfig, GroupByError};
-use abae_core::multipred::expression_oracle;
+use abae_core::config::ConfigError;
+use abae_core::groupby::GroupByError;
 use abae_core::pipeline::ExecOptions;
-use abae_core::two_stage::{run_abae_multi_with_ci, MultiAggResult};
-use abae_data::{CachedOracle, Oracle, SingleGroupOracle, TableError};
+use abae_data::TableError;
 use abae_stats::bootstrap::ConfidenceInterval;
 use rand::Rng;
 
@@ -57,7 +51,14 @@ pub struct GroupRow {
 /// three-aggregate query spends exactly the oracle budget of a
 /// one-aggregate query — plus cache accounting and, for `GROUP BY`
 /// queries, the per-group rows.
+///
+/// Invariant: `rows` is **never empty** — the parser guarantees at least
+/// one aggregate and the only constructor asserts it — so
+/// [`QueryResult::estimate`] and [`QueryResult::ci`] are total. The struct
+/// is `#[non_exhaustive]`: it can only be built by the query layer, which
+/// is what makes the invariant enforceable.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct QueryResult {
     /// Answered aggregates, in `SELECT`-list order (never empty).
     pub rows: Vec<AggRow>,
@@ -74,16 +75,29 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
+    /// The one constructor: asserts the never-empty `rows` invariant the
+    /// accessors rely on.
+    pub(crate) fn new(
+        rows: Vec<AggRow>,
+        oracle_calls: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        groups: Option<Vec<GroupRow>>,
+    ) -> Self {
+        assert!(!rows.is_empty(), "QueryResult invariant: rows is never empty");
+        Self { rows, oracle_calls, cache_hits, cache_misses, groups }
+    }
+
     /// The primary (first) aggregate's estimate. For group-by queries
     /// this is the mean of the group estimates; inspect
     /// [`QueryResult::groups`] for the rows.
     pub fn estimate(&self) -> f64 {
-        self.rows.first().map(|r| r.estimate).unwrap_or(0.0)
+        self.rows.first().expect("QueryResult invariant: rows is never empty").estimate
     }
 
     /// The primary (first) aggregate's CI.
     pub fn ci(&self) -> Option<ConfidenceInterval> {
-        self.rows.first().and_then(|r| r.ci)
+        self.rows.first().expect("QueryResult invariant: rows is never empty").ci
     }
 }
 
@@ -109,6 +123,10 @@ pub enum QueryError {
         /// The table searched.
         table: String,
     },
+    /// The query has a `?` placeholder that was never bound (the payload
+    /// names the clause). Bind it with `Prepared::with_budget` /
+    /// `Prepared::with_probability`, or write a literal.
+    UnboundParameter(&'static str),
     /// Table-level failure.
     Table(TableError),
     /// Invalid ABae configuration derived from the query.
@@ -130,6 +148,13 @@ impl std::fmt::Display for QueryError {
             QueryError::UnknownProxy { proxy, table } => {
                 write!(f, "USING proxy `{proxy}` is not a column or binding of `{table}`")
             }
+            QueryError::UnboundParameter(clause) => {
+                write!(
+                    f,
+                    "unbound parameter `{clause}`: bind it through a prepared statement \
+                     or write a literal value"
+                )
+            }
             QueryError::Table(e) => write!(f, "table: {e}"),
             QueryError::Config(e) => write!(f, "config: {e}"),
             QueryError::GroupBy(e) => write!(f, "group-by: {e}"),
@@ -146,7 +171,18 @@ impl From<ParseError> for QueryError {
     }
 }
 
-/// Executes ABae queries against a catalog.
+/// Executes ABae queries against a borrowed catalog.
+///
+/// Deprecated: this is the seed's single-client API — it re-parses and
+/// re-plans every call and cannot be shared across threads. It is kept as
+/// a thin adapter over the same planner the engine uses, so behavior
+/// (including exact RNG streams) is unchanged; new code should use
+/// [`crate::Engine`] + [`crate::Session`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use Engine::builder() to build a shared engine and open Sessions \
+            (Prepared statements replace repeated execute calls)"
+)]
 #[derive(Debug)]
 pub struct Executor<'a> {
     catalog: &'a Catalog,
@@ -162,15 +198,27 @@ pub struct Executor<'a> {
     pub exec: ExecOptions,
 }
 
+#[allow(deprecated)]
 impl<'a> Executor<'a> {
     /// Creates an executor with the paper's default knobs.
     pub fn new(catalog: &'a Catalog) -> Self {
+        let defaults = EngineOptions::default();
         Self {
             catalog,
-            strata: 5,
-            stage1_fraction: 0.5,
-            bootstrap_trials: 1000,
-            exec: ExecOptions::default(),
+            strata: defaults.strata,
+            stage1_fraction: defaults.stage1_fraction,
+            bootstrap_trials: defaults.bootstrap_trials,
+            exec: defaults.exec,
+        }
+    }
+
+    /// The executor's knobs as the planner's options bundle.
+    fn options(&self) -> EngineOptions {
+        EngineOptions {
+            strata: self.strata,
+            stage1_fraction: self.stage1_fraction,
+            bootstrap_trials: self.bootstrap_trials,
+            exec: self.exec,
         }
     }
 
@@ -186,98 +234,19 @@ impl<'a> Executor<'a> {
 
     /// `EXPLAIN`: describes the physical plan for `sql` — the chosen
     /// algorithm, the resolved predicate columns, the budget split, and
-    /// the label-cache state — without spending any oracle calls.
+    /// the label-cache state — without spending any oracle calls. The
+    /// rendering consumes the same plan `execute` runs
+    /// (the shared `plan` module), so the output cannot drift from
+    /// execution.
     pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
         let query = parse_query(sql)?;
-        let table = self
-            .catalog
-            .table(&query.table)
-            .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
-        let keys = query.predicate.atom_keys();
-        let mut lines = Vec::new();
-        lines.push(format!("query  : {query}"));
-        lines.push(format!("table  : {} ({} records)", table.name(), table.len()));
-        for key in &keys {
-            let col = self.catalog.resolve(&query.table, key).ok_or_else(|| {
-                QueryError::UnresolvedPredicate { atom: key.clone(), table: query.table.clone() }
-            })?;
-            lines.push(format!("atom   : {key} -> predicate column `{col}`"));
-        }
-        let strategy = if query.group_by.is_some() {
-            format!(
-                "ABae-GroupBy (single oracle, minimax allocation over {} groups)",
-                table.group_key().map(|g| g.names.len()).unwrap_or(0)
-            )
-        } else if keys.len() > 1 {
-            "ABae-MultiPred (combined proxy scores, one oracle call per record)".to_string()
-        } else {
-            "ABae two-stage stratified sampling".to_string()
-        };
-        lines.push(format!("plan   : {strategy}"));
-        if query.aggs.len() > 1 {
-            lines.push(format!(
-                "aggs   : {} aggregates answered from one shared labeling pass",
-                query.aggs.len()
-            ));
-        }
-        // The split comes from the same `stage_split` execution uses, so
-        // the printed plan cannot drift from what actually runs.
-        let split =
-            abae_sampling::budget::stage_split(query.oracle_limit, self.stage1_fraction, self.strata);
-        lines.push(format!(
-            "budget : {} oracle calls = stage 1 ({} strata x {}) + stage 2 ({})",
-            query.oracle_limit, self.strata, split.n1_per_stratum, split.n2_total,
-        ));
-        lines.push(match (self.catalog.label_store(), query.group_by.is_some()) {
-            (Some(_), true) => {
-                // GROUP BY labeling keeps its own within-query cache but
-                // does not consult the cross-query store; say so rather
-                // than implying reuse that execution won't deliver.
-                "cache  : label store enabled, but not used by GROUP BY \
-                 (grouped labeling caches within the query only)"
-                    .to_string()
-            }
-            (Some(store), false) => {
-                let pred_key = self.predicate_cache_key(&query)?;
-                format!(
-                    "cache  : label store enabled — {} verdicts cached for this predicate \
-                     ({} hits / {} misses lifetime)",
-                    store.cached_verdicts(&query.table, &pred_key),
-                    store.hits(),
-                    store.misses(),
-                )
-            }
-            (None, _) => "cache  : label store disabled (Catalog::enable_label_cache)".to_string(),
-        });
-        lines.push(format!(
-            "ci     : percentile bootstrap, {} resamples, confidence {}",
-            self.bootstrap_trials, query.probability
-        ));
-        Ok(lines.join("\n"))
-    }
-
-    /// Canonical label-store key for the query's predicate: the lowered
-    /// expression over resolved predicate-column indices, so the same
-    /// predicate reaches the same cache entry however its atoms were
-    /// spelled (directly or through catalog bindings).
-    fn predicate_cache_key(&self, query: &Query) -> Result<String, QueryError> {
-        let keys = query.predicate.atom_keys();
-        let mut columns = Vec::with_capacity(keys.len());
-        let table = self
-            .catalog
-            .table(&query.table)
-            .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
-        for key in &keys {
-            let col = self.catalog.resolve(&query.table, key).ok_or_else(|| {
-                QueryError::UnresolvedPredicate { atom: key.clone(), table: query.table.clone() }
-            })?;
-            columns.push(table.predicate_index(&col).map_err(QueryError::Table)?);
-        }
-        let index_of = |key: &str| -> usize {
-            let pos = keys.iter().position(|k| k == key).expect("key collected above");
-            columns[pos]
-        };
-        Ok(predicate_key(&query.predicate.to_pred_expr(&index_of)))
+        let plan = crate::plan::plan_query(self.catalog, &query)?;
+        crate::plan::explain_plan(
+            self.catalog,
+            &plan,
+            &self.options(),
+            &crate::plan::Bindings::default(),
+        )
     }
 
     /// Executes an already-parsed query.
@@ -286,195 +255,19 @@ impl<'a> Executor<'a> {
         query: &Query,
         rng: &mut R,
     ) -> Result<QueryResult, QueryError> {
-        let table = self
-            .catalog
-            .table(&query.table)
-            .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
-
-        // Resolve every atom to a predicate column index.
-        let keys = query.predicate.atom_keys();
-        let mut columns = Vec::with_capacity(keys.len());
-        for key in &keys {
-            let col = self.catalog.resolve(&query.table, key).ok_or_else(|| {
-                QueryError::UnresolvedPredicate { atom: key.clone(), table: query.table.clone() }
-            })?;
-            columns.push(table.predicate_index(&col).map_err(QueryError::Table)?);
-        }
-        let index_of = |key: &str| -> usize {
-            let pos = keys.iter().position(|k| k == key).expect("key collected above");
-            columns[pos]
-        };
-
-        if query.group_by.is_some() {
-            return self.execute_groupby(query, table, &columns, rng);
-        }
-
-        let expr = query.predicate.to_pred_expr(&index_of);
-        // Stratification scores: the `USING <column>` proxy when one is
-        // named (an unresolvable name is an error, not a silent fallback),
-        // otherwise the §3.3 combination of the predicates' own proxies.
-        let scores = match query.proxy.as_deref() {
-            Some(p) => {
-                let col = self.catalog.resolve(&query.table, p).ok_or_else(|| {
-                    QueryError::UnknownProxy { proxy: p.to_string(), table: query.table.clone() }
-                })?;
-                table.predicate(&col).map_err(QueryError::Table)?.proxy.clone()
-            }
-            None => abae_core::multipred::table_combined_scores(table, &expr)
-                .map_err(QueryError::Table)?,
-        };
-        let oracle = expression_oracle(table, &expr).map_err(QueryError::Table)?;
-        let config = AbaeConfig {
-            strata: self.strata,
-            budget: query.oracle_limit,
-            stage1_fraction: self.stage1_fraction,
-            bootstrap: BootstrapConfig {
-                trials: self.bootstrap_trials,
-                alpha: 1.0 - query.probability,
-            },
-            exec: self.exec,
-            ..Default::default()
-        };
-        // One labeling pass answers every aggregate of the SELECT list.
-        let aggs: Vec<Aggregate> = query.aggs.iter().map(|a| a.func.to_core()).collect();
-        let (multi, cache_hits, cache_misses) = match self.catalog.label_store() {
-            // Cross-query reuse: route labeling through the store's entry
-            // for this (table, predicate) pair — cached verdicts are free.
-            Some(store) => {
-                let pred_key = predicate_key(&expr);
-                let cached = CachedOracle::new(oracle, store, &query.table, &pred_key);
-                let multi = run_abae_multi_with_ci(&scores, &cached, &config, &aggs, rng)
-                    .map_err(QueryError::Config)?;
-                (multi, cached.hits(), cached.misses())
-            }
-            None => (
-                run_abae_multi_with_ci(&scores, &oracle, &config, &aggs, rng)
-                    .map_err(QueryError::Config)?,
-                0,
-                0,
-            ),
-        };
-        Ok(QueryResult {
-            rows: agg_rows(query, &multi),
-            oracle_calls: multi.oracle_calls,
-            cache_hits,
-            cache_misses,
-            groups: None,
-        })
-    }
-
-    fn execute_groupby<R: Rng + ?Sized>(
-        &self,
-        query: &Query,
-        table: &abae_data::Table,
-        columns: &[usize],
-        rng: &mut R,
-    ) -> Result<QueryResult, QueryError> {
-        if query.aggs.len() > 1 {
-            return Err(QueryError::Unsupported(
-                "GROUP BY with a multi-aggregate SELECT list".to_string(),
-            ));
-        }
-        let agg = query.primary_agg().clone();
-        let group_key = table.group_key().ok_or_else(|| {
-            QueryError::Unsupported(format!("table `{}` has no group key", query.table))
-        })?;
-        let groups = group_key.names.clone();
-        if columns.len() != groups.len() {
-            return Err(QueryError::Unsupported(format!(
-                "group-by query names {} predicates but table `{}` has {} groups",
-                columns.len(),
-                query.table,
-                groups.len()
-            )));
-        }
-        // Per-group proxies in group order: the atom resolved for position
-        // g must be the per-group predicate of group g.
-        let proxies: Vec<&[f64]> = columns
-            .iter()
-            .map(|&c| table.predicates()[c].proxy.as_slice())
-            .collect();
-        let oracle = SingleGroupOracle::new(table)
-            .expect("group key presence checked above");
-        let cfg = GroupByConfig {
-            strata: self.strata,
-            budget: query.oracle_limit,
-            stage1_fraction: self.stage1_fraction,
-            exec: self.exec,
-            ..Default::default()
-        };
-        let bootstrap = BootstrapConfig {
-            trials: self.bootstrap_trials,
-            alpha: 1.0 - query.probability,
-        };
-        let estimates = groupby_single_oracle_with_ci(&proxies, &oracle, &cfg, &bootstrap, rng)
-            .map_err(QueryError::GroupBy)?;
-        let rows: Vec<GroupRow> = estimates
-            .iter()
-            .map(|e| GroupRow {
-                name: groups[e.group as usize].clone(),
-                estimate: scale_percentage(agg.func, e.estimate),
-                ci: e.ci.map(|ci| scale_percentage_ci(agg.func, ci)),
-            })
-            .collect();
-        let mean =
-            rows.iter().map(|r| r.estimate).sum::<f64>() / rows.len().max(1) as f64;
-        Ok(QueryResult {
-            rows: vec![AggRow { func: agg.func, expr: agg.expr, estimate: mean, ci: None }],
-            oracle_calls: oracle.calls(),
-            cache_hits: 0,
-            cache_misses: 0,
-            groups: Some(rows),
-        })
-    }
-}
-
-/// Renders a lowered predicate expression as its label-store key. The one
-/// rendering shared by execution and `EXPLAIN`, so plan occupancy always
-/// reads the entry execution writes.
-fn predicate_key(expr: &abae_core::multipred::PredExpr) -> String {
-    format!("{expr:?}")
-}
-
-/// Builds the per-aggregate result rows, applying `PERCENTAGE` scaling to
-/// estimate and CI alike.
-fn agg_rows(query: &Query, multi: &MultiAggResult) -> Vec<AggRow> {
-    query
-        .aggs
-        .iter()
-        .zip(&multi.answers)
-        .map(|(item, answer)| AggRow {
-            func: item.func,
-            expr: item.expr.clone(),
-            estimate: scale_percentage(item.func, answer.estimate),
-            ci: answer.ci.map(|ci| scale_percentage_ci(item.func, ci)),
-        })
-        .collect()
-}
-
-/// `PERCENTAGE(expr)` is `AVG(expr)` scaled to percent: the statistic is
-/// expected to be a 0/1 indicator, and the scaling depends only on the
-/// aggregate — never on the value — so the CI scales identically and
-/// always brackets the estimate.
-fn scale_percentage(agg: AggFunc, estimate: f64) -> f64 {
-    if agg == AggFunc::Percentage {
-        estimate * 100.0
-    } else {
-        estimate
-    }
-}
-
-/// Scales a CI the same way [`scale_percentage`] scales the estimate, so
-/// `lo <= estimate <= hi` is preserved.
-fn scale_percentage_ci(agg: AggFunc, ci: ConfidenceInterval) -> ConfidenceInterval {
-    if agg == AggFunc::Percentage {
-        ConfidenceInterval { lo: ci.lo * 100.0, hi: ci.hi * 100.0, confidence: ci.confidence }
-    } else {
-        ci
+        let plan = crate::plan::plan_query(self.catalog, query)?;
+        crate::plan::run_plan(
+            self.catalog,
+            &plan,
+            &self.options(),
+            &crate::plan::Bindings::default(),
+            rng,
+        )
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use abae_data::Table;
@@ -805,6 +598,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod explain_tests {
     use super::*;
     use abae_data::Table;

@@ -41,6 +41,10 @@ pub enum TokenKind {
     Ge,
     /// `;`
     Semicolon,
+    /// `?` — a prepared-statement parameter placeholder (valid after
+    /// `ORACLE LIMIT` and `WITH PROBABILITY`; bound at run time through
+    /// `Prepared::with_budget` / `Prepared::with_probability`).
+    Question,
 }
 
 /// Lexer errors.
@@ -117,6 +121,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             ';' => {
                 tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token { kind: TokenKind::Question, offset: i });
                 i += 1;
             }
             '=' => {
@@ -308,5 +316,18 @@ mod tests {
     #[test]
     fn hyphenated_identifiers() {
         assert_eq!(kinds("night-street"), vec![TokenKind::Ident("night-street".into())]);
+    }
+
+    #[test]
+    fn question_mark_is_a_placeholder_token() {
+        assert_eq!(
+            kinds("LIMIT ? PROBABILITY ?"),
+            vec![
+                TokenKind::Ident("LIMIT".into()),
+                TokenKind::Question,
+                TokenKind::Ident("PROBABILITY".into()),
+                TokenKind::Question,
+            ]
+        );
     }
 }

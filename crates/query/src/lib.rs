@@ -24,20 +24,52 @@
 //! application (e.g. binding the atom `hair_color=blonde` to the table's
 //! `blonde_hair` column).
 //!
-//! Pipeline: [`lexer`] → [`parser`] → [`ast::Query`] → [`exec::Executor`],
-//! which routes to `abae-core` (single predicate, multi-predicate, or
-//! group-by) and returns estimates with bootstrap CIs.
+//! Pipeline: [`lexer`] → [`parser`] → [`ast::Query`] → one shared planner
+//! (`plan`) → `abae-core` (single predicate, multi-predicate, or group-by)
+//! → estimates with bootstrap CIs.
+//!
+//! # The Engine/Session API
+//!
+//! The serving surface is a shareable [`Engine`] (built once via
+//! [`EngineBuilder`]: tables, bindings, label-cache policy, tuning
+//! defaults, seed) and per-client [`Session`] handles:
+//!
+//! * [`Engine`] is `Send + Sync` and cheaply clonable — one engine serves
+//!   any number of concurrent sessions, all sharing the cross-query label
+//!   store (hit/miss accounted).
+//! * [`Session::execute`] / [`Session::explain`] run one statement;
+//!   each session owns a deterministic RNG stream derived from the engine
+//!   seed and session id, so per-session results are bit-identical
+//!   however sessions interleave.
+//! * [`Session::prepare`] parses and plans **once**; the returned
+//!   [`Prepared`] re-executes via [`Prepared::run`] with no re-parsing,
+//!   binding `?` placeholders (`ORACLE LIMIT ?`, `WITH PROBABILITY ?`)
+//!   through [`Prepared::with_budget`] / [`Prepared::with_probability`].
+//!
+//! Migration from the seed API: `Executor::new(&catalog)` + caller RNG
+//! becomes `EngineBuilder::from_catalog(catalog).seed(s).build()` +
+//! `engine.session()`. The old borrow-based [`Executor`] remains as a
+//! deprecated shim with unchanged behavior.
 
 #![warn(missing_docs)]
 
 pub mod ast;
 pub mod catalog;
 pub mod display;
+pub mod engine;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+mod plan;
+pub mod prepared;
+pub mod session;
 
-pub use ast::{AggFunc, AggItem, BoolExpr, Query};
+pub use ast::{AggFunc, AggItem, BoolExpr, Placeholders, Query};
 pub use catalog::Catalog;
-pub use exec::{AggRow, Executor, GroupRow, QueryError, QueryResult};
+pub use engine::{Engine, EngineBuilder, EngineOptions};
+#[allow(deprecated)]
+pub use exec::Executor;
+pub use exec::{AggRow, GroupRow, QueryError, QueryResult};
 pub use parser::parse_query;
+pub use prepared::Prepared;
+pub use session::Session;

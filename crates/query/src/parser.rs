@@ -6,8 +6,8 @@
 //! query    := SELECT agg_item (',' agg_item)* [',' ident] FROM ident
 //!             WHERE or_expr
 //!             [GROUP BY ident_expr]
-//!             ORACLE LIMIT number [USING ident]
-//!             [WITH PROBABILITY number] [';']
+//!             ORACLE LIMIT (number | '?') [USING ident]
+//!             [WITH PROBABILITY (number | '?')] [';']
 //! agg_item := agg '(' agg_expr ')'
 //! agg      := AVG | SUM | COUNT | PERCENTAGE
 //! or_expr  := and_expr (OR and_expr)*
@@ -22,7 +22,7 @@
 //! aggregate when it is one of the four aggregate names followed by `(`;
 //! anything else is the projected key and must come last.
 
-use crate::ast::{AggFunc, AggItem, BoolExpr, PredAtom, Query};
+use crate::ast::{AggFunc, AggItem, BoolExpr, Placeholders, PredAtom, Query};
 use crate::lexer::{tokenize, LexError, Token, TokenKind};
 
 /// Parse errors.
@@ -398,9 +398,17 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
         return Err(p.error("GROUP BY (query projects a key)"));
     }
 
+    let mut placeholders = Placeholders::default();
     p.keyword("ORACLE")?;
     p.keyword("LIMIT")?;
-    let limit = p.number("oracle limit")?;
+    // `ORACLE LIMIT ?` defers the budget to Prepared::with_budget.
+    let limit = if p.peek() == Some(&TokenKind::Question) {
+        p.pos += 1;
+        placeholders.oracle_limit = true;
+        0.0
+    } else {
+        p.number("oracle limit or `?`")?
+    };
 
     let mut proxy = None;
     if p.try_keyword("USING") {
@@ -420,7 +428,12 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
     let mut probability = 0.95;
     if p.try_keyword("WITH") {
         p.keyword("PROBABILITY")?;
-        probability = p.number("probability")?;
+        if p.peek() == Some(&TokenKind::Question) {
+            p.pos += 1;
+            placeholders.probability = true;
+        } else {
+            probability = p.number("probability or `?`")?;
+        }
     }
 
     let _ = p.peek() == Some(&TokenKind::Semicolon) && p.bump().is_some();
@@ -436,6 +449,7 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
         oracle_limit: limit.max(0.0) as usize,
         proxy,
         probability,
+        placeholders,
     })
 }
 
@@ -591,6 +605,38 @@ mod tests {
     fn semicolon_is_accepted() {
         assert!(parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10;").is_ok());
     }
+
+    #[test]
+    fn placeholders_parse_in_limit_and_probability() {
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE p ORACLE LIMIT ? WITH PROBABILITY ?",
+        )
+        .unwrap();
+        assert!(q.placeholders.oracle_limit);
+        assert!(q.placeholders.probability);
+        assert!(q.placeholders.any());
+        // Inert defaults back the placeholder fields.
+        assert_eq!(q.oracle_limit, 0);
+        assert_eq!(q.probability, 0.95);
+
+        // Each placeholder works independently of the other.
+        let q = parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT ?").unwrap();
+        assert!(q.placeholders.oracle_limit && !q.placeholders.probability);
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 100 WITH PROBABILITY ?",
+        )
+        .unwrap();
+        assert!(!q.placeholders.oracle_limit && q.placeholders.probability);
+        assert_eq!(q.oracle_limit, 100);
+    }
+
+    #[test]
+    fn placeholders_are_rejected_outside_limit_and_probability() {
+        assert!(parse_query("SELECT AVG(?) FROM t WHERE p ORACLE LIMIT 10").is_err());
+        assert!(parse_query("SELECT AVG(x) FROM ? WHERE p ORACLE LIMIT 10").is_err());
+        assert!(parse_query("SELECT AVG(x) FROM t WHERE ? ORACLE LIMIT 10").is_err());
+        assert!(parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10 USING ?").is_err());
+    }
 }
 
 #[cfg(test)]
@@ -616,7 +662,7 @@ mod robustness {
                     Just("NOT"), Just("GROUP"), Just("BY"), Just("ORACLE"),
                     Just("LIMIT"), Just("USING"), Just("WITH"),
                     Just("PROBABILITY"), Just("x"), Just("1"), Just("0.5"),
-                    Just("'s'"), Just(","), Just("="), Just(">"),
+                    Just("'s'"), Just(","), Just("="), Just(">"), Just("?"),
                 ],
                 0..25,
             ),

@@ -1,0 +1,477 @@
+//! The one planner behind every execution surface.
+//!
+//! `parse → plan → run` is split so that planning (catalog resolution,
+//! proxy-score selection, strategy choice) happens **once** per statement
+//! and the product — a [`QueryPlan`] — is consumed by every caller:
+//!
+//! * [`crate::Session::execute`] plans and runs in one call;
+//! * [`crate::Prepared`] keeps the plan and re-runs it under new bindings
+//!   without re-parsing or re-planning;
+//! * `EXPLAIN` ([`explain_plan`]) renders the *same* plan `run_plan`
+//!   executes, so the printed strategy, budget split, and cache occupancy
+//!   can never drift from what actually runs;
+//! * the deprecated [`crate::Executor`] shim plans per call, preserving
+//!   its historical behavior bit for bit.
+//!
+//! All randomness stays in the caller-supplied RNG; planning itself is
+//! deterministic and spends no oracle calls.
+
+use crate::ast::Query;
+use crate::catalog::Catalog;
+use crate::engine::EngineOptions;
+use crate::exec::{AggRow, GroupRow, QueryError, QueryResult};
+use abae_core::config::{AbaeConfig, Aggregate, BootstrapConfig};
+use abae_core::groupby::{groupby_single_oracle_with_ci, GroupByConfig};
+use abae_core::multipred::{expression_oracle, PredExpr};
+use abae_data::{CachedOracle, Oracle, SingleGroupOracle, Table};
+use abae_stats::bootstrap::ConfidenceInterval;
+use rand::Rng;
+
+/// Physical strategy chosen for a query, with everything resolved at plan
+/// time that does not depend on run-time bindings.
+#[derive(Debug, Clone)]
+pub(crate) enum PlanKind {
+    /// Scalar (non-grouped) query: one lowered predicate expression, the
+    /// stratification scores (named `USING` proxy or the §3.3 combination),
+    /// and the canonical label-store key.
+    Scalar {
+        /// Lowered predicate over resolved column indices.
+        expr: PredExpr,
+        /// Stratification scores, materialized once at plan time.
+        scores: Vec<f64>,
+        /// Canonical label-store key for `(table, predicate)`.
+        pred_key: String,
+    },
+    /// `GROUP BY` query in the single-oracle setting.
+    GroupBy {
+        /// Group names, in the table's group order.
+        groups: Vec<String>,
+    },
+}
+
+/// A planned query: parsed text plus catalog resolution, ready to run any
+/// number of times. Owns no table borrows, so it can outlive the planning
+/// call and cross threads (the engine's tables are immutable after build).
+#[derive(Debug, Clone)]
+pub(crate) struct QueryPlan {
+    /// The parsed query.
+    pub query: Query,
+    /// Resolved predicate column indices, in atom order.
+    pub columns: Vec<usize>,
+    /// Resolved predicate column names, aligned with `columns`.
+    pub column_names: Vec<String>,
+    /// The chosen physical strategy.
+    pub kind: PlanKind,
+}
+
+/// Run-time parameter bindings for a plan's `?` placeholders. A bound
+/// value also overrides a literal, which is how `Prepared::with_budget`
+/// re-runs a fully literal statement under a new budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct Bindings {
+    /// Bound oracle budget (`ORACLE LIMIT ?`).
+    pub oracle_limit: Option<usize>,
+    /// Bound success probability (`WITH PROBABILITY ?`).
+    pub probability: Option<f64>,
+}
+
+/// The effective oracle budget under `bindings`, or an unbound-placeholder
+/// error.
+fn effective_budget(query: &Query, bindings: &Bindings) -> Result<usize, QueryError> {
+    match (bindings.oracle_limit, query.placeholders.oracle_limit) {
+        (Some(n), _) => Ok(n),
+        (None, false) => Ok(query.oracle_limit),
+        (None, true) => Err(QueryError::UnboundParameter("ORACLE LIMIT ?")),
+    }
+}
+
+/// The effective success probability under `bindings`, or an
+/// unbound-placeholder error.
+fn effective_probability(query: &Query, bindings: &Bindings) -> Result<f64, QueryError> {
+    match (bindings.probability, query.placeholders.probability) {
+        (Some(p), _) => Ok(p),
+        (None, false) => Ok(query.probability),
+        (None, true) => Err(QueryError::UnboundParameter("WITH PROBABILITY ?")),
+    }
+}
+
+/// Renders a lowered predicate expression as its label-store key. The one
+/// rendering shared by execution and `EXPLAIN`, so plan occupancy always
+/// reads the entry execution writes.
+pub(crate) fn predicate_key(expr: &PredExpr) -> String {
+    format!("{expr:?}")
+}
+
+/// Plans `query` against `catalog`: resolves every predicate atom to a
+/// column, picks the physical strategy, and materializes the
+/// stratification scores. Fails with the same errors execution would, so
+/// `prepare` and `EXPLAIN` surface problems before any budget is spent.
+pub(crate) fn plan_query(catalog: &Catalog, query: &Query) -> Result<QueryPlan, QueryError> {
+    let table = catalog
+        .table(&query.table)
+        .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
+
+    // Resolve every atom to a predicate column index.
+    let keys = query.predicate.atom_keys();
+    let mut columns = Vec::with_capacity(keys.len());
+    let mut column_names = Vec::with_capacity(keys.len());
+    for key in &keys {
+        let col = catalog.resolve(&query.table, key).ok_or_else(|| {
+            QueryError::UnresolvedPredicate { atom: key.clone(), table: query.table.clone() }
+        })?;
+        columns.push(table.predicate_index(&col).map_err(QueryError::Table)?);
+        column_names.push(col);
+    }
+    let index_of = |key: &str| -> usize {
+        let pos = keys.iter().position(|k| k == key).expect("key collected above");
+        columns[pos]
+    };
+
+    let kind = if query.group_by.is_some() {
+        if query.aggs.len() > 1 {
+            return Err(QueryError::Unsupported(
+                "GROUP BY with a multi-aggregate SELECT list".to_string(),
+            ));
+        }
+        let group_key = table.group_key().ok_or_else(|| {
+            QueryError::Unsupported(format!("table `{}` has no group key", query.table))
+        })?;
+        let groups = group_key.names.clone();
+        if columns.len() != groups.len() {
+            return Err(QueryError::Unsupported(format!(
+                "group-by query names {} predicates but table `{}` has {} groups",
+                columns.len(),
+                query.table,
+                groups.len()
+            )));
+        }
+        PlanKind::GroupBy { groups }
+    } else {
+        let expr = query.predicate.to_pred_expr(&index_of);
+        // Stratification scores: the `USING <column>` proxy when one is
+        // named (an unresolvable name is an error, not a silent fallback),
+        // otherwise the §3.3 combination of the predicates' own proxies.
+        let scores = match query.proxy.as_deref() {
+            Some(p) => {
+                let col = catalog.resolve(&query.table, p).ok_or_else(|| {
+                    QueryError::UnknownProxy { proxy: p.to_string(), table: query.table.clone() }
+                })?;
+                table.predicate(&col).map_err(QueryError::Table)?.proxy.clone()
+            }
+            None => abae_core::multipred::table_combined_scores(table, &expr)
+                .map_err(QueryError::Table)?,
+        };
+        let pred_key = predicate_key(&expr);
+        PlanKind::Scalar { expr, scores, pred_key }
+    };
+
+    Ok(QueryPlan { query: query.clone(), columns, column_names, kind })
+}
+
+/// Executes a plan with the given knobs and bindings. The RNG is the only
+/// source of randomness; for a fixed stream the result is bit-identical
+/// regardless of thread count, cache state, or concurrent sessions.
+pub(crate) fn run_plan<R: Rng + ?Sized>(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    opts: &EngineOptions,
+    bindings: &Bindings,
+    rng: &mut R,
+) -> Result<QueryResult, QueryError> {
+    let query = &plan.query;
+    let budget = effective_budget(query, bindings)?;
+    let probability = effective_probability(query, bindings)?;
+    let table = catalog
+        .table(&query.table)
+        .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
+
+    match &plan.kind {
+        PlanKind::Scalar { expr, scores, pred_key } => {
+            let oracle = expression_oracle(table, expr).map_err(QueryError::Table)?;
+            let config = AbaeConfig {
+                strata: opts.strata,
+                budget,
+                stage1_fraction: opts.stage1_fraction,
+                bootstrap: BootstrapConfig {
+                    trials: opts.bootstrap_trials,
+                    alpha: 1.0 - probability,
+                },
+                exec: opts.exec,
+                ..Default::default()
+            };
+            // One labeling pass answers every aggregate of the SELECT list.
+            let aggs: Vec<Aggregate> = query.aggs.iter().map(|a| a.func.to_core()).collect();
+            let (multi, cache_hits, cache_misses) = match catalog.label_store() {
+                // Cross-query reuse: route labeling through the store's
+                // entry for this (table, predicate) pair — cached verdicts
+                // are free.
+                Some(store) => {
+                    let cached = CachedOracle::new(oracle, store, &query.table, pred_key);
+                    let multi = abae_core::two_stage::run_abae_multi_with_ci(
+                        scores, &cached, &config, &aggs, rng,
+                    )
+                    .map_err(QueryError::Config)?;
+                    (multi, cached.hits(), cached.misses())
+                }
+                None => (
+                    abae_core::two_stage::run_abae_multi_with_ci(
+                        scores, &oracle, &config, &aggs, rng,
+                    )
+                    .map_err(QueryError::Config)?,
+                    0,
+                    0,
+                ),
+            };
+            let rows = agg_rows(query, &multi);
+            Ok(QueryResult::new(rows, multi.oracle_calls, cache_hits, cache_misses, None))
+        }
+        PlanKind::GroupBy { groups } => {
+            run_groupby(plan, table, groups, budget, probability, opts, rng)
+        }
+    }
+}
+
+fn run_groupby<R: Rng + ?Sized>(
+    plan: &QueryPlan,
+    table: &Table,
+    groups: &[String],
+    budget: usize,
+    probability: f64,
+    opts: &EngineOptions,
+    rng: &mut R,
+) -> Result<QueryResult, QueryError> {
+    let query = &plan.query;
+    let agg = query.primary_agg().clone();
+    // Per-group proxies in group order: the atom resolved for position g
+    // must be the per-group predicate of group g.
+    let proxies: Vec<&[f64]> = plan
+        .columns
+        .iter()
+        .map(|&c| table.predicates()[c].proxy.as_slice())
+        .collect();
+    let oracle = SingleGroupOracle::new(table).expect("group key validated at plan time");
+    let cfg = GroupByConfig {
+        strata: opts.strata,
+        budget,
+        stage1_fraction: opts.stage1_fraction,
+        exec: opts.exec,
+        ..Default::default()
+    };
+    let bootstrap = BootstrapConfig { trials: opts.bootstrap_trials, alpha: 1.0 - probability };
+    let estimates = groupby_single_oracle_with_ci(&proxies, &oracle, &cfg, &bootstrap, rng)
+        .map_err(QueryError::GroupBy)?;
+    let rows: Vec<GroupRow> = estimates
+        .iter()
+        .map(|e| GroupRow {
+            name: groups[e.group as usize].clone(),
+            estimate: scale_percentage(agg.func, e.estimate),
+            ci: e.ci.map(|ci| scale_percentage_ci(agg.func, ci)),
+        })
+        .collect();
+    let mean = rows.iter().map(|r| r.estimate).sum::<f64>() / rows.len().max(1) as f64;
+    Ok(QueryResult::new(
+        vec![AggRow { func: agg.func, expr: agg.expr, estimate: mean, ci: None }],
+        oracle.calls(),
+        0,
+        0,
+        Some(rows),
+    ))
+}
+
+/// `EXPLAIN`: renders the physical plan — the chosen algorithm, the
+/// resolved predicate columns, the budget split, and the label-cache state
+/// — without spending any oracle calls. This consumes the *same*
+/// [`QueryPlan`] that [`run_plan`] executes; there is no second planning
+/// path for the human-readable output to drift from.
+pub(crate) fn explain_plan(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    opts: &EngineOptions,
+    bindings: &Bindings,
+) -> Result<String, QueryError> {
+    let query = &plan.query;
+    let table = catalog
+        .table(&query.table)
+        .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
+    let keys = query.predicate.atom_keys();
+    let mut lines = Vec::new();
+    lines.push(format!("query  : {query}"));
+    lines.push(format!("table  : {} ({} records)", table.name(), table.len()));
+    for (key, col) in keys.iter().zip(&plan.column_names) {
+        lines.push(format!("atom   : {key} -> predicate column `{col}`"));
+    }
+    let strategy = match &plan.kind {
+        PlanKind::GroupBy { groups } => format!(
+            "ABae-GroupBy (single oracle, minimax allocation over {} groups)",
+            groups.len()
+        ),
+        PlanKind::Scalar { .. } if keys.len() > 1 => {
+            "ABae-MultiPred (combined proxy scores, one oracle call per record)".to_string()
+        }
+        PlanKind::Scalar { .. } => "ABae two-stage stratified sampling".to_string(),
+    };
+    lines.push(format!("plan   : {strategy}"));
+    if query.aggs.len() > 1 {
+        lines.push(format!(
+            "aggs   : {} aggregates answered from one shared labeling pass",
+            query.aggs.len()
+        ));
+    }
+    // The split comes from the same `stage_split` execution uses, so the
+    // printed plan cannot drift from what actually runs. An unbound
+    // placeholder budget has no split yet — say so instead of guessing.
+    match effective_budget(query, bindings) {
+        Ok(limit) => {
+            let split =
+                abae_sampling::budget::stage_split(limit, opts.stage1_fraction, opts.strata);
+            lines.push(format!(
+                "budget : {} oracle calls = stage 1 ({} strata x {}) + stage 2 ({})",
+                limit, opts.strata, split.n1_per_stratum, split.n2_total,
+            ));
+        }
+        Err(_) => lines.push(
+            "budget : ? oracle calls (placeholder — bind with Prepared::with_budget)".to_string(),
+        ),
+    }
+    lines.push(match (catalog.label_store(), &plan.kind) {
+        (Some(_), PlanKind::GroupBy { .. }) => {
+            // GROUP BY labeling keeps its own within-query cache but does
+            // not consult the cross-query store; say so rather than
+            // implying reuse that execution won't deliver.
+            "cache  : label store enabled, but not used by GROUP BY \
+             (grouped labeling caches within the query only)"
+                .to_string()
+        }
+        (Some(store), PlanKind::Scalar { pred_key, .. }) => format!(
+            "cache  : label store enabled — {} verdicts cached for this predicate \
+             ({} hits / {} misses lifetime)",
+            store.cached_verdicts(&query.table, pred_key),
+            store.hits(),
+            store.misses(),
+        ),
+        (None, _) => "cache  : label store disabled (Catalog::enable_label_cache)".to_string(),
+    });
+    match effective_probability(query, bindings) {
+        Ok(p) => lines.push(format!(
+            "ci     : percentile bootstrap, {} resamples, confidence {}",
+            opts.bootstrap_trials, p
+        )),
+        Err(_) => lines.push(format!(
+            "ci     : percentile bootstrap, {} resamples, confidence ? \
+             (placeholder — bind with Prepared::with_probability)",
+            opts.bootstrap_trials
+        )),
+    }
+    Ok(lines.join("\n"))
+}
+
+/// Builds the per-aggregate result rows, applying `PERCENTAGE` scaling to
+/// estimate and CI alike.
+fn agg_rows(query: &Query, multi: &abae_core::two_stage::MultiAggResult) -> Vec<AggRow> {
+    query
+        .aggs
+        .iter()
+        .zip(&multi.answers)
+        .map(|(item, answer)| AggRow {
+            func: item.func,
+            expr: item.expr.clone(),
+            estimate: scale_percentage(item.func, answer.estimate),
+            ci: answer.ci.map(|ci| scale_percentage_ci(item.func, ci)),
+        })
+        .collect()
+}
+
+/// `PERCENTAGE(expr)` is `AVG(expr)` scaled to percent: the statistic is
+/// expected to be a 0/1 indicator, and the scaling depends only on the
+/// aggregate — never on the value — so the CI scales identically and
+/// always brackets the estimate.
+fn scale_percentage(agg: crate::ast::AggFunc, estimate: f64) -> f64 {
+    if agg == crate::ast::AggFunc::Percentage {
+        estimate * 100.0
+    } else {
+        estimate
+    }
+}
+
+/// Scales a CI the same way [`scale_percentage`] scales the estimate, so
+/// `lo <= estimate <= hi` is preserved.
+fn scale_percentage_ci(
+    agg: crate::ast::AggFunc,
+    ci: ConfidenceInterval,
+) -> ConfidenceInterval {
+    if agg == crate::ast::AggFunc::Percentage {
+        ConfidenceInterval { lo: ci.lo * 100.0, hi: ci.hi * 100.0, confidence: ci.confidence }
+    } else {
+        ci
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use abae_data::Table;
+    use rand::SeedableRng;
+
+    fn catalog() -> Catalog {
+        let n = 400;
+        let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+        let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.9 } else { 0.1 }).collect();
+        let values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let t = Table::builder("t", values).predicate("p", labels, proxy).build().unwrap();
+        let mut cat = Catalog::new();
+        cat.register_table(t);
+        cat
+    }
+
+    #[test]
+    fn planning_is_free_and_reusable() {
+        let cat = catalog();
+        let q = parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10").unwrap();
+        let plan = plan_query(&cat, &q).unwrap();
+        assert_eq!(plan.columns, vec![0]);
+        assert_eq!(plan.column_names, vec!["p".to_string()]);
+        match &plan.kind {
+            PlanKind::Scalar { scores, .. } => assert_eq!(scores.len(), 400),
+            other => panic!("expected scalar plan, got {other:?}"),
+        }
+        // The plan is Clone + Send: a prepared statement can own it.
+        fn assert_send<T: Send + Clone>(_: &T) {}
+        assert_send(&plan);
+    }
+
+    #[test]
+    fn unbound_placeholders_fail_at_run_not_plan() {
+        let cat = catalog();
+        let q = parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT ?").unwrap();
+        let plan = plan_query(&cat, &q).expect("placeholders plan fine");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let err = run_plan(
+            &cat,
+            &plan,
+            &EngineOptions::default(),
+            &Bindings::default(),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::UnboundParameter("ORACLE LIMIT ?")), "{err}");
+        // Binding the parameter makes the same plan runnable.
+        let bound = Bindings { oracle_limit: Some(50), ..Default::default() };
+        let r = run_plan(&cat, &plan, &EngineOptions::default(), &bound, &mut rng).unwrap();
+        assert!(r.oracle_calls <= 50);
+    }
+
+    #[test]
+    fn bindings_override_literals() {
+        let cat = catalog();
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 4 WITH PROBABILITY 0.95",
+        )
+        .unwrap();
+        let plan = plan_query(&cat, &q).unwrap();
+        assert_eq!(effective_budget(&plan.query, &Bindings::default()).unwrap(), 4);
+        let b = Bindings { oracle_limit: Some(2), probability: Some(0.9) };
+        assert_eq!(effective_budget(&plan.query, &b).unwrap(), 2);
+        assert_eq!(effective_probability(&plan.query, &b).unwrap(), 0.9);
+    }
+}

@@ -1,0 +1,192 @@
+//! Prepared statements: parse and plan once, re-execute many times.
+//!
+//! The warm-cache repeat-query path from the label store is the first-class
+//! API here: a dashboard prepares its statement once
+//! ([`crate::Session::prepare`]), then calls [`Prepared::run`] each refresh
+//! — no re-parsing, no re-planning, and (with the engine's label cache
+//! warm) zero oracle calls, because every `run` replays the same sampling
+//! stream and the store already holds every verdict it draws.
+//!
+//! Parameters deferred with `?` in the SQL (`ORACLE LIMIT ?`,
+//! `WITH PROBABILITY ?`) are bound with [`Prepared::with_budget`] /
+//! [`Prepared::with_probability`]; a bound value also overrides a literal,
+//! so one prepared statement can sweep budgets.
+
+use crate::ast::Query;
+use crate::engine::Engine;
+use crate::exec::{QueryError, QueryResult};
+use crate::plan::{explain_plan, run_plan, Bindings, QueryPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A parsed-and-planned statement bound to an [`Engine`], ready to run any
+/// number of times. `Send + Sync` and `Clone`: clones share nothing
+/// mutable, so a pool of worker threads can each run the same statement.
+///
+/// Determinism: every [`Prepared::run`] restarts the statement's RNG
+/// stream (derived from engine seed, session id, and preparation order),
+/// so an identical re-run redraws exactly the same records — with a warm
+/// label cache that costs **zero** oracle calls — and a re-run under a new
+/// budget spends the oracle only on records the cache has not seen.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    engine: Engine,
+    plan: QueryPlan,
+    base_seed: u64,
+    budget: Option<usize>,
+    probability: Option<f64>,
+}
+
+impl Prepared {
+    pub(crate) fn new(engine: Engine, plan: QueryPlan, base_seed: u64) -> Self {
+        Self { engine, plan, base_seed, budget: None, probability: None }
+    }
+
+    /// Binds the oracle budget (`ORACLE LIMIT ?`), or overrides a literal
+    /// one.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Binds the success probability (`WITH PROBABILITY ?`), or overrides
+    /// a literal one.
+    pub fn with_probability(mut self, probability: f64) -> Self {
+        self.probability = Some(probability);
+        self
+    }
+
+    /// Executes the planned statement with the current bindings. Fails
+    /// with [`QueryError::UnboundParameter`] if a `?` placeholder was
+    /// never bound.
+    pub fn run(&self) -> Result<QueryResult, QueryError> {
+        let mut rng = StdRng::seed_from_u64(self.base_seed);
+        run_plan(
+            self.engine.catalog(),
+            &self.plan,
+            self.engine.options(),
+            &self.bindings(),
+            &mut rng,
+        )
+    }
+
+    /// `EXPLAIN` for the prepared statement, reflecting the current
+    /// bindings (an unbound placeholder budget renders as `?`). Same plan
+    /// [`Prepared::run`] executes — no drift possible.
+    pub fn explain(&self) -> Result<String, QueryError> {
+        explain_plan(self.engine.catalog(), &self.plan, self.engine.options(), &self.bindings())
+    }
+
+    /// The parsed query this statement was planned from.
+    pub fn query(&self) -> &Query {
+        &self.plan.query
+    }
+
+    /// The statement rendered back to SQL (placeholders render as `?`).
+    pub fn sql(&self) -> String {
+        self.plan.query.to_string()
+    }
+
+    fn bindings(&self) -> Bindings {
+        Bindings { oracle_limit: self.budget, probability: self.probability }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(cache: bool) -> Engine {
+        let n = 4000;
+        let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+        let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.8 } else { 0.2 }).collect();
+        let values: Vec<f64> = (0..n).map(|i| (i % 9) as f64).collect();
+        let t = abae_data::Table::builder("emails", values)
+            .predicate("is_spam", labels, proxy)
+            .build()
+            .unwrap();
+        Engine::builder().table(t).bootstrap_trials(50).label_cache(cache).seed(5).build()
+    }
+
+    #[test]
+    fn prepared_is_send_sync_and_replays_exactly() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Prepared>();
+        let e = engine(false);
+        let p = e
+            .session()
+            .prepare("SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT 400")
+            .unwrap();
+        let a = p.run().unwrap();
+        let b = p.run().unwrap();
+        assert_eq!(a, b, "each run replays the same stream");
+    }
+
+    #[test]
+    fn unbound_budget_is_an_error_until_bound() {
+        let e = engine(false);
+        let p = e
+            .session()
+            .prepare("SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT ?")
+            .unwrap();
+        assert!(matches!(p.run(), Err(QueryError::UnboundParameter("ORACLE LIMIT ?"))));
+        let r = p.with_budget(400).run().unwrap();
+        assert!(r.oracle_calls > 0 && r.oracle_calls <= 400);
+    }
+
+    #[test]
+    fn probability_binding_reaches_the_ci() {
+        let e = engine(false);
+        let p = e
+            .session()
+            .prepare(
+                "SELECT AVG(links) FROM emails WHERE is_spam \
+                 ORACLE LIMIT 400 WITH PROBABILITY ?",
+            )
+            .unwrap();
+        let r = p.with_probability(0.9).run().unwrap();
+        let ci = r.ci().expect("scalar CI");
+        assert!((ci.confidence - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepare_surfaces_planning_errors_before_any_run() {
+        let e = engine(false);
+        assert!(matches!(
+            e.session().prepare("SELECT AVG(x) FROM nope WHERE p ORACLE LIMIT 10"),
+            Err(QueryError::UnknownTable(t)) if t == "nope"
+        ));
+        assert!(matches!(
+            e.session().prepare("SELECT AVG(x) FROM emails WHERE mystery ORACLE LIMIT 10"),
+            Err(QueryError::UnresolvedPredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn explain_reflects_bindings() {
+        let e = engine(false);
+        let p = e
+            .session()
+            .prepare("SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT ?")
+            .unwrap();
+        let unbound = p.explain().unwrap();
+        assert!(unbound.contains("budget : ?"), "{unbound}");
+        let bound = p.with_budget(500).explain().unwrap();
+        assert!(bound.contains("budget : 500 oracle calls"), "{bound}");
+    }
+
+    #[test]
+    fn sql_renders_the_planned_statement() {
+        let e = engine(false);
+        let p = e
+            .session()
+            .prepare("select avg(links) from emails where is_spam oracle limit ?")
+            .unwrap();
+        assert_eq!(
+            p.sql(),
+            "SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT ? \
+             WITH PROBABILITY 0.95"
+        );
+        assert_eq!(p.query().table, "emails");
+    }
+}

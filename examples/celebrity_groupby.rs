@@ -12,7 +12,7 @@ use abae::core::groupby::{
 };
 use abae::data::emulators::{celeba_groupby, EmulatorOptions};
 use abae::data::SingleGroupOracle;
-use abae::query::{Catalog, Executor};
+use abae::query::Engine;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,23 +29,25 @@ fn main() {
         })
         .collect();
 
-    // SQL path.
-    let mut catalog = Catalog::new();
-    catalog.register_table(images.clone());
-    catalog.bind_predicate("celeba-groupby", "HAIR_COLOR=gray", "is_gray");
-    catalog.bind_predicate("celeba-groupby", "HAIR_COLOR=blond", "is_blond");
-    let executor = Executor::new(&catalog);
+    // SQL path through the engine: tables and bindings are frozen at
+    // build, the session supplies the deterministic RNG stream.
+    let engine = Engine::builder()
+        .table(images.clone())
+        .bind_predicate("celeba-groupby", "HAIR_COLOR=gray", "is_gray")
+        .bind_predicate("celeba-groupby", "HAIR_COLOR=blond", "is_blond")
+        .seed(4)
+        .build();
     let mut rng = StdRng::seed_from_u64(4);
     // The celeba emulator stores `is_smiling` on the 0/100 scale, so AVG
     // already reports percent (PERCENTAGE is for 0/1 indicators — it
     // always multiplies by 100).
-    let result = executor
+    let result = engine
+        .session()
         .execute(
             "SELECT AVG(is_smiling(image)), person FROM celeba-groupby \
              WHERE HAIR_COLOR(image) = 'gray' OR HAIR_COLOR(image) = 'blond' \
              GROUP BY HAIR_COLOR(image) \
              ORACLE LIMIT 6000 WITH PROBABILITY 0.95",
-            &mut rng,
         )
         .expect("query executes");
 

@@ -6,14 +6,14 @@
 //! cargo run --release --example tv_news
 //! ```
 //!
-//! Demonstrates the SQL dialect of Figure 1 end to end: register the
-//! dataset in a catalog, bind the `contains_candidate` atom to the
-//! predicate column, and execute the paper's exact query text.
+//! Demonstrates the SQL dialect of Figure 1 end to end through the
+//! engine API: build an [`Engine`] holding the dataset, open a
+//! [`Session`](abae::query::Session), and execute the paper's exact query
+//! text — then prepare the same statement with an `ORACLE LIMIT ?`
+//! placeholder and re-run it under a doubled budget without re-parsing.
 
 use abae::data::synthetic::{PredicateModel, StatisticModel, SyntheticSpec};
-use abae::query::{Catalog, Executor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use abae::query::Engine;
 
 fn main() {
     // A synthetic year of TV news: ~3% of frames show the candidate; the
@@ -31,18 +31,16 @@ fn main() {
 
     let exact = news.exact_avg("contains_candidate").expect("predicate exists");
 
-    let mut catalog = Catalog::new();
-    catalog.register_table(news);
-
-    let executor = Executor::new(&catalog);
-    let mut rng = StdRng::seed_from_u64(99);
-    let result = executor
+    // One engine owns the table, the label cache, and the seed; sessions
+    // are the per-client handles (a web service would open one per user).
+    let engine = Engine::builder().table(news).label_cache(true).seed(99).build();
+    let mut session = engine.session();
+    let result = session
         .execute(
             "SELECT AVG(views) FROM news \
              WHERE contains_candidate(frame, 'Biden') \
              ORACLE LIMIT 10,000 USING contains_candidate \
              WITH PROBABILITY 0.95",
-            &mut rng,
         )
         .expect("query executes");
 
@@ -53,4 +51,30 @@ fn main() {
     println!("  oracle calls   : {}", result.oracle_calls);
     println!("  exact (hidden) : {exact:.4}");
     println!("  CI covers truth: {}", ci.contains(exact));
+
+    // The analyst refines the budget: prepare once (parse + plan happen
+    // here), then bind `?` and run. The second run reuses the label
+    // cache, so it pays the oracle only for records the engine has not
+    // already labeled.
+    let stmt = session
+        .prepare(
+            "SELECT AVG(views) FROM news \
+             WHERE contains_candidate(frame, 'Biden') \
+             ORACLE LIMIT ? USING contains_candidate \
+             WITH PROBABILITY 0.95",
+        )
+        .expect("statement plans");
+    for budget in [10_000usize, 20_000] {
+        let r = stmt.clone().with_budget(budget).run().expect("bound statement runs");
+        let ci = r.ci().expect("scalar query carries a CI");
+        println!(
+            "  prepared @ {budget:>6} : {:.4}  CI [{:.4}, {:.4}]  \
+             oracle spent {} (cache answered {})",
+            r.estimate(),
+            ci.lo,
+            ci.hi,
+            r.oracle_calls,
+            r.cache_hits,
+        );
+    }
 }

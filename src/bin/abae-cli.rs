@@ -19,15 +19,22 @@
 //! abae-cli --demo --cache \
 //!     "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 2000" \
 //!     "SELECT COUNT(*) FROM trec05p WHERE is_spam ORACLE LIMIT 2000"
+//!
+//! # Interactive: one statement per stdin line against a persistent
+//! # session — with --cache, watch later statements hit the warm store.
+//! abae-cli --demo --cache --repl
 //! ```
+//!
+//! Every invocation builds one shared [`Engine`] (tables + label cache +
+//! tuning defaults) and serves all statements from a single [`Session`],
+//! whose RNG stream derives from `--seed` — rerunning the same invocation
+//! reproduces the same answers exactly.
 
 use abae::core::pipeline::ExecOptions;
 use abae::data::csvio::read_table;
 use abae::data::emulators::{trec05p, EmulatorOptions};
-use abae::query::{Catalog, Executor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::io::BufReader;
+use abae::query::{Engine, QueryResult, Session};
+use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 
 struct Args {
@@ -36,6 +43,7 @@ struct Args {
     demo: bool,
     explain: bool,
     cache: bool,
+    repl: bool,
     seed: u64,
     exec: ExecOptions,
     sql: Vec<String>,
@@ -43,17 +51,20 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: abae-cli [--csv FILE --table NAME | --demo] [--explain] [--cache] [--seed N]\n\
-         \x20               [--threads N] [--batch N] \"SQL\" [\"SQL\" ...]\n\
+        "usage: abae-cli [--csv FILE --table NAME | --demo] [--explain] [--cache] [--repl]\n\
+         \x20               [--seed N] [--threads N] [--batch N] [\"SQL\" ...]\n\
          \n\
          The SQL dialect is the ABae paper's Figure 1, extended with\n\
          multi-aggregate SELECT lists (one labeling pass answers them all):\n\
          SELECT {{AVG|SUM|COUNT|PERCENTAGE}}(expr) [, ...] FROM table WHERE predicate\n\
          [GROUP BY key] ORACLE LIMIT n [USING proxy] [WITH PROBABILITY p]\n\
          \n\
-         Several SQL statements run in order against the same catalog;\n\
+         All SQL statements are served by one session on a shared engine;\n\
          --cache enables the cross-query oracle label store, so later\n\
          statements reuse verdicts already bought by earlier ones.\n\
+         --repl reads one statement per stdin line against the same\n\
+         persistent session (prefix with EXPLAIN to plan without running;\n\
+         quit/exit or EOF ends). Positional SQL runs before the repl.\n\
          --threads / --batch control the parallel oracle-labeling pipeline\n\
          (defaults: env ABAE_THREADS / ABAE_BATCH, else 1 thread, batch 256).\n\
          Results are identical for any thread count or batch size."
@@ -68,6 +79,7 @@ fn parse_args() -> Args {
         demo: false,
         explain: false,
         cache: false,
+        repl: false,
         seed: 0xABAE,
         exec: ExecOptions::default(),
         sql: Vec::new(),
@@ -83,23 +95,105 @@ fn parse_args() -> Args {
             "--demo" => args.demo = true,
             "--explain" => args.explain = true,
             "--cache" => args.cache = true,
+            "--repl" => args.repl = true,
             "--seed" => {
                 args.seed = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
-            "--threads" => args.exec.threads = numeric(&mut it),
-            "--batch" => args.exec.batch_size = numeric(&mut it).max(1),
+            "--threads" => args.exec = args.exec.with_threads(numeric(&mut it)),
+            "--batch" => args.exec = args.exec.with_batch_size(numeric(&mut it).max(1)),
             "--help" | "-h" => usage(),
             sql if !sql.starts_with("--") => args.sql.push(sql.to_string()),
             _ => usage(),
         }
     }
-    if args.sql.is_empty() || (args.csv.is_none() && !args.demo) {
+    if (args.sql.is_empty() && !args.repl) || (args.csv.is_none() && !args.demo) {
         usage();
     }
     args
+}
+
+/// Prints one query result in the CLI's tabular format.
+fn print_result(result: &QueryResult, cache: bool) {
+    if let Some(groups) = &result.groups {
+        println!("{:<20} {:>14} {:>30}", "group", "estimate", "ci");
+        for row in groups {
+            let ci = row
+                .ci
+                .map(|ci| format!("[{:.6}, {:.6}]", ci.lo, ci.hi))
+                .unwrap_or_else(|| "-".to_string());
+            println!("{:<20} {:>14.6} {:>30}", row.name, row.estimate, ci);
+        }
+    } else {
+        for row in &result.rows {
+            let label = format!("{}({})", row.func, row.expr);
+            print!("{label:<20} : {:.6}", row.estimate);
+            if let Some(ci) = row.ci {
+                print!(
+                    "   {:.0}% CI [{:.6}, {:.6}]",
+                    ci.confidence * 100.0,
+                    ci.lo,
+                    ci.hi
+                );
+            }
+            println!();
+        }
+    }
+    println!("oracle calls : {}", result.oracle_calls);
+    if cache {
+        println!(
+            "label cache  : {} hits / {} misses",
+            result.cache_hits, result.cache_misses
+        );
+    }
+}
+
+/// Reads one statement per stdin line against the persistent session.
+/// Errors are reported and the loop continues — an interactive client
+/// should not die on a typo.
+fn repl(session: &mut Session, cache: bool) {
+    eprintln!(
+        "abae repl — one SQL statement per line; prefix with EXPLAIN to plan \
+         without spending oracle calls; quit/exit (or EOF) ends."
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: cannot read stdin: {e}");
+                break;
+            }
+        };
+        let stmt = line.trim();
+        if stmt.is_empty() || stmt.starts_with('#') || stmt.starts_with("--") {
+            continue;
+        }
+        if stmt.eq_ignore_ascii_case("quit") || stmt.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        // `stmt` is trimmed, so a leading EXPLAIN keyword (any case, any
+        // following whitespace) occupies exactly the first 7 bytes.
+        let keyword = stmt.split_whitespace().next().expect("stmt is non-empty");
+        if keyword.eq_ignore_ascii_case("EXPLAIN") {
+            let rest = stmt[keyword.len()..].trim();
+            if rest.is_empty() {
+                eprintln!("error: EXPLAIN needs a statement to plan");
+            } else {
+                match session.explain(rest) {
+                    Ok(plan) => println!("{plan}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        } else {
+            match session.execute(stmt) {
+                Ok(result) => print_result(&result, cache),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -126,21 +220,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut catalog = Catalog::new();
-    catalog.register_table(table);
-    if args.cache {
-        catalog.enable_label_cache();
-    }
-    let mut executor = Executor::new(&catalog);
-    executor.exec = args.exec;
+    let engine = Engine::builder()
+        .table(table)
+        .label_cache(args.cache)
+        .seed(args.seed)
+        .exec(args.exec)
+        .build();
+    let mut session = engine.session();
 
-    let mut rng = StdRng::seed_from_u64(args.seed);
     for (i, sql) in args.sql.iter().enumerate() {
         if args.sql.len() > 1 {
             println!("{}-- [{}] {sql}", if i > 0 { "\n" } else { "" }, i + 1);
         }
         if args.explain {
-            match executor.explain(sql) {
+            match session.explain(sql) {
                 Ok(plan) => println!("{plan}"),
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -149,45 +242,17 @@ fn main() -> ExitCode {
             }
             continue;
         }
-        match executor.execute(sql, &mut rng) {
-            Ok(result) => {
-                if let Some(groups) = &result.groups {
-                    println!("{:<20} {:>14} {:>30}", "group", "estimate", "ci");
-                    for row in groups {
-                        let ci = row
-                            .ci
-                            .map(|ci| format!("[{:.6}, {:.6}]", ci.lo, ci.hi))
-                            .unwrap_or_else(|| "-".to_string());
-                        println!("{:<20} {:>14.6} {:>30}", row.name, row.estimate, ci);
-                    }
-                } else {
-                    for row in &result.rows {
-                        let label = format!("{}({})", row.func, row.expr);
-                        print!("{label:<20} : {:.6}", row.estimate);
-                        if let Some(ci) = row.ci {
-                            print!(
-                                "   {:.0}% CI [{:.6}, {:.6}]",
-                                ci.confidence * 100.0,
-                                ci.lo,
-                                ci.hi
-                            );
-                        }
-                        println!();
-                    }
-                }
-                println!("oracle calls : {}", result.oracle_calls);
-                if args.cache {
-                    println!(
-                        "label cache  : {} hits / {} misses",
-                        result.cache_hits, result.cache_misses
-                    );
-                }
-            }
+        match session.execute(sql) {
+            Ok(result) => print_result(&result, args.cache),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if args.repl {
+        repl(&mut session, args.cache);
     }
     ExitCode::SUCCESS
 }

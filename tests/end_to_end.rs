@@ -6,7 +6,7 @@ use abae::core::config::{AbaeConfig, Aggregate};
 use abae::core::{run_abae_with_ci, run_uniform};
 use abae::data::emulators::{night_street, trec05p, EmulatorOptions};
 use abae::data::PredicateOracle;
-use abae::query::{Catalog, Executor};
+use abae::query::Engine;
 use abae::stats::metrics::rmse;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,21 +19,17 @@ fn opts() -> EmulatorOptions {
 fn sql_query_over_emulated_dataset_converges() {
     let emails = trec05p(&opts());
     let exact = emails.exact_avg("is_spam").unwrap();
-    let mut catalog = Catalog::new();
-    catalog.register_table(emails);
-    let mut executor = Executor::new(&catalog);
-    executor.bootstrap_trials = 200;
+    let engine = Engine::builder().table(emails).bootstrap_trials(200).seed(1).build();
+    let mut session = engine.session();
 
-    let mut rng = StdRng::seed_from_u64(1);
     let mut covered = 0;
     let trials = 20;
     let mut estimates = Vec::new();
     for _ in 0..trials {
-        let r = executor
+        let r = session
             .execute(
                 "SELECT AVG(nb_links) FROM trec05p WHERE is_spam \
                  ORACLE LIMIT 4000 WITH PROBABILITY 0.95",
-                &mut rng,
             )
             .expect("query executes");
         assert!(r.oracle_calls <= 4000);
@@ -79,13 +75,10 @@ fn abae_beats_uniform_on_an_emulated_dataset() {
 fn same_seed_same_answer_across_the_stack() {
     let run = |seed: u64| {
         let emails = trec05p(&opts());
-        let mut catalog = Catalog::new();
-        catalog.register_table(emails);
-        let mut executor = Executor::new(&catalog);
-        executor.bootstrap_trials = 50;
-        let mut rng = StdRng::seed_from_u64(seed);
-        executor
-            .execute("SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 1000", &mut rng)
+        let engine = Engine::builder().table(emails).bootstrap_trials(50).seed(seed).build();
+        engine
+            .session()
+            .execute("SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 1000")
             .expect("query executes")
     };
     let a = run(7);
@@ -100,17 +93,11 @@ fn count_and_sum_aggregates_match_ground_truth_scale() {
     let video = night_street(&opts());
     let exact_count = video.exact_count("has_car").unwrap();
     let exact_sum = video.exact_sum("has_car").unwrap();
-    let mut catalog = Catalog::new();
-    catalog.register_table(video);
-    let mut executor = Executor::new(&catalog);
-    executor.bootstrap_trials = 100;
-    let mut rng = StdRng::seed_from_u64(3);
+    let engine = Engine::builder().table(video).bootstrap_trials(100).seed(3).build();
+    let mut session = engine.session();
 
-    let count = executor
-        .execute(
-            "SELECT COUNT(*) FROM night-street WHERE has_car ORACLE LIMIT 5000",
-            &mut rng,
-        )
+    let count = session
+        .execute("SELECT COUNT(*) FROM night-street WHERE has_car ORACLE LIMIT 5000")
         .expect("query executes");
     assert!(
         (count.estimate() - exact_count).abs() / exact_count < 0.1,
@@ -118,11 +105,8 @@ fn count_and_sum_aggregates_match_ground_truth_scale() {
         count.estimate()
     );
 
-    let sum = executor
-        .execute(
-            "SELECT SUM(cars) FROM night-street WHERE has_car ORACLE LIMIT 5000",
-            &mut rng,
-        )
+    let sum = session
+        .execute("SELECT SUM(cars) FROM night-street WHERE has_car ORACLE LIMIT 5000")
         .expect("query executes");
     assert!(
         (sum.estimate() - exact_sum).abs() / exact_sum < 0.1,

@@ -1,0 +1,255 @@
+//! Engine/Session/Prepared acceptance tests — the concurrent-serving
+//! contract of the query layer:
+//!
+//! * an [`Engine`] is `Send + Sync`; 8 sessions driven from 8 threads
+//!   against one shared engine (label cache **on**) produce per-session
+//!   results **bit-identical** to the same sessions run serially, because
+//!   each session's RNG stream depends only on (engine seed, session id,
+//!   its own statement sequence) — never on interleaving;
+//! * cache accounting stays consistent under concurrency: total lookups
+//!   (hits + misses) equal the serial run's, and every verdict in the
+//!   store was paid for by exactly one oracle call;
+//! * a [`Prepared`] statement re-runs with zero re-parsing and — cache
+//!   warm — zero oracle calls, and a re-run under a **new** budget spends
+//!   the oracle only on records the store has not seen (exactly the
+//!   delta).
+
+use abae::data::Table;
+use abae::query::{Engine, QueryResult};
+use std::thread;
+
+/// 20k records, ~25% positive, deterministic layout.
+fn spam_table(n: usize) -> Table {
+    let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+    let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.8 } else { 0.2 }).collect();
+    let values: Vec<f64> = (0..n).map(|i| (i % 9) as f64).collect();
+    Table::builder("emails", values)
+        .predicate("is_spam", labels, proxy)
+        .build()
+        .unwrap()
+}
+
+fn engine(seed: u64, cache: bool) -> Engine {
+    Engine::builder()
+        .table(spam_table(20_000))
+        .bootstrap_trials(100)
+        .label_cache(cache)
+        .seed(seed)
+        .build()
+}
+
+/// Each session runs a statement mix chosen by its id — different
+/// aggregates, budgets, and probabilities, so sessions genuinely differ.
+fn statement_mix(session_id: u64) -> Vec<String> {
+    let budget = 1000 + 500 * (session_id % 3);
+    vec![
+        format!(
+            "SELECT AVG(nb_links) FROM emails WHERE is_spam ORACLE LIMIT {budget} \
+             WITH PROBABILITY 0.95"
+        ),
+        format!(
+            "SELECT COUNT(*), SUM(nb_links) FROM emails WHERE is_spam ORACLE LIMIT {} \
+             WITH PROBABILITY 0.9",
+            budget / 2
+        ),
+        "SELECT PERCENTAGE(x) FROM emails WHERE is_spam ORACLE LIMIT 800".to_string(),
+    ]
+}
+
+/// Runs sessions 0..n serially on one fresh engine, returning per-session
+/// results plus the store's lifetime (hits, misses).
+fn run_serial(n: u64, seed: u64) -> (Vec<Vec<QueryResult>>, (u64, u64)) {
+    let engine = engine(seed, true);
+    let results = (0..n)
+        .map(|id| {
+            let mut session = engine.session();
+            assert_eq!(session.id(), id, "auto ids are sequential");
+            statement_mix(id)
+                .iter()
+                .map(|sql| session.execute(sql).expect("query executes"))
+                .collect()
+        })
+        .collect();
+    let store = engine.label_store().expect("cache on");
+    (results, (store.hits(), store.misses()))
+}
+
+/// Runs sessions 0..n concurrently (one thread each) on one fresh engine.
+fn run_concurrent(n: u64, seed: u64) -> (Vec<Vec<QueryResult>>, (u64, u64)) {
+    let engine = engine(seed, true);
+    // Sessions created up front, in order, so ids match the serial run.
+    let mut sessions: Vec<_> = (0..n).map(|_| engine.session()).collect();
+    let results = thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .iter_mut()
+            .map(|session| {
+                scope.spawn(|| {
+                    let mix = statement_mix(session.id());
+                    mix.iter()
+                        .map(|sql| session.execute(sql).expect("query executes"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("session thread")).collect()
+    });
+    let store = engine.label_store().expect("cache on");
+    (results, (store.hits(), store.misses()))
+}
+
+#[test]
+fn eight_concurrent_sessions_match_serial_execution_bit_for_bit() {
+    let (serial, (s_hits, s_misses)) = run_serial(8, 0xC0FFEE);
+    let (concurrent, (c_hits, c_misses)) = run_concurrent(8, 0xC0FFEE);
+
+    for (id, (s, c)) in serial.iter().zip(&concurrent).enumerate() {
+        assert_eq!(s.len(), c.len());
+        for (a, b) in s.iter().zip(c) {
+            // Estimates, CIs, and group rows are the *results*; they must
+            // be bit-identical however the 8 sessions interleaved.
+            assert_eq!(a.rows, b.rows, "session {id} diverged under concurrency");
+            assert_eq!(a.groups, b.groups, "session {id} groups diverged");
+        }
+    }
+
+    // Cache-lookup totals are interleaving-invariant: the same draws were
+    // made, each either hit or missed.
+    assert_eq!(
+        s_hits + s_misses,
+        c_hits + c_misses,
+        "total store lookups must not depend on interleaving"
+    );
+    // Concurrency can only *lose* sharing (two sessions racing to label
+    // the same record both miss); it can never invent hits.
+    assert!(c_hits <= s_hits, "concurrent hits {c_hits} > serial hits {s_hits}");
+    assert!(s_misses > 0 && s_hits > 0, "the workload must actually exercise the cache");
+}
+
+#[test]
+fn per_session_accounting_sums_to_the_store_totals() {
+    let (results, (hits, misses)) = run_concurrent(4, 0xBEEF);
+    let (mut sum_hits, mut sum_misses, mut sum_calls) = (0, 0, 0);
+    for per_session in &results {
+        for r in per_session {
+            sum_hits += r.cache_hits;
+            sum_misses += r.cache_misses;
+            sum_calls += r.oracle_calls;
+        }
+    }
+    assert_eq!(sum_hits, hits, "per-result hits must sum to the store's lifetime hits");
+    assert_eq!(sum_misses, misses, "per-result misses must sum to the store's misses");
+    // With the store on, every oracle call is a miss: each cached verdict
+    // was paid for exactly once.
+    assert_eq!(sum_calls, sum_misses, "oracle spend must equal cache misses");
+}
+
+#[test]
+fn concurrent_results_equal_uncached_results() {
+    // The cache changes spend accounting, never answers: the concurrent
+    // cached run must match a serial run with the cache disabled.
+    let (cached, _) = run_concurrent(4, 0xABBA);
+    let engine = engine(0xABBA, false);
+    for id in 0..4u64 {
+        let mut session = engine.session();
+        for (sql, cached_result) in statement_mix(id).iter().zip(&cached[id as usize]) {
+            let fresh = session.execute(sql).expect("query executes");
+            assert_eq!(fresh.rows, cached_result.rows, "session {id}");
+            assert_eq!((fresh.cache_hits, fresh.cache_misses), (0, 0));
+        }
+    }
+}
+
+#[test]
+fn prepared_statement_rerun_is_free_when_the_cache_is_warm() {
+    let engine = engine(0xF00D, true);
+    let mut session = engine.session();
+    let stmt = session
+        .prepare(
+            "SELECT AVG(nb_links) FROM emails WHERE is_spam ORACLE LIMIT 2000 \
+             WITH PROBABILITY 0.95",
+        )
+        .expect("statement plans");
+
+    let cold = stmt.run().expect("first run");
+    assert!(cold.oracle_calls > 0, "cold run pays the oracle");
+    assert_eq!(cold.cache_misses, cold.oracle_calls);
+
+    // Re-run: zero re-parsing by construction (the plan is owned), zero
+    // oracle calls because the replayed draws are all cached.
+    let warm = stmt.run().expect("second run");
+    assert_eq!(warm.oracle_calls, 0, "a warm re-run must be answered entirely from cache");
+    assert_eq!(warm.cache_hits, cold.cache_misses);
+    assert_eq!(warm.rows, cold.rows, "replayed results are bit-identical");
+}
+
+#[test]
+fn rebudgeted_prepared_run_spends_exactly_the_delta_on_unseen_records() {
+    let engine = engine(0xD1CE, true);
+    let store = engine.label_store().expect("cache on");
+    let mut session = engine.session();
+    let stmt = session
+        .prepare("SELECT AVG(nb_links) FROM emails WHERE is_spam ORACLE LIMIT ?")
+        .expect("statement plans");
+
+    let small = stmt.clone().with_budget(1500).run().expect("small budget runs");
+    assert_eq!(small.oracle_calls, small.cache_misses);
+    let verdicts_after_small = store.misses();
+
+    // Re-run the same plan at a bigger budget: every record the small run
+    // already labeled is free; the oracle is charged once per *unseen*
+    // record — exactly the store's growth.
+    let big = stmt.clone().with_budget(3000).run().expect("big budget runs");
+    assert_eq!(
+        big.oracle_calls, big.cache_misses,
+        "spend must be exactly the unseen-record count"
+    );
+    assert!(big.cache_hits > 0, "a superset budget must reuse the small run's verdicts");
+    assert_eq!(
+        store.misses(),
+        verdicts_after_small + big.oracle_calls,
+        "store growth must equal the delta the big run paid for"
+    );
+
+    // Determinism: the rebudgeted run replays exactly on a fresh binding.
+    let again = stmt.with_budget(3000).run().expect("replay runs");
+    assert_eq!(again.rows, big.rows);
+    assert_eq!(again.oracle_calls, 0, "the replay is now fully cached");
+}
+
+#[test]
+fn sessions_replay_on_an_identically_built_engine() {
+    // Two engines built the same way are behaviorally identical: session
+    // id k replays the same stream on both — the property that makes the
+    // serial/concurrent comparison above meaningful.
+    let a = engine(42, true);
+    let b = engine(42, true);
+    for id in [0u64, 3, 7] {
+        let ra = a.session_with_id(id).execute(&statement_mix(id)[0]).unwrap();
+        let rb = b.session_with_id(id).execute(&statement_mix(id)[0]).unwrap();
+        assert_eq!(ra.rows, rb.rows, "session {id}");
+    }
+    // A different engine seed shifts every session stream.
+    let c = engine(43, true);
+    let r42 = a.session_with_id(0).execute(&statement_mix(0)[0]).unwrap();
+    let r43 = c.session_with_id(0).execute(&statement_mix(0)[0]).unwrap();
+    assert_ne!(r42.estimate(), r43.estimate(), "engine seed must matter");
+}
+
+#[test]
+fn prepared_statements_can_run_from_many_threads() {
+    // Prepared is Send + Sync: a worker pool can serve one statement.
+    let engine = engine(0xAB, true);
+    let stmt = engine
+        .session()
+        .prepare("SELECT COUNT(*) FROM emails WHERE is_spam ORACLE LIMIT 1200")
+        .expect("statement plans");
+    let reference = stmt.run().expect("reference run");
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let r = stmt.run().expect("threaded run");
+                assert_eq!(r.rows, reference.rows, "every replay is bit-identical");
+            });
+        }
+    });
+}

@@ -7,6 +7,11 @@
 //!   the labeling pipeline;
 //! * different queries over the same (table, predicate) share verdicts.
 
+// These tests deliberately pin the deprecated `Executor` shim: it must
+// keep its exact pre-engine behavior (including RNG streams) until it is
+// removed. New code belongs on `Engine`/`Session` (tests/engine_sessions.rs).
+#![allow(deprecated)]
+
 use abae::core::pipeline::ExecOptions;
 use abae::query::{Catalog, Executor, QueryResult};
 use abae::data::Table;

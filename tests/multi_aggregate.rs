@@ -6,10 +6,8 @@
 //!   1-aggregate query (one shared labeling pass);
 //! * grouped queries carry a per-group CI that brackets each row.
 
-use abae::query::{AggFunc, Catalog, Executor};
+use abae::query::{AggFunc, Engine};
 use abae::data::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// 20k records; the predicate holds for ~30%, the statistic is a 0/1
 /// indicator so `PERCENTAGE` is meaningful alongside AVG/SUM/COUNT.
@@ -22,10 +20,10 @@ fn indicator_table(n: usize) -> Table {
 
 #[test]
 fn every_aggregates_ci_brackets_its_estimate() {
-    let mut catalog = Catalog::new();
-    catalog.register_table(indicator_table(20_000));
-    let mut executor = Executor::new(&catalog);
-    executor.bootstrap_trials = 300;
+    let engine = Engine::builder()
+        .table(indicator_table(20_000))
+        .bootstrap_trials(300)
+        .build();
 
     for (func, sql_agg) in [
         (AggFunc::Avg, "AVG(x)"),
@@ -33,15 +31,14 @@ fn every_aggregates_ci_brackets_its_estimate() {
         (AggFunc::Count, "COUNT(*)"),
         (AggFunc::Percentage, "PERCENTAGE(x)"),
     ] {
-        // Several seeds per aggregate: bracketing must hold every time,
-        // not just on a lucky draw.
+        // Several session streams per aggregate: bracketing must hold
+        // every time, not just on a lucky draw.
         for seed in 0..5u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
             let sql = format!(
                 "SELECT {sql_agg} FROM events WHERE matches ORACLE LIMIT 2000 \
                  WITH PROBABILITY 0.95"
             );
-            let r = executor.execute(&sql, &mut rng).expect("query executes");
+            let r = engine.session_with_id(seed).execute(&sql).expect("query executes");
             assert_eq!(r.rows.len(), 1);
             assert_eq!(r.rows[0].func, func);
             let ci = r.ci().unwrap_or_else(|| panic!("{func:?} must carry a CI"));
@@ -58,21 +55,19 @@ fn every_aggregates_ci_brackets_its_estimate() {
 
 #[test]
 fn percentage_is_avg_times_one_hundred_with_matching_ci() {
-    let mut catalog = Catalog::new();
-    catalog.register_table(indicator_table(20_000));
-    let mut executor = Executor::new(&catalog);
-    executor.bootstrap_trials = 200;
-    let avg = executor
-        .execute(
-            "SELECT AVG(x) FROM events WHERE matches ORACLE LIMIT 2000",
-            &mut StdRng::seed_from_u64(11),
-        )
+    let engine = Engine::builder()
+        .table(indicator_table(20_000))
+        .bootstrap_trials(200)
+        .build();
+    // The same session id replays the same RNG stream, so both queries
+    // see identical draws.
+    let avg = engine
+        .session_with_id(11)
+        .execute("SELECT AVG(x) FROM events WHERE matches ORACLE LIMIT 2000")
         .unwrap();
-    let pct = executor
-        .execute(
-            "SELECT PERCENTAGE(x) FROM events WHERE matches ORACLE LIMIT 2000",
-            &mut StdRng::seed_from_u64(11),
-        )
+    let pct = engine
+        .session_with_id(11)
+        .execute("SELECT PERCENTAGE(x) FROM events WHERE matches ORACLE LIMIT 2000")
         .unwrap();
     assert!((pct.estimate() - 100.0 * avg.estimate()).abs() < 1e-9);
     let (aci, pci) = (avg.ci().unwrap(), pct.ci().unwrap());
@@ -82,21 +77,18 @@ fn percentage_is_avg_times_one_hundred_with_matching_ci() {
 
 #[test]
 fn three_aggregates_spend_exactly_one_oracle_budget() {
-    let mut catalog = Catalog::new();
-    catalog.register_table(indicator_table(20_000));
-    let mut executor = Executor::new(&catalog);
-    executor.bootstrap_trials = 100;
+    let engine = Engine::builder()
+        .table(indicator_table(20_000))
+        .bootstrap_trials(100)
+        .build();
 
-    let mut rng = StdRng::seed_from_u64(21);
-    let single = executor
-        .execute("SELECT AVG(x) FROM events WHERE matches ORACLE LIMIT 3000", &mut rng)
+    let single = engine
+        .session_with_id(21)
+        .execute("SELECT AVG(x) FROM events WHERE matches ORACLE LIMIT 3000")
         .unwrap();
-    let mut rng = StdRng::seed_from_u64(21);
-    let multi = executor
-        .execute(
-            "SELECT AVG(x), SUM(x), COUNT(*) FROM events WHERE matches ORACLE LIMIT 3000",
-            &mut rng,
-        )
+    let multi = engine
+        .session_with_id(21)
+        .execute("SELECT AVG(x), SUM(x), COUNT(*) FROM events WHERE matches ORACLE LIMIT 3000")
         .unwrap();
     assert_eq!(
         multi.oracle_calls, single.oracle_calls,
@@ -149,19 +141,19 @@ fn grouped_table(n: usize) -> Table {
 
 #[test]
 fn grouped_queries_carry_bracketing_per_group_cis() {
-    let mut catalog = Catalog::new();
-    catalog.register_table(grouped_table(20_000));
-    catalog.bind_predicate("images", "hair=gray", "is_gray");
-    catalog.bind_predicate("images", "hair=blond", "is_blond");
-    let mut executor = Executor::new(&catalog);
-    executor.bootstrap_trials = 200;
-    let mut rng = StdRng::seed_from_u64(31);
-    let r = executor
+    let engine = Engine::builder()
+        .table(grouped_table(20_000))
+        .bind_predicate("images", "hair=gray", "is_gray")
+        .bind_predicate("images", "hair=blond", "is_blond")
+        .bootstrap_trials(200)
+        .seed(31)
+        .build();
+    let r = engine
+        .session()
         .execute(
             "SELECT AVG(smile), hair FROM images \
              WHERE hair(img) = 'gray' OR hair(img) = 'blond' \
              GROUP BY hair(img) ORACLE LIMIT 4000 WITH PROBABILITY 0.9",
-            &mut rng,
         )
         .unwrap();
     let rows = r.groups.expect("group-by query");

@@ -1,14 +1,13 @@
 //! Build-bootstrap smoke test: one end-to-end query through the facade.
 //!
 //! Exercises the `abae` re-exports from outside the workspace the way a
-//! downstream user would — build a synthetic table (`abae::data`), register
-//! it in a catalog, execute a SQL query (`abae::query`), and check the
-//! bootstrap CI against the ground truth the table can compute exactly.
+//! downstream user would — build a synthetic table (`abae::data`), freeze
+//! it into an engine, execute a SQL query from a session (`abae::query`),
+//! and check the bootstrap CI against the ground truth the table can
+//! compute exactly.
 
 use abae::data::synthetic::{PredicateModel, StatisticModel, SyntheticSpec};
-use abae::query::{Catalog, Executor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use abae::query::Engine;
 
 #[test]
 fn end_to_end_query_ci_brackets_ground_truth() {
@@ -23,20 +22,16 @@ fn end_to_end_query_ci_brackets_ground_truth() {
     .expect("valid spec");
     let exact = table.exact_avg("matches").expect("predicate exists");
 
-    let mut catalog = Catalog::new();
-    catalog.register_table(table);
-    let mut executor = Executor::new(&catalog);
-    executor.bootstrap_trials = 400;
+    let engine = Engine::builder().table(table).bootstrap_trials(400).seed(7).build();
+    let mut session = engine.session();
 
-    let mut rng = StdRng::seed_from_u64(7);
     let trials = 10;
     let mut covered = 0;
     for _ in 0..trials {
-        let result = executor
+        let result = session
             .execute(
                 "SELECT AVG(x) FROM events WHERE matches \
                  ORACLE LIMIT 3000 WITH PROBABILITY 0.95",
-                &mut rng,
             )
             .expect("query executes");
         assert!(result.oracle_calls <= 3000, "budget exceeded: {}", result.oracle_calls);
