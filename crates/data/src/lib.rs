@@ -18,6 +18,11 @@
 //!   predicate expression, and record index) with its [`CachedOracle`]
 //!   adapter, so repeated queries spend oracle budget only on unseen
 //!   records.
+//! * [`proxy`] — trained proxy artifacts ([`TrainedProxy`]: materialized
+//!   full-table scores plus training spend and calibration diagnostics)
+//!   and the internally-synchronized [`ProxyRegistry`] the query catalog
+//!   owns, so `CREATE PROXY` can register artifacts against a frozen
+//!   catalog.
 //! * [`csvio`] — a dependency-free CSV reader/writer so user datasets can
 //!   be loaded from disk.
 //! * [`synthetic`] — seeded latent-variable generators: the joint
@@ -33,6 +38,7 @@
 pub mod csvio;
 pub mod emulators;
 pub mod oracle;
+pub mod proxy;
 pub mod registry;
 pub mod synthetic;
 pub mod table;
@@ -41,5 +47,6 @@ pub use oracle::{
     CachedOracle, FnOracle, GroupLabel, GroupOracle, LabelStore, Labeled, Oracle,
     PredicateCache, PredicateOracle, SingleGroupOracle,
 };
+pub use proxy::{ProxyRegistry, TrainedProxy};
 pub use synthetic::{GroupSpec, PredicateModel, StatisticModel, SyntheticSpec};
 pub use table::{GroupKey, Predicate, Table, TableBuilder, TableError};

@@ -1,0 +1,224 @@
+//! Trained proxy artifacts and their registry.
+//!
+//! The paper assumes proxy scores are "computed exhaustively" before
+//! sampling begins (§2.1); when the engine trains a proxy *in-engine*
+//! (`CREATE PROXY`), the product is a [`TrainedProxy`]: the materialized
+//! full-table score column plus everything a user (or `EXPLAIN`) needs to
+//! audit it — the model family and fitted summary, how many oracle labels
+//! the training draw spent, and the expected calibration error measured on
+//! that draw.
+//!
+//! Artifacts live in a [`ProxyRegistry`] owned by the query catalog. Like
+//! the [`crate::LabelStore`], the registry is internally synchronized
+//! (`RwLock`): the catalog is frozen behind the engine's `Arc`, yet
+//! sessions can still register proxies at run time, and concurrent readers
+//! (query planning) never block each other. Registration order is
+//! preserved per table so `SHOW PROXIES` output is deterministic.
+
+use abae_ml::ModelSummary;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A trained, materialized proxy for one predicate of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedProxy {
+    /// Registered artifact name (the `CREATE PROXY <name>` identifier).
+    pub name: String,
+    /// Table the proxy was trained and scored on.
+    pub table: String,
+    /// Predicate column the training labels came from.
+    pub predicate: String,
+    /// Fitted-model summary (family + scalar parameters).
+    pub summary: ModelSummary,
+    /// Whether the model was Platt-calibrated after fitting.
+    pub calibrated: bool,
+    /// Full-table proxy scores in `[0, 1]`, one per record.
+    pub scores: Vec<f64>,
+    /// Records drawn (and labeled) for training.
+    pub train_limit: usize,
+    /// Oracle invocations actually charged while labeling the training
+    /// draw (cache hits are free, so this can be below `train_limit`).
+    pub oracle_spend: u64,
+    /// Expected calibration error of the fitted scores on the training
+    /// draw (10 reliability bins).
+    pub ece: f64,
+    /// Whether the family was auto-selected by predicted MSE (§3.4)
+    /// rather than named explicitly in the statement.
+    pub auto_selected: bool,
+}
+
+impl TrainedProxy {
+    /// One-line human description, shared by `SHOW PROXIES` and `EXPLAIN`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} ON {}({}) — {}{}, trained on {} labels ({} oracle calls), ECE {:.4}{}",
+            self.name,
+            self.table,
+            self.predicate,
+            self.summary,
+            if self.calibrated { ", calibrated" } else { "" },
+            self.train_limit,
+            self.oracle_spend,
+            self.ece,
+            if self.auto_selected { ", family auto-selected (§3.4)" } else { "" },
+        )
+    }
+}
+
+/// A thread-safe registry of [`TrainedProxy`] artifacts, keyed by table
+/// and artifact name. Registering under an existing `(table, name)` pair
+/// replaces the previous artifact in place (its registration slot is
+/// kept, so listing order stays stable).
+#[derive(Debug, Default)]
+pub struct ProxyRegistry {
+    /// Per-table artifacts in registration order.
+    entries: RwLock<HashMap<String, Vec<Arc<TrainedProxy>>>>,
+}
+
+impl ProxyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an artifact, replacing any previous proxy with the same
+    /// `(table, name)`.
+    pub fn register(&self, proxy: TrainedProxy) -> Arc<TrainedProxy> {
+        let proxy = Arc::new(proxy);
+        let mut entries =
+            self.entries.write().expect("no panics while holding the registry lock");
+        let list = entries.entry(proxy.table.clone()).or_default();
+        match list.iter_mut().find(|p| p.name == proxy.name) {
+            Some(slot) => *slot = Arc::clone(&proxy),
+            None => list.push(Arc::clone(&proxy)),
+        }
+        proxy
+    }
+
+    /// Looks up a proxy by table and name.
+    pub fn get(&self, table: &str, name: &str) -> Option<Arc<TrainedProxy>> {
+        let entries = self.entries.read().expect("no panics while holding the registry lock");
+        entries.get(table)?.iter().find(|p| p.name == name).cloned()
+    }
+
+    /// All proxies of one table, in registration order.
+    pub fn list(&self, table: &str) -> Vec<Arc<TrainedProxy>> {
+        let entries = self.entries.read().expect("no panics while holding the registry lock");
+        entries.get(table).cloned().unwrap_or_default()
+    }
+
+    /// All proxies of every table, sorted by table then registration
+    /// order (deterministic `SHOW PROXIES` output).
+    pub fn list_all(&self) -> Vec<Arc<TrainedProxy>> {
+        let entries = self.entries.read().expect("no panics while holding the registry lock");
+        let mut tables: Vec<&String> = entries.keys().collect();
+        tables.sort();
+        tables.into_iter().flat_map(|t| entries[t].iter().cloned()).collect()
+    }
+
+    /// Names of one table's proxies, in registration order.
+    pub fn names(&self, table: &str) -> Vec<String> {
+        self.list(table).iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Total artifact count across tables.
+    pub fn len(&self) -> usize {
+        let entries = self.entries.read().expect("no panics while holding the registry lock");
+        entries.values().map(Vec::len).sum()
+    }
+
+    /// Whether the registry holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every artifact trained against `table`. Must be called when
+    /// the table's data is replaced: the materialized scores were computed
+    /// against the old records and would silently mis-stratify the new
+    /// ones.
+    pub fn invalidate_table(&self, table: &str) {
+        let mut entries =
+            self.entries.write().expect("no panics while holding the registry lock");
+        entries.remove(table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(table: &str, name: &str) -> TrainedProxy {
+        TrainedProxy {
+            name: name.to_string(),
+            table: table.to_string(),
+            predicate: "is_spam".to_string(),
+            summary: ModelSummary {
+                family: "logistic".to_string(),
+                params: vec![("dim".to_string(), 64.0)],
+            },
+            calibrated: true,
+            scores: vec![0.1, 0.9],
+            train_limit: 100,
+            oracle_spend: 100,
+            ece: 0.05,
+            auto_selected: false,
+        }
+    }
+
+    #[test]
+    fn register_get_list_roundtrip() {
+        let reg = ProxyRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(artifact("t", "a"));
+        reg.register(artifact("t", "b"));
+        reg.register(artifact("u", "c"));
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.get("t", "a").unwrap().name, "a");
+        assert!(reg.get("t", "c").is_none(), "names are per-table");
+        assert_eq!(reg.names("t"), vec!["a", "b"]);
+        assert_eq!(
+            reg.list_all().iter().map(|p| p.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn re_registering_replaces_in_place() {
+        let reg = ProxyRegistry::new();
+        reg.register(artifact("t", "a"));
+        reg.register(artifact("t", "b"));
+        let mut replacement = artifact("t", "a");
+        replacement.ece = 0.5;
+        reg.register(replacement);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names("t"), vec!["a", "b"], "listing order is stable");
+        assert_eq!(reg.get("t", "a").unwrap().ece, 0.5);
+    }
+
+    #[test]
+    fn invalidation_is_per_table() {
+        let reg = ProxyRegistry::new();
+        reg.register(artifact("t", "a"));
+        reg.register(artifact("u", "b"));
+        reg.invalidate_table("t");
+        assert!(reg.get("t", "a").is_none());
+        assert_eq!(reg.names("u"), vec!["b"], "other tables keep their artifacts");
+    }
+
+    #[test]
+    fn registry_is_send_sync_for_catalog_sharing() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProxyRegistry>();
+    }
+
+    #[test]
+    fn describe_mentions_the_load_bearing_facts() {
+        let mut p = artifact("emails", "spamnet");
+        p.auto_selected = true;
+        let d = p.describe();
+        for needle in ["spamnet", "emails", "is_spam", "logistic", "calibrated", "100", "0.05"] {
+            assert!(d.contains(needle), "`{needle}` missing from `{d}`");
+        }
+        assert!(d.contains("auto-selected"), "{d}");
+    }
+}

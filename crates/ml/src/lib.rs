@@ -18,6 +18,10 @@
 //!   (§3.3), and this module measures how far a proxy deviates.
 //! * [`metrics`] — AUC (Mann–Whitney with tie correction), Brier score,
 //!   accuracy.
+//! * [`proxy`] — the trainable [`ProxyModel`] interface the query engine
+//!   serves (`CREATE PROXY`): learned keyword lists, logistic regression
+//!   over hashed features, and Platt-calibrated wrappers, all scoring
+//!   deterministically in batches.
 
 #![warn(missing_docs)]
 
@@ -27,6 +31,7 @@ pub mod keyword;
 pub mod logistic;
 pub mod metrics;
 pub mod naive_bayes;
+pub mod proxy;
 
 pub use calibration::{expected_calibration_error, reliability_bins, PlattScaler};
 pub use features::{tokenize, HashingVectorizer};
@@ -34,3 +39,4 @@ pub use keyword::KeywordProxy;
 pub use logistic::{LogisticRegression, TrainOptions};
 pub use metrics::{accuracy, auc, brier_score};
 pub use naive_bayes::NaiveBayes;
+pub use proxy::{Calibrated, KeywordModel, LogisticModel, ModelSummary, ProxyModel};

@@ -1,0 +1,553 @@
+//! Trainable proxy models behind one interface.
+//!
+//! The paper's proxies are cheap trained models (specialized MobileNets,
+//! keyword rules, sentiment scorers) evaluated exhaustively over the
+//! dataset before sampling begins (§2.1, §5.1). [`ProxyModel`] is the
+//! engine-facing abstraction for that family: fit on a labeled training
+//! draw, score record payloads in batches, and describe the fitted
+//! artifact with a serializable [`ModelSummary`]. Three implementations
+//! cover the paper's text workloads:
+//!
+//! * [`KeywordModel`] — learns a weighted keyword list by per-token
+//!   log-odds (the trainable version of the hand-written trec05p proxy),
+//!   squashed through a fitted 1-D logistic so scores are probabilities;
+//! * [`LogisticModel`] — logistic regression over hash-vectorized tokens
+//!   ([`crate::features::HashingVectorizer`]), the strongest text family
+//!   here;
+//! * [`Calibrated`] — wraps any model with Platt scaling fitted on the
+//!   training labels; the calibrated map is monotone in the raw score, so
+//!   stratification (and therefore ABae's allocation) is unchanged while
+//!   the §3.3 combination rules get scores closer to true probabilities.
+//!
+//! All scoring is deterministic per input, which is what lets the query
+//! engine fan full-table scoring across threads and still produce
+//! bit-identical proxy columns.
+
+use crate::calibration::PlattScaler;
+use crate::features::{tokenize, HashingVectorizer};
+use crate::logistic::{LogisticRegression, TrainError, TrainOptions};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A serializable description of a fitted proxy model: the family name
+/// plus the scalar parameters worth surfacing (`EXPLAIN`, `SHOW PROXIES`,
+/// logs). Rendering is stable and compact: `family(k1=v1, k2=v2)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSummary {
+    /// Model family (e.g. `"keyword"`, `"logistic"`, `"platt(keyword)"`).
+    pub family: String,
+    /// Named scalar parameters, in a stable order.
+    pub params: Vec<(String, f64)>,
+}
+
+impl fmt::Display for ModelSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.family)?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A trainable proxy model over text payloads.
+///
+/// Contract: after a successful [`ProxyModel::fit`], [`ProxyModel::score_batch`]
+/// returns one finite score in `[0, 1]` per input, deterministically — the
+/// same input always yields the same score, so batch scoring may be
+/// scheduled across threads freely. `Send + Sync` is required because the
+/// query engine owns fitted models behind a shared catalog.
+pub trait ProxyModel: Send + Sync + fmt::Debug {
+    /// Fits the model on labeled texts. `texts` and `labels` must have the
+    /// same non-zero length.
+    fn fit(&mut self, texts: &[&str], labels: &[bool]) -> Result<(), TrainError>;
+
+    /// Scores a batch of texts, one `[0, 1]` score per input.
+    ///
+    /// # Panics
+    /// May panic if the model was never fitted.
+    fn score_batch(&self, texts: &[&str]) -> Vec<f64>;
+
+    /// Scores one text (a one-element batch).
+    fn score(&self, text: &str) -> f64 {
+        self.score_batch(&[text]).pop().expect("score_batch returns one score per input")
+    }
+
+    /// Serializable summary of the fitted artifact.
+    fn summary(&self) -> ModelSummary;
+}
+
+/// Validates the shared `fit` preconditions.
+fn check_training_set(texts: &[&str], labels: &[bool]) -> Result<(), TrainError> {
+    if texts.is_empty() {
+        return Err(TrainError::EmptyTrainingSet);
+    }
+    if texts.len() != labels.len() {
+        return Err(TrainError::LengthMismatch);
+    }
+    Ok(())
+}
+
+/// A learned keyword proxy: token weights are smoothed per-class log-odds
+/// (the top `max_keywords` by magnitude), and the per-document activation
+/// (sum of matched weights) is mapped to a probability by a 1-D logistic
+/// fitted on the training labels.
+#[derive(Debug, Clone, Default)]
+pub struct KeywordModel {
+    /// Keyword cap; tokens beyond the top-N by |log-odds| are dropped.
+    max_keywords: usize,
+    weights: HashMap<String, f64>,
+    link: Option<LogisticRegression>,
+}
+
+impl KeywordModel {
+    /// Default keyword-list size.
+    pub const DEFAULT_MAX_KEYWORDS: usize = 32;
+
+    /// A model keeping at most [`Self::DEFAULT_MAX_KEYWORDS`] keywords.
+    pub fn new() -> Self {
+        Self { max_keywords: Self::DEFAULT_MAX_KEYWORDS, weights: HashMap::new(), link: None }
+    }
+
+    /// A model keeping at most `max_keywords` keywords.
+    ///
+    /// # Panics
+    /// Panics if `max_keywords == 0`.
+    pub fn with_max_keywords(max_keywords: usize) -> Self {
+        assert!(max_keywords > 0, "need at least one keyword");
+        Self { max_keywords, ..Self::new() }
+    }
+
+    /// The learned `(keyword, log-odds weight)` pairs, best first.
+    pub fn keywords(&self) -> Vec<(&str, f64)> {
+        let mut kw: Vec<(&str, f64)> =
+            self.weights.iter().map(|(k, &w)| (k.as_str(), w)).collect();
+        kw.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(b.0)));
+        kw
+    }
+
+    fn activation(&self, text: &str) -> f64 {
+        tokenize(text).iter().filter_map(|t| self.weights.get(t)).sum()
+    }
+}
+
+impl ProxyModel for KeywordModel {
+    fn fit(&mut self, texts: &[&str], labels: &[bool]) -> Result<(), TrainError> {
+        check_training_set(texts, labels)?;
+        // Per-token counts per class.
+        let mut pos_counts: HashMap<String, usize> = HashMap::new();
+        let mut neg_counts: HashMap<String, usize> = HashMap::new();
+        let (mut pos_tokens, mut neg_tokens) = (0usize, 0usize);
+        for (&text, &label) in texts.iter().zip(labels) {
+            let counts = if label { &mut pos_counts } else { &mut neg_counts };
+            for tok in tokenize(text) {
+                *counts.entry(tok).or_insert(0) += 1;
+                if label {
+                    pos_tokens += 1;
+                } else {
+                    neg_tokens += 1;
+                }
+            }
+        }
+        // Smoothed log-odds per token; keep the strongest `max_keywords`.
+        let vocab: std::collections::BTreeSet<&String> =
+            pos_counts.keys().chain(neg_counts.keys()).collect();
+        let v = vocab.len().max(1) as f64;
+        let mut scored: Vec<(String, f64)> = vocab
+            .into_iter()
+            .map(|tok| {
+                let p = (pos_counts.get(tok).copied().unwrap_or(0) as f64 + 1.0)
+                    / (pos_tokens as f64 + v);
+                let q = (neg_counts.get(tok).copied().unwrap_or(0) as f64 + 1.0)
+                    / (neg_tokens as f64 + v);
+                (tok.clone(), (p / q).ln())
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
+        scored.truncate(self.max_keywords);
+        self.weights = scored.into_iter().collect();
+        // Link function: 1-D logistic mapping activation → probability.
+        let activations: Vec<Vec<f64>> =
+            texts.iter().map(|t| vec![self.activation(t)]).collect();
+        self.link = Some(LogisticRegression::fit(
+            &activations,
+            labels,
+            TrainOptions { max_iters: 300, ..Default::default() },
+        )?);
+        Ok(())
+    }
+
+    fn score_batch(&self, texts: &[&str]) -> Vec<f64> {
+        let link = self.link.as_ref().expect("KeywordModel must be fitted before scoring");
+        texts.iter().map(|t| link.predict_proba(&[self.activation(t)])).collect()
+    }
+
+    fn summary(&self) -> ModelSummary {
+        ModelSummary {
+            family: "keyword".to_string(),
+            params: vec![
+                ("keywords".to_string(), self.weights.len() as f64),
+                (
+                    "link_slope".to_string(),
+                    self.link.as_ref().map_or(0.0, |l| l.weights()[0]),
+                ),
+                (
+                    "link_intercept".to_string(),
+                    self.link.as_ref().map_or(0.0, LogisticRegression::intercept),
+                ),
+            ],
+        }
+    }
+}
+
+/// Logistic regression over hash-vectorized tokens: the
+/// feature-hashing trick keeps the model dense and vocabulary-free, so
+/// fitting cost is `O(train × dim)` and scoring is one dot product.
+#[derive(Debug, Clone)]
+pub struct LogisticModel {
+    vectorizer: HashingVectorizer,
+    options: TrainOptions,
+    model: Option<LogisticRegression>,
+}
+
+impl LogisticModel {
+    /// Default hashed-feature dimensionality.
+    pub const DEFAULT_DIM: usize = 256;
+
+    /// A model hashing tokens into [`Self::DEFAULT_DIM`] buckets.
+    pub fn new() -> Self {
+        Self::with_dim(Self::DEFAULT_DIM)
+    }
+
+    /// A model hashing tokens into `dim` buckets.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn with_dim(dim: usize) -> Self {
+        Self {
+            vectorizer: HashingVectorizer::new(dim),
+            options: TrainOptions { max_iters: 200, l2: 1e-3, ..Default::default() },
+            model: None,
+        }
+    }
+
+    /// Hashed-feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.vectorizer.dim()
+    }
+}
+
+impl Default for LogisticModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProxyModel for LogisticModel {
+    fn fit(&mut self, texts: &[&str], labels: &[bool]) -> Result<(), TrainError> {
+        check_training_set(texts, labels)?;
+        let rows: Vec<Vec<f64>> =
+            texts.iter().map(|t| self.vectorizer.transform_text(t)).collect();
+        self.model = Some(LogisticRegression::fit(&rows, labels, self.options)?);
+        Ok(())
+    }
+
+    fn score_batch(&self, texts: &[&str]) -> Vec<f64> {
+        let model = self.model.as_ref().expect("LogisticModel must be fitted before scoring");
+        texts
+            .iter()
+            .map(|t| model.predict_proba(&self.vectorizer.transform_text(t)))
+            .collect()
+    }
+
+    fn summary(&self) -> ModelSummary {
+        let norm = self.model.as_ref().map_or(0.0, |m| {
+            m.weights().iter().map(|w| w * w).sum::<f64>().sqrt()
+        });
+        ModelSummary {
+            family: "logistic".to_string(),
+            params: vec![
+                ("dim".to_string(), self.vectorizer.dim() as f64),
+                ("weight_norm".to_string(), norm),
+                (
+                    "intercept".to_string(),
+                    self.model.as_ref().map_or(0.0, LogisticRegression::intercept),
+                ),
+            ],
+        }
+    }
+}
+
+/// Platt-calibrated wrapper: fits the inner model, then fits a
+/// [`PlattScaler`] mapping the inner model's *training* scores to the
+/// training labels. Calibration is a monotone map (`σ(a·s + b)`), so the
+/// order of scores — and with it every quantile stratification and
+/// allocation ABae derives from them — is preserved whenever the fitted
+/// slope is positive (the case for any informative inner model).
+#[derive(Debug, Clone)]
+pub struct Calibrated<M> {
+    inner: M,
+    scaler: Option<PlattScaler>,
+}
+
+impl<M: ProxyModel> Calibrated<M> {
+    /// Wraps an (unfitted) inner model.
+    pub fn new(inner: M) -> Self {
+        Self { inner, scaler: None }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The fitted Platt scaler, after [`ProxyModel::fit`].
+    pub fn scaler(&self) -> Option<&PlattScaler> {
+        self.scaler.as_ref()
+    }
+}
+
+impl<M: ProxyModel> ProxyModel for Calibrated<M> {
+    fn fit(&mut self, texts: &[&str], labels: &[bool]) -> Result<(), TrainError> {
+        check_training_set(texts, labels)?;
+        self.inner.fit(texts, labels)?;
+        let raw = self.inner.score_batch(texts);
+        self.scaler = Some(PlattScaler::fit(&raw, labels)?);
+        Ok(())
+    }
+
+    fn score_batch(&self, texts: &[&str]) -> Vec<f64> {
+        let scaler =
+            self.scaler.as_ref().expect("Calibrated model must be fitted before scoring");
+        self.inner.score_batch(texts).into_iter().map(|s| scaler.calibrate(s)).collect()
+    }
+
+    fn summary(&self) -> ModelSummary {
+        let inner = self.inner.summary();
+        let mut params = vec![
+            (
+                "platt_slope".to_string(),
+                self.scaler.as_ref().map_or(0.0, PlattScaler::slope),
+            ),
+            (
+                "platt_intercept".to_string(),
+                self.scaler.as_ref().map_or(0.0, PlattScaler::intercept),
+            ),
+        ];
+        params.extend(inner.params);
+        ModelSummary { family: format!("platt({})", inner.family), params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::expected_calibration_error;
+    use crate::metrics::auc;
+
+    /// A tiny deterministic spam-ish corpus: spam drawn from one
+    /// vocabulary, ham from another, with a controllable overlap.
+    fn corpus(n: usize) -> (Vec<String>, Vec<bool>) {
+        let spam = ["money", "winner", "claim", "free", "lottery"];
+        let ham = ["meeting", "report", "agenda", "notes", "budget"];
+        let mut texts = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let is_spam = i % 3 == 0;
+            let (main, other) = if is_spam { (&spam, &ham) } else { (&ham, &spam) };
+            // Mostly class vocabulary, with a rotating off-class token.
+            let mut toks = vec![
+                main[i % main.len()],
+                main[(i / 2) % main.len()],
+                main[(i / 3) % main.len()],
+            ];
+            if i % 4 == 0 {
+                toks.push(other[i % other.len()]);
+            }
+            texts.push(toks.join(" "));
+            labels.push(is_spam);
+        }
+        (texts, labels)
+    }
+
+    fn fit_on_corpus<M: ProxyModel>(model: &mut M, n: usize) -> (Vec<f64>, Vec<bool>) {
+        let (texts, labels) = corpus(n);
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        model.fit(&refs, &labels).expect("fit succeeds");
+        (model.score_batch(&refs), labels)
+    }
+
+    #[test]
+    fn keyword_model_learns_discriminative_tokens() {
+        let mut model = KeywordModel::new();
+        let (scores, labels) = fit_on_corpus(&mut model, 600);
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        let a = auc(&scores, &labels).expect("both classes present");
+        assert!(a > 0.9, "keyword AUC {a}");
+        // The learned list is dominated by class vocabulary with
+        // positive weight on spam tokens.
+        let kw = model.keywords();
+        assert!(!kw.is_empty() && kw.len() <= KeywordModel::DEFAULT_MAX_KEYWORDS);
+        let money = kw.iter().find(|(k, _)| *k == "money").expect("spam token kept");
+        assert!(money.1 > 0.0, "spam token weight {}", money.1);
+    }
+
+    #[test]
+    fn logistic_model_beats_chance_and_is_deterministic() {
+        let mut model = LogisticModel::with_dim(64);
+        let (scores, labels) = fit_on_corpus(&mut model, 600);
+        let a = auc(&scores, &labels).expect("both classes present");
+        assert!(a > 0.9, "logistic AUC {a}");
+        // Deterministic batch scoring, and score == one-element batch.
+        let (texts, _) = corpus(600);
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        assert_eq!(model.score_batch(&refs), scores);
+        assert_eq!(model.score(refs[0]), scores[0]);
+    }
+
+    #[test]
+    fn fit_rejects_bad_inputs_across_families() {
+        for model in [
+            &mut KeywordModel::new() as &mut dyn ProxyModel,
+            &mut LogisticModel::new(),
+            &mut Calibrated::new(LogisticModel::new()),
+        ] {
+            assert_eq!(model.fit(&[], &[]), Err(TrainError::EmptyTrainingSet));
+            assert_eq!(model.fit(&["a"], &[true, false]), Err(TrainError::LengthMismatch));
+        }
+    }
+
+    #[test]
+    fn summaries_render_compactly() {
+        let mut model = Calibrated::new(KeywordModel::with_max_keywords(8));
+        fit_on_corpus(&mut model, 300);
+        let summary = model.summary();
+        assert_eq!(summary.family, "platt(keyword)");
+        let rendered = summary.to_string();
+        assert!(rendered.starts_with("platt(keyword)("), "{rendered}");
+        assert!(rendered.contains("platt_slope="), "{rendered}");
+        assert!(rendered.contains("keywords="), "{rendered}");
+    }
+
+    #[test]
+    fn calibration_improves_a_miscalibrated_model_without_reordering() {
+        // The raw logistic model over this corpus is overconfident (tiny
+        // training loss → scores near 0/1); deliberately miscalibrate
+        // further by fitting on a corpus whose labels are noisy at the
+        // boundary, then check the Platt wrapper tracks empirical rates
+        // better while preserving the score order.
+        let (texts, labels) = corpus(900);
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let mut raw = KeywordModel::new();
+        raw.fit(&refs, &labels).unwrap();
+        let mut cal = Calibrated::new(KeywordModel::new());
+        cal.fit(&refs, &labels).unwrap();
+
+        let raw_scores = raw.score_batch(&refs);
+        let cal_scores = cal.score_batch(&refs);
+        let ece_raw = expected_calibration_error(&raw_scores, &labels, 10);
+        let ece_cal = expected_calibration_error(&cal_scores, &labels, 10);
+        assert!(ece_cal <= ece_raw + 1e-9, "raw {ece_raw}, calibrated {ece_cal}");
+
+        // Monotone: pairwise order of scores is preserved.
+        assert!(cal.scaler().unwrap().slope() > 0.0);
+        for i in 1..raw_scores.len() {
+            let raw_cmp = raw_scores[i - 1].total_cmp(&raw_scores[i]);
+            let cal_cmp = cal_scores[i - 1].total_cmp(&cal_scores[i]);
+            if raw_cmp != std::cmp::Ordering::Equal {
+                assert_eq!(raw_cmp, cal_cmp, "order flipped at {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be fitted")]
+    fn scoring_before_fit_panics() {
+        let _ = LogisticModel::new().score("anything");
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use crate::calibration::{expected_calibration_error, PlattScaler};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Platt calibration is a monotone map: for any fitted scaler,
+        /// the calibrated scores of an increasing grid are themselves
+        /// monotone (non-decreasing when the slope is non-negative,
+        /// non-increasing otherwise). Stratum order — and therefore
+        /// ABae's allocation — is preserved whenever the slope is
+        /// positive.
+        #[test]
+        fn platt_calibration_is_monotone(
+            // Raw scores with a positive-rate gradient: the label rule
+            // makes positives more common at high scores, but arbitrary
+            // cut/noise parameters vary how miscalibrated the raw score
+            // is.
+            n in 20usize..200,
+            cut in 0.1f64..0.9,
+            flip_every in 3usize..17,
+        ) {
+            let scores: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+            let labels: Vec<bool> = (0..n)
+                .map(|i| {
+                    let base = scores[i] > cut;
+                    if i % flip_every == 0 { !base } else { base }
+                })
+                .collect();
+            prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+            let scaler = PlattScaler::fit(&scores, &labels).expect("fit succeeds");
+            let grid: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+            let cal: Vec<f64> = grid.iter().map(|&s| scaler.calibrate(s)).collect();
+            let increasing = scaler.slope() >= 0.0;
+            for w in cal.windows(2) {
+                if increasing {
+                    prop_assert!(w[1] >= w[0] - 1e-12, "not monotone up: {w:?}");
+                } else {
+                    prop_assert!(w[1] <= w[0] + 1e-12, "not monotone down: {w:?}");
+                }
+            }
+            // All calibrated values are probabilities.
+            for &c in &cal {
+                prop_assert!((0.0..=1.0).contains(&c));
+            }
+        }
+
+        /// Calibrating a deliberately miscalibrated proxy reduces the
+        /// expected calibration error: the synthetic proxy reports `s`
+        /// while the true positive rate is `s^2` (overconfident at the
+        /// low end), with the positives placed deterministically inside
+        /// each score bucket.
+        #[test]
+        fn calibration_reduces_ece_of_overconfident_proxy(
+            buckets in 8usize..16,
+            per_bucket in 40usize..120,
+        ) {
+            let mut scores = Vec::new();
+            let mut labels = Vec::new();
+            for b in 0..buckets {
+                let s = (b as f64 + 0.5) / buckets as f64;
+                // True rate s^2 < s: the raw score is overconfident.
+                let positives =
+                    ((s * s) * per_bucket as f64).round() as usize;
+                for i in 0..per_bucket {
+                    scores.push(s);
+                    labels.push(i < positives);
+                }
+            }
+            let ece_raw = expected_calibration_error(&scores, &labels, buckets);
+            prop_assume!(ece_raw > 0.02); // genuinely miscalibrated
+            let scaler = PlattScaler::fit(&scores, &labels).expect("fit succeeds");
+            let cal: Vec<f64> = scores.iter().map(|&s| scaler.calibrate(s)).collect();
+            let ece_cal = expected_calibration_error(&cal, &labels, buckets);
+            prop_assert!(
+                ece_cal < ece_raw,
+                "ECE should drop: raw {ece_raw}, calibrated {ece_cal}"
+            );
+        }
+    }
+}

@@ -174,6 +174,67 @@ impl Query {
     }
 }
 
+/// Trainable proxy-model family named in `CREATE PROXY ... USING <family>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyFamily {
+    /// Learned keyword list (`abae_ml::KeywordModel`).
+    Keyword,
+    /// Logistic regression over hashed token features
+    /// (`abae_ml::LogisticModel`).
+    Logistic,
+}
+
+impl ProxyFamily {
+    /// The family's SQL keyword, lowercase.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ProxyFamily::Keyword => "keyword",
+            ProxyFamily::Logistic => "logistic",
+        }
+    }
+}
+
+/// A parsed `CREATE PROXY` statement:
+///
+/// ```text
+/// CREATE PROXY <name> ON <table>(<predicate>)
+///     [USING {keyword | logistic}] [CALIBRATED] [TRAIN LIMIT n]
+/// ```
+///
+/// Execution draws `TRAIN LIMIT` records, labels them through the oracle
+/// (charging the budget), fits the named family — or, with `USING`
+/// omitted, fits every family and keeps the §3.4 predicted-MSE winner —
+/// scores the whole table in parallel batches, and registers the artifact
+/// with the engine's catalog so later queries can name it with `USING`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateProxyStmt {
+    /// Artifact name later queries reference with `USING <name>`.
+    pub name: String,
+    /// Table to train and score on.
+    pub table: String,
+    /// Predicate atom key supplying the training labels (resolved through
+    /// the catalog like a `WHERE` atom).
+    pub predicate: String,
+    /// Model family; `None` auto-selects by predicted MSE (§3.4).
+    pub family: Option<ProxyFamily>,
+    /// Whether to Platt-calibrate the fitted model on the training draw.
+    pub calibrated: bool,
+    /// Training labels to buy; `None` uses the engine default.
+    pub train_limit: Option<usize>,
+}
+
+/// One parsed statement of the dialect: a Figure-1 query, or one of the
+/// proxy-management statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A `SELECT` query.
+    Select(Query),
+    /// `CREATE PROXY ...` — train and register a proxy model in-engine.
+    CreateProxy(CreateProxyStmt),
+    /// `SHOW PROXIES [FROM table]` — list registered trained proxies.
+    ShowProxies(Option<String>),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,23 +6,28 @@
 //! registers — the moral equivalent of the paper's setup step where the
 //! user supplies the oracle and proxy for each predicate.
 
-use abae_data::{LabelStore, Table};
+use abae_data::{LabelStore, ProxyRegistry, Table};
 use std::collections::HashMap;
 
 /// A registry of tables and atom-key bindings, optionally carrying a
-/// cross-query [`LabelStore`] so repeated queries reuse oracle verdicts.
+/// cross-query [`LabelStore`] so repeated queries reuse oracle verdicts,
+/// and always carrying a [`ProxyRegistry`] of in-engine-trained proxy
+/// artifacts (`CREATE PROXY`).
 ///
 /// Shared-ownership contract: a catalog is `Send + Sync` (tables and
-/// bindings are plain immutable data; the label store synchronizes
-/// internally), which is what lets [`crate::Engine`] freeze one catalog
-/// behind an `Arc` and serve it to any number of concurrent sessions.
-/// Mutation (`register_table`, `bind_predicate`, the cache toggles) is
-/// `&mut self` and therefore happens-before the engine is built.
+/// bindings are plain immutable data; the label store and proxy registry
+/// synchronize internally), which is what lets [`crate::Engine`] freeze
+/// one catalog behind an `Arc` and serve it to any number of concurrent
+/// sessions. Structural mutation (`register_table`, `bind_predicate`, the
+/// cache toggles) is `&mut self` and therefore happens-before the engine
+/// is built; proxy registration goes through the internally-locked
+/// registry, so sessions can train proxies against a frozen catalog.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
     bindings: HashMap<(String, String), String>,
     label_store: Option<LabelStore>,
+    proxies: ProxyRegistry,
 }
 
 impl Catalog {
@@ -32,13 +37,14 @@ impl Catalog {
     }
 
     /// Registers a table under its own name. Replaces any previous table
-    /// with the same name, dropping any label-cache verdicts bought
-    /// against the replaced table's data — they would otherwise answer
-    /// queries over the new data.
+    /// with the same name, dropping any label-cache verdicts *and* trained
+    /// proxy artifacts bought against the replaced table's data — both
+    /// would otherwise answer queries over the new data.
     pub fn register_table(&mut self, table: Table) {
         if let Some(store) = &self.label_store {
             store.invalidate_table(table.name());
         }
+        self.proxies.invalidate_table(table.name());
         self.tables.insert(table.name().to_string(), table);
     }
 
@@ -68,6 +74,19 @@ impl Catalog {
         self.bindings.get(&(table.to_string(), atom_key.to_string())).cloned()
     }
 
+    /// Atom keys explicitly bound for `table`, sorted (deterministic
+    /// error listings).
+    pub fn bound_keys(&self, table: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .bindings
+            .keys()
+            .filter(|(t, _)| t == table)
+            .map(|(_, key)| key.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
+
     /// Names of all registered tables (unordered).
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
@@ -93,6 +112,14 @@ impl Catalog {
     /// The label store, when [`Catalog::enable_label_cache`] was called.
     pub fn label_store(&self) -> Option<&LabelStore> {
         self.label_store.as_ref()
+    }
+
+    /// The registry of in-engine-trained proxy artifacts. Internally
+    /// synchronized: `CREATE PROXY` registers through a shared reference,
+    /// so trained proxies appear on a catalog an engine has already
+    /// frozen.
+    pub fn proxy_registry(&self) -> &ProxyRegistry {
+        &self.proxies
     }
 }
 
@@ -171,5 +198,31 @@ mod tests {
         cat.register_table(other);
         assert_eq!(cat.table("t").unwrap().len(), 1);
         assert_eq!(cat.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn re_registering_drops_trained_proxies_of_that_table_only() {
+        use abae_data::TrainedProxy;
+        use abae_ml::ModelSummary;
+        let trained = |tbl: &str, name: &str| TrainedProxy {
+            name: name.to_string(),
+            table: tbl.to_string(),
+            predicate: "is_spam".to_string(),
+            summary: ModelSummary { family: "keyword".to_string(), params: vec![] },
+            calibrated: false,
+            scores: vec![0.5, 0.5],
+            train_limit: 2,
+            oracle_spend: 2,
+            ece: 0.0,
+            auto_selected: false,
+        };
+        let mut cat = Catalog::new();
+        cat.register_table(table());
+        cat.register_table(Table::builder("u", vec![1.0]).build().unwrap());
+        cat.proxy_registry().register(trained("t", "a"));
+        cat.proxy_registry().register(trained("u", "b"));
+        cat.register_table(table()); // replace `t`
+        assert!(cat.proxy_registry().get("t", "a").is_none(), "stale scores must drop");
+        assert!(cat.proxy_registry().get("u", "b").is_some(), "other tables unaffected");
     }
 }

@@ -6,7 +6,7 @@
 //! algorithm will run, the resolved predicate columns, and how the oracle
 //! budget splits across stages — without spending any oracle calls.
 
-use crate::ast::{AggFunc, BoolExpr, Query};
+use crate::ast::{AggFunc, BoolExpr, CreateProxyStmt, ProxyFamily, Query, Statement};
 use std::fmt;
 
 impl fmt::Display for AggFunc {
@@ -95,9 +95,42 @@ impl fmt::Display for Query {
     }
 }
 
+impl fmt::Display for ProxyFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.keyword())
+    }
+}
+
+impl fmt::Display for CreateProxyStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE PROXY {} ON {}({})", self.name, self.table, self.predicate)?;
+        if let Some(family) = self.family {
+            write!(f, " USING {family}")?;
+        }
+        if self.calibrated {
+            write!(f, " CALIBRATED")?;
+        }
+        if let Some(limit) = self.train_limit {
+            write!(f, " TRAIN LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::CreateProxy(c) => write!(f, "{c}"),
+            Statement::ShowProxies(None) => write!(f, "SHOW PROXIES"),
+            Statement::ShowProxies(Some(table)) => write!(f, "SHOW PROXIES FROM {table}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use crate::parser::parse_query;
+    use crate::parser::{parse_query, parse_statement};
 
     fn roundtrip(sql: &str) {
         let q1 = parse_query(sql).expect("valid input");
@@ -158,5 +191,38 @@ mod tests {
     fn rendering_is_deterministic() {
         let q = parse_query("SELECT SUM(x) FROM t WHERE a AND b OR c ORACLE LIMIT 7").unwrap();
         assert_eq!(format!("{q}"), format!("{q}"));
+    }
+
+    fn roundtrip_statement(sql: &str) {
+        let s1 = parse_statement(sql).expect("valid input");
+        let rendered = format!("{s1}");
+        let s2 = parse_statement(&rendered)
+            .unwrap_or_else(|e| panic!("rendered `{rendered}` failed to parse: {e}"));
+        assert_eq!(s1, s2, "statement roundtrip changed `{sql}` → `{rendered}`");
+    }
+
+    #[test]
+    fn create_proxy_statements_roundtrip() {
+        roundtrip_statement(
+            "CREATE PROXY spamnet ON trec05p(is_spam) USING logistic CALIBRATED \
+             TRAIN LIMIT 2,000",
+        );
+        roundtrip_statement("CREATE PROXY kw ON emails(is_spam) USING keyword");
+        roundtrip_statement("create proxy auto_pick on emails(is_spam) calibrated");
+        roundtrip_statement("CREATE PROXY p ON t(is_spam) TRAIN LIMIT 50;");
+    }
+
+    #[test]
+    fn show_proxies_statements_roundtrip() {
+        roundtrip_statement("SHOW PROXIES");
+        roundtrip_statement("show proxies from trec05p");
+    }
+
+    #[test]
+    fn select_statements_roundtrip_through_the_statement_parser() {
+        roundtrip_statement(
+            "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 100 \
+             USING spamnet WITH PROBABILITY 0.9",
+        );
     }
 }

@@ -101,6 +101,29 @@ impl QueryResult {
     }
 }
 
+/// Result of executing one statement through [`crate::Session::run`]: the
+/// rows of a `SELECT`, or the proxy-management statements' artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementOutcome {
+    /// A `SELECT`'s answer.
+    Rows(QueryResult),
+    /// `CREATE PROXY` trained and registered this artifact.
+    ProxyCreated(std::sync::Arc<abae_data::TrainedProxy>),
+    /// `SHOW PROXIES` listing, in deterministic (table, registration)
+    /// order.
+    Proxies(Vec<std::sync::Arc<abae_data::TrainedProxy>>),
+}
+
+impl StatementOutcome {
+    /// The query rows, if the statement was a `SELECT`.
+    pub fn rows(&self) -> Option<&QueryResult> {
+        match self {
+            StatementOutcome::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
 /// Errors from query execution.
 #[derive(Debug)]
 pub enum QueryError {
@@ -115,18 +138,23 @@ pub enum QueryError {
         /// The table searched.
         table: String,
     },
-    /// `USING <proxy>` named something that is neither a predicate column
-    /// nor a registered binding of the table.
+    /// `USING <proxy>` named something that is neither a predicate column,
+    /// a registered binding, nor a trained proxy of the table.
     UnknownProxy {
         /// The proxy name from the query.
         proxy: String,
         /// The table searched.
         table: String,
+        /// Every proxy name the table *does* have (predicate columns first,
+        /// then trained artifacts), so the error is self-correcting.
+        available: Vec<String>,
     },
     /// The query has a `?` placeholder that was never bound (the payload
     /// names the clause). Bind it with `Prepared::with_budget` /
     /// `Prepared::with_probability`, or write a literal.
     UnboundParameter(&'static str),
+    /// Proxy training failed (`CREATE PROXY`).
+    Train(abae_ml::logistic::TrainError),
     /// Table-level failure.
     Table(TableError),
     /// Invalid ABae configuration derived from the query.
@@ -145,8 +173,17 @@ impl std::fmt::Display for QueryError {
             QueryError::UnresolvedPredicate { atom, table } => {
                 write!(f, "predicate `{atom}` is not a column or binding of `{table}`")
             }
-            QueryError::UnknownProxy { proxy, table } => {
-                write!(f, "USING proxy `{proxy}` is not a column or binding of `{table}`")
+            QueryError::UnknownProxy { proxy, table, available } => {
+                write!(
+                    f,
+                    "USING proxy `{proxy}` is not a column, binding, or trained proxy \
+                     of `{table}`"
+                )?;
+                if available.is_empty() {
+                    write!(f, " (the table has no proxies)")
+                } else {
+                    write!(f, " (available: {})", available.join(", "))
+                }
             }
             QueryError::UnboundParameter(clause) => {
                 write!(
@@ -155,6 +192,7 @@ impl std::fmt::Display for QueryError {
                      or write a literal value"
                 )
             }
+            QueryError::Train(e) => write!(f, "proxy training: {e}"),
             QueryError::Table(e) => write!(f, "table: {e}"),
             QueryError::Config(e) => write!(f, "config: {e}"),
             QueryError::GroupBy(e) => write!(f, "group-by: {e}"),
@@ -455,11 +493,13 @@ mod tests {
             )
             .unwrap_err();
         match err {
-            QueryError::UnknownProxy { proxy, table } => {
+            QueryError::UnknownProxy { proxy, table, available } => {
                 assert_eq!(proxy, "mystery_scores");
                 assert_eq!(table, "emails");
-                let msg = QueryError::UnknownProxy { proxy, table }.to_string();
+                assert_eq!(available, vec!["is_spam".to_string()]);
+                let msg = QueryError::UnknownProxy { proxy, table, available }.to_string();
                 assert!(msg.contains("mystery_scores") && msg.contains("emails"), "{msg}");
+                assert!(msg.contains("available: is_spam"), "{msg}");
             }
             other => panic!("expected UnknownProxy, got {other:?}"),
         }

@@ -28,6 +28,28 @@
 //! (`plan`) → `abae-core` (single predicate, multi-predicate, or group-by)
 //! → estimates with bootstrap CIs.
 //!
+//! # The proxy subsystem
+//!
+//! Stratification scores come from a [`ScoreSource`], not a hardwired
+//! proxy column: a precomputed column, the §3.3 combination of the
+//! predicates' own columns, or a model trained **in-engine**:
+//!
+//! ```sql
+//! CREATE PROXY spamnet ON emails(is_spam) USING logistic CALIBRATED TRAIN LIMIT 1000;
+//! SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT 5000 USING spamnet;
+//! SHOW PROXIES FROM emails;
+//! ```
+//!
+//! `CREATE PROXY` draws and labels a training sample through the oracle
+//! (charging the budget, and sharing the engine's label store so queries
+//! reuse the verdicts), fits the named [`abae_ml::ProxyModel`] family —
+//! or auto-selects one by the paper's §3.4 predicted-MSE rule when
+//! `USING` is omitted — scores the whole table in parallel batches, and
+//! registers the artifact with the engine's catalog. `EXPLAIN` reports
+//! the proxy provenance (column vs model, training spend, ECE). These
+//! statements run through [`Session::run`], which answers with a
+//! [`StatementOutcome`].
+//!
 //! # The Engine/Session API
 //!
 //! The serving surface is a shareable [`Engine`] (built once via
@@ -55,6 +77,7 @@
 
 pub mod ast;
 pub mod catalog;
+mod ddl;
 pub mod display;
 pub mod engine;
 pub mod exec;
@@ -64,12 +87,16 @@ mod plan;
 pub mod prepared;
 pub mod session;
 
-pub use ast::{AggFunc, AggItem, BoolExpr, Placeholders, Query};
+pub use ast::{
+    AggFunc, AggItem, BoolExpr, CreateProxyStmt, Placeholders, ProxyFamily, Query, Statement,
+};
 pub use catalog::Catalog;
+pub use ddl::DEFAULT_TRAIN_LIMIT;
 pub use engine::{Engine, EngineBuilder, EngineOptions};
 #[allow(deprecated)]
 pub use exec::Executor;
-pub use exec::{AggRow, GroupRow, QueryError, QueryResult};
-pub use parser::parse_query;
+pub use exec::{AggRow, GroupRow, QueryError, QueryResult, StatementOutcome};
+pub use parser::{parse_query, parse_statement};
+pub use plan::ScoreSource;
 pub use prepared::Prepared;
 pub use session::Session;

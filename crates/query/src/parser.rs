@@ -1,8 +1,10 @@
-//! Recursive-descent parser for the ABae SQL dialect (Figure 1).
+//! Recursive-descent parser for the ABae SQL dialect (Figure 1), plus the
+//! proxy-management statements.
 //!
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
+//! statement := query | create_proxy | show_proxies
 //! query    := SELECT agg_item (',' agg_item)* [',' ident] FROM ident
 //!             WHERE or_expr
 //!             [GROUP BY ident_expr]
@@ -14,6 +16,10 @@
 //! and_expr := not_expr (AND not_expr)*
 //! not_expr := NOT not_expr | '(' or_expr ')' | atom
 //! atom     := ident ['(' args ')'] [cmp literal]
+//! create_proxy := CREATE PROXY ident ON ident '(' ident ')'
+//!                 [USING (KEYWORD | LOGISTIC)] [CALIBRATED]
+//!                 [TRAIN LIMIT number] [';']
+//! show_proxies := SHOW PROXIES [FROM ident] [';']
 //! ```
 //!
 //! The `SELECT` list accepts several aggregates (answered from one shared
@@ -22,7 +28,10 @@
 //! aggregate when it is one of the four aggregate names followed by `(`;
 //! anything else is the projected key and must come last.
 
-use crate::ast::{AggFunc, AggItem, BoolExpr, Placeholders, PredAtom, Query};
+use crate::ast::{
+    AggFunc, AggItem, BoolExpr, CreateProxyStmt, Placeholders, PredAtom, ProxyFamily, Query,
+    Statement,
+};
 use crate::lexer::{tokenize, LexError, Token, TokenKind};
 
 /// Parse errors.
@@ -348,6 +357,148 @@ impl Parser {
         }
         Ok(name)
     }
+
+    /// Consumes an optional trailing semicolon and requires end of input.
+    fn finish(&mut self, what: &str) -> Result<(), ParseError> {
+        let _ = self.peek() == Some(&TokenKind::Semicolon) && self.bump().is_some();
+        if self.peek().is_some() {
+            return Err(self.error(what));
+        }
+        Ok(())
+    }
+
+    /// Parses a full `SELECT` query (Figure 1).
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.keyword("SELECT")?;
+        let mut aggs = vec![self.agg_item()?];
+
+        // Further `SELECT`-list entries: more aggregates (answered from the
+        // same labeling pass), then optionally one projected group key (as
+        // in the paper's `SELECT COUNT(frame), person FROM ...`), which
+        // must be the last entry.
+        let mut projected_key: Option<String> = None;
+        while self.peek() == Some(&TokenKind::Comma) {
+            self.pos += 1;
+            if self.at_agg_item() {
+                aggs.push(self.agg_item()?);
+            } else {
+                projected_key = Some(self.ident("aggregate or projected key")?);
+                break;
+            }
+        }
+
+        self.keyword("FROM")?;
+        let table = self.ident("table name")?;
+        self.keyword("WHERE")?;
+        let predicate = self.or_expr()?;
+
+        let mut group_by = None;
+        if self.try_keyword("GROUP") {
+            self.keyword("BY")?;
+            group_by = Some(self.group_key()?);
+        } else if projected_key.is_some() {
+            return Err(self.error("GROUP BY (query projects a key)"));
+        }
+
+        let mut placeholders = Placeholders::default();
+        self.keyword("ORACLE")?;
+        self.keyword("LIMIT")?;
+        // `ORACLE LIMIT ?` defers the budget to Prepared::with_budget.
+        let limit = if self.peek() == Some(&TokenKind::Question) {
+            self.pos += 1;
+            placeholders.oracle_limit = true;
+            0.0
+        } else {
+            self.number("oracle limit or `?`")?
+        };
+
+        let mut proxy = None;
+        if self.try_keyword("USING") {
+            proxy = Some(self.ident("proxy name")?);
+            // Allow a call form `proxy(frame)`.
+            if self.peek() == Some(&TokenKind::LParen) {
+                self.pos += 1;
+                while self.peek() != Some(&TokenKind::RParen) {
+                    if self.bump().is_none() {
+                        return Err(self.error("`)`"));
+                    }
+                }
+                self.pos += 1;
+            }
+        }
+
+        let mut probability = 0.95;
+        if self.try_keyword("WITH") {
+            self.keyword("PROBABILITY")?;
+            if self.peek() == Some(&TokenKind::Question) {
+                self.pos += 1;
+                placeholders.probability = true;
+            } else {
+                probability = self.number("probability or `?`")?;
+            }
+        }
+
+        self.finish("end of query")?;
+
+        Ok(Query {
+            aggs,
+            table,
+            predicate,
+            group_by,
+            oracle_limit: limit.max(0.0) as usize,
+            proxy,
+            probability,
+            placeholders,
+        })
+    }
+
+    /// Parses `CREATE PROXY name ON table(pred) [USING family]
+    /// [CALIBRATED] [TRAIN LIMIT n]`.
+    fn create_proxy(&mut self) -> Result<CreateProxyStmt, ParseError> {
+        self.keyword("CREATE")?;
+        self.keyword("PROXY")?;
+        let name = self.ident("proxy name")?;
+        self.keyword("ON")?;
+        let table = self.ident("table name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let predicate = self.ident("predicate name")?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+
+        let mut family = None;
+        if self.try_keyword("USING") {
+            let offset = self.offset();
+            let f = self.ident("proxy family (keyword | logistic)")?;
+            family = Some(match f.to_ascii_lowercase().as_str() {
+                "keyword" => ProxyFamily::Keyword,
+                "logistic" => ProxyFamily::Logistic,
+                other => {
+                    return Err(ParseError::Unexpected {
+                        expected: "keyword | logistic".to_string(),
+                        found: other.to_string(),
+                        offset,
+                    })
+                }
+            });
+        }
+        let calibrated = self.try_keyword("CALIBRATED");
+        let mut train_limit = None;
+        if self.try_keyword("TRAIN") {
+            self.keyword("LIMIT")?;
+            train_limit = Some(self.number("train limit")?.max(0.0) as usize);
+        }
+        self.finish("end of CREATE PROXY statement")?;
+        Ok(CreateProxyStmt { name, table, predicate, family, calibrated, train_limit })
+    }
+
+    /// Parses `SHOW PROXIES [FROM table]`.
+    fn show_proxies(&mut self) -> Result<Option<String>, ParseError> {
+        self.keyword("SHOW")?;
+        self.keyword("PROXIES")?;
+        let table =
+            if self.try_keyword("FROM") { Some(self.ident("table name")?) } else { None };
+        self.finish("end of SHOW PROXIES statement")?;
+        Ok(table)
+    }
 }
 
 /// Parses one ABae query.
@@ -365,92 +516,39 @@ impl Parser {
 /// ```
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
     let tokens = tokenize(input)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+/// Parses one statement of the dialect: a `SELECT` query, `CREATE PROXY`,
+/// or `SHOW PROXIES` — dispatched on the leading keyword.
+///
+/// ```
+/// use abae_query::{parse_statement, Statement};
+///
+/// let s = parse_statement(
+///     "CREATE PROXY spamnet ON emails(is_spam) USING logistic CALIBRATED TRAIN LIMIT 1,000",
+/// ).unwrap();
+/// match s {
+///     Statement::CreateProxy(c) => {
+///         assert_eq!(c.name, "spamnet");
+///         assert_eq!(c.train_limit, Some(1_000));
+///         assert!(c.calibrated);
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(input)?;
     let mut p = Parser { tokens, pos: 0 };
-
-    p.keyword("SELECT")?;
-    let mut aggs = vec![p.agg_item()?];
-
-    // Further `SELECT`-list entries: more aggregates (answered from the
-    // same labeling pass), then optionally one projected group key (as in
-    // the paper's `SELECT COUNT(frame), person FROM ...`), which must be
-    // the last entry.
-    let mut projected_key: Option<String> = None;
-    while p.peek() == Some(&TokenKind::Comma) {
-        p.pos += 1;
-        if p.at_agg_item() {
-            aggs.push(p.agg_item()?);
-        } else {
-            projected_key = Some(p.ident("aggregate or projected key")?);
-            break;
+    match p.peek() {
+        Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("CREATE") => {
+            p.create_proxy().map(Statement::CreateProxy)
         }
-    }
-
-    p.keyword("FROM")?;
-    let table = p.ident("table name")?;
-    p.keyword("WHERE")?;
-    let predicate = p.or_expr()?;
-
-    let mut group_by = None;
-    if p.try_keyword("GROUP") {
-        p.keyword("BY")?;
-        group_by = Some(p.group_key()?);
-    } else if projected_key.is_some() {
-        return Err(p.error("GROUP BY (query projects a key)"));
-    }
-
-    let mut placeholders = Placeholders::default();
-    p.keyword("ORACLE")?;
-    p.keyword("LIMIT")?;
-    // `ORACLE LIMIT ?` defers the budget to Prepared::with_budget.
-    let limit = if p.peek() == Some(&TokenKind::Question) {
-        p.pos += 1;
-        placeholders.oracle_limit = true;
-        0.0
-    } else {
-        p.number("oracle limit or `?`")?
-    };
-
-    let mut proxy = None;
-    if p.try_keyword("USING") {
-        proxy = Some(p.ident("proxy name")?);
-        // Allow a call form `proxy(frame)`.
-        if p.peek() == Some(&TokenKind::LParen) {
-            p.pos += 1;
-            while p.peek() != Some(&TokenKind::RParen) {
-                if p.bump().is_none() {
-                    return Err(p.error("`)`"));
-                }
-            }
-            p.pos += 1;
+        Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("SHOW") => {
+            p.show_proxies().map(Statement::ShowProxies)
         }
+        _ => p.query().map(Statement::Select),
     }
-
-    let mut probability = 0.95;
-    if p.try_keyword("WITH") {
-        p.keyword("PROBABILITY")?;
-        if p.peek() == Some(&TokenKind::Question) {
-            p.pos += 1;
-            placeholders.probability = true;
-        } else {
-            probability = p.number("probability or `?`")?;
-        }
-    }
-
-    let _ = p.peek() == Some(&TokenKind::Semicolon) && p.bump().is_some();
-    if p.peek().is_some() {
-        return Err(p.error("end of query"));
-    }
-
-    Ok(Query {
-        aggs,
-        table,
-        predicate,
-        group_by,
-        oracle_limit: limit.max(0.0) as usize,
-        proxy,
-        probability,
-        placeholders,
-    })
 }
 
 #[cfg(test)]
@@ -637,11 +735,81 @@ mod tests {
         assert!(parse_query("SELECT AVG(x) FROM t WHERE ? ORACLE LIMIT 10").is_err());
         assert!(parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10 USING ?").is_err());
     }
+
+    #[test]
+    fn parse_statement_dispatches_to_select() {
+        let s = parse_statement("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10").unwrap();
+        match s {
+            Statement::Select(q) => assert_eq!(q.table, "t"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_proxy_with_every_clause() {
+        let s = parse_statement(
+            "CREATE PROXY spamnet ON trec05p(is_spam) USING logistic CALIBRATED \
+             TRAIN LIMIT 2,000;",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateProxy(c) => {
+                assert_eq!(c.name, "spamnet");
+                assert_eq!(c.table, "trec05p");
+                assert_eq!(c.predicate, "is_spam");
+                assert_eq!(c.family, Some(ProxyFamily::Logistic));
+                assert!(c.calibrated);
+                assert_eq!(c.train_limit, Some(2_000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_proxy_clauses_are_optional_and_case_insensitive() {
+        let s = parse_statement("create proxy p on t(is_spam)").unwrap();
+        match s {
+            Statement::CreateProxy(c) => {
+                assert_eq!(c.family, None, "omitted USING auto-selects the family");
+                assert!(!c.calibrated);
+                assert_eq!(c.train_limit, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse_statement("CREATE PROXY p ON t(is_spam) USING KEYWORD").unwrap();
+        match s {
+            Statement::CreateProxy(c) => assert_eq!(c.family, Some(ProxyFamily::Keyword)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_proxy_rejects_malformed_statements() {
+        // Unknown family.
+        assert!(parse_statement("CREATE PROXY p ON t(is_spam) USING quantum").is_err());
+        // Missing pieces.
+        assert!(parse_statement("CREATE PROXY p ON t USING keyword").is_err());
+        assert!(parse_statement("CREATE PROXY ON t(is_spam)").is_err());
+        assert!(parse_statement("CREATE PROXY p ON t(is_spam) TRAIN 100").is_err());
+        // Trailing garbage.
+        assert!(parse_statement("CREATE PROXY p ON t(is_spam) extra").is_err());
+    }
+
+    #[test]
+    fn parses_show_proxies_with_and_without_table() {
+        assert_eq!(parse_statement("SHOW PROXIES").unwrap(), Statement::ShowProxies(None));
+        assert_eq!(
+            parse_statement("show proxies from trec05p;").unwrap(),
+            Statement::ShowProxies(Some("trec05p".to_string()))
+        );
+        assert!(parse_statement("SHOW PROXIES FROM").is_err());
+        assert!(parse_statement("SHOW TABLES").is_err());
+    }
 }
 
 #[cfg(test)]
 mod robustness {
-    use super::parse_query;
+    use super::{parse_query, parse_statement};
     use proptest::prelude::*;
 
     proptest! {
@@ -649,6 +817,7 @@ mod robustness {
         #[test]
         fn parser_never_panics_on_arbitrary_input(input in "\\PC*") {
             let _ = parse_query(&input);
+            let _ = parse_statement(&input);
         }
 
         /// Near-miss inputs built from dialect fragments also must not
@@ -663,12 +832,15 @@ mod robustness {
                     Just("LIMIT"), Just("USING"), Just("WITH"),
                     Just("PROBABILITY"), Just("x"), Just("1"), Just("0.5"),
                     Just("'s'"), Just(","), Just("="), Just(">"), Just("?"),
+                    Just("CREATE"), Just("PROXY"), Just("ON"), Just("CALIBRATED"),
+                    Just("TRAIN"), Just("SHOW"), Just("PROXIES"),
                 ],
                 0..25,
             ),
         ) {
             let input = parts.join(" ");
             let _ = parse_query(&input);
+            let _ = parse_statement(&input);
         }
     }
 }

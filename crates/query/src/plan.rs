@@ -23,22 +23,99 @@ use crate::exec::{AggRow, GroupRow, QueryError, QueryResult};
 use abae_core::config::{AbaeConfig, Aggregate, BootstrapConfig};
 use abae_core::groupby::{groupby_single_oracle_with_ci, GroupByConfig};
 use abae_core::multipred::{expression_oracle, PredExpr};
-use abae_data::{CachedOracle, Oracle, SingleGroupOracle, Table};
+use abae_data::{CachedOracle, Oracle, SingleGroupOracle, Table, TrainedProxy};
 use abae_stats::bootstrap::ConfidenceInterval;
 use rand::Rng;
+use std::sync::Arc;
+
+/// Where a scalar plan's stratification scores come from.
+///
+/// The seed engine hardwired "stratification scores = the predicate's
+/// `proxy` column"; this abstraction is what lets one planner serve
+/// precomputed columns, the §3.3 combination of several columns, and
+/// proxies trained *in-engine* (`CREATE PROXY`) whose full-table score
+/// vector was materialized in parallel batches through `core::pipeline`
+/// at training time. `EXPLAIN` renders [`ScoreSource::describe`], so the
+/// reported provenance always matches the scores execution stratifies by.
+#[derive(Debug, Clone)]
+pub enum ScoreSource {
+    /// A precomputed proxy column of the table (`USING <column>`).
+    Column {
+        /// Resolved column name.
+        name: String,
+        /// The column's scores, materialized at plan time.
+        scores: Vec<f64>,
+    },
+    /// The §3.3 combination of the predicates' own columns (the default
+    /// when `USING` is omitted; for a single bare atom the combination is
+    /// the identity).
+    Combined {
+        /// The combined predicate columns, in atom order.
+        columns: Vec<String>,
+        /// Combined scores, materialized at plan time.
+        scores: Vec<f64>,
+    },
+    /// A catalog-registered trained model (`USING <model>`); the scores
+    /// were computed over the whole table when `CREATE PROXY` ran.
+    Model(
+        /// The registered artifact.
+        Arc<TrainedProxy>,
+    ),
+}
+
+impl ScoreSource {
+    /// The stratification scores, one per record.
+    pub fn scores(&self) -> &[f64] {
+        match self {
+            ScoreSource::Column { scores, .. } | ScoreSource::Combined { scores, .. } => scores,
+            ScoreSource::Model(proxy) => &proxy.scores,
+        }
+    }
+
+    /// One-line provenance for `EXPLAIN`: column vs model, and for models
+    /// the training spend and measured calibration error.
+    pub fn describe(&self) -> String {
+        match self {
+            ScoreSource::Column { name, .. } => {
+                format!("column `{name}` (precomputed scores)")
+            }
+            ScoreSource::Combined { columns, .. } => format!(
+                "predicate column{} {} combined by the \u{a7}3.3 rules",
+                if columns.len() == 1 { "" } else { "s" },
+                columns
+                    .iter()
+                    .map(|c| format!("`{c}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            ScoreSource::Model(p) => format!(
+                "trained model `{}` — {}{}{}; {} training labels, {} oracle calls spent, \
+                 ECE {:.4}",
+                p.name,
+                p.summary,
+                if p.calibrated { ", calibrated" } else { "" },
+                if p.auto_selected { ", family auto-selected (\u{a7}3.4)" } else { "" },
+                p.train_limit,
+                p.oracle_spend,
+                p.ece,
+            ),
+        }
+    }
+}
 
 /// Physical strategy chosen for a query, with everything resolved at plan
 /// time that does not depend on run-time bindings.
 #[derive(Debug, Clone)]
 pub(crate) enum PlanKind {
     /// Scalar (non-grouped) query: one lowered predicate expression, the
-    /// stratification scores (named `USING` proxy or the §3.3 combination),
-    /// and the canonical label-store key.
+    /// stratification score source (named `USING` proxy — column or
+    /// trained model — or the §3.3 combination), and the canonical
+    /// label-store key.
     Scalar {
         /// Lowered predicate over resolved column indices.
         expr: PredExpr,
-        /// Stratification scores, materialized once at plan time.
-        scores: Vec<f64>,
+        /// Stratification scores and their provenance.
+        source: ScoreSource,
         /// Canonical label-store key for `(table, predicate)`.
         pred_key: String,
     },
@@ -96,10 +173,29 @@ fn effective_probability(query: &Query, bindings: &Bindings) -> Result<f64, Quer
 }
 
 /// Renders a lowered predicate expression as its label-store key. The one
-/// rendering shared by execution and `EXPLAIN`, so plan occupancy always
-/// reads the entry execution writes.
+/// rendering shared by execution, proxy training, and `EXPLAIN`, so plan
+/// occupancy always reads the entry execution writes — and verdicts bought
+/// while training a proxy are the same entries later queries hit.
 pub(crate) fn predicate_key(expr: &PredExpr) -> String {
     format!("{expr:?}")
+}
+
+/// Every proxy name a table answers `USING` with: predicate columns in
+/// table order, then binding aliases (sorted), then trained artifacts in
+/// registration order.
+pub(crate) fn available_proxies(catalog: &Catalog, table: &Table) -> Vec<String> {
+    let mut names: Vec<String> =
+        table.predicates().iter().map(|p| p.name.clone()).collect();
+    let later = catalog
+        .bound_keys(table.name())
+        .into_iter()
+        .chain(catalog.proxy_registry().names(table.name()));
+    for name in later {
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    names
 }
 
 /// Plans `query` against `catalog`: resolves every predicate atom to a
@@ -148,21 +244,36 @@ pub(crate) fn plan_query(catalog: &Catalog, query: &Query) -> Result<QueryPlan, 
         PlanKind::GroupBy { groups }
     } else {
         let expr = query.predicate.to_pred_expr(&index_of);
-        // Stratification scores: the `USING <column>` proxy when one is
-        // named (an unresolvable name is an error, not a silent fallback),
-        // otherwise the §3.3 combination of the predicates' own proxies.
-        let scores = match query.proxy.as_deref() {
-            Some(p) => {
-                let col = catalog.resolve(&query.table, p).ok_or_else(|| {
-                    QueryError::UnknownProxy { proxy: p.to_string(), table: query.table.clone() }
-                })?;
-                table.predicate(&col).map_err(QueryError::Table)?.proxy.clone()
-            }
-            None => abae_core::multipred::table_combined_scores(table, &expr)
-                .map_err(QueryError::Table)?,
+        // Stratification scores: the `USING` proxy when one is named — a
+        // precomputed column/binding first, then a trained model from the
+        // catalog's registry (an unresolvable name is an error listing
+        // what exists, not a silent fallback) — otherwise the §3.3
+        // combination of the predicates' own proxies.
+        let source = match query.proxy.as_deref() {
+            Some(p) => match catalog.resolve(&query.table, p) {
+                Some(col) => ScoreSource::Column {
+                    scores: table.predicate(&col).map_err(QueryError::Table)?.proxy.clone(),
+                    name: col,
+                },
+                None => match catalog.proxy_registry().get(&query.table, p) {
+                    Some(model) => ScoreSource::Model(model),
+                    None => {
+                        return Err(QueryError::UnknownProxy {
+                            proxy: p.to_string(),
+                            table: query.table.clone(),
+                            available: available_proxies(catalog, table),
+                        })
+                    }
+                },
+            },
+            None => ScoreSource::Combined {
+                columns: column_names.clone(),
+                scores: abae_core::multipred::table_combined_scores(table, &expr)
+                    .map_err(QueryError::Table)?,
+            },
         };
         let pred_key = predicate_key(&expr);
-        PlanKind::Scalar { expr, scores, pred_key }
+        PlanKind::Scalar { expr, source, pred_key }
     };
 
     Ok(QueryPlan { query: query.clone(), columns, column_names, kind })
@@ -186,7 +297,8 @@ pub(crate) fn run_plan<R: Rng + ?Sized>(
         .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
 
     match &plan.kind {
-        PlanKind::Scalar { expr, scores, pred_key } => {
+        PlanKind::Scalar { expr, source, pred_key } => {
+            let scores = source.scores();
             let oracle = expression_oracle(table, expr).map_err(QueryError::Table)?;
             let config = AbaeConfig {
                 strata: opts.strata,
@@ -311,6 +423,12 @@ pub(crate) fn explain_plan(
         PlanKind::Scalar { .. } => "ABae two-stage stratified sampling".to_string(),
     };
     lines.push(format!("plan   : {strategy}"));
+    // Proxy provenance: which scores stratify the sampling, and — for
+    // in-engine-trained models — what the training cost and measured
+    // calibration error were.
+    if let PlanKind::Scalar { source, .. } = &plan.kind {
+        lines.push(format!("proxy  : {}", source.describe()));
+    }
     if query.aggs.len() > 1 {
         lines.push(format!(
             "aggs   : {} aggregates answered from one shared labeling pass",
@@ -432,7 +550,10 @@ mod tests {
         assert_eq!(plan.columns, vec![0]);
         assert_eq!(plan.column_names, vec!["p".to_string()]);
         match &plan.kind {
-            PlanKind::Scalar { scores, .. } => assert_eq!(scores.len(), 400),
+            PlanKind::Scalar { source, .. } => {
+                assert_eq!(source.scores().len(), 400);
+                assert!(matches!(source, ScoreSource::Combined { .. }));
+            }
             other => panic!("expected scalar plan, got {other:?}"),
         }
         // The plan is Clone + Send: a prepared statement can own it.
@@ -459,6 +580,22 @@ mod tests {
         let bound = Bindings { oracle_limit: Some(50), ..Default::default() };
         let r = run_plan(&cat, &plan, &EngineOptions::default(), &bound, &mut rng).unwrap();
         assert!(r.oracle_calls <= 50);
+    }
+
+    #[test]
+    fn unknown_proxy_listing_includes_binding_aliases() {
+        let mut cat = catalog();
+        cat.bind_predicate("t", "spamish", "p");
+        let q = parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10 USING nope").unwrap();
+        match plan_query(&cat, &q).unwrap_err() {
+            QueryError::UnknownProxy { available, .. } => {
+                assert_eq!(available, vec!["p".to_string(), "spamish".to_string()]);
+            }
+            other => panic!("expected UnknownProxy, got {other:?}"),
+        }
+        // The alias also *resolves* — the listing matches what works.
+        let q = parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10 USING spamish").unwrap();
+        assert!(plan_query(&cat, &q).is_ok());
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! per-session results whether they run serially or interleaved on M
 //! threads (`tests/engine_sessions.rs` pins exactly this).
 
+use crate::ast::Statement;
+use crate::ddl::{run_create_proxy, run_show_proxies};
 use crate::engine::Engine;
-use crate::exec::{QueryError, QueryResult};
-use crate::parser::parse_query;
+use crate::exec::{QueryError, QueryResult, StatementOutcome};
+use crate::parser::{parse_query, parse_statement};
 use crate::plan::{explain_plan, plan_query, run_plan, Bindings};
 use crate::prepared::Prepared;
 use rand::rngs::StdRng;
@@ -45,13 +47,22 @@ impl Session {
         &self.engine
     }
 
-    /// Parses, plans, and executes one statement, advancing the session's
+    /// Parses, plans, and executes one `SELECT`, advancing the session's
     /// RNG stream. Statements with `?` placeholders cannot run here —
     /// [`Session::prepare`] them and bind the parameter instead
-    /// ([`QueryError::UnboundParameter`] otherwise).
+    /// ([`QueryError::UnboundParameter`] otherwise). For the
+    /// proxy-management statements (`CREATE PROXY`, `SHOW PROXIES`),
+    /// which produce no rows, use [`Session::run`].
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, QueryError> {
         let query = parse_query(sql)?;
-        let plan = plan_query(self.engine.catalog(), &query)?;
+        self.run_select(&query)
+    }
+
+    /// The one `SELECT` execution path behind both [`Session::execute`]
+    /// and [`Session::run`]: plan against the engine's catalog, run with
+    /// the session's stream.
+    fn run_select(&mut self, query: &crate::ast::Query) -> Result<QueryResult, QueryError> {
+        let plan = plan_query(self.engine.catalog(), query)?;
         run_plan(
             self.engine.catalog(),
             &plan,
@@ -59,6 +70,33 @@ impl Session {
             &Bindings::default(),
             &mut self.rng,
         )
+    }
+
+    /// Parses and executes one statement of any kind — `SELECT`,
+    /// `CREATE PROXY`, or `SHOW PROXIES` — advancing the session's RNG
+    /// stream for the statements that sample (`SELECT` and the training
+    /// draw of `CREATE PROXY`; `SHOW PROXIES` is a pure read).
+    ///
+    /// Determinism: the stream advances per sampling statement exactly as
+    /// [`Session::execute`] would, so a train-then-query sequence replays
+    /// bit-identically on a fresh session with the same id.
+    pub fn run(&mut self, sql: &str) -> Result<StatementOutcome, QueryError> {
+        match parse_statement(sql)? {
+            Statement::Select(query) => {
+                self.run_select(&query).map(StatementOutcome::Rows)
+            }
+            Statement::CreateProxy(stmt) => run_create_proxy(
+                self.engine.catalog(),
+                &stmt,
+                self.engine.options(),
+                &mut self.rng,
+            )
+            .map(StatementOutcome::ProxyCreated),
+            Statement::ShowProxies(table) => {
+                run_show_proxies(self.engine.catalog(), table.as_deref())
+                    .map(StatementOutcome::Proxies)
+            }
+        }
     }
 
     /// `EXPLAIN`: renders the physical plan for `sql` without spending

@@ -20,6 +20,12 @@
 //!     "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 2000" \
 //!     "SELECT COUNT(*) FROM trec05p WHERE is_spam ORACLE LIMIT 2000"
 //!
+//! # Train a proxy in-engine, query with it, and list the artifacts:
+//! abae-cli --demo \
+//!     "CREATE PROXY spamnet ON trec05p(is_spam) USING logistic CALIBRATED TRAIN LIMIT 2000" \
+//!     "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 2000 USING spamnet" \
+//!     "SHOW PROXIES"
+//!
 //! # Interactive: one statement per stdin line against a persistent
 //! # session — with --cache, watch later statements hit the warm store.
 //! abae-cli --demo --cache --repl
@@ -33,7 +39,8 @@
 use abae::core::pipeline::ExecOptions;
 use abae::data::csvio::read_table;
 use abae::data::emulators::{trec05p, EmulatorOptions};
-use abae::query::{Engine, QueryResult, Session};
+use abae::data::TrainedProxy;
+use abae::query::{Engine, QueryResult, Session, StatementOutcome};
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 
@@ -55,9 +62,13 @@ fn usage() -> ! {
          \x20               [--seed N] [--threads N] [--batch N] [\"SQL\" ...]\n\
          \n\
          The SQL dialect is the ABae paper's Figure 1, extended with\n\
-         multi-aggregate SELECT lists (one labeling pass answers them all):\n\
+         multi-aggregate SELECT lists (one labeling pass answers them all)\n\
+         and in-engine proxy training:\n\
          SELECT {{AVG|SUM|COUNT|PERCENTAGE}}(expr) [, ...] FROM table WHERE predicate\n\
          [GROUP BY key] ORACLE LIMIT n [USING proxy] [WITH PROBABILITY p]\n\
+         CREATE PROXY name ON table(predicate) [USING {{keyword|logistic}}]\n\
+         [CALIBRATED] [TRAIN LIMIT n]\n\
+         SHOW PROXIES [FROM table]\n\
          \n\
          All SQL statements are served by one session on a shared engine;\n\
          --cache enables the cross-query oracle label store, so later\n\
@@ -115,6 +126,29 @@ fn parse_args() -> Args {
     args
 }
 
+/// Prints a trained-proxy listing row.
+fn print_proxy(proxy: &TrainedProxy) {
+    println!("proxy        : {}", proxy.describe());
+}
+
+/// Prints one statement outcome: query rows, a created proxy, or the
+/// `SHOW PROXIES` listing.
+fn print_outcome(outcome: &StatementOutcome, cache: bool) {
+    match outcome {
+        StatementOutcome::Rows(result) => print_result(result, cache),
+        // `describe()` already reports the training oracle spend.
+        StatementOutcome::ProxyCreated(proxy) => print_proxy(proxy),
+        StatementOutcome::Proxies(proxies) if proxies.is_empty() => {
+            println!("(no trained proxies registered)");
+        }
+        StatementOutcome::Proxies(proxies) => {
+            for proxy in proxies {
+                print_proxy(proxy);
+            }
+        }
+    }
+}
+
 /// Prints one query result in the CLI's tabular format.
 fn print_result(result: &QueryResult, cache: bool) {
     if let Some(groups) = &result.groups {
@@ -155,8 +189,9 @@ fn print_result(result: &QueryResult, cache: bool) {
 /// should not die on a typo.
 fn repl(session: &mut Session, cache: bool) {
     eprintln!(
-        "abae repl — one SQL statement per line; prefix with EXPLAIN to plan \
-         without spending oracle calls; quit/exit (or EOF) ends."
+        "abae repl — one SQL statement per line (SELECT, CREATE PROXY, SHOW PROXIES); \
+         prefix with EXPLAIN to plan without spending oracle calls; \
+         quit/exit (or EOF) ends."
     );
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -188,8 +223,8 @@ fn repl(session: &mut Session, cache: bool) {
                 }
             }
         } else {
-            match session.execute(stmt) {
-                Ok(result) => print_result(&result, cache),
+            match session.run(stmt) {
+                Ok(outcome) => print_outcome(&outcome, cache),
                 Err(e) => eprintln!("error: {e}"),
             }
         }
@@ -242,8 +277,8 @@ fn main() -> ExitCode {
             }
             continue;
         }
-        match session.execute(sql) {
-            Ok(result) => print_result(&result, args.cache),
+        match session.run(sql) {
+            Ok(outcome) => print_outcome(&outcome, args.cache),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;

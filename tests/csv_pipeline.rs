@@ -2,16 +2,9 @@
 //! yields the same exact answers and equivalent query behaviour — the
 //! ingestion path a user with real exported data would take.
 
-// These tests deliberately pin the deprecated `Executor` shim: it must
-// keep its exact pre-engine behavior (including RNG streams) until it is
-// removed. New code belongs on `Engine`/`Session` (tests/engine_sessions.rs).
-#![allow(deprecated)]
-
 use abae::data::csvio::{read_table, write_table};
 use abae::data::emulators::{celeba_groupby, trec05p, EmulatorOptions};
-use abae::query::{Catalog, Executor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use abae::query::Engine;
 
 #[test]
 fn emulated_table_roundtrips_through_csv() {
@@ -69,12 +62,12 @@ fn queries_on_reloaded_table_behave_identically() {
     let reparsed = read_table("trec05p", buf.as_slice()).expect("parse back");
 
     let run = |table: abae::data::Table| {
-        let mut catalog = Catalog::new();
-        catalog.register_table(table);
-        let mut exec = Executor::new(&catalog);
-        exec.bootstrap_trials = 50;
-        let mut rng = StdRng::seed_from_u64(11);
-        exec.execute("SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 800", &mut rng)
+        // Identically seeded engines replay identical session streams, so
+        // the original and the reloaded table see the same draws.
+        let engine = Engine::builder().table(table).bootstrap_trials(50).seed(11).build();
+        engine
+            .session_with_id(0)
+            .execute("SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 800")
             .expect("query executes")
     };
     // Proxy values may lose a few ULPs in decimal formatting, but the

@@ -2,11 +2,6 @@
 //! sampler (§4.6 future work), closed-form CIs, the naive Bayes proxy, and
 //! EXPLAIN — each exercised across crate boundaries.
 
-// These tests deliberately pin the deprecated `Executor` shim: it must
-// keep its exact pre-engine behavior (including RNG streams) until it is
-// removed. New code belongs on `Engine`/`Session` (tests/engine_sessions.rs).
-#![allow(deprecated)]
-
 use abae::core::adaptive::{run_adaptive, AdaptiveConfig};
 use abae::core::config::{AbaeConfig, Aggregate};
 use abae::core::normal_ci::closed_form_ci;
@@ -16,7 +11,7 @@ use abae::data::emulators::{night_street, trec05p, EmulatorOptions};
 use abae::data::{PredicateOracle, Table};
 use abae::ml::metrics::auc;
 use abae::ml::NaiveBayes;
-use abae::query::{Catalog, Executor};
+use abae::query::Engine;
 use abae::stats::metrics::rmse;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,16 +132,13 @@ fn explain_matches_actual_execution_budget() {
         .predicate("p", vec![true; 1000], vec![0.5; 1000])
         .build()
         .unwrap();
-    let mut cat = Catalog::new();
-    cat.register_table(t);
-    let mut exec = Executor::new(&cat);
-    exec.bootstrap_trials = 20;
+    let engine = Engine::builder().table(t).bootstrap_trials(20).seed(4).build();
+    let mut session = engine.session();
     let sql = "SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 600";
-    let plan = exec.explain(sql).unwrap();
+    let plan = session.explain(sql).unwrap();
     assert!(plan.contains("600 oracle calls"), "{plan}");
     assert!(plan.contains("stage 1 (5 strata x 60)"), "{plan}");
 
-    let mut rng = StdRng::seed_from_u64(4);
-    let result = exec.execute(sql, &mut rng).unwrap();
+    let result = session.execute(sql).unwrap();
     assert!(result.oracle_calls <= 600);
 }

@@ -1,22 +1,18 @@
 //! Cross-query label-cache acceptance tests (the `LabelStore` in
-//! `abae-data`, wired through `Catalog::enable_label_cache`):
+//! `abae-data`, wired through `Catalog::enable_label_cache` and served by
+//! the `Engine`/`Session` API):
 //!
 //! * a repeated identical query spends **0** extra oracle calls against a
 //!   warm store, with the hits/misses surfaced in `QueryResult`;
 //! * cached results are bit-identical to uncached, for any thread count of
 //!   the labeling pipeline;
-//! * different queries over the same (table, predicate) share verdicts.
-
-// These tests deliberately pin the deprecated `Executor` shim: it must
-// keep its exact pre-engine behavior (including RNG streams) until it is
-// removed. New code belongs on `Engine`/`Session` (tests/engine_sessions.rs).
-#![allow(deprecated)]
+//! * different queries over the same (table, predicate) share verdicts;
+//! * replacing a table drops its verdicts so stale labels never answer
+//!   queries over new data.
 
 use abae::core::pipeline::ExecOptions;
-use abae::query::{Catalog, Executor, QueryResult};
 use abae::data::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use abae::query::{Catalog, Engine, EngineBuilder, QueryResult};
 
 fn spam_table(n: usize) -> Table {
     let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
@@ -28,12 +24,21 @@ fn spam_table(n: usize) -> Table {
         .unwrap()
 }
 
-fn run(catalog: &Catalog, sql: &str, seed: u64, exec: ExecOptions) -> QueryResult {
-    let mut executor = Executor::new(catalog);
-    executor.bootstrap_trials = 100;
-    executor.exec = exec;
-    let mut rng = StdRng::seed_from_u64(seed);
-    executor.execute(sql, &mut rng).expect("query executes")
+/// One engine per test: tables frozen, label cache on/off per builder.
+fn engine(n: usize, cache: bool, seed: u64, exec: ExecOptions) -> Engine {
+    Engine::builder()
+        .table(spam_table(n))
+        .label_cache(cache)
+        .bootstrap_trials(100)
+        .seed(seed)
+        .exec(exec)
+        .build()
+}
+
+/// Runs `sql` on a fresh session with a fixed id, so every call replays
+/// the same RNG stream (the engine-API analogue of re-seeding an RNG).
+fn run(engine: &Engine, sql: &str, session_id: u64) -> QueryResult {
+    engine.session_with_id(session_id).execute(sql).expect("query executes")
 }
 
 const SQL: &str = "SELECT AVG(nb_links) FROM emails WHERE is_spam \
@@ -41,11 +46,9 @@ const SQL: &str = "SELECT AVG(nb_links) FROM emails WHERE is_spam \
 
 #[test]
 fn warm_store_answers_repeat_queries_for_zero_oracle_calls() {
-    let mut catalog = Catalog::new();
-    catalog.register_table(spam_table(20_000));
-    catalog.enable_label_cache();
+    let engine = engine(20_000, true, 1, ExecOptions::sequential());
 
-    let cold = run(&catalog, SQL, 1, ExecOptions::sequential());
+    let cold = run(&engine, SQL, 0);
     assert!(cold.oracle_calls > 0);
     assert_eq!(cold.cache_hits, 0, "a cold store has nothing to hit");
     assert_eq!(
@@ -53,9 +56,9 @@ fn warm_store_answers_repeat_queries_for_zero_oracle_calls() {
         "every labeled record was a miss and charged the oracle"
     );
 
-    // Same query, same seed, warm store: the identical records are drawn,
-    // every verdict is cached, and the oracle is never invoked.
-    let warm = run(&catalog, SQL, 1, ExecOptions::sequential());
+    // Same query, same session id, warm store: the identical records are
+    // drawn, every verdict is cached, and the oracle is never invoked.
+    let warm = run(&engine, SQL, 0);
     assert_eq!(warm.oracle_calls, 0, "a warm store must answer entirely from cache");
     assert_eq!(warm.cache_misses, 0);
     assert_eq!(warm.cache_hits, cold.cache_misses);
@@ -65,7 +68,7 @@ fn warm_store_answers_repeat_queries_for_zero_oracle_calls() {
     assert_eq!(warm.groups, cold.groups);
 
     // The store reports the lifetime totals.
-    let store = catalog.label_store().expect("cache enabled");
+    let store = engine.label_store().expect("cache enabled");
     assert_eq!(store.misses(), cold.cache_misses);
     assert_eq!(store.hits(), warm.cache_hits);
 }
@@ -74,19 +77,17 @@ fn warm_store_answers_repeat_queries_for_zero_oracle_calls() {
 fn different_aggregates_share_the_same_verdicts() {
     // A Figure-1-style dashboard: three scalar queries over the same table
     // and predicate. With the store on, only the first pays the oracle.
-    let mut catalog = Catalog::new();
-    catalog.register_table(spam_table(20_000));
-    catalog.enable_label_cache();
+    let engine = engine(20_000, true, 3, ExecOptions::sequential());
 
-    let avg = run(&catalog, SQL, 3, ExecOptions::sequential());
+    let avg = run(&engine, SQL, 0);
     assert!(avg.oracle_calls > 0);
     for sql in [
         "SELECT COUNT(*) FROM emails WHERE is_spam ORACLE LIMIT 2000 WITH PROBABILITY 0.95",
         "SELECT SUM(nb_links) FROM emails WHERE is_spam ORACLE LIMIT 2000 WITH PROBABILITY 0.95",
     ] {
-        // Same seed → same proxy stratification → identical draws: every
-        // record needed by the later query is already cached.
-        let r = run(&catalog, sql, 3, ExecOptions::sequential());
+        // Same session id → same proxy stratification → identical draws:
+        // every record needed by the later query is already cached.
+        let r = run(&engine, sql, 0);
         assert_eq!(r.oracle_calls, 0, "{sql} should be answered from cache");
         assert_eq!(r.cache_misses, 0);
     }
@@ -95,17 +96,11 @@ fn different_aggregates_share_the_same_verdicts() {
 #[test]
 fn cached_results_are_bit_identical_across_thread_counts() {
     // The uncached reference result.
-    let reference = {
-        let mut catalog = Catalog::new();
-        catalog.register_table(spam_table(20_000));
-        run(&catalog, SQL, 5, ExecOptions::sequential())
-    };
+    let reference = run(&engine(20_000, false, 5, ExecOptions::sequential()), SQL, 0);
     for exec in [ExecOptions::new(1, 64), ExecOptions::new(8, 7)] {
-        let mut catalog = Catalog::new();
-        catalog.register_table(spam_table(20_000));
-        catalog.enable_label_cache();
-        let cold = run(&catalog, SQL, 5, exec);
-        let warm = run(&catalog, SQL, 5, exec);
+        let engine = engine(20_000, true, 5, exec);
+        let cold = run(&engine, SQL, 0);
+        let warm = run(&engine, SQL, 0);
         // Caching changes spend accounting, never answers — cold, warm,
         // and uncached agree bit-for-bit at every thread/batch setting.
         assert_eq!(cold.rows, reference.rows, "{exec:?} cold");
@@ -118,13 +113,28 @@ fn cached_results_are_bit_identical_across_thread_counts() {
 #[test]
 fn replacing_a_table_invalidates_its_cached_verdicts() {
     // Verdicts bought against v1 of a table must never answer queries
-    // over v2: register_table drops the store's entries for that name.
+    // over v2: `Catalog::register_table` drops *every* store entry for
+    // that table name — whatever the predicate key — before the
+    // replacement engine is ever built.
     let mut catalog = Catalog::new();
     catalog.register_table(spam_table(10_000));
     catalog.enable_label_cache();
-    let sql = "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 1000";
-    let v1 = run(&catalog, sql, 13, ExecOptions::sequential());
-    assert!(v1.cache_misses > 0);
+    {
+        // Buy v1 verdicts through the store's public adapter under
+        // several predicate keys (invalidation is per-table, so the key
+        // spelling is irrelevant — the query layer's real key is just
+        // another entry of this table).
+        use abae::data::{CachedOracle, Oracle as _, PredicateOracle};
+        let table = catalog.table("emails").expect("registered");
+        let store = catalog.label_store().expect("cache enabled");
+        for key in ["k1", "k2"] {
+            let oracle = PredicateOracle::new(table, "is_spam").expect("column exists");
+            let cached = CachedOracle::new(oracle, store, "emails", key);
+            let ids: Vec<usize> = (0..500).collect();
+            cached.label_batch(&ids);
+            assert_eq!(store.cached_verdicts("emails", key), 500);
+        }
+    }
 
     // v2: same shape, inverted labels — different data under the same name.
     let n = 10_000;
@@ -134,8 +144,22 @@ fn replacing_a_table_invalidates_its_cached_verdicts() {
     catalog.register_table(
         Table::builder("emails", values).predicate("is_spam", labels, proxy).build().unwrap(),
     );
+    let store = catalog.label_store().expect("cache survives");
+    for key in ["k1", "k2"] {
+        assert_eq!(
+            store.cached_verdicts("emails", key),
+            0,
+            "register_table must drop the replaced table's `{key}` verdicts"
+        );
+    }
 
-    let v2 = run(&catalog, sql, 13, ExecOptions::sequential());
+    // A query over v2 through an engine adopting the catalog labels
+    // fresh; rerunning it proves the query layer's own key round-trips
+    // through the store (warm second run), so the first run's zero hits
+    // demonstrates invalidation, not a key mismatch.
+    let engine = EngineBuilder::from_catalog(catalog).bootstrap_trials(100).seed(13).build();
+    let sql = "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 1000";
+    let v2 = run(&engine, sql, 0);
     assert_eq!(v2.cache_hits, 0, "stale v1 verdicts must not serve v2 queries");
     assert!(v2.oracle_calls > 0, "v2 must be labeled fresh");
     assert!(
@@ -143,18 +167,26 @@ fn replacing_a_table_invalidates_its_cached_verdicts() {
         "estimate {} reflects v1's statistic, not v2's",
         v2.estimate()
     );
+    let warm = run(&engine, sql, 0);
+    assert_eq!(warm.oracle_calls, 0, "the v2 verdicts themselves are cached normally");
+    assert_eq!(warm.cache_hits, v2.cache_misses);
 }
 
 #[test]
 fn disabling_the_cache_restores_fresh_labeling() {
-    let mut catalog = Catalog::new();
-    catalog.register_table(spam_table(10_000));
-    catalog.enable_label_cache();
+    // Two engines over the same data and seed, cache on vs off: the
+    // cacheless engine pays full price on every run with zeroed cache
+    // accounting, and the answers agree bit for bit.
     let sql = "SELECT AVG(x) FROM emails WHERE is_spam ORACLE LIMIT 1000";
-    let first = run(&catalog, sql, 9, ExecOptions::sequential());
+    let cached = engine(10_000, true, 9, ExecOptions::sequential());
+    let first = run(&cached, sql, 0);
     assert!(first.cache_misses > 0);
-    catalog.disable_label_cache();
-    let second = run(&catalog, sql, 9, ExecOptions::sequential());
-    assert_eq!(second.oracle_calls, first.oracle_calls, "fresh labeling pays full price");
-    assert_eq!((second.cache_hits, second.cache_misses), (0, 0));
+
+    let fresh = engine(10_000, false, 9, ExecOptions::sequential());
+    for _ in 0..2 {
+        let r = run(&fresh, sql, 0);
+        assert_eq!(r.oracle_calls, first.oracle_calls, "fresh labeling pays full price");
+        assert_eq!((r.cache_hits, r.cache_misses), (0, 0));
+        assert_eq!(r.rows, first.rows, "caching never changes answers");
+    }
 }

@@ -1,0 +1,252 @@
+//! Acceptance tests for the in-engine proxy subsystem (`CREATE PROXY` →
+//! `USING` → `EXPLAIN`/`SHOW PROXIES`):
+//!
+//! * train-then-query runs end-to-end on the emulated trec05p corpus and
+//!   is **bit-identical** across labeling-pipeline thread counts;
+//! * `EXPLAIN` reports model provenance, training oracle spend, and ECE;
+//! * a query `USING` the trained proxy beats uniform sampling's CI width
+//!   on the same oracle budget;
+//! * `USING` an unknown name fails listing every proxy the table has —
+//!   columns and trained artifacts;
+//! * Platt calibration preserves the stratification, so calibrated and
+//!   raw scores induce identical ABae runs.
+
+use abae::core::config::{AbaeConfig, Aggregate, BootstrapConfig};
+use abae::core::pipeline::ExecOptions;
+use abae::core::uniform::run_uniform_with_ci;
+use abae::data::emulators::{trec05p, EmulatorOptions};
+use abae::data::PredicateOracle;
+use abae::query::{Engine, QueryError, StatementOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CREATE: &str = "CREATE PROXY spamnet ON trec05p(is_spam) \
+                      USING logistic CALIBRATED TRAIN LIMIT 1000";
+const SELECT: &str = "SELECT AVG(links) FROM trec05p WHERE is_spam \
+                      ORACLE LIMIT 2000 USING spamnet WITH PROBABILITY 0.95";
+
+fn engine(exec: ExecOptions) -> Engine {
+    let table = trec05p(&EmulatorOptions { scale: 0.1, seed: 42 });
+    Engine::builder()
+        .table(table)
+        .label_cache(true)
+        .bootstrap_trials(200)
+        .seed(0xF00D)
+        .exec(exec)
+        .build()
+}
+
+/// Runs the train-then-query sequence on one session and returns both
+/// outcomes.
+fn train_then_query(engine: &Engine) -> (StatementOutcome, abae::query::QueryResult) {
+    let mut session = engine.session_with_id(0);
+    let created = session.run(CREATE).expect("training succeeds");
+    let result = session.execute(SELECT).expect("query executes");
+    (created, result)
+}
+
+#[test]
+fn create_proxy_then_select_is_bit_identical_across_thread_counts() {
+    let (created_ref, result_ref) = train_then_query(&engine(ExecOptions::new(1, 64)));
+    let proxy_ref = match &created_ref {
+        StatementOutcome::ProxyCreated(p) => p.clone(),
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    assert_eq!(proxy_ref.train_limit, 1000);
+    assert_eq!(proxy_ref.oracle_spend, 1000);
+    assert!(proxy_ref.ece >= 0.0 && proxy_ref.ece < 0.5, "ECE {}", proxy_ref.ece);
+    assert!(result_ref.oracle_calls <= 2000);
+    let ci = result_ref.ci().expect("scalar CI");
+    assert!((ci.confidence - 0.95).abs() < 1e-9);
+    assert!(ci.lo <= result_ref.estimate() && result_ref.estimate() <= ci.hi);
+    assert!(
+        result_ref.cache_hits > 0,
+        "the query should reuse some training verdicts from the label store"
+    );
+
+    // The acceptance bar: ABAE_THREADS=1 vs 8 — training (scoring fans
+    // across workers), the registered artifact, and the query answer are
+    // all bit-identical.
+    for exec in [ExecOptions::new(8, 7), ExecOptions::new(8, 256)] {
+        let (created, result) = train_then_query(&engine(exec));
+        let proxy = match &created {
+            StatementOutcome::ProxyCreated(p) => p.clone(),
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        assert_eq!(proxy.scores, proxy_ref.scores, "{exec:?} scores");
+        assert_eq!(proxy.ece, proxy_ref.ece, "{exec:?} ece");
+        assert_eq!(result, result_ref, "{exec:?} query result");
+    }
+
+    // And the whole sequence replays on a fresh session with the same id.
+    let (created, result) = train_then_query(&engine(ExecOptions::new(1, 64)));
+    assert_eq!(created, created_ref);
+    assert_eq!(result, result_ref);
+}
+
+#[test]
+fn explain_reports_model_provenance_spend_and_ece() {
+    let engine = engine(ExecOptions::sequential());
+    let mut session = engine.session_with_id(0);
+    let created = session.run(CREATE).expect("training succeeds");
+    let proxy = match created {
+        StatementOutcome::ProxyCreated(p) => p,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    let plan = session.explain(SELECT).expect("plan renders");
+    assert!(plan.contains("trained model `spamnet`"), "{plan}");
+    assert!(plan.contains("platt(logistic)"), "{plan}");
+    assert!(plan.contains("calibrated"), "{plan}");
+    assert!(plan.contains("1000 training labels"), "{plan}");
+    assert!(plan.contains("1000 oracle calls spent"), "{plan}");
+    assert!(plan.contains(&format!("ECE {:.4}", proxy.ece)), "{plan}");
+
+    // A column-backed query names the column instead.
+    let plan = session
+        .explain("SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 500 USING is_spam")
+        .expect("plan renders");
+    assert!(plan.contains("proxy  : column `is_spam` (precomputed scores)"), "{plan}");
+    // The default (no USING) reports the §3.3 combination of columns.
+    let plan = session
+        .explain("SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 500")
+        .expect("plan renders");
+    assert!(plan.contains("combined by the §3.3 rules"), "{plan}");
+}
+
+#[test]
+fn trained_proxy_beats_uniform_sampling_ci_width_on_the_same_budget() {
+    let engine = engine(ExecOptions::sequential());
+    let n = engine.catalog().table("trec05p").unwrap().len();
+    let mut session = engine.session_with_id(0);
+    session.run(CREATE).expect("training succeeds");
+
+    // Mean CI width over a few repeats, so the pin is about the sampling
+    // design rather than one lucky draw.
+    let trials = 5;
+    let mut abae_width = 0.0;
+    for _ in 0..trials {
+        let r = session.execute(SELECT).expect("query executes");
+        let ci = r.ci().expect("scalar CI");
+        abae_width += (ci.hi - ci.lo) / trials as f64;
+    }
+
+    let table = trec05p(&EmulatorOptions { scale: 0.1, seed: 42 });
+    let bootstrap = BootstrapConfig { trials: 200, alpha: 0.05 };
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mut uniform_width = 0.0;
+    for _ in 0..trials {
+        let oracle = PredicateOracle::new(&table, "is_spam").expect("column exists");
+        let r = run_uniform_with_ci(n, &oracle, 2000, Aggregate::Avg, &bootstrap, &mut rng);
+        let ci = r.ci.expect("uniform CI");
+        uniform_width += (ci.hi - ci.lo) / trials as f64;
+    }
+    assert!(
+        abae_width < uniform_width,
+        "trained-proxy ABae CI width {abae_width} should beat uniform {uniform_width}"
+    );
+}
+
+#[test]
+fn unknown_proxy_error_lists_columns_and_trained_artifacts() {
+    let engine = engine(ExecOptions::sequential());
+    let mut session = engine.session_with_id(0);
+
+    // Before training: the three shipped columns.
+    let err = session
+        .execute("SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 100 USING nope")
+        .expect_err("unknown proxy must fail");
+    match &err {
+        QueryError::UnknownProxy { proxy, table, available } => {
+            assert_eq!(proxy, "nope");
+            assert_eq!(table, "trec05p");
+            assert_eq!(
+                available,
+                &["is_spam".to_string(), "is_spam_kw2".to_string(), "is_spam_kw3".to_string()]
+            );
+        }
+        other => panic!("expected UnknownProxy, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("available: is_spam, is_spam_kw2, is_spam_kw3"), "{msg}");
+
+    // After training, the artifact joins the listing.
+    session.run(CREATE).expect("training succeeds");
+    let err = session
+        .execute("SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 100 USING nope")
+        .expect_err("unknown proxy must still fail");
+    match err {
+        QueryError::UnknownProxy { available, .. } => {
+            assert_eq!(available.last().map(String::as_str), Some("spamnet"), "{available:?}");
+            assert_eq!(available.len(), 4);
+        }
+        other => panic!("expected UnknownProxy, got {other:?}"),
+    }
+}
+
+#[test]
+fn show_proxies_roundtrips_through_the_session() {
+    let engine = engine(ExecOptions::sequential());
+    let mut session = engine.session_with_id(0);
+    assert_eq!(
+        session.run("SHOW PROXIES").expect("listing succeeds"),
+        StatementOutcome::Proxies(vec![])
+    );
+    session.run(CREATE).expect("training succeeds");
+    match session.run("SHOW PROXIES FROM trec05p").expect("listing succeeds") {
+        StatementOutcome::Proxies(list) => {
+            assert_eq!(list.len(), 1);
+            assert_eq!(list[0].name, "spamnet");
+            assert!(list[0].describe().contains("trained on 1000 labels"));
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert!(matches!(
+        session.run("SHOW PROXIES FROM nope"),
+        Err(QueryError::UnknownTable(t)) if t == "nope"
+    ));
+}
+
+#[test]
+fn calibrated_and_raw_scores_induce_identical_abae_runs() {
+    // Platt calibration is monotone, so quantile stratification — and
+    // with it every draw ABae makes — is unchanged; only the score
+    // *values* move. Pin that by running ABae on the raw and calibrated
+    // score vectors with identical RNG streams.
+    use abae::core::run_abae;
+    use abae::core::strata::Stratification;
+    use abae::ml::proxy::{Calibrated, LogisticModel, ProxyModel};
+
+    let table = trec05p(&EmulatorOptions { scale: 0.05, seed: 9 });
+    let texts = table.texts().expect("trec05p carries text");
+    let labels = &table.predicate("is_spam").unwrap().labels;
+    let train: Vec<&str> = texts.iter().take(800).map(String::as_str).collect();
+    let train_labels: Vec<bool> = labels.iter().take(800).copied().collect();
+
+    let mut raw = LogisticModel::new();
+    raw.fit(&train, &train_labels).expect("fit succeeds");
+    let mut calibrated = Calibrated::new(LogisticModel::new());
+    calibrated.fit(&train, &train_labels).expect("fit succeeds");
+    assert!(calibrated.scaler().expect("fitted").slope() > 0.0);
+
+    let all: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let raw_scores: Vec<f64> =
+        raw.score_batch(&all).into_iter().map(|s| s.clamp(0.0, 1.0)).collect();
+    let cal_scores: Vec<f64> =
+        calibrated.score_batch(&all).into_iter().map(|s| s.clamp(0.0, 1.0)).collect();
+
+    // Identical strata membership...
+    let k = 5;
+    let s_raw = Stratification::by_proxy_quantile(&raw_scores, k);
+    let s_cal = Stratification::by_proxy_quantile(&cal_scores, k);
+    assert_eq!(s_raw.strata(), s_cal.strata(), "monotone map must preserve strata");
+
+    // ...and identical end-to-end runs under the same stream.
+    let oracle = PredicateOracle::new(&table, "is_spam").expect("column exists");
+    let cfg = AbaeConfig { budget: 1500, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = run_abae(&raw_scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let b = run_abae(&cal_scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+    assert_eq!(a.estimate, b.estimate, "allocation and draws must be unchanged");
+    assert_eq!(a.oracle_calls, b.oracle_calls);
+}
