@@ -1,0 +1,67 @@
+//! Machine-readable benchmark artifacts.
+//!
+//! Every serving-oriented bench (`anytime`, `qps`, `throughput`,
+//! `cache_hits`) writes its measurements to a `BENCH_<name>.json` file at
+//! the repository root in addition to its human-readable stdout report, so
+//! CI and plotting scripts can diff runs without scraping tables. The
+//! artifact is one JSON object per bench (points as an array), rebuilt in
+//! full on every run.
+
+use std::path::{Path, PathBuf};
+
+/// Absolute path of the `BENCH_<name>.json` artifact at the repository
+/// root (two levels above this crate's manifest).
+pub fn artifact_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join(format!("BENCH_{name}.json"))
+}
+
+/// Writes `json` (plus a trailing newline) to `BENCH_<name>.json` at the
+/// repository root, returning the path written.
+pub fn write_artifact(name: &str, json: &str) -> std::io::Result<PathBuf> {
+    let path = artifact_path(name);
+    std::fs::write(&path, format!("{json}\n"))?;
+    Ok(path)
+}
+
+/// Writes the artifact and reports the outcome on stderr; benches call
+/// this last so a read-only filesystem degrades to a warning, not a crash.
+pub fn emit_artifact(name: &str, json: &str) {
+    match write_artifact(name, json) {
+        Ok(path) => eprintln!("# artifact: {}", path.display()),
+        Err(e) => eprintln!("# artifact write failed ({name}): {e}"),
+    }
+}
+
+/// Renders an `f64` as JSON: finite values print plainly, non-finite
+/// values become `null` (JSON has no NaN/Infinity literals).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_path_lands_at_the_repo_root() {
+        let p = artifact_path("anytime");
+        assert!(p.ends_with("BENCH_anytime.json"), "{}", p.display());
+        // Two levels above crates/bench is the workspace root, which holds
+        // the top-level Cargo.toml.
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn json_f64_handles_non_finite() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

@@ -14,6 +14,7 @@
 //! case, not the trivial identical-replay case (which
 //! `tests/label_store.rs` pins at exactly 0 extra calls).
 
+use abae_bench::artifact::emit_artifact;
 use abae_bench::config::ExpConfig;
 use abae_data::emulators::{trec05p, EmulatorOptions};
 use abae_query::Engine;
@@ -46,6 +47,7 @@ fn main() {
     );
 
     let store = engine.label_store().expect("cache enabled above");
+    let mut points: Vec<String> = Vec::new();
     for round in 0..rounds {
         // A fresh session per round = a fresh deterministic RNG stream,
         // so the sampled records differ between rounds.
@@ -58,16 +60,33 @@ fn main() {
             misses += r.cache_misses;
         }
         let lifetime = store.hits() + store.misses();
+        let round_pct = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
+        let cumulative_pct = 100.0 * store.hits() as f64 / lifetime.max(1) as f64;
         println!(
             "{:>5} {:>12} {:>12} {:>12} {:>14.1}% {:>14.1}%",
             round + 1,
             calls,
             hits,
             misses,
-            100.0 * hits as f64 / (hits + misses).max(1) as f64,
-            100.0 * store.hits() as f64 / lifetime.max(1) as f64,
+            round_pct,
+            cumulative_pct,
         );
+        points.push(format!(
+            "{{\"round\":{},\"oracle_calls\":{calls},\"hits\":{hits},\"misses\":{misses},\
+             \"round_hit_pct\":{round_pct:.2},\"cumulative_hit_pct\":{cumulative_pct:.2}}}",
+            round + 1,
+        ));
     }
+    emit_artifact(
+        "cache_hits",
+        &format!(
+            "{{\"bench\":\"cache_hits\",\"records\":{records},\"rounds\":{rounds},\
+             \"seed\":{},\"verdicts_cached\":{},\"points\":[{}]}}",
+            cfg.seed,
+            store.misses(),
+            points.join(",")
+        ),
+    );
 
     println!(
         "\nverdicts cached: {} distinct records ({:.1}% of the table) — every one paid for once",

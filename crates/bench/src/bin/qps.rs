@@ -24,6 +24,7 @@
 //! ABAE_QPS_QUERIES=100 ABAE_SCALE=0.2 cargo run --release -p abae_bench --bin qps
 //! ```
 
+use abae_bench::artifact::emit_artifact;
 use abae_bench::config::ExpConfig;
 use abae_data::emulators::{trec05p, EmulatorOptions};
 use abae_query::Engine;
@@ -59,6 +60,7 @@ fn main() {
     );
 
     let mut baseline_qps: Option<f64> = None;
+    let mut points: Vec<String> = Vec::new();
     for &sessions in &[1usize, 2, 4, 8] {
         // Sessions are created up front (deterministic ids), then each
         // runs on its own thread against the shared engine.
@@ -91,7 +93,7 @@ fn main() {
         let calls: u64 = per_session.iter().map(|r| r.0).sum();
         let hits: u64 = per_session.iter().map(|r| r.1).sum();
         let misses: u64 = per_session.iter().map(|r| r.2).sum();
-        println!(
+        let point = format!(
             "{{\"bench\":\"qps\",\"sessions\":{sessions},\
              \"queries\":{},\"elapsed_ms\":{:.3},\"qps\":{:.1},\
              \"speedup\":{:.3},\"oracle_calls\":{calls},\
@@ -101,7 +103,19 @@ fn main() {
             qps,
             speedup,
         );
+        println!("{point}");
+        points.push(point);
     }
+    emit_artifact(
+        "qps",
+        &format!(
+            "{{\"bench\":\"qps\",\"records\":{records},\"budget\":{budget},\
+             \"queries_per_session\":{queries_per_session},\"seed\":{},\
+             \"points\":[{}]}}",
+            cfg.seed,
+            points.join(",")
+        ),
+    );
     eprintln!(
         "# expected shape: qps tracks the core count — it grows with sessions up to \
          the hardware's parallelism, and stays flat (rather than degrading) beyond \

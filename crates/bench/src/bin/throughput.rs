@@ -19,6 +19,7 @@
 //! ABAE_LATENCY_US=500 ABAE_BUDGET=2000 cargo run --release -p abae_bench --bin throughput
 //! ```
 
+use abae_bench::artifact::emit_artifact;
 use abae_bench::ExpConfig;
 use abae_core::pipeline::ExecOptions;
 use abae_core::{run_abae, AbaeConfig, Aggregate};
@@ -56,6 +57,7 @@ fn main() {
     );
 
     let mut baseline_rate: Option<f64> = None;
+    let mut points: Vec<String> = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
         for &batch in &[32usize, 128, 512] {
             let oracle = FnOracle::new(move |i: usize| Labeled {
@@ -90,7 +92,24 @@ fn main() {
                 speedup,
                 result.estimate,
             );
+            points.push(format!(
+                "{{\"threads\":{threads},\"batch\":{batch},\"elapsed_ms\":{:.3},\
+                 \"records_per_sec\":{:.1},\"speedup\":{:.3},\"estimate\":{}}}",
+                elapsed.as_secs_f64() * 1e3,
+                rate,
+                speedup,
+                result.estimate,
+            ));
         }
     }
     println!("# speedup is relative to the first row (threads=1, batch=32)");
+    emit_artifact(
+        "throughput",
+        &format!(
+            "{{\"bench\":\"throughput\",\"records\":{n},\"budget\":{budget},\
+             \"latency_us\":{},\"seed\":{seed},\"points\":[{}]}}",
+            latency.as_micros(),
+            points.join(",")
+        ),
+    );
 }

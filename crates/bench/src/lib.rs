@@ -10,15 +10,19 @@
 //!   seeded RNG per trial).
 //! * [`report`] — aligned text tables matching the series the paper plots.
 //! * [`datasets`] — cached construction of the six emulated datasets.
+//! * [`artifact`] — `BENCH_<name>.json` artifacts at the repository root
+//!   for the serving-oriented benches.
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod config;
 pub mod datasets;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use artifact::{emit_artifact, write_artifact};
 pub use config::ExpConfig;
 pub use report::{print_series_table, Series};
 pub use runner::run_trials;

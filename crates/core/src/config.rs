@@ -109,6 +109,8 @@ pub enum ConfigError {
     },
     /// Bootstrap `alpha` outside `(0, 1)`.
     BadAlpha(f64),
+    /// Early-stop CI width target not a positive finite number.
+    BadTargetWidth(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -124,6 +126,9 @@ impl std::fmt::Display for ConfigError {
                 "budget {budget} cannot give each of {strata} strata a stage-1 draw"
             ),
             ConfigError::BadAlpha(a) => write!(f, "bootstrap alpha {a} must lie in (0, 1)"),
+            ConfigError::BadTargetWidth(w) => {
+                write!(f, "CI width target {w} must be a positive finite number")
+            }
         }
     }
 }

@@ -22,16 +22,17 @@
 //!   Stage-2 split.
 
 use crate::allocation::optimal_allocation;
-use crate::config::ConfigError;
+use crate::config::{BootstrapConfig, ConfigError};
 use crate::estimator::{combine_estimate, StratumEstimate};
 use crate::strata::Stratification;
+use crate::two_stage::ProgressiveOptions;
 use abae_data::{GroupLabel, GroupOracle, Labeled, Oracle};
 use abae_optim::simplex::{minimize_on_simplex, SimplexOptions};
-use abae_sampling::budget::floor_allocation;
+use abae_sampling::budget::{chunk_sizes, floor_allocation};
 use abae_sampling::pool::IndexPool;
 use abae_sampling::wor::sample_without_replacement;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// How the Stage-2 budget is split across groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -218,15 +219,18 @@ fn solve_allocation(
 }
 
 /// Labels the cache misses among `ids` through the batch pipeline (one
-/// oracle charge per distinct record, ever). `ids` must be duplicate-free,
-/// which every without-replacement draw guarantees.
+/// oracle charge per distinct record, ever). `ids` may repeat a record
+/// drawn under two stratifications — only its first occurrence reaches the
+/// oracle, exactly as if the occurrences were labeled in separate calls.
 fn label_uncached<O: GroupOracle + ?Sized>(
     oracle: &O,
     ids: &[usize],
     cache: &mut HashMap<usize, GroupLabel>,
     cfg: &GroupByConfig,
 ) {
-    let misses: Vec<usize> = ids.iter().copied().filter(|i| !cache.contains_key(i)).collect();
+    let mut seen = HashSet::new();
+    let misses: Vec<usize> =
+        ids.iter().copied().filter(|i| !cache.contains_key(i) && seen.insert(*i)).collect();
     let labels = crate::pipeline::label_groups_all(oracle, &misses, &cfg.exec);
     for (idx, label) in misses.into_iter().zip(labels) {
         cache.insert(idx, label);
@@ -288,6 +292,18 @@ pub fn groupby_single_oracle_with_ci<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
         return Err(GroupByError::Config(ConfigError::BadAlpha(bootstrap.alpha)));
     }
     let run = single_oracle_sample(proxies, oracle, cfg, rng)?;
+    Ok(single_oracle_bootstrap_cis(&run, bootstrap, rng))
+}
+
+/// Per-group point estimates plus bootstrap CIs for a sampled single-oracle
+/// run state. Pure in the run state; all randomness comes from `rng`, so
+/// the blocking entry point can pass the caller's stream while progressive
+/// snapshots pass a forked one.
+fn single_oracle_bootstrap_cis<R: Rng + ?Sized>(
+    run: &SingleOracleRun,
+    bootstrap: &BootstrapConfig,
+    rng: &mut R,
+) -> Vec<GroupEstimateWithCi> {
     let points = single_oracle_estimates(&run.buckets, &run.cache, &run.stratifications);
     let g = points.len();
     let mut replicates: Vec<Vec<f64>> = vec![Vec::with_capacity(bootstrap.trials); g];
@@ -308,7 +324,7 @@ pub fn groupby_single_oracle_with_ci<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
             reps.push(e);
         }
     }
-    Ok(points
+    points
         .into_iter()
         .zip(replicates)
         .enumerate()
@@ -317,17 +333,152 @@ pub fn groupby_single_oracle_with_ci<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
             estimate,
             ci: abae_stats::bootstrap::percentile_ci(&mut reps, bootstrap.alpha),
         })
-        .collect())
+        .collect()
+}
+
+/// One progressive group-by snapshot: per-group estimates with CIs from
+/// the labels accumulated so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSnapshot {
+    /// Per-group estimates with bootstrap CIs, in group order.
+    pub groups: Vec<GroupEstimateWithCi>,
+    /// Oracle labels actually charged so far.
+    pub budget_spent: u64,
+    /// True on the run's final snapshot (early stop or full budget).
+    pub done: bool,
+}
+
+/// The answer of a progressive single-oracle group-by run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByProgressiveResult {
+    /// Per-group estimates with CIs — the final snapshot's rows.
+    pub groups: Vec<GroupEstimateWithCi>,
+    /// Oracle labels actually charged (less than the configured budget
+    /// when the run stopped early).
+    pub oracle_calls: u64,
+}
+
+/// Anytime ABae-GroupBy (single oracle): the same query as
+/// [`groupby_single_oracle_with_ci`], labeling in budget chunks and
+/// invoking `on_snapshot` after every chunk with per-group estimates and
+/// CIs over the labels so far.
+///
+/// Semantics mirror [`crate::two_stage::run_abae_multi_progressive`]:
+///
+/// * Without a CI width target the run spends the full budget and the
+///   final snapshot (`done == true`) is bit-identical to the blocking run
+///   with the same seed, for any chunk size. Intermediate snapshot CIs use
+///   a forked RNG so they never perturb the caller's stream.
+/// * With [`ProgressiveOptions::target_ci_width`] set, the run stops at
+///   the first chunk boundary — once the pilot stage is complete — where
+///   **every** group's snapshot CI is narrower than the target, charging
+///   only the budget actually consumed.
+///
+/// # Errors
+/// Configuration errors as the blocking variant, plus
+/// [`ConfigError::BadTargetWidth`] when the target is not a positive
+/// finite number.
+pub fn groupby_single_oracle_progressive<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
+    proxies: &[&[f64]],
+    oracle: &O,
+    cfg: &GroupByConfig,
+    bootstrap: &BootstrapConfig,
+    progressive: &ProgressiveOptions,
+    rng: &mut R,
+    mut on_snapshot: impl FnMut(&GroupSnapshot),
+) -> Result<GroupByProgressiveResult, GroupByError> {
+    if !(bootstrap.alpha > 0.0 && bootstrap.alpha < 1.0) {
+        return Err(GroupByError::Config(ConfigError::BadAlpha(bootstrap.alpha)));
+    }
+    if let Some(w) = progressive.target_ci_width {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(GroupByError::Config(ConfigError::BadTargetWidth(w)));
+        }
+    }
+    let chunk = progressive.chunk.unwrap_or(cfg.exec.batch_size).max(1);
+    let target = progressive.target_ci_width;
+
+    let mut stopping: Option<GroupSnapshot> = None;
+    let chunked = {
+        let mut observe = |state: &SingleOracleRun, spent: u64, pilot_complete: bool| -> bool {
+            let mut fork = crate::two_stage::snapshot_rng(spent);
+            let groups = single_oracle_bootstrap_cis(state, bootstrap, &mut fork);
+            // Stop only once the pilot stage is complete: partial-pilot CIs
+            // can degenerate to zero width and would stop bogusly. Groups
+            // with no CI yet (empty samples) keep the run going.
+            let stop = pilot_complete
+                && target.is_some_and(|w| {
+                    groups.iter().all(|e| e.ci.is_some_and(|ci| ci.width() < w))
+                });
+            let snap = GroupSnapshot { groups, budget_spent: spent, done: stop };
+            on_snapshot(&snap);
+            if stop {
+                stopping = Some(snap);
+            }
+            stop
+        };
+        single_oracle_chunked(proxies, oracle, cfg, chunk, rng, &mut observe)?
+    };
+
+    if chunked.stopped {
+        let snap = stopping.expect("a stopped run records its stopping snapshot");
+        return Ok(GroupByProgressiveResult {
+            groups: snap.groups,
+            oracle_calls: chunked.oracle_calls,
+        });
+    }
+
+    // Complete run: finish exactly as the blocking executor — bootstrap
+    // CIs from the caller's RNG at the same stream position.
+    let groups = single_oracle_bootstrap_cis(&chunked.run, bootstrap, rng);
+    let snap =
+        GroupSnapshot { groups: groups.clone(), budget_spent: chunked.oracle_calls, done: true };
+    on_snapshot(&snap);
+    Ok(GroupByProgressiveResult { groups, oracle_calls: chunked.oracle_calls })
 }
 
 /// The sampling phase shared by the single-oracle entry points: pilot,
-/// allocation, Stage-2 draws — every oracle charge of the run.
+/// allocation, Stage-2 draws — every oracle charge of the run. The
+/// one-chunk instance of [`single_oracle_chunked`] with an observer that
+/// never stops.
 fn single_oracle_sample<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
     proxies: &[&[f64]],
     oracle: &O,
     cfg: &GroupByConfig,
     rng: &mut R,
 ) -> Result<SingleOracleRun, GroupByError> {
+    Ok(single_oracle_chunked(proxies, oracle, cfg, usize::MAX, rng, &mut |_, _, _| false)?.run)
+}
+
+/// Outcome of the chunked single-oracle sampling core.
+struct ChunkedSingleOracle {
+    run: SingleOracleRun,
+    stopped: bool,
+    oracle_calls: u64,
+}
+
+/// The chunked single-oracle sampling core: pilot, allocation, Stage-2
+/// draws, with labeling performed in chunks of at most `chunk` records.
+///
+/// `observe(run_so_far, budget_spent, pilot_complete)` fires at every chunk
+/// boundary except the run's last; returning `true` stops the run at that
+/// boundary, leaving later draws unlabeled (and uncharged). The final
+/// pilot chunk's boundary is deferred until the Stage-2 work list is known
+/// so it is only observed when Stage 2 actually has work.
+///
+/// Chunking is invisible to the result: all Stage-2 draws depend only on
+/// the pilot *draws* (never on Stage-2 labels), so hoisting them before
+/// chunked labeling consumes the exact RNG stream of the interleaved
+/// blocking loop, and a completed run's buckets, cache, and oracle charges
+/// are bit-identical to the one-chunk instance.
+fn single_oracle_chunked<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
+    proxies: &[&[f64]],
+    oracle: &O,
+    cfg: &GroupByConfig,
+    chunk: usize,
+    rng: &mut R,
+    observe: &mut dyn FnMut(&SingleOracleRun, u64, bool) -> bool,
+) -> Result<ChunkedSingleOracle, GroupByError> {
     let g = proxies.len();
     cfg.validate(g)?;
     if oracle.group_count() != g {
@@ -354,67 +505,106 @@ fn single_oracle_sample<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
     // Label cache: one oracle charge per distinct record. Draw order comes
     // from the RNG on this thread; labeling runs through the batch
     // pipeline, cache misses only.
-    let mut cache: HashMap<usize, GroupLabel> = HashMap::new();
+    let calls_before = oracle.calls();
+    let mut run = SingleOracleRun {
+        buckets: vec![vec![Vec::new(); k]; g],
+        cache: HashMap::new(),
+        stratifications,
+    };
+    let mut stopped = false;
 
-    // Stage 1: one uniform pilot shared by every stratification.
+    // Stage 1: one uniform pilot shared by every stratification, labeled
+    // and bucketed per chunk.
     let n1_total = ((cfg.stage1_fraction * cfg.budget as f64).floor() as usize).min(n);
     let pilot = sample_without_replacement(n, n1_total, rng);
-    label_uncached(oracle, &pilot, &mut cache, cfg);
+    let pilot_chunks = chunk_sizes(pilot.len(), chunk);
+    let mut offset = 0;
+    for (ci, &sz) in pilot_chunks.iter().enumerate() {
+        let ids = &pilot[offset..offset + sz];
+        label_uncached(oracle, ids, &mut run.cache, cfg);
+        for &idx in ids {
+            for (l, strata) in stratum_of.iter().enumerate() {
+                run.buckets[l][strata[idx] as usize].push(idx);
+            }
+        }
+        offset += sz;
+        if ci + 1 < pilot_chunks.len() && observe(&run, oracle.calls() - calls_before, false) {
+            stopped = true;
+            break;
+        }
+    }
 
-    // Bucket sampled ids per (stratification, stratum).
-    let mut buckets: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); k]; g];
-    for &idx in &pilot {
+    if !stopped {
+        // Pilot estimates and allocations.
+        let mut t_hats: Vec<Vec<f64>> = Vec::with_capacity(g);
+        let mut err_unit: Vec<Vec<f64>> = vec![vec![f64::INFINITY; g]; g];
+        for (l, err_row) in err_unit.iter_mut().enumerate() {
+            let sizes = run.stratifications[l].sizes();
+            // Allocation optimized for stratification l's own group.
+            let own: Vec<CellStats> =
+                (0..k).map(|kk| cell_stats(&run.buckets[l][kk], &run.cache, l as u16)).collect();
+            let t = optimal_allocation(
+                &own.iter().map(|c| c.p_hat).collect::<Vec<_>>(),
+                &own.iter().map(|c| c.sigma_hat).collect::<Vec<_>>(),
+            );
+            for (gg, slot) in err_row.iter_mut().enumerate() {
+                let cells: Vec<CellStats> = (0..k)
+                    .map(|kk| cell_stats(&run.buckets[l][kk], &run.cache, gg as u16))
+                    .collect();
+                *slot = per_unit_error(&cells, &sizes, &t);
+            }
+            t_hats.push(t);
+        }
+
+        // Allocation across stratifications; hoist every Stage-2 draw.
+        let n2 = cfg.budget.saturating_sub(n1_total);
+        let lambda = solve_allocation(&err_unit, n2.max(1), cfg.allocation);
+        let mut flat2: Vec<(usize, usize, usize)> = Vec::new();
         for l in 0..g {
-            buckets[l][stratum_of[l][idx] as usize].push(idx);
+            let budget_l = (lambda[l] * n2 as f64).floor() as usize;
+            let per_stratum = floor_allocation(&t_hats[l], budget_l);
+            for (kk, &want) in per_stratum.iter().enumerate() {
+                let members = run.stratifications[l].stratum(kk);
+                // Draw fresh records: exclude ids already sampled in this
+                // bucket so the two stages stay a without-replacement
+                // sample. (A record drawn under another stratification can
+                // recur here; the label cache absorbs the duplicate.)
+                let taken: HashSet<usize> = run.buckets[l][kk].iter().copied().collect();
+                let fresh: Vec<usize> =
+                    members.iter().copied().filter(|i| !taken.contains(i)).collect();
+                for pos in sample_without_replacement(fresh.len(), want, rng) {
+                    flat2.push((l, kk, fresh[pos]));
+                }
+            }
+        }
+
+        // The deferred pilot-stage boundary: only a snapshot boundary when
+        // Stage 2 has work, otherwise the run ends here.
+        if !flat2.is_empty() && observe(&run, oracle.calls() - calls_before, true) {
+            stopped = true;
+        }
+        if !stopped {
+            let stage2_chunks = chunk_sizes(flat2.len(), chunk);
+            let mut offset = 0;
+            for (ci, &sz) in stage2_chunks.iter().enumerate() {
+                let slice = &flat2[offset..offset + sz];
+                let ids: Vec<usize> = slice.iter().map(|&(_, _, id)| id).collect();
+                label_uncached(oracle, &ids, &mut run.cache, cfg);
+                for &(l, kk, id) in slice {
+                    run.buckets[l][kk].push(id);
+                }
+                offset += sz;
+                if ci + 1 < stage2_chunks.len()
+                    && observe(&run, oracle.calls() - calls_before, true)
+                {
+                    stopped = true;
+                    break;
+                }
+            }
         }
     }
 
-    // Pilot estimates and allocations.
-    let mut t_hats: Vec<Vec<f64>> = Vec::with_capacity(g);
-    let mut err_unit: Vec<Vec<f64>> = vec![vec![f64::INFINITY; g]; g];
-    for l in 0..g {
-        let sizes = stratifications[l].sizes();
-        // Allocation optimized for stratification l's own group.
-        let own: Vec<CellStats> =
-            (0..k).map(|kk| cell_stats(&buckets[l][kk], &cache, l as u16)).collect();
-        let t = optimal_allocation(
-            &own.iter().map(|c| c.p_hat).collect::<Vec<_>>(),
-            &own.iter().map(|c| c.sigma_hat).collect::<Vec<_>>(),
-        );
-        for (gg, slot) in err_unit[l].iter_mut().enumerate() {
-            let cells: Vec<CellStats> =
-                (0..k).map(|kk| cell_stats(&buckets[l][kk], &cache, gg as u16)).collect();
-            *slot = per_unit_error(&cells, &sizes, &t);
-        }
-        t_hats.push(t);
-    }
-
-    // Allocation across stratifications and Stage 2 draws.
-    let n2 = cfg.budget.saturating_sub(n1_total);
-    let lambda = solve_allocation(&err_unit, n2.max(1), cfg.allocation);
-    for l in 0..g {
-        let budget_l = (lambda[l] * n2 as f64).floor() as usize;
-        let per_stratum = floor_allocation(&t_hats[l], budget_l);
-        for kk in 0..k {
-            let members = stratifications[l].stratum(kk);
-            // Draw fresh records: exclude ids already sampled in this
-            // bucket so the two stages stay a without-replacement sample.
-            let taken: std::collections::HashSet<usize> =
-                buckets[l][kk].iter().copied().collect();
-            let fresh: Vec<usize> =
-                members.iter().copied().filter(|i| !taken.contains(i)).collect();
-            let picked: Vec<usize> = sample_without_replacement(fresh.len(), per_stratum[kk], rng)
-                .into_iter()
-                .map(|pos| fresh[pos])
-                .collect();
-            // A record drawn under another stratification is already
-            // labeled; only cache misses reach (and charge) the oracle.
-            label_uncached(oracle, &picked, &mut cache, cfg);
-            buckets[l][kk].extend(picked);
-        }
-    }
-
-    Ok(SingleOracleRun { buckets, cache, stratifications })
+    Ok(ChunkedSingleOracle { run, stopped, oracle_calls: oracle.calls() - calls_before })
 }
 
 /// Final single-oracle estimates: per group, inverse-variance weighting
@@ -1029,6 +1219,99 @@ mod ci_tests {
             groupby_single_oracle_with_ci(&proxies, &oracle, &GroupByConfig::default(), &bs, &mut rng),
             Err(GroupByError::Config(ConfigError::BadAlpha(_)))
         ));
+    }
+
+    #[test]
+    fn progressive_final_snapshot_matches_blocking_with_ci() {
+        let t = two_group_table(8_000, 9);
+        let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let cfg = GroupByConfig { budget: 600, ..Default::default() };
+        let bs = BootstrapConfig { trials: 20, alpha: 0.05 };
+        let mut rng = StdRng::seed_from_u64(11);
+        let blocking =
+            groupby_single_oracle_with_ci(&proxies, &oracle, &cfg, &bs, &mut rng).unwrap();
+        for chunk in [1usize, 50, 4096] {
+            let before = oracle.calls();
+            let mut rng = StdRng::seed_from_u64(11);
+            let opts = ProgressiveOptions { chunk: Some(chunk), target_ci_width: None };
+            let mut snaps: Vec<GroupSnapshot> = Vec::new();
+            let result = groupby_single_oracle_progressive(
+                &proxies,
+                &oracle,
+                &cfg,
+                &bs,
+                &opts,
+                &mut rng,
+                |s| snaps.push(s.clone()),
+            )
+            .unwrap();
+            assert_eq!(result.groups, blocking, "chunk {chunk}");
+            assert_eq!(result.oracle_calls, oracle.calls() - before, "chunk {chunk}");
+            let last = snaps.last().unwrap();
+            assert!(last.done);
+            assert_eq!(last.groups, blocking, "chunk {chunk}");
+            assert_eq!(last.budget_spent, result.oracle_calls);
+            assert!(snaps.iter().rev().skip(1).all(|s| !s.done));
+            assert!(snaps.windows(2).all(|w| w[0].budget_spent <= w[1].budget_spent));
+        }
+    }
+
+    #[test]
+    fn progressive_early_stop_spends_less_and_meets_target() {
+        let t = two_group_table(30_000, 13);
+        let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let cfg = GroupByConfig { budget: 4000, ..Default::default() };
+        let bs = BootstrapConfig { trials: 60, alpha: 0.05 };
+        let opts = ProgressiveOptions { chunk: Some(100), target_ci_width: Some(3.0) };
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut snaps: Vec<GroupSnapshot> = Vec::new();
+        let result = groupby_single_oracle_progressive(
+            &proxies,
+            &oracle,
+            &cfg,
+            &bs,
+            &opts,
+            &mut rng,
+            |s| snaps.push(s.clone()),
+        )
+        .unwrap();
+        assert!(result.oracle_calls < 4000, "spent {}", result.oracle_calls);
+        assert_eq!(oracle.calls(), result.oracle_calls);
+        let last = snaps.last().unwrap();
+        assert!(last.done);
+        assert_eq!(last.groups, result.groups);
+        for e in &result.groups {
+            let ci = e.ci.expect("stopping snapshot has CIs for every group");
+            assert!(ci.width() < 3.0, "group {} width {}", e.group, ci.width());
+        }
+    }
+
+    #[test]
+    fn progressive_rejects_bad_targets() {
+        let t = two_group_table(1_000, 15);
+        let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
+        let proxies: Vec<&[f64]> =
+            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let bs = BootstrapConfig { trials: 10, alpha: 0.05 };
+        for w in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let opts = ProgressiveOptions { chunk: None, target_ci_width: Some(w) };
+            let mut rng = StdRng::seed_from_u64(16);
+            let err = groupby_single_oracle_progressive(
+                &proxies,
+                &oracle,
+                &GroupByConfig::default(),
+                &bs,
+                &opts,
+                &mut rng,
+                |_| {},
+            )
+            .unwrap_err();
+            assert!(matches!(err, GroupByError::Config(ConfigError::BadTargetWidth(_))));
+        }
     }
 
     #[test]

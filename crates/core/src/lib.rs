@@ -19,7 +19,10 @@
 //!   (Proposition 2), used for proxy selection and group-by allocation.
 //! * [`estimator`] — per-stratum plug-in estimates `p̂_k, μ̂_k, σ̂_k` and
 //!   the combined estimator `Σ p̂_k μ̂_k / Σ p̂_k` (Algorithm 1 lines 9–20).
-//! * [`two_stage`] — the two-stage sampling algorithm (`ABaeSample`).
+//! * [`two_stage`] — the two-stage sampling algorithm (`ABaeSample`),
+//!   blocking and anytime (progressive snapshots with early stop).
+//! * [`stratum_stats`] — mergeable per-stratum sufficient statistics, the
+//!   commutative monoid behind snapshots and chunked ingest.
 //! * [`pipeline`] — batch-parallel oracle labeling with deterministic
 //!   ordering; every algorithm labels its draws through it.
 //! * [`bootstrap`] — stratified bootstrap CIs over both stages
@@ -49,6 +52,7 @@ pub mod pipeline;
 pub mod proxy_combine;
 pub mod proxy_select;
 pub mod strata;
+pub mod stratum_stats;
 pub mod two_stage;
 pub mod uniform;
 
@@ -56,8 +60,9 @@ pub use config::{Aggregate, AbaeConfig, BootstrapConfig, ConfigError, Rounding, 
 pub use estimator::{combine_estimate, StratumEstimate};
 pub use pipeline::ExecOptions;
 pub use strata::Stratification;
+pub use stratum_stats::{merge_states, StratumStats, TaggedDraw};
 pub use two_stage::{
-    run_abae, run_abae_multi_with_ci, run_abae_with_ci, AbaeResult, AggAnswer, MultiAggResult,
-    TwoStageRun,
+    run_abae, run_abae_multi_progressive, run_abae_multi_with_ci, run_abae_with_ci, AbaeResult,
+    AggAnswer, MultiAggResult, ProgressiveOptions, Snapshot, TwoStageRun,
 };
 pub use uniform::{run_uniform, run_uniform_with_ci};

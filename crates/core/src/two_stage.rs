@@ -7,17 +7,33 @@
 //! without-replacement draw within each stratum. Final estimates use the
 //! samples of both stages (sample reuse; §5.3 shows disabling it —
 //! [`SampleReuse::Disabled`] — costs substantial accuracy).
+//!
+//! Both the blocking entry points and the anytime entry point
+//! ([`run_abae_multi_progressive`]) run on one chunked core: labeling
+//! proceeds in budget chunks, each chunk's labels fold into mergeable
+//! [`StratumStats`] (a commutative monoid, so chunk boundaries cannot
+//! change the accumulated state), and after every chunk a
+//! [`Snapshot`] — a statistically valid estimate of the same query —
+//! can be emitted. The blocking path is simply the one-chunk instance.
+//! All randomness (which records to draw) stays on the caller's RNG in a
+//! fixed order, and intermediate snapshot CIs use a forked RNG stream
+//! derived from the budget spent, so the final snapshot is bit-identical
+//! to a blocking run at any thread count and any chunk size.
 
 use crate::bootstrap::stratified_bootstrap_cis;
 use crate::config::{AbaeConfig, Aggregate, ConfigError, Rounding, SampleReuse};
 use crate::estimator::{combine_estimate, StratumEstimate};
 use crate::pipeline;
 use crate::strata::Stratification;
+use crate::stratum_stats::StratumStats;
 use abae_data::{Labeled, Oracle};
-use abae_sampling::budget::{floor_allocation, largest_remainder_allocation, stage_split};
+use abae_sampling::budget::{
+    chunk_sizes, floor_allocation, largest_remainder_allocation, stage_split,
+};
 use abae_sampling::pool::IndexPool;
 use abae_stats::bootstrap::ConfidenceInterval;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Full output of one two-stage run, including everything the bootstrap
 /// needs to resample.
@@ -71,11 +87,225 @@ pub struct MultiAggResult {
     pub oracle_calls: u64,
 }
 
+/// One anytime snapshot: a statistically valid answer to the same query
+/// from the draws labeled so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// One answer per requested aggregate, as of this snapshot. Estimates
+    /// come from the merged [`StratumStats`]; intermediate CIs use a forked
+    /// RNG stream so they never perturb the caller's stream.
+    pub answers: Vec<AggAnswer>,
+    /// Oracle labels consumed up to and including this snapshot's chunk.
+    pub budget_spent: u64,
+    /// `true` on the last snapshot of a run — either the budget was
+    /// exhausted (in which case the snapshot is bit-identical to a blocking
+    /// run) or the CI width target was reached and the run stopped early.
+    pub done: bool,
+}
+
+/// Knobs of the anytime executor ([`run_abae_multi_progressive`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProgressiveOptions {
+    /// Oracle labels per chunk between snapshots. `None` uses the exec
+    /// batch size ([`crate::pipeline::ExecOptions::batch_size`]); values
+    /// are clamped to at least 1. Chunk size changes only *when* snapshots
+    /// are emitted, never what is drawn or the final answer.
+    pub chunk: Option<usize>,
+    /// Early-stop rule: stop at the first chunk boundary where the primary
+    /// (first) aggregate's snapshot CI is narrower than this. `None` runs
+    /// the full budget.
+    pub target_ci_width: Option<f64>,
+}
+
+/// Output of the chunked sampling core shared by every entry point.
+struct ChunkedRun {
+    /// Pilot estimates (empty when the run stopped during Stage 1).
+    pilot: Vec<StratumEstimate>,
+    /// Estimated optimal allocation (empty when stopped during Stage 1).
+    t_hat: Vec<f64>,
+    /// Per-stratum labeled draws in draw order, reuse-adjusted — exactly
+    /// what the blocking estimator and bootstrap consume.
+    samples: Vec<Vec<Labeled>>,
+    /// Labels actually consumed (≤ the configured budget on early stop).
+    budget_spent: u64,
+    /// Whether the observer stopped the run before the budget was spent.
+    stopped: bool,
+    /// Oracle invocations charged (cache hits excluded by caching oracles).
+    oracle_calls: u64,
+}
+
+/// Labels one chunk of `(stratum, record)` work items, appends the labels
+/// to `out` in draw order, and folds the chunk into the accumulated
+/// per-stratum states via [`StratumStats::merge`] — the chunked-ingest
+/// path: each chunk is a partial state merged into the whole.
+fn label_chunk<O: Oracle + ?Sized>(
+    oracle: &O,
+    config: &AbaeConfig,
+    items: &[(usize, usize)],
+    out: &mut [Vec<Labeled>],
+    stats: &mut [StratumStats],
+    sizes: &[usize],
+) {
+    let ids: Vec<usize> = items.iter().map(|&(_, id)| id).collect();
+    let labels = pipeline::label_all(oracle, &ids, &config.exec);
+    let mut partial: Vec<Vec<(usize, Labeled)>> = vec![Vec::new(); out.len()];
+    for (&(s, id), &label) in items.iter().zip(&labels) {
+        out[s].push(label);
+        partial[s].push((id, label));
+    }
+    for (s, p) in partial.into_iter().enumerate() {
+        if !p.is_empty() {
+            let incoming = StratumStats::from_labeled(sizes[s], p);
+            let acc = std::mem::replace(&mut stats[s], StratumStats::empty(sizes[s]));
+            stats[s] = StratumStats::merge(acc, incoming);
+        }
+    }
+}
+
+/// The chunked two-stage core. All RNG consumption (which records to draw)
+/// happens here, on the caller's thread, in a fixed order: Stage-1 draws
+/// per stratum, then Stage-2 draws per stratum — identical to the blocking
+/// interleaved order because labeling never touches the RNG. Labeling
+/// proceeds in `chunk`-sized pieces; after every chunk *except the last of
+/// a run* the observer sees the merged per-stratum states, the budget
+/// spent, and whether the pilot stage is complete, and may stop the run by
+/// returning `true`. With `chunk == usize::MAX` and an always-`false`
+/// observer this is exactly the blocking executor.
+fn two_stage_chunked<O: Oracle + ?Sized, R: Rng + ?Sized>(
+    stratification: &Stratification,
+    oracle: &O,
+    config: &AbaeConfig,
+    chunk: usize,
+    rng: &mut R,
+    observe: &mut dyn FnMut(&[StratumStats], u64, bool) -> bool,
+) -> ChunkedRun {
+    let k = stratification.len();
+    let split = stage_split(config.budget, config.stage1_fraction, k);
+    let calls_before = oracle.calls();
+
+    // Stage-1 draws, hoisted ahead of labeling: N1 per stratum, in stratum
+    // order — the same RNG stream as drawing and labeling interleaved.
+    let sizes: Vec<usize> = (0..k).map(|s| stratification.stratum(s).len()).collect();
+    let mut pools: Vec<IndexPool> = Vec::with_capacity(k);
+    let mut flat1: Vec<(usize, usize)> = Vec::new();
+    for s in 0..k {
+        let records = stratification.stratum(s);
+        let mut pool = IndexPool::new(records.len());
+        flat1.extend(pool.draw(split.n1_per_stratum, rng).iter().map(|&l| (s, records[l])));
+        pools.push(pool);
+    }
+
+    let mut stats: Vec<StratumStats> =
+        sizes.iter().map(|&n| StratumStats::empty(n)).collect();
+    let mut stage1: Vec<Vec<Labeled>> = vec![Vec::new(); k];
+    let mut spent = 0u64;
+    let mut stopped = false;
+
+    // Stage-1 labeling in chunks. The final Stage-1 chunk is not a
+    // snapshot boundary by itself — whether it is the run's last chunk
+    // depends on whether Stage 2 gets any allocation, so its observer call
+    // is deferred until that is known.
+    let chunks1 = chunk_sizes(flat1.len(), chunk);
+    let mut start = 0;
+    for (i, &csize) in chunks1.iter().enumerate() {
+        label_chunk(oracle, config, &flat1[start..start + csize], &mut stage1, &mut stats, &sizes);
+        start += csize;
+        spent += csize as u64;
+        if i + 1 < chunks1.len() && observe(&stats, spent, false) {
+            stopped = true;
+            break;
+        }
+    }
+
+    let mut pilot: Vec<StratumEstimate> = Vec::new();
+    let mut t_hat: Vec<f64> = Vec::new();
+    let mut stage2: Vec<Vec<Labeled>> = vec![Vec::new(); k];
+    if !stopped {
+        pilot = stage1
+            .iter()
+            .enumerate()
+            .map(|(s, draws)| StratumEstimate::from_draws(sizes[s], draws))
+            .collect();
+
+        // Allocation from pilot estimates: T̂_k ∝ √p̂_k σ̂_k.
+        let weights: Vec<f64> = pilot.iter().map(|e| e.p_hat.sqrt() * e.sigma_hat).collect();
+        t_hat = crate::allocation::optimal_allocation(
+            &pilot.iter().map(|e| e.p_hat).collect::<Vec<_>>(),
+            &pilot.iter().map(|e| e.sigma_hat).collect::<Vec<_>>(),
+        );
+        let stage2_alloc = match config.rounding {
+            Rounding::Floor => floor_allocation(&weights, split.n2_total),
+            Rounding::LargestRemainder => largest_remainder_allocation(&weights, split.n2_total),
+        };
+
+        // Stage-2 draws, hoisted: extend each stratum's without-replacement
+        // draw, in stratum order — again the blocking RNG stream.
+        let mut flat2: Vec<(usize, usize)> = Vec::new();
+        for s in 0..k {
+            let records = stratification.stratum(s);
+            flat2.extend(pools[s].draw(stage2_alloc[s], rng).iter().map(|&l| (s, records[l])));
+        }
+
+        // The deferred Stage-1 boundary is a snapshot only when Stage 2 has
+        // work left (otherwise it is the run's final chunk).
+        if !flat2.is_empty() && observe(&stats, spent, true) {
+            stopped = true;
+        }
+        if !stopped {
+            if config.reuse == SampleReuse::Disabled {
+                // Final estimates discard the pilot, so the snapshot state
+                // resets at the stage boundary too.
+                stats = sizes.iter().map(|&n| StratumStats::empty(n)).collect();
+            }
+            let chunks2 = chunk_sizes(flat2.len(), chunk);
+            let mut start = 0;
+            for (i, &csize) in chunks2.iter().enumerate() {
+                label_chunk(
+                    oracle,
+                    config,
+                    &flat2[start..start + csize],
+                    &mut stage2,
+                    &mut stats,
+                    &sizes,
+                );
+                start += csize;
+                spent += csize as u64;
+                if i + 1 < chunks2.len() && observe(&stats, spent, true) {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    let samples: Vec<Vec<Labeled>> = match config.reuse {
+        SampleReuse::Enabled => stage1
+            .into_iter()
+            .zip(stage2)
+            .map(|(mut a, b)| {
+                a.extend(b);
+                a
+            })
+            .collect(),
+        SampleReuse::Disabled => stage2,
+    };
+
+    ChunkedRun {
+        pilot,
+        t_hat,
+        samples,
+        budget_spent: spent,
+        stopped,
+        oracle_calls: oracle.calls() - calls_before,
+    }
+}
+
 /// Runs Algorithm 1 on a prepared stratification.
 ///
 /// `stratification` comes from [`Stratification::by_proxy_quantile`]
 /// (`ABaeInit`); `oracle` is charged once per drawn record; `agg` selects
-/// the aggregate; `rng` drives all randomness.
+/// the aggregate; `rng` drives all randomness. This is the one-chunk
+/// instance of the chunked core — no snapshots, full budget.
 ///
 /// # Errors
 /// Returns the configuration's validation error, if any.
@@ -87,72 +317,21 @@ pub fn run_two_stage<O: Oracle, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<TwoStageRun, ConfigError> {
     config.validate()?;
-    let k = stratification.len();
-    let split = stage_split(config.budget, config.stage1_fraction, k);
-
-    let calls_before = oracle.calls();
-
-    // Stage 1: N1 pilot draws per stratum. The RNG only decides *which*
-    // records to draw (on this thread); labeling goes through the batch
-    // pipeline, so results are identical for any thread count.
-    let mut pools: Vec<IndexPool> = Vec::with_capacity(k);
-    let mut stage1: Vec<Vec<Labeled>> = Vec::with_capacity(k);
-    for s in 0..k {
-        let records = stratification.stratum(s);
-        let mut pool = IndexPool::new(records.len());
-        let drawn: Vec<usize> =
-            pool.draw(split.n1_per_stratum, rng).iter().map(|&local| records[local]).collect();
-        pools.push(pool);
-        stage1.push(pipeline::label_all(oracle, &drawn, &config.exec));
-    }
-
-    let pilot: Vec<StratumEstimate> = stage1
+    let run =
+        two_stage_chunked(stratification, oracle, config, usize::MAX, rng, &mut |_, _, _| false);
+    let strata: Vec<StratumEstimate> = run
+        .samples
         .iter()
         .enumerate()
         .map(|(s, draws)| StratumEstimate::from_draws(stratification.stratum(s).len(), draws))
         .collect();
-
-    // Allocation from pilot estimates: T̂_k ∝ √p̂_k σ̂_k.
-    let weights: Vec<f64> = pilot.iter().map(|e| e.p_hat.sqrt() * e.sigma_hat).collect();
-    let t_hat = crate::allocation::optimal_allocation(
-        &pilot.iter().map(|e| e.p_hat).collect::<Vec<_>>(),
-        &pilot.iter().map(|e| e.sigma_hat).collect::<Vec<_>>(),
-    );
-    let stage2_alloc = match config.rounding {
-        Rounding::Floor => floor_allocation(&weights, split.n2_total),
-        Rounding::LargestRemainder => largest_remainder_allocation(&weights, split.n2_total),
-    };
-
-    // Stage 2: extend each stratum's without-replacement draw.
-    let mut samples: Vec<Vec<Labeled>> = Vec::with_capacity(k);
-    for (s, mut stage1_draws) in stage1.into_iter().enumerate() {
-        let records = stratification.stratum(s);
-        let drawn: Vec<usize> =
-            pools[s].draw(stage2_alloc[s], rng).iter().map(|&local| records[local]).collect();
-        let stage2_draws = pipeline::label_all(oracle, &drawn, &config.exec);
-        let combined = match config.reuse {
-            SampleReuse::Enabled => {
-                stage1_draws.extend(stage2_draws);
-                stage1_draws
-            }
-            SampleReuse::Disabled => stage2_draws,
-        };
-        samples.push(combined);
-    }
-
-    let strata: Vec<StratumEstimate> = samples
-        .iter()
-        .enumerate()
-        .map(|(s, draws)| StratumEstimate::from_draws(stratification.stratum(s).len(), draws))
-        .collect();
-
     Ok(TwoStageRun {
         estimate: combine_estimate(agg, &strata),
         strata,
-        pilot,
-        t_hat,
-        samples,
-        oracle_calls: oracle.calls() - calls_before,
+        pilot: run.pilot,
+        t_hat: run.t_hat,
+        samples: run.samples,
+        oracle_calls: run.oracle_calls,
     })
 }
 
@@ -242,6 +421,130 @@ pub fn run_abae_multi_with_ci<O: Oracle, R: Rng + ?Sized>(
         .zip(cis)
         .map(|(&agg, ci)| AggAnswer { agg, estimate: combine_estimate(agg, &run.strata), ci })
         .collect();
+    Ok(MultiAggResult { answers, oracle_calls: run.oracle_calls })
+}
+
+/// Stream tag for the forked snapshot-CI RNG, mixed with the budget spent.
+/// Intermediate CIs must not consume the caller's stream, or snapshot
+/// boundaries would change the final answer.
+const SNAPSHOT_STREAM: u64 = 0x5E55_3003;
+
+/// The forked RNG used for one intermediate snapshot's bootstrap: a pure
+/// function of the budget spent, independent of chunk size and threads.
+/// Shared with the group-by progressive executor.
+pub(crate) fn snapshot_rng(budget_spent: u64) -> StdRng {
+    StdRng::seed_from_u64(SNAPSHOT_STREAM ^ budget_spent.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Builds one intermediate snapshot from the merged per-stratum states:
+/// estimates via [`StratumStats::estimate`] + [`combine_estimate`], CIs by
+/// bootstrapping the canonical-order draws with the forked snapshot RNG.
+fn snapshot_from_stats(
+    stats: &[StratumStats],
+    sizes: &[usize],
+    aggs: &[Aggregate],
+    config: &AbaeConfig,
+    budget_spent: u64,
+) -> Snapshot {
+    let estimates: Vec<StratumEstimate> = stats.iter().map(StratumStats::estimate).collect();
+    let samples: Vec<Vec<Labeled>> = stats.iter().map(StratumStats::labeled).collect();
+    let mut fork = snapshot_rng(budget_spent);
+    let cis = stratified_bootstrap_cis(&samples, sizes, aggs, &config.bootstrap, &mut fork);
+    let answers = aggs
+        .iter()
+        .zip(cis)
+        .map(|(&agg, ci)| AggAnswer { agg, estimate: combine_estimate(agg, &estimates), ci })
+        .collect();
+    Snapshot { answers, budget_spent, done: false }
+}
+
+/// The anytime executor: runs the same query as [`run_abae_multi_with_ci`]
+/// but labels in budget chunks, invoking `on_snapshot` after every chunk
+/// with a statistically valid estimate of the query so far.
+///
+/// Semantics:
+///
+/// * Without a CI width target the run spends the full budget and the
+///   final snapshot (`done == true`) — estimates, CIs, and `oracle_calls`
+///   — is **bit-identical** to the blocking run with the same seed, for
+///   any chunk size and any thread count. The returned result equals that
+///   final snapshot.
+/// * With [`ProgressiveOptions::target_ci_width`] set, the run stops at
+///   the first chunk boundary — once the pilot stage is complete — where
+///   the primary (first) aggregate's snapshot CI is narrower than the
+///   target, charging only the budget actually consumed; the final
+///   snapshot is the one that met the target.
+///
+/// # Errors
+/// Returns the configuration's validation error, or
+/// [`ConfigError::BadTargetWidth`] when the target is not a positive
+/// finite number.
+pub fn run_abae_multi_progressive<O: Oracle, R: Rng + ?Sized>(
+    proxy_scores: &[f64],
+    oracle: &O,
+    config: &AbaeConfig,
+    aggs: &[Aggregate],
+    progressive: &ProgressiveOptions,
+    rng: &mut R,
+    mut on_snapshot: impl FnMut(&Snapshot),
+) -> Result<MultiAggResult, ConfigError> {
+    config.validate()?;
+    if let Some(w) = progressive.target_ci_width {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(ConfigError::BadTargetWidth(w));
+        }
+    }
+    let strat = Stratification::by_proxy_quantile(proxy_scores, config.strata);
+    let sizes = strat.sizes();
+    let chunk = progressive.chunk.unwrap_or(config.exec.batch_size).max(1);
+    let target = progressive.target_ci_width;
+
+    let mut stopping: Option<Snapshot> = None;
+    let run = {
+        let mut observe = |stats: &[StratumStats], spent: u64, pilot_complete: bool| -> bool {
+            let mut snap = snapshot_from_stats(stats, &sizes, aggs, config, spent);
+            // The stopping rule only applies once the pilot stage is
+            // complete: partial-pilot CIs can degenerate to zero width
+            // (e.g. an all-negative first stratum) and would stop bogusly.
+            let stop = match (target, snap.answers.first().and_then(|a| a.ci)) {
+                (Some(w), Some(ci)) => pilot_complete && ci.width() < w,
+                _ => false,
+            };
+            snap.done = stop;
+            on_snapshot(&snap);
+            if stop {
+                stopping = Some(snap);
+            }
+            stop
+        };
+        two_stage_chunked(&strat, oracle, config, chunk, rng, &mut observe)
+    };
+
+    if run.stopped {
+        let snap = stopping.expect("a stopped run records its stopping snapshot");
+        return Ok(MultiAggResult { answers: snap.answers, oracle_calls: run.oracle_calls });
+    }
+
+    // Complete run: finish exactly as the blocking executor does — final
+    // estimates from the draw-order samples, bootstrap CIs from the
+    // caller's RNG at the same stream position.
+    let strata: Vec<StratumEstimate> = run
+        .samples
+        .iter()
+        .enumerate()
+        .map(|(s, draws)| StratumEstimate::from_draws(sizes[s], draws))
+        .collect();
+    let cis = stratified_bootstrap_cis(&run.samples, &sizes, aggs, &config.bootstrap, rng);
+    let answers: Vec<AggAnswer> = aggs
+        .iter()
+        .zip(cis)
+        .map(|(&agg, ci)| AggAnswer { agg, estimate: combine_estimate(agg, &strata), ci })
+        .collect();
+    on_snapshot(&Snapshot {
+        answers: answers.clone(),
+        budget_spent: run.budget_spent,
+        done: true,
+    });
     Ok(MultiAggResult { answers, oracle_calls: run.oracle_calls })
 }
 
@@ -487,6 +790,157 @@ mod tests {
         let multi = run_abae_multi_with_ci(&scores, &oracle, &cfg, &[], &mut rng).unwrap();
         assert!(multi.answers.is_empty());
         assert!(multi.oracle_calls <= 500);
+    }
+
+    #[test]
+    fn progressive_final_snapshot_is_bit_identical_to_blocking() {
+        let (scores, labels, values) = make_population(10_000);
+        let oracle = oracle_for(labels.clone(), values.clone());
+        let cfg = AbaeConfig {
+            budget: 800,
+            bootstrap: crate::config::BootstrapConfig { trials: 60, alpha: 0.05 },
+            ..Default::default()
+        };
+        let aggs = [Aggregate::Avg, Aggregate::Count];
+        let mut rng = StdRng::seed_from_u64(42);
+        let blocking = run_abae_multi_with_ci(&scores, &oracle, &cfg, &aggs, &mut rng).unwrap();
+        for chunk in [1usize, 7, 64, 4096] {
+            let oracle = oracle_for(labels.clone(), values.clone());
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut snapshots: Vec<Snapshot> = Vec::new();
+            let opts = ProgressiveOptions { chunk: Some(chunk), target_ci_width: None };
+            let progressive = run_abae_multi_progressive(
+                &scores,
+                &oracle,
+                &cfg,
+                &aggs,
+                &opts,
+                &mut rng,
+                |s| snapshots.push(s.clone()),
+            )
+            .unwrap();
+            assert_eq!(progressive, blocking, "chunk={chunk}");
+            let last = snapshots.last().expect("at least the final snapshot");
+            assert!(last.done);
+            assert_eq!(last.answers, blocking.answers, "chunk={chunk}");
+            assert_eq!(last.budget_spent, blocking.oracle_calls, "chunk={chunk}");
+            // Only the final snapshot is marked done, budgets increase.
+            assert!(snapshots.iter().rev().skip(1).all(|s| !s.done));
+            assert!(snapshots.windows(2).all(|w| w[0].budget_spent < w[1].budget_spent));
+        }
+    }
+
+    #[test]
+    fn progressive_with_reuse_disabled_still_matches_blocking() {
+        let (scores, labels, values) = make_population(8_000);
+        let oracle = oracle_for(labels.clone(), values.clone());
+        let cfg = AbaeConfig {
+            budget: 600,
+            reuse: SampleReuse::Disabled,
+            bootstrap: crate::config::BootstrapConfig { trials: 40, alpha: 0.05 },
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(23);
+        let blocking =
+            run_abae_multi_with_ci(&scores, &oracle, &cfg, &[Aggregate::Avg], &mut rng).unwrap();
+        let oracle = oracle_for(labels, values);
+        let mut rng = StdRng::seed_from_u64(23);
+        let opts = ProgressiveOptions { chunk: Some(16), target_ci_width: None };
+        let progressive = run_abae_multi_progressive(
+            &scores,
+            &oracle,
+            &cfg,
+            &[Aggregate::Avg],
+            &opts,
+            &mut rng,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(progressive, blocking);
+    }
+
+    #[test]
+    fn early_stop_spends_less_and_meets_the_target() {
+        let (scores, labels, values) = make_population(20_000);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig {
+            budget: 4000,
+            bootstrap: crate::config::BootstrapConfig { trials: 80, alpha: 0.05 },
+            ..Default::default()
+        };
+        // A loose target the estimator reaches well before the budget.
+        let opts = ProgressiveOptions { chunk: Some(100), target_ci_width: Some(1.5) };
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut final_snapshot = None;
+        let result = run_abae_multi_progressive(
+            &scores,
+            &oracle,
+            &cfg,
+            &[Aggregate::Avg],
+            &opts,
+            &mut rng,
+            |s| {
+                if s.done {
+                    final_snapshot = Some(s.clone());
+                }
+            },
+        )
+        .unwrap();
+        assert!(result.oracle_calls < 4000, "spent {}", result.oracle_calls);
+        let snap = final_snapshot.expect("early stop emits a done snapshot");
+        assert!(snap.answers[0].ci.unwrap().width() < 1.5);
+        assert_eq!(snap.answers, result.answers);
+        assert_eq!(oracle.calls(), result.oracle_calls, "only consumed labels are charged");
+    }
+
+    #[test]
+    fn unreachable_target_runs_the_full_budget() {
+        let (scores, labels, values) = make_population(5_000);
+        let oracle = oracle_for(labels.clone(), values.clone());
+        let cfg = AbaeConfig {
+            budget: 500,
+            bootstrap: crate::config::BootstrapConfig { trials: 40, alpha: 0.05 },
+            ..Default::default()
+        };
+        let opts = ProgressiveOptions { chunk: Some(50), target_ci_width: Some(1e-12) };
+        let mut rng = StdRng::seed_from_u64(5);
+        let progressive = run_abae_multi_progressive(
+            &scores,
+            &oracle,
+            &cfg,
+            &[Aggregate::Avg],
+            &opts,
+            &mut rng,
+            |_| {},
+        )
+        .unwrap();
+        let oracle = oracle_for(labels, values);
+        let mut rng = StdRng::seed_from_u64(5);
+        let blocking =
+            run_abae_multi_with_ci(&scores, &oracle, &cfg, &[Aggregate::Avg], &mut rng).unwrap();
+        assert_eq!(progressive, blocking, "an unmet target must not change the answer");
+    }
+
+    #[test]
+    fn bad_ci_width_targets_are_rejected() {
+        let (scores, labels, values) = make_population(1_000);
+        let oracle = oracle_for(labels, values);
+        let cfg = AbaeConfig { budget: 200, ..Default::default() };
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let opts = ProgressiveOptions { chunk: None, target_ci_width: Some(bad) };
+            let mut rng = StdRng::seed_from_u64(1);
+            let err = run_abae_multi_progressive(
+                &scores,
+                &oracle,
+                &cfg,
+                &[Aggregate::Avg],
+                &opts,
+                &mut rng,
+                |_| {},
+            )
+            .unwrap_err();
+            assert!(matches!(err, ConfigError::BadTargetWidth(_)), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -130,12 +130,14 @@ pub struct Placeholders {
     pub oracle_limit: bool,
     /// The query was written `WITH PROBABILITY ?`.
     pub probability: bool,
+    /// The query was written `UNTIL CI WIDTH < ?`.
+    pub until_width: bool,
 }
 
 impl Placeholders {
     /// Whether any clause is an unbound placeholder.
     pub fn any(&self) -> bool {
-        self.oracle_limit || self.probability
+        self.oracle_limit || self.probability || self.until_width
     }
 }
 
@@ -152,6 +154,12 @@ pub struct Query {
     pub predicate: BoolExpr,
     /// Optional group-by key expression.
     pub group_by: Option<String>,
+    /// Early-stop CI width target (`UNTIL CI WIDTH < x MAX`): the query
+    /// stops spending oracle budget once the confidence interval is
+    /// narrower than `x`, capped by the `ORACLE LIMIT` that follows.
+    /// `None` when the clause is absent (blocking execution); `Some(0.0)`
+    /// when written as the `?` placeholder — check [`Query::placeholders`].
+    pub until_width: Option<f64>,
     /// Oracle budget (`ORACLE LIMIT o`; `0` when written as the `?`
     /// placeholder — check [`Query::placeholders`]).
     pub oracle_limit: usize,

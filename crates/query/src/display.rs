@@ -79,6 +79,11 @@ impl fmt::Display for Query {
         if let Some(key) = &self.group_by {
             write!(f, " GROUP BY {key}")?;
         }
+        if self.placeholders.until_width {
+            write!(f, " UNTIL CI WIDTH < ? MAX")?;
+        } else if let Some(w) = self.until_width {
+            write!(f, " UNTIL CI WIDTH < {w} MAX")?;
+        }
         if self.placeholders.oracle_limit {
             write!(f, " ORACLE LIMIT ?")?;
         } else {
@@ -144,6 +149,7 @@ mod tests {
         assert_eq!(q1.probability, q2.probability);
         assert_eq!(q1.placeholders, q2.placeholders);
         assert_eq!(q1.group_by, q2.group_by);
+        assert_eq!(q1.until_width, q2.until_width);
         assert_eq!(q1.predicate.atom_keys(), q2.predicate.atom_keys());
     }
 
@@ -185,6 +191,30 @@ mod tests {
         roundtrip("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 100 WITH PROBABILITY ?");
         let q = parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT ?").unwrap();
         assert!(format!("{q}").contains("ORACLE LIMIT ?"), "{q}");
+    }
+
+    #[test]
+    fn until_ci_width_queries_roundtrip() {
+        roundtrip("SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < 0.5 MAX ORACLE LIMIT 1000");
+        roundtrip(
+            "SELECT COUNT(frame), person FROM news WHERE seen(frame) GROUP BY person \
+             UNTIL CI WIDTH < 2 MAX ORACLE LIMIT 500",
+        );
+        roundtrip("SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < ? MAX ORACLE LIMIT ?");
+        let q = crate::parser::parse_query(
+            "select avg(x) from t where p until ci width < 0.5 max oracle limit 1000",
+        )
+        .unwrap();
+        assert_eq!(
+            format!("{q}"),
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < 0.5 MAX \
+             ORACLE LIMIT 1000 WITH PROBABILITY 0.95"
+        );
+        let q = crate::parser::parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < ? MAX ORACLE LIMIT 10",
+        )
+        .unwrap();
+        assert!(format!("{q}").contains("UNTIL CI WIDTH < ? MAX"), "{q}");
     }
 
     #[test]

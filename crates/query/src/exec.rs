@@ -101,6 +101,37 @@ impl QueryResult {
     }
 }
 
+/// One progressive snapshot of an executing query: a statistically valid
+/// intermediate answer emitted after a labeling chunk. Rows mirror
+/// [`QueryResult::rows`] (same `PERCENTAGE` scaling, same CI semantics);
+/// `budget_spent` counts oracle labels actually charged so far. The final
+/// snapshot of a run that exhausts its budget (`done == true`) carries the
+/// same estimates and CIs as the blocking answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySnapshot {
+    /// Intermediate per-aggregate answers, in `SELECT`-list order.
+    pub rows: Vec<AggRow>,
+    /// Intermediate group rows for `GROUP BY` queries.
+    pub groups: Option<Vec<GroupRow>>,
+    /// Oracle labels charged up to and including this snapshot's chunk.
+    pub budget_spent: u64,
+    /// `true` on the run's last snapshot — budget exhausted or the
+    /// `UNTIL CI WIDTH` target reached.
+    pub done: bool,
+}
+
+impl QuerySnapshot {
+    /// The primary (first) aggregate's estimate as of this snapshot.
+    pub fn estimate(&self) -> Option<f64> {
+        self.rows.first().map(|r| r.estimate)
+    }
+
+    /// The primary (first) aggregate's CI as of this snapshot.
+    pub fn ci(&self) -> Option<ConfidenceInterval> {
+        self.rows.first().and_then(|r| r.ci)
+    }
+}
+
 /// Result of executing one statement through [`crate::Session::run`]: the
 /// rows of a `SELECT`, or the proxy-management statements' artifacts.
 #[derive(Debug, Clone, PartialEq)]

@@ -65,8 +65,20 @@
 //!   however sessions interleave.
 //! * [`Session::prepare`] parses and plans **once**; the returned
 //!   [`Prepared`] re-executes via [`Prepared::run`] with no re-parsing,
-//!   binding `?` placeholders (`ORACLE LIMIT ?`, `WITH PROBABILITY ?`)
-//!   through [`Prepared::with_budget`] / [`Prepared::with_probability`].
+//!   binding `?` placeholders (`ORACLE LIMIT ?`, `WITH PROBABILITY ?`,
+//!   `UNTIL CI WIDTH < ?`) through [`Prepared::with_budget`] /
+//!   [`Prepared::with_probability`] / [`Prepared::with_ci_width`].
+//!
+//! # Anytime queries
+//!
+//! `UNTIL CI WIDTH < x MAX ORACLE LIMIT n` makes a query *anytime*:
+//! labeling proceeds in budget chunks and stops at the first chunk
+//! boundary where the answer's CI is narrower than `x`, spending at most
+//! `n` oracle calls. [`Prepared::run_progressive`] and
+//! [`Session::execute_progressive`] additionally surface every
+//! intermediate answer as a [`QuerySnapshot`] stream; without an early
+//! stop, the final snapshot is bit-identical to the blocking answer for
+//! any thread count or chunk size.
 //!
 //! Migration from the seed API: `Executor::new(&catalog)` + caller RNG
 //! becomes `EngineBuilder::from_catalog(catalog).seed(s).build()` +
@@ -95,8 +107,8 @@ pub use ddl::DEFAULT_TRAIN_LIMIT;
 pub use engine::{Engine, EngineBuilder, EngineOptions};
 #[allow(deprecated)]
 pub use exec::Executor;
-pub use exec::{AggRow, GroupRow, QueryError, QueryResult, StatementOutcome};
+pub use exec::{AggRow, GroupRow, QueryError, QueryResult, QuerySnapshot, StatementOutcome};
 pub use parser::{parse_query, parse_statement};
 pub use plan::ScoreSource;
-pub use prepared::Prepared;
+pub use prepared::{Prepared, ProgressiveRun};
 pub use session::Session;

@@ -8,6 +8,7 @@
 //! query    := SELECT agg_item (',' agg_item)* [',' ident] FROM ident
 //!             WHERE or_expr
 //!             [GROUP BY ident_expr]
+//!             [UNTIL CI WIDTH '<' (number | '?') MAX]
 //!             ORACLE LIMIT (number | '?') [USING ident]
 //!             [WITH PROBABILITY (number | '?')] [';']
 //! agg_item := agg '(' agg_expr ')'
@@ -401,6 +402,26 @@ impl Parser {
         }
 
         let mut placeholders = Placeholders::default();
+
+        // `UNTIL CI WIDTH < x MAX ORACLE LIMIT n`: stop early once the CI
+        // is narrower than `x`, never spending more than `n`. The `MAX`
+        // keyword is mandatory — the budget that follows is a cap, not a
+        // target.
+        let mut until_width = None;
+        if self.try_keyword("UNTIL") {
+            self.keyword("CI")?;
+            self.keyword("WIDTH")?;
+            self.expect(&TokenKind::Lt, "`<`")?;
+            if self.peek() == Some(&TokenKind::Question) {
+                self.pos += 1;
+                placeholders.until_width = true;
+                until_width = Some(0.0);
+            } else {
+                until_width = Some(self.number("CI width target or `?`")?);
+            }
+            self.keyword("MAX")?;
+        }
+
         self.keyword("ORACLE")?;
         self.keyword("LIMIT")?;
         // `ORACLE LIMIT ?` defers the budget to Prepared::with_budget.
@@ -445,6 +466,7 @@ impl Parser {
             table,
             predicate,
             group_by,
+            until_width,
             oracle_limit: limit.max(0.0) as usize,
             proxy,
             probability,
@@ -729,6 +751,82 @@ mod tests {
     }
 
     #[test]
+    fn parses_until_ci_width_clause() {
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < 0.5 MAX ORACLE LIMIT 1000",
+        )
+        .unwrap();
+        assert_eq!(q.until_width, Some(0.5));
+        assert!(!q.placeholders.until_width);
+        assert_eq!(q.oracle_limit, 1000);
+
+        // Group-by queries accept the clause too (after GROUP BY).
+        let q = parse_query(
+            "SELECT COUNT(frame), person FROM news WHERE seen(frame) GROUP BY person \
+             UNTIL CI WIDTH < 2 MAX ORACLE LIMIT 500",
+        )
+        .unwrap();
+        assert_eq!(q.until_width, Some(2.0));
+        assert_eq!(q.group_by.as_deref(), Some("person"));
+
+        // Absent clause → no early stopping.
+        let q = parse_query("SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 100").unwrap();
+        assert_eq!(q.until_width, None);
+    }
+
+    #[test]
+    fn until_ci_width_placeholder_defers_the_target() {
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < ? MAX ORACLE LIMIT 1000",
+        )
+        .unwrap();
+        assert!(q.placeholders.until_width);
+        assert!(q.placeholders.any());
+        assert_eq!(q.until_width, Some(0.0), "inert default backs the placeholder");
+    }
+
+    #[test]
+    fn until_ci_width_rejects_malformed_clauses() {
+        // Missing MAX: the budget cap keyword is mandatory.
+        assert!(parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < 0.5 ORACLE LIMIT 1000",
+        )
+        .is_err());
+        // Missing `<`.
+        assert!(parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH 0.5 MAX ORACLE LIMIT 1000",
+        )
+        .is_err());
+        // Missing WIDTH.
+        assert!(parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI < 0.5 MAX ORACLE LIMIT 1000",
+        )
+        .is_err());
+        // Missing the width value entirely.
+        assert!(parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < MAX ORACLE LIMIT 1000",
+        )
+        .is_err());
+        // The clause must precede ORACLE LIMIT, not follow it.
+        assert!(parse_query(
+            "SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 1000 UNTIL CI WIDTH < 0.5 MAX",
+        )
+        .is_err());
+        // The dialect has no minus operator, so a negative width cannot
+        // even lex.
+        assert!(parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < -1 MAX ORACLE LIMIT 1000",
+        )
+        .is_err());
+        // Zero parses; it is rejected at run time with BadTargetWidth.
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < 0 MAX ORACLE LIMIT 1000",
+        )
+        .unwrap();
+        assert_eq!(q.until_width, Some(0.0));
+    }
+
+    #[test]
     fn placeholders_are_rejected_outside_limit_and_probability() {
         assert!(parse_query("SELECT AVG(?) FROM t WHERE p ORACLE LIMIT 10").is_err());
         assert!(parse_query("SELECT AVG(x) FROM ? WHERE p ORACLE LIMIT 10").is_err());
@@ -832,6 +930,7 @@ mod robustness {
                     Just("LIMIT"), Just("USING"), Just("WITH"),
                     Just("PROBABILITY"), Just("x"), Just("1"), Just("0.5"),
                     Just("'s'"), Just(","), Just("="), Just(">"), Just("?"),
+                    Just("UNTIL"), Just("CI"), Just("WIDTH"), Just("MAX"), Just("<"),
                     Just("CREATE"), Just("PROXY"), Just("ON"), Just("CALIBRATED"),
                     Just("TRAIN"), Just("SHOW"), Just("PROXIES"),
                 ],

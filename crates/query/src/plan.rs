@@ -19,10 +19,14 @@
 use crate::ast::Query;
 use crate::catalog::Catalog;
 use crate::engine::EngineOptions;
-use crate::exec::{AggRow, GroupRow, QueryError, QueryResult};
+use crate::exec::{AggRow, GroupRow, QueryError, QueryResult, QuerySnapshot};
 use abae_core::config::{AbaeConfig, Aggregate, BootstrapConfig};
-use abae_core::groupby::{groupby_single_oracle_with_ci, GroupByConfig};
+use abae_core::groupby::{
+    groupby_single_oracle_progressive, groupby_single_oracle_with_ci, GroupByConfig,
+    GroupSnapshot,
+};
 use abae_core::multipred::{expression_oracle, PredExpr};
+use abae_core::two_stage::{ProgressiveOptions, Snapshot};
 use abae_data::{CachedOracle, Oracle, SingleGroupOracle, Table, TrainedProxy};
 use abae_stats::bootstrap::ConfidenceInterval;
 use rand::Rng;
@@ -150,6 +154,8 @@ pub(crate) struct Bindings {
     pub oracle_limit: Option<usize>,
     /// Bound success probability (`WITH PROBABILITY ?`).
     pub probability: Option<f64>,
+    /// Bound early-stop CI width target (`UNTIL CI WIDTH < ?`).
+    pub until_width: Option<f64>,
 }
 
 /// The effective oracle budget under `bindings`, or an unbound-placeholder
@@ -169,6 +175,17 @@ fn effective_probability(query: &Query, bindings: &Bindings) -> Result<f64, Quer
         (Some(p), _) => Ok(p),
         (None, false) => Ok(query.probability),
         (None, true) => Err(QueryError::UnboundParameter("WITH PROBABILITY ?")),
+    }
+}
+
+/// The effective early-stop CI width target under `bindings` (`None` when
+/// the query has no `UNTIL CI WIDTH` clause), or an unbound-placeholder
+/// error.
+fn effective_width(query: &Query, bindings: &Bindings) -> Result<Option<f64>, QueryError> {
+    match (bindings.until_width, query.placeholders.until_width) {
+        (Some(w), _) => Ok(Some(w)),
+        (None, false) => Ok(query.until_width),
+        (None, true) => Err(QueryError::UnboundParameter("UNTIL CI WIDTH < ?")),
     }
 }
 
@@ -282,6 +299,10 @@ pub(crate) fn plan_query(catalog: &Catalog, query: &Query) -> Result<QueryPlan, 
 /// Executes a plan with the given knobs and bindings. The RNG is the only
 /// source of randomness; for a fixed stream the result is bit-identical
 /// regardless of thread count, cache state, or concurrent sessions.
+///
+/// A query with an `UNTIL CI WIDTH` clause routes through the anytime
+/// executors and may stop before the budget cap; everything else takes the
+/// blocking path unchanged.
 pub(crate) fn run_plan<R: Rng + ?Sized>(
     catalog: &Catalog,
     plan: &QueryPlan,
@@ -289,9 +310,38 @@ pub(crate) fn run_plan<R: Rng + ?Sized>(
     bindings: &Bindings,
     rng: &mut R,
 ) -> Result<QueryResult, QueryError> {
+    run_plan_inner(catalog, plan, opts, bindings, rng, None)
+}
+
+/// Executes a plan progressively: `on_snapshot` fires after every labeling
+/// chunk with a statistically valid intermediate answer for the same query
+/// (estimates from the labels so far; CIs from a forked RNG stream). When
+/// no `UNTIL CI WIDTH` target stops the run early, the returned result is
+/// bit-identical to [`run_plan`] with the same stream — snapshots change
+/// when progress is reported, never what is drawn.
+pub(crate) fn run_plan_progressive<R: Rng + ?Sized>(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    opts: &EngineOptions,
+    bindings: &Bindings,
+    rng: &mut R,
+    on_snapshot: &mut dyn FnMut(&QuerySnapshot),
+) -> Result<QueryResult, QueryError> {
+    run_plan_inner(catalog, plan, opts, bindings, rng, Some(on_snapshot))
+}
+
+fn run_plan_inner<R: Rng + ?Sized>(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    opts: &EngineOptions,
+    bindings: &Bindings,
+    rng: &mut R,
+    mut observer: Option<&mut dyn FnMut(&QuerySnapshot)>,
+) -> Result<QueryResult, QueryError> {
     let query = &plan.query;
     let budget = effective_budget(query, bindings)?;
     let probability = effective_probability(query, bindings)?;
+    let width = effective_width(query, bindings)?;
     let table = catalog
         .table(&query.table)
         .ok_or_else(|| QueryError::UnknownTable(query.table.clone()))?;
@@ -313,44 +363,83 @@ pub(crate) fn run_plan<R: Rng + ?Sized>(
             };
             // One labeling pass answers every aggregate of the SELECT list.
             let aggs: Vec<Aggregate> = query.aggs.iter().map(|a| a.func.to_core()).collect();
-            let (multi, cache_hits, cache_misses) = match catalog.label_store() {
-                // Cross-query reuse: route labeling through the store's
-                // entry for this (table, predicate) pair — cached verdicts
-                // are free.
-                Some(store) => {
-                    let cached = CachedOracle::new(oracle, store, &query.table, pred_key);
-                    let multi = abae_core::two_stage::run_abae_multi_with_ci(
-                        scores, &cached, &config, &aggs, rng,
-                    )
-                    .map_err(QueryError::Config)?;
-                    (multi, cached.hits(), cached.misses())
-                }
-                None => (
-                    abae_core::two_stage::run_abae_multi_with_ci(
-                        scores, &oracle, &config, &aggs, rng,
-                    )
-                    .map_err(QueryError::Config)?,
-                    0,
-                    0,
-                ),
-            };
-            let rows = agg_rows(query, &multi);
-            Ok(QueryResult::new(rows, multi.oracle_calls, cache_hits, cache_misses, None))
+            if width.is_none() && observer.is_none() {
+                // Blocking path, byte for byte the pre-anytime executor.
+                let (multi, cache_hits, cache_misses) = match catalog.label_store() {
+                    // Cross-query reuse: route labeling through the store's
+                    // entry for this (table, predicate) pair — cached
+                    // verdicts are free.
+                    Some(store) => {
+                        let cached = CachedOracle::new(oracle, store, &query.table, pred_key);
+                        let multi = abae_core::two_stage::run_abae_multi_with_ci(
+                            scores, &cached, &config, &aggs, rng,
+                        )
+                        .map_err(QueryError::Config)?;
+                        (multi, cached.hits(), cached.misses())
+                    }
+                    None => (
+                        abae_core::two_stage::run_abae_multi_with_ci(
+                            scores, &oracle, &config, &aggs, rng,
+                        )
+                        .map_err(QueryError::Config)?,
+                        0,
+                        0,
+                    ),
+                };
+                let rows = agg_rows(query, &multi);
+                Ok(QueryResult::new(rows, multi.oracle_calls, cache_hits, cache_misses, None))
+            } else {
+                let progressive =
+                    ProgressiveOptions { chunk: None, target_ci_width: width };
+                let mut emit = |snap: &Snapshot| {
+                    if let Some(obs) = observer.as_deref_mut() {
+                        obs(&QuerySnapshot {
+                            rows: rows_from_answers(query, &snap.answers),
+                            groups: None,
+                            budget_spent: snap.budget_spent,
+                            done: snap.done,
+                        });
+                    }
+                };
+                let (multi, cache_hits, cache_misses) = match catalog.label_store() {
+                    Some(store) => {
+                        let cached = CachedOracle::new(oracle, store, &query.table, pred_key);
+                        let multi = abae_core::two_stage::run_abae_multi_progressive(
+                            scores, &cached, &config, &aggs, &progressive, rng, &mut emit,
+                        )
+                        .map_err(QueryError::Config)?;
+                        (multi, cached.hits(), cached.misses())
+                    }
+                    None => (
+                        abae_core::two_stage::run_abae_multi_progressive(
+                            scores, &oracle, &config, &aggs, &progressive, rng, &mut emit,
+                        )
+                        .map_err(QueryError::Config)?,
+                        0,
+                        0,
+                    ),
+                };
+                let rows = agg_rows(query, &multi);
+                Ok(QueryResult::new(rows, multi.oracle_calls, cache_hits, cache_misses, None))
+            }
         }
         PlanKind::GroupBy { groups } => {
-            run_groupby(plan, table, groups, budget, probability, opts, rng)
+            run_groupby(plan, table, groups, budget, probability, width, opts, rng, observer)
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_groupby<R: Rng + ?Sized>(
     plan: &QueryPlan,
     table: &Table,
     groups: &[String],
     budget: usize,
     probability: f64,
+    width: Option<f64>,
     opts: &EngineOptions,
     rng: &mut R,
+    mut observer: Option<&mut dyn FnMut(&QuerySnapshot)>,
 ) -> Result<QueryResult, QueryError> {
     let query = &plan.query;
     let agg = query.primary_agg().clone();
@@ -370,24 +459,59 @@ fn run_groupby<R: Rng + ?Sized>(
         ..Default::default()
     };
     let bootstrap = BootstrapConfig { trials: opts.bootstrap_trials, alpha: 1.0 - probability };
-    let estimates = groupby_single_oracle_with_ci(&proxies, &oracle, &cfg, &bootstrap, rng)
+
+    // Builds the query-level rows (group rows plus the summary aggregate
+    // row) from core per-group estimates, applying PERCENTAGE scaling.
+    let to_rows = |estimates: &[abae_core::groupby::GroupEstimateWithCi]| {
+        let rows: Vec<GroupRow> = estimates
+            .iter()
+            .map(|e| GroupRow {
+                name: groups[e.group as usize].clone(),
+                estimate: scale_percentage(agg.func, e.estimate),
+                ci: e.ci.map(|ci| scale_percentage_ci(agg.func, ci)),
+            })
+            .collect();
+        let mean = rows.iter().map(|r| r.estimate).sum::<f64>() / rows.len().max(1) as f64;
+        let summary = AggRow {
+            func: agg.func,
+            expr: agg.expr.clone(),
+            estimate: mean,
+            ci: None,
+        };
+        (summary, rows)
+    };
+
+    if width.is_none() && observer.is_none() {
+        // Blocking path, byte for byte the pre-anytime executor.
+        let estimates = groupby_single_oracle_with_ci(&proxies, &oracle, &cfg, &bootstrap, rng)
+            .map_err(QueryError::GroupBy)?;
+        let (summary, rows) = to_rows(&estimates);
+        Ok(QueryResult::new(vec![summary], oracle.calls(), 0, 0, Some(rows)))
+    } else {
+        let progressive = ProgressiveOptions { chunk: None, target_ci_width: width };
+        let result = groupby_single_oracle_progressive(
+            &proxies,
+            &oracle,
+            &cfg,
+            &bootstrap,
+            &progressive,
+            rng,
+            |snap: &GroupSnapshot| {
+                if let Some(obs) = observer.as_deref_mut() {
+                    let (summary, rows) = to_rows(&snap.groups);
+                    obs(&QuerySnapshot {
+                        rows: vec![summary],
+                        groups: Some(rows),
+                        budget_spent: snap.budget_spent,
+                        done: snap.done,
+                    });
+                }
+            },
+        )
         .map_err(QueryError::GroupBy)?;
-    let rows: Vec<GroupRow> = estimates
-        .iter()
-        .map(|e| GroupRow {
-            name: groups[e.group as usize].clone(),
-            estimate: scale_percentage(agg.func, e.estimate),
-            ci: e.ci.map(|ci| scale_percentage_ci(agg.func, ci)),
-        })
-        .collect();
-    let mean = rows.iter().map(|r| r.estimate).sum::<f64>() / rows.len().max(1) as f64;
-    Ok(QueryResult::new(
-        vec![AggRow { func: agg.func, expr: agg.expr, estimate: mean, ci: None }],
-        oracle.calls(),
-        0,
-        0,
-        Some(rows),
-    ))
+        let (summary, rows) = to_rows(&result.groups);
+        Ok(QueryResult::new(vec![summary], result.oracle_calls, 0, 0, Some(rows)))
+    }
 }
 
 /// `EXPLAIN`: renders the physical plan — the chosen algorithm, the
@@ -451,6 +575,21 @@ pub(crate) fn explain_plan(
             "budget : ? oracle calls (placeholder — bind with Prepared::with_budget)".to_string(),
         ),
     }
+    // The stopping rule, when the query is anytime: the budget above is a
+    // cap, and labeling halts at the first chunk boundary (pilot complete)
+    // where every CI is narrower than the target.
+    match effective_width(query, bindings) {
+        Ok(Some(w)) => lines.push(format!(
+            "stop   : UNTIL CI WIDTH < {w} — anytime execution in chunks of {}; \
+             the oracle limit is a cap, not a target",
+            opts.exec.batch_size,
+        )),
+        Ok(None) => {}
+        Err(_) => lines.push(
+            "stop   : UNTIL CI WIDTH < ? (placeholder — bind with Prepared::with_ci_width)"
+                .to_string(),
+        ),
+    }
     lines.push(match (catalog.label_store(), &plan.kind) {
         (Some(_), PlanKind::GroupBy { .. }) => {
             // GROUP BY labeling keeps its own within-query cache but does
@@ -486,10 +625,17 @@ pub(crate) fn explain_plan(
 /// Builds the per-aggregate result rows, applying `PERCENTAGE` scaling to
 /// estimate and CI alike.
 fn agg_rows(query: &Query, multi: &abae_core::two_stage::MultiAggResult) -> Vec<AggRow> {
+    rows_from_answers(query, &multi.answers)
+}
+
+/// The row-building shared by final results and progressive snapshots, so
+/// an intermediate snapshot scales `PERCENTAGE` exactly like the answer it
+/// converges to.
+fn rows_from_answers(query: &Query, answers: &[abae_core::AggAnswer]) -> Vec<AggRow> {
     query
         .aggs
         .iter()
-        .zip(&multi.answers)
+        .zip(answers)
         .map(|(item, answer)| AggRow {
             func: item.func,
             expr: item.expr.clone(),
@@ -607,8 +753,38 @@ mod tests {
         .unwrap();
         let plan = plan_query(&cat, &q).unwrap();
         assert_eq!(effective_budget(&plan.query, &Bindings::default()).unwrap(), 4);
-        let b = Bindings { oracle_limit: Some(2), probability: Some(0.9) };
+        let b = Bindings {
+            oracle_limit: Some(2),
+            probability: Some(0.9),
+            until_width: Some(0.25),
+        };
         assert_eq!(effective_budget(&plan.query, &b).unwrap(), 2);
         assert_eq!(effective_probability(&plan.query, &b).unwrap(), 0.9);
+        assert_eq!(effective_width(&plan.query, &b).unwrap(), Some(0.25));
+        // No clause, no binding → no early stopping.
+        assert_eq!(effective_width(&plan.query, &Bindings::default()).unwrap(), None);
+    }
+
+    #[test]
+    fn unbound_width_placeholder_fails_at_run() {
+        let cat = catalog();
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE p UNTIL CI WIDTH < ? MAX ORACLE LIMIT 50",
+        )
+        .unwrap();
+        let plan = plan_query(&cat, &q).expect("placeholders plan fine");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let err = run_plan(
+            &cat,
+            &plan,
+            &EngineOptions::default(),
+            &Bindings::default(),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::UnboundParameter("UNTIL CI WIDTH < ?")), "{err}");
+        let bound = Bindings { until_width: Some(1000.0), ..Default::default() };
+        let r = run_plan(&cat, &plan, &EngineOptions::default(), &bound, &mut rng).unwrap();
+        assert!(r.oracle_calls <= 50);
     }
 }

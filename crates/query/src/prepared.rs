@@ -14,8 +14,8 @@
 
 use crate::ast::Query;
 use crate::engine::Engine;
-use crate::exec::{QueryError, QueryResult};
-use crate::plan::{explain_plan, run_plan, Bindings, QueryPlan};
+use crate::exec::{QueryError, QueryResult, QuerySnapshot};
+use crate::plan::{explain_plan, run_plan, run_plan_progressive, Bindings, QueryPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,11 +35,12 @@ pub struct Prepared {
     base_seed: u64,
     budget: Option<usize>,
     probability: Option<f64>,
+    ci_width: Option<f64>,
 }
 
 impl Prepared {
     pub(crate) fn new(engine: Engine, plan: QueryPlan, base_seed: u64) -> Self {
-        Self { engine, plan, base_seed, budget: None, probability: None }
+        Self { engine, plan, base_seed, budget: None, probability: None, ci_width: None }
     }
 
     /// Binds the oracle budget (`ORACLE LIMIT ?`), or overrides a literal
@@ -56,6 +57,15 @@ impl Prepared {
         self
     }
 
+    /// Binds the early-stop CI width target (`UNTIL CI WIDTH < ?`), or
+    /// overrides a literal one — execution then stops at the first chunk
+    /// boundary where the CI is narrower than `width`, spending at most
+    /// the oracle limit.
+    pub fn with_ci_width(mut self, width: f64) -> Self {
+        self.ci_width = Some(width);
+        self
+    }
+
     /// Executes the planned statement with the current bindings. Fails
     /// with [`QueryError::UnboundParameter`] if a `?` placeholder was
     /// never bound.
@@ -68,6 +78,29 @@ impl Prepared {
             &self.bindings(),
             &mut rng,
         )
+    }
+
+    /// Executes the planned statement progressively: labeling proceeds in
+    /// chunks, and after every chunk a [`QuerySnapshot`] with a
+    /// statistically valid intermediate answer is recorded. Returns the
+    /// full snapshot sequence plus the final result.
+    ///
+    /// Determinism: the same RNG stream as [`Prepared::run`] — when no
+    /// `UNTIL CI WIDTH` target stops the run early, the final result (and
+    /// the last snapshot's rows) is bit-identical to what `run` returns,
+    /// for any thread count or chunk size.
+    pub fn run_progressive(&self) -> Result<ProgressiveRun, QueryError> {
+        let mut rng = StdRng::seed_from_u64(self.base_seed);
+        let mut snapshots = Vec::new();
+        let result = run_plan_progressive(
+            self.engine.catalog(),
+            &self.plan,
+            self.engine.options(),
+            &self.bindings(),
+            &mut rng,
+            &mut |snap| snapshots.push(snap.clone()),
+        )?;
+        Ok(ProgressiveRun { snapshots, result })
     }
 
     /// `EXPLAIN` for the prepared statement, reflecting the current
@@ -88,7 +121,58 @@ impl Prepared {
     }
 
     fn bindings(&self) -> Bindings {
-        Bindings { oracle_limit: self.budget, probability: self.probability }
+        Bindings {
+            oracle_limit: self.budget,
+            probability: self.probability,
+            until_width: self.ci_width,
+        }
+    }
+}
+
+/// The record of one [`Prepared::run_progressive`] execution: every
+/// per-chunk [`QuerySnapshot`] in emission order, plus the final
+/// [`QueryResult`]. Iterate it (`for snap in &run` / `for snap in run`)
+/// to replay the snapshot stream.
+#[derive(Debug, Clone)]
+pub struct ProgressiveRun {
+    snapshots: Vec<QuerySnapshot>,
+    result: QueryResult,
+}
+
+impl ProgressiveRun {
+    /// The emitted snapshots, in order. The last one has `done == true`
+    /// and carries the same rows as [`ProgressiveRun::result`].
+    pub fn snapshots(&self) -> &[QuerySnapshot] {
+        &self.snapshots
+    }
+
+    /// The final answer — bit-identical to [`Prepared::run`] when no
+    /// early stop triggered.
+    pub fn result(&self) -> &QueryResult {
+        &self.result
+    }
+
+    /// Consumes the run, returning the final answer.
+    pub fn into_result(self) -> QueryResult {
+        self.result
+    }
+}
+
+impl IntoIterator for ProgressiveRun {
+    type Item = QuerySnapshot;
+    type IntoIter = std::vec::IntoIter<QuerySnapshot>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.snapshots.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ProgressiveRun {
+    type Item = &'a QuerySnapshot;
+    type IntoIter = std::slice::Iter<'a, QuerySnapshot>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.snapshots.iter()
     }
 }
 
@@ -147,6 +231,61 @@ mod tests {
         let r = p.with_probability(0.9).run().unwrap();
         let ci = r.ci().expect("scalar CI");
         assert!((ci.confidence - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_progressive_final_snapshot_matches_run() {
+        let e = engine(false);
+        let p = e
+            .session()
+            .prepare("SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT 400")
+            .unwrap();
+        let blocking = p.run().unwrap();
+        let progressive = p.run_progressive().unwrap();
+        assert_eq!(progressive.result(), &blocking, "same stream, same answer");
+        let last = progressive.snapshots().last().expect("at least one snapshot");
+        assert!(last.done);
+        assert_eq!(last.rows, blocking.rows);
+        assert_eq!(last.budget_spent, blocking.oracle_calls);
+        // Budgets are non-decreasing and only the last snapshot is done.
+        let snaps = progressive.snapshots();
+        for pair in snaps.windows(2) {
+            assert!(pair[0].budget_spent <= pair[1].budget_spent);
+        }
+        assert!(snaps.iter().filter(|s| s.done).count() == 1);
+        // The run iterates.
+        assert_eq!((&progressive).into_iter().count(), snaps.len());
+    }
+
+    #[test]
+    fn ci_width_binding_stops_early() {
+        let e = engine(false);
+        // Same session id + statement index → same prepared RNG stream for
+        // the anytime and blocking statements, so they are comparable.
+        let p = e
+            .session_with_id(7)
+            .prepare(
+                "SELECT AVG(links) FROM emails WHERE is_spam \
+                 UNTIL CI WIDTH < ? MAX ORACLE LIMIT 3000",
+            )
+            .unwrap();
+        assert!(matches!(p.run(), Err(QueryError::UnboundParameter("UNTIL CI WIDTH < ?"))));
+        // A generous target stops well short of the cap and meets the
+        // target; accounting reflects only what was actually charged.
+        let r = p.clone().with_ci_width(5.0).run().unwrap();
+        assert!(r.oracle_calls < 3000, "spent {} of 3000", r.oracle_calls);
+        let ci = r.ci().expect("scalar CI");
+        assert!(ci.width() < 5.0, "width {}", ci.width());
+        // An unreachable target spends the full budget and matches the
+        // blocking run for the same statement.
+        let full = p.with_ci_width(1e-12).run().unwrap();
+        let blocking = e
+            .session_with_id(7)
+            .prepare("SELECT AVG(links) FROM emails WHERE is_spam ORACLE LIMIT 3000")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(full, blocking, "no early stop → bit-identical to blocking");
     }
 
     #[test]

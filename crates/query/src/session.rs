@@ -11,9 +11,9 @@
 use crate::ast::Statement;
 use crate::ddl::{run_create_proxy, run_show_proxies};
 use crate::engine::Engine;
-use crate::exec::{QueryError, QueryResult, StatementOutcome};
+use crate::exec::{QueryError, QueryResult, QuerySnapshot, StatementOutcome};
 use crate::parser::{parse_query, parse_statement};
-use crate::plan::{explain_plan, plan_query, run_plan, Bindings};
+use crate::plan::{explain_plan, plan_query, run_plan, run_plan_progressive, Bindings};
 use crate::prepared::Prepared;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,6 +69,31 @@ impl Session {
             self.engine.options(),
             &Bindings::default(),
             &mut self.rng,
+        )
+    }
+
+    /// Like [`Session::execute`], but surfaces progress: `on_snapshot`
+    /// fires after every labeling chunk with a statistically valid
+    /// intermediate answer ([`QuerySnapshot`]) for the same query.
+    ///
+    /// The session's RNG stream advances exactly as [`Session::execute`]
+    /// would, and when no `UNTIL CI WIDTH` target stops the run early the
+    /// returned result is bit-identical to what `execute` returns — for
+    /// any thread count or chunk size.
+    pub fn execute_progressive(
+        &mut self,
+        sql: &str,
+        mut on_snapshot: impl FnMut(&QuerySnapshot),
+    ) -> Result<QueryResult, QueryError> {
+        let query = parse_query(sql)?;
+        let plan = plan_query(self.engine.catalog(), &query)?;
+        run_plan_progressive(
+            self.engine.catalog(),
+            &plan,
+            self.engine.options(),
+            &Bindings::default(),
+            &mut self.rng,
+            &mut on_snapshot,
         )
     }
 
@@ -174,6 +199,37 @@ mod tests {
         let mut replay = e.session_with_id(s.id());
         assert_eq!(replay.execute(SQL).unwrap(), first);
         assert_eq!(replay.execute(SQL).unwrap(), second);
+    }
+
+    #[test]
+    fn execute_progressive_matches_execute_and_streams_snapshots() {
+        let e = engine(21);
+        let blocking = e.session_with_id(1).execute(SQL).unwrap();
+        let mut snaps = Vec::new();
+        let progressive = e
+            .session_with_id(1)
+            .execute_progressive(SQL, |s| snaps.push(s.clone()))
+            .unwrap();
+        assert_eq!(progressive, blocking, "same session stream, same answer");
+        let last = snaps.last().expect("at least one snapshot");
+        assert!(last.done);
+        assert_eq!(last.rows, blocking.rows);
+        assert_eq!(last.budget_spent, blocking.oracle_calls);
+    }
+
+    #[test]
+    fn until_ci_width_stops_early_through_execute() {
+        let e = engine(23);
+        let r = e
+            .session()
+            .execute(
+                "SELECT AVG(links) FROM emails WHERE is_spam \
+                 UNTIL CI WIDTH < 5 MAX ORACLE LIMIT 3000",
+            )
+            .unwrap();
+        assert!(r.oracle_calls < 3000, "spent {} of 3000", r.oracle_calls);
+        let ci = r.ci().expect("scalar CI");
+        assert!(ci.width() < 5.0, "width {}", ci.width());
     }
 
     #[test]

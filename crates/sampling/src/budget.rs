@@ -49,6 +49,24 @@ pub fn largest_remainder_allocation(weights: &[f64], n: usize) -> Vec<usize> {
     allocate(weights, n, true)
 }
 
+/// Re-splits a labeling workload of `total` draws into snapshot chunks of
+/// at most `chunk` draws each (the last chunk takes the remainder). A
+/// `chunk` of zero is clamped to 1. The chunk sizes always sum to `total`,
+/// so chunked labeling spends exactly the budget a one-shot pass would —
+/// snapshot boundaries never change how much is drawn, only when progress
+/// is reported.
+pub fn chunk_sizes(total: usize, chunk: usize) -> Vec<usize> {
+    let chunk = chunk.max(1);
+    let mut out = Vec::with_capacity(total.div_ceil(chunk));
+    let mut remaining = total;
+    while remaining > 0 {
+        let take = chunk.min(remaining);
+        out.push(take);
+        remaining -= take;
+    }
+    out
+}
+
 fn allocate(weights: &[f64], n: usize, redistribute: bool) -> Vec<usize> {
     if weights.is_empty() {
         return Vec::new();
@@ -157,6 +175,16 @@ mod tests {
         assert_eq!(floor_allocation(&[3.7], 9), vec![9]);
     }
 
+    #[test]
+    fn chunk_sizes_cover_the_workload_exactly() {
+        assert_eq!(chunk_sizes(10, 4), vec![4, 4, 2]);
+        assert_eq!(chunk_sizes(8, 4), vec![4, 4]);
+        assert_eq!(chunk_sizes(3, 100), vec![3]);
+        assert_eq!(chunk_sizes(0, 4), Vec::<usize>::new());
+        // Zero chunk is clamped, not an infinite loop.
+        assert_eq!(chunk_sizes(3, 0), vec![1, 1, 1]);
+    }
+
     proptest! {
         #[test]
         fn floor_never_exceeds_budget(
@@ -174,6 +202,16 @@ mod tests {
         ) {
             let a = largest_remainder_allocation(&weights, n);
             prop_assert_eq!(a.iter().sum::<usize>(), n);
+        }
+
+        #[test]
+        fn chunk_sizes_always_sum_to_total(
+            total in 0usize..10_000,
+            chunk in 0usize..600,
+        ) {
+            let sizes = chunk_sizes(total, chunk);
+            prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+            prop_assert!(sizes.iter().all(|&s| s > 0 && s <= chunk.max(1)));
         }
 
         #[test]

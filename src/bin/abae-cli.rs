@@ -26,6 +26,12 @@
 //!     "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 2000 USING spamnet" \
 //!     "SHOW PROXIES"
 //!
+//! # Watch an anytime query converge — one progress line per labeling
+//! # chunk — and stop early once the CI is narrower than 0.2:
+//! abae-cli --demo --progress \
+//!     "SELECT AVG(links) FROM trec05p WHERE is_spam \
+//!      UNTIL CI WIDTH < 0.2 MAX ORACLE LIMIT 5000"
+//!
 //! # Interactive: one statement per stdin line against a persistent
 //! # session — with --cache, watch later statements hit the warm store.
 //! abae-cli --demo --cache --repl
@@ -51,6 +57,7 @@ struct Args {
     explain: bool,
     cache: bool,
     repl: bool,
+    progress: bool,
     seed: u64,
     exec: ExecOptions,
     sql: Vec<String>,
@@ -59,13 +66,14 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: abae-cli [--csv FILE --table NAME | --demo] [--explain] [--cache] [--repl]\n\
-         \x20               [--seed N] [--threads N] [--batch N] [\"SQL\" ...]\n\
+         \x20               [--progress] [--seed N] [--threads N] [--batch N] [\"SQL\" ...]\n\
          \n\
          The SQL dialect is the ABae paper's Figure 1, extended with\n\
          multi-aggregate SELECT lists (one labeling pass answers them all)\n\
          and in-engine proxy training:\n\
          SELECT {{AVG|SUM|COUNT|PERCENTAGE}}(expr) [, ...] FROM table WHERE predicate\n\
-         [GROUP BY key] ORACLE LIMIT n [USING proxy] [WITH PROBABILITY p]\n\
+         [GROUP BY key] [UNTIL CI WIDTH < x MAX] ORACLE LIMIT n [USING proxy]\n\
+         [WITH PROBABILITY p]\n\
          CREATE PROXY name ON table(predicate) [USING {{keyword|logistic}}]\n\
          [CALIBRATED] [TRAIN LIMIT n]\n\
          SHOW PROXIES [FROM table]\n\
@@ -76,6 +84,10 @@ fn usage() -> ! {
          --repl reads one statement per stdin line against the same\n\
          persistent session (prefix with EXPLAIN to plan without running;\n\
          quit/exit or EOF ends). Positional SQL runs before the repl.\n\
+         --progress streams one line per labeling chunk to stderr while a\n\
+         SELECT runs (anytime snapshots: estimate, CI, budget spent);\n\
+         combined with UNTIL CI WIDTH the query stops once the CI is\n\
+         narrow enough, spending less than the oracle limit.\n\
          --threads / --batch control the parallel oracle-labeling pipeline\n\
          (defaults: env ABAE_THREADS / ABAE_BATCH, else 1 thread, batch 256).\n\
          Results are identical for any thread count or batch size."
@@ -91,6 +103,7 @@ fn parse_args() -> Args {
         explain: false,
         cache: false,
         repl: false,
+        progress: false,
         seed: 0xABAE,
         exec: ExecOptions::default(),
         sql: Vec::new(),
@@ -107,6 +120,7 @@ fn parse_args() -> Args {
             "--explain" => args.explain = true,
             "--cache" => args.cache = true,
             "--repl" => args.repl = true,
+            "--progress" => args.progress = true,
             "--seed" => {
                 args.seed = it
                     .next()
@@ -184,10 +198,45 @@ fn print_result(result: &QueryResult, cache: bool) {
     }
 }
 
+/// Runs one statement; with `--progress`, SELECTs stream one snapshot line
+/// per labeling chunk to stderr before the final tabular answer.
+fn run_statement(
+    session: &mut Session,
+    sql: &str,
+    cache: bool,
+    progress: bool,
+) -> Result<(), abae::query::QueryError> {
+    use abae::query::{parse_statement, Statement};
+    if progress && matches!(parse_statement(sql)?, Statement::Select(_)) {
+        let result = session.execute_progressive(sql, |snap| {
+            let mut line = format!("[progress] {:>8} labels", snap.budget_spent);
+            if let Some(est) = snap.estimate() {
+                line.push_str(&format!("  estimate {est:.6}"));
+            }
+            if let Some(ci) = snap.ci() {
+                line.push_str(&format!(
+                    "  ci [{:.6}, {:.6}] width {:.6}",
+                    ci.lo,
+                    ci.hi,
+                    ci.width()
+                ));
+            }
+            if snap.done {
+                line.push_str("  — final");
+            }
+            eprintln!("{line}");
+        })?;
+        print_result(&result, cache);
+    } else {
+        print_outcome(&session.run(sql)?, cache);
+    }
+    Ok(())
+}
+
 /// Reads one statement per stdin line against the persistent session.
 /// Errors are reported and the loop continues — an interactive client
 /// should not die on a typo.
-fn repl(session: &mut Session, cache: bool) {
+fn repl(session: &mut Session, cache: bool, progress: bool) {
     eprintln!(
         "abae repl — one SQL statement per line (SELECT, CREATE PROXY, SHOW PROXIES); \
          prefix with EXPLAIN to plan without spending oracle calls; \
@@ -222,11 +271,8 @@ fn repl(session: &mut Session, cache: bool) {
                     Err(e) => eprintln!("error: {e}"),
                 }
             }
-        } else {
-            match session.run(stmt) {
-                Ok(outcome) => print_outcome(&outcome, cache),
-                Err(e) => eprintln!("error: {e}"),
-            }
+        } else if let Err(e) = run_statement(session, stmt, cache, progress) {
+            eprintln!("error: {e}");
         }
     }
 }
@@ -277,17 +323,14 @@ fn main() -> ExitCode {
             }
             continue;
         }
-        match session.run(sql) {
-            Ok(outcome) => print_outcome(&outcome, args.cache),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(e) = run_statement(&mut session, sql, args.cache, args.progress) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
     }
 
     if args.repl {
-        repl(&mut session, args.cache);
+        repl(&mut session, args.cache, args.progress);
     }
     ExitCode::SUCCESS
 }
