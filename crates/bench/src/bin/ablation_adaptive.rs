@@ -42,7 +42,7 @@ fn main() {
                         .table
                         .predicate(ds.info.predicate_column)
                         .expect("predicate exists")
-                        .proxy;
+                        .proxy();
                     let acfg = AdaptiveConfig { budget, ..Default::default() };
                     run_adaptive(scores, &oracle, &acfg, Aggregate::Avg, rng)
                         .expect("valid config")

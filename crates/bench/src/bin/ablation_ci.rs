@@ -26,7 +26,7 @@ fn main() {
 
     for ds in paper_datasets(&cfg).into_iter().take(2) {
         let scores =
-            &ds.table.predicate(ds.info.predicate_column).expect("predicate exists").proxy;
+            &ds.table.predicate(ds.info.predicate_column).expect("predicate exists").proxy();
         let strat = Stratification::by_proxy_quantile(scores, 5);
         let sizes = strat.sizes();
 

@@ -34,7 +34,7 @@ fn main() {
         .expect("valid spec");
         let exact = table.exact_avg("p").expect("predicate exists");
         let pred = table.predicate("p").expect("predicate exists");
-        aucs.push(auc(&pred.proxy, &pred.labels).unwrap_or(0.5));
+        aucs.push(auc(pred.proxy(), &pred.labels_vec()).unwrap_or(0.5));
 
         let a = abae_estimates(&table, "p", &budget, cfg.trials, cfg.seed, SweepKnobs::default());
         let u = uniform_estimates(&table, "p", &budget, cfg.trials, cfg.seed);

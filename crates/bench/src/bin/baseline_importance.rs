@@ -44,7 +44,7 @@ fn main() {
                         .table
                         .predicate(ds.info.predicate_column)
                         .expect("predicate exists")
-                        .proxy;
+                        .proxy();
                     run_importance(scores, &oracle, budget, Aggregate::Avg, 0.1, rng)
                         .expect("valid weights")
                         .estimate

@@ -67,8 +67,8 @@ fn run_panel(name: &str, table: &Table, expr: &PredExpr, cfg: &ExpConfig, budget
     );
 
     let combined = table_combined_scores(table, expr).expect("valid expr");
-    let proxy1 = &table.predicates()[0].proxy;
-    let proxy2 = &table.predicates()[1].proxy;
+    let proxy1 = table.predicates()[0].proxy();
+    let proxy2 = table.predicates()[1].proxy();
 
     let xs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
     let multi =

@@ -16,7 +16,7 @@ use abae_data::{PredicateOracle, Table};
 use abae_stats::metrics::rmse;
 
 fn max_group_rmse(table: &Table, per_trial: &[Vec<f64>]) -> f64 {
-    let groups = table.group_key().expect("grouped table").names.len();
+    let groups = table.group_key().expect("grouped table").names().len();
     (0..groups)
         .map(|g| {
             let exact = table.exact_group_avg(g as u16).expect("group exists");
@@ -27,10 +27,10 @@ fn max_group_rmse(table: &Table, per_trial: &[Vec<f64>]) -> f64 {
 }
 
 fn run_panel(name: &str, table: &Table, cfg: &ExpConfig, budgets_per_group: &[usize]) {
-    let groups = table.group_key().expect("grouped table").names.len();
-    let proxies: Vec<&[f64]> = table.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    let groups = table.group_key().expect("grouped table").names().len();
+    let proxies: Vec<&[f64]> = table.predicates().iter().map(|p| p.proxy()).collect();
     let pred_names: Vec<String> =
-        table.predicates().iter().map(|p| p.name.clone()).collect();
+        table.predicates().iter().map(|p| p.name().to_string()).collect();
     let xs: Vec<f64> = budgets_per_group.iter().map(|&b| b as f64).collect();
 
     let mut series = Vec::new();

@@ -26,7 +26,7 @@ fn run_panel(name: &str, table: &Table, pred: &str, cfg: &ExpConfig, budgets: &[
     // Every predicate column in the table shares the same labels; their
     // proxies are the candidates.
     let candidates: Vec<&[f64]> =
-        table.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        table.predicates().iter().map(|p| p.proxy()).collect();
     let xs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
 
     let logistic: Vec<f64> = budgets

@@ -24,8 +24,8 @@ fn main() {
     let table = &trec.table;
     let exact = trec.exact;
     let candidates: Vec<&[f64]> =
-        table.predicates().iter().map(|p| p.proxy.as_slice()).collect();
-    let names: Vec<&str> = table.predicates().iter().map(|p| p.name.as_str()).collect();
+        table.predicates().iter().map(|p| p.proxy()).collect();
+    let names: Vec<&str> = table.predicates().iter().map(|p| p.name()).collect();
 
     // One pilot, shared across candidates (selection adds no oracle cost).
     let oracle = PredicateOracle::new(table, "is_spam").expect("predicate exists");

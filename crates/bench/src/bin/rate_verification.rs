@@ -58,8 +58,8 @@ fn main() {
     // Compare against the Proposition 2 constant computed from the exact
     // per-stratum quantities.
     let pred = table.predicate("p").expect("predicate exists");
-    let strat = Stratification::by_proxy_quantile(&pred.proxy, knobs.strata);
-    let gt = strat.ground_truth(&pred.labels, table.statistics());
+    let strat = Stratification::by_proxy_quantile(pred.proxy(), knobs.strata);
+    let gt = strat.ground_truth(&pred.labels_vec(), table.statistics());
     let p: Vec<f64> = gt.iter().map(|s| s.p).collect();
     let sigma: Vec<f64> = gt.iter().map(|s| s.sigma).collect();
     let prop2_constant = optimal_mse(&p, &sigma, 1);

@@ -49,7 +49,7 @@ pub fn abae_estimates(
     seed: u64,
     knobs: SweepKnobs,
 ) -> Vec<Vec<f64>> {
-    let scores = &table.predicate(pred).expect("predicate exists").proxy;
+    let scores = table.predicate(pred).expect("predicate exists").proxy();
     let strat = Stratification::by_proxy_quantile(scores, knobs.strata);
     budgets
         .iter()
@@ -101,7 +101,7 @@ pub fn abae_cis(
     knobs: SweepKnobs,
     bootstrap: BootstrapConfig,
 ) -> Vec<Vec<(f64, ConfidenceInterval)>> {
-    let scores = &table.predicate(pred).expect("predicate exists").proxy;
+    let scores = table.predicate(pred).expect("predicate exists").proxy();
     let strat = Stratification::by_proxy_quantile(scores, knobs.strata);
     let sizes = strat.sizes();
     budgets

@@ -962,7 +962,7 @@ mod tests {
         let t = group_table(40_000, 1);
         let oracle = SingleGroupOracle::new(&t).unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let cfg = GroupByConfig { budget: 6000, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(2);
         let ests = groupby_single_oracle(&proxies, &oracle, &cfg, &mut rng).unwrap();
@@ -976,7 +976,7 @@ mod tests {
         let t = group_table(20_000, 3);
         let oracle = SingleGroupOracle::new(&t).unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let cfg = GroupByConfig { budget: 3000, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(4);
         let _ = groupby_single_oracle(&proxies, &oracle, &cfg, &mut rng).unwrap();
@@ -992,7 +992,7 @@ mod tests {
         let o2 = PredicateOracle::new(&t, "g2").unwrap();
         let oracles = vec![&o0, &o1, &o2];
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let cfg = GroupByConfig { budget: 9000, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(6);
         let ests = groupby_multi_oracle(&proxies, &oracles, &cfg, &mut rng).unwrap();
@@ -1013,7 +1013,7 @@ mod tests {
         let o2 = PredicateOracle::new(&t, "g2").unwrap();
         let oracles = vec![&o0, &o1, &o2];
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let mut rng = StdRng::seed_from_u64(8);
         let trials = 15;
         let mut worst = |alloc: GroupAllocation| -> f64 {
@@ -1058,7 +1058,7 @@ mod tests {
         let t = group_table(1000, 11);
         let oracle = SingleGroupOracle::new(&t).unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let mut rng = StdRng::seed_from_u64(12);
         let bad = GroupByConfig { strata: 0, ..Default::default() };
         assert!(matches!(
@@ -1142,7 +1142,7 @@ mod ci_tests {
         let o0 = PredicateOracle::new(&t, "g0").unwrap();
         let o1 = PredicateOracle::new(&t, "g1").unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let cfg = GroupByConfig { budget: 6000, ..Default::default() };
         let bs = BootstrapConfig { trials: 300, alpha: 0.05 };
         let mut rng = StdRng::seed_from_u64(2);
@@ -1172,7 +1172,7 @@ mod ci_tests {
         let t = two_group_table(30_000, 5);
         let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let cfg = GroupByConfig { budget: 5000, ..Default::default() };
         let bs = BootstrapConfig { trials: 300, alpha: 0.05 };
         // Same RNG stream → identical sampling; the CI variant appends the
@@ -1212,7 +1212,7 @@ mod ci_tests {
         let t = two_group_table(1_000, 7);
         let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let mut rng = StdRng::seed_from_u64(8);
         let bs = BootstrapConfig { trials: 10, alpha: 0.0 };
         assert!(matches!(
@@ -1226,7 +1226,7 @@ mod ci_tests {
         let t = two_group_table(8_000, 9);
         let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let cfg = GroupByConfig { budget: 600, ..Default::default() };
         let bs = BootstrapConfig { trials: 20, alpha: 0.05 };
         let mut rng = StdRng::seed_from_u64(11);
@@ -1263,7 +1263,7 @@ mod ci_tests {
         let t = two_group_table(30_000, 13);
         let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let cfg = GroupByConfig { budget: 4000, ..Default::default() };
         let bs = BootstrapConfig { trials: 60, alpha: 0.05 };
         let opts = ProgressiveOptions { chunk: Some(100), target_ci_width: Some(3.0) };
@@ -1295,7 +1295,7 @@ mod ci_tests {
         let t = two_group_table(1_000, 15);
         let oracle = abae_data::SingleGroupOracle::new(&t).unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let bs = BootstrapConfig { trials: 10, alpha: 0.05 };
         for w in [0.0, -2.0, f64::NAN, f64::INFINITY] {
             let opts = ProgressiveOptions { chunk: None, target_ci_width: Some(w) };
@@ -1320,7 +1320,7 @@ mod ci_tests {
         let o0 = PredicateOracle::new(&t, "g0").unwrap();
         let o1 = PredicateOracle::new(&t, "g1").unwrap();
         let proxies: Vec<&[f64]> =
-            t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+            t.predicates().iter().map(|p| p.proxy()).collect();
         let cfg = GroupByConfig { budget: 3000, ..Default::default() };
         let bs = BootstrapConfig { trials: 50, alpha: 0.05 };
         // Same RNG stream → the sampling phase must be identical; the CI

@@ -15,6 +15,7 @@
 
 use crate::config::{AbaeConfig, Aggregate, ConfigError};
 use crate::two_stage::{run_abae_with_ci, AbaeResult};
+use abae_data::columnar::Bitmap;
 use abae_data::{FnOracle, Labeled, Table, TableError};
 use rand::Rng;
 
@@ -88,6 +89,52 @@ impl PredExpr {
         (0..n).map(|i| self.score_at(proxies, i)).collect()
     }
 
+    /// Vectorized [`PredExpr::combined_scores`]: one tight column loop per
+    /// expression node instead of a recursive descent per record. Applies
+    /// the identical float operation per element in the identical
+    /// association order, so the output is **bit-identical** to the scalar
+    /// path (pinned by tests).
+    ///
+    /// # Panics
+    /// Same contract as [`PredExpr::combined_scores`].
+    pub fn combined_scores_vec(&self, proxies: &[&[f64]]) -> Vec<f64> {
+        assert!(!proxies.is_empty(), "need at least one proxy");
+        let n = proxies[0].len();
+        assert!(proxies.iter().all(|p| p.len() == n), "proxy lengths must match");
+        assert!(self.max_pred_index() < proxies.len(), "predicate index out of range");
+        self.scores_column(proxies)
+    }
+
+    /// Per-node columnar evaluation (invariants checked by the caller).
+    fn scores_column(&self, proxies: &[&[f64]]) -> Vec<f64> {
+        match self {
+            PredExpr::Pred(p) => proxies[*p].to_vec(),
+            PredExpr::Not(e) => {
+                let mut v = e.scores_column(proxies);
+                for s in &mut v {
+                    *s = 1.0 - *s;
+                }
+                v
+            }
+            PredExpr::And(a, b) => {
+                let mut va = a.scores_column(proxies);
+                let vb = b.scores_column(proxies);
+                for (x, y) in va.iter_mut().zip(&vb) {
+                    *x *= y;
+                }
+                va
+            }
+            PredExpr::Or(a, b) => {
+                let mut va = a.scores_column(proxies);
+                let vb = b.scores_column(proxies);
+                for (x, y) in va.iter_mut().zip(&vb) {
+                    *x = x.max(*y);
+                }
+                va
+            }
+        }
+    }
+
     /// Evaluates the expression given per-predicate truth values.
     pub fn evaluate(&self, truth: &dyn Fn(usize) -> bool) -> bool {
         match self {
@@ -97,23 +144,45 @@ impl PredExpr {
             PredExpr::Or(a, b) => a.evaluate(truth) || b.evaluate(truth),
         }
     }
+
+    /// Evaluates the expression over whole packed label columns at once:
+    /// word-wise `AND`/`OR`/`NOT` over the bitmaps (~64 records per
+    /// operation), equivalent bit-for-bit to calling
+    /// [`PredExpr::evaluate`] per record.
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty, a referenced index is out of range, or
+    /// the bitmaps have unequal lengths.
+    pub fn eval_bitmap(&self, labels: &[&Bitmap]) -> Bitmap {
+        assert!(!labels.is_empty(), "need at least one label column");
+        assert!(self.max_pred_index() < labels.len(), "predicate index out of range");
+        match self {
+            PredExpr::Pred(p) => labels[*p].clone(),
+            PredExpr::Not(e) => e.eval_bitmap(labels).not(),
+            PredExpr::And(a, b) => a.eval_bitmap(labels).and(&b.eval_bitmap(labels)),
+            PredExpr::Or(a, b) => a.eval_bitmap(labels).or(&b.eval_bitmap(labels)),
+        }
+    }
 }
 
 /// Builds the expression's combined proxy scores from a table's predicate
 /// columns (in table order).
 pub fn table_combined_scores(table: &Table, expr: &PredExpr) -> Result<Vec<f64>, TableError> {
-    let proxies: Vec<&[f64]> = table.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    let proxies: Vec<&[f64]> = table.predicates().iter().map(|p| p.proxy()).collect();
     if expr.max_pred_index() >= proxies.len() {
         return Err(TableError::UnknownPredicate(format!(
             "predicate index {} out of range",
             expr.max_pred_index()
         )));
     }
-    Ok(expr.combined_scores(&proxies))
+    Ok(expr.combined_scores_vec(&proxies))
 }
 
 /// Builds a one-invocation-per-record oracle evaluating `expr` against the
-/// table's ground-truth labels.
+/// table's ground-truth labels. The expression's truth column is computed
+/// once up front with word-wise bitmap operations
+/// ([`PredExpr::eval_bitmap`]); each charged oracle call then reads one
+/// bit instead of re-walking the expression tree.
 pub fn expression_oracle<'a>(
     table: &'a Table,
     expr: &'a PredExpr,
@@ -124,8 +193,10 @@ pub fn expression_oracle<'a>(
             expr.max_pred_index()
         )));
     }
+    let labels: Vec<&Bitmap> = table.predicates().iter().map(|p| p.labels().bitmap()).collect();
+    let truth = expr.eval_bitmap(&labels);
     Ok(FnOracle::new(move |i: usize| Labeled {
-        matches: expr.evaluate(&|p| table.predicates()[p].labels[i]),
+        matches: truth.get(i),
         value: table.statistic(i),
     }))
 }
@@ -231,6 +302,65 @@ mod tests {
             .predicate("b", labels_b, proxy_b)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn vectorized_scores_bit_identical_to_scalar() {
+        // Irrational-ish scores exercise float ops where association
+        // order matters; the vectorized path must match bit-for-bit.
+        let n = 1000;
+        let p0: Vec<f64> = (0..n).map(|i| ((i as f64 * 0.731).sin() + 1.0) / 2.0).collect();
+        let p1: Vec<f64> = (0..n).map(|i| ((i as f64 * 1.339).cos() + 1.0) / 2.0).collect();
+        let p2: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let proxies: Vec<&[f64]> = vec![&p0, &p1, &p2];
+        let exprs = [
+            PredExpr::pred(1),
+            PredExpr::not(PredExpr::pred(2)),
+            PredExpr::and(PredExpr::pred(0), PredExpr::pred(1)),
+            PredExpr::or(
+                PredExpr::and(PredExpr::pred(0), PredExpr::not(PredExpr::pred(1))),
+                PredExpr::and(PredExpr::pred(2), PredExpr::pred(1)),
+            ),
+            PredExpr::not(PredExpr::or(
+                PredExpr::not(PredExpr::pred(0)),
+                PredExpr::and(PredExpr::pred(1), PredExpr::pred(2)),
+            )),
+        ];
+        for expr in &exprs {
+            let scalar = expr.combined_scores(&proxies);
+            let vector = expr.combined_scores_vec(&proxies);
+            assert_eq!(
+                scalar.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                vector.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                "bitwise mismatch for {expr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_bitmap_matches_per_record_evaluate() {
+        let l0: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        let l1: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let b0 = Bitmap::from_bools(&l0);
+        let b1 = Bitmap::from_bools(&l1);
+        let labels = vec![&b0, &b1];
+        let exprs = [
+            PredExpr::pred(0),
+            PredExpr::not(PredExpr::pred(1)),
+            PredExpr::and(PredExpr::pred(0), PredExpr::pred(1)),
+            PredExpr::or(PredExpr::not(PredExpr::pred(0)), PredExpr::pred(1)),
+            PredExpr::not(PredExpr::and(
+                PredExpr::or(PredExpr::pred(0), PredExpr::pred(1)),
+                PredExpr::not(PredExpr::pred(0)),
+            )),
+        ];
+        for expr in &exprs {
+            let bm = expr.eval_bitmap(&labels);
+            for i in 0..200 {
+                let truth = |p: usize| if p == 0 { l0[i] } else { l1[i] };
+                assert_eq!(bm.get(i), expr.evaluate(&truth), "{expr:?} at {i}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Packed validity/label bitmaps.
+//!
+//! A [`Bitmap`] stores one bit per record in `u64` words, which is what
+//! makes the scan hot path vectorizable: a boolean predicate over a
+//! million records is ~15,600 word-wise `AND`/`OR`/`NOT` operations
+//! instead of a million branchy byte loads, and counting matches is a
+//! handful of `popcnt`s. The same type doubles as the *validity* bitmap of
+//! nullable columns (set bit = value present).
+//!
+//! Invariant: the bitmap is **canonical** — every bit at position `>= len`
+//! in the last word is zero. All constructors and mutators maintain this,
+//! so equality, hashing of words, and `count_ones` can work word-wise
+//! without masking.
+
+/// A growable, canonical packed bitset (one bit per record).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Number of `u64` words needed for `len` bits.
+fn words_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+impl Bitmap {
+    /// An all-zero bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; words_for(len)], len }
+    }
+
+    /// Builds a bitmap from a bool slice (`true` = set).
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut bm = Self::new(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                bm.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range for bitmap of {} bits", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `i` to `v`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit {i} out of range for bitmap of {} bits", self.len);
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, v: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        if v {
+            *self.words.last_mut().expect("word pushed above") |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of set bits (word-wise popcount).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing words (canonical: trailing bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from raw words + length, e.g. when loading the
+    /// binary file format. Returns `None` if the word count does not match
+    /// `len` or the tail bits are not canonical zero.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != words_for(len) {
+            return None;
+        }
+        if len % 64 != 0 {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(Self { words, len })
+    }
+
+    /// Word-wise conjunction.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
+        Bitmap { words, len: self.len }
+    }
+
+    /// Word-wise disjunction.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
+        Bitmap { words, len: self.len }
+    }
+
+    /// Word-wise complement, re-canonicalizing the tail.
+    pub fn not(&self) -> Bitmap {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        if self.len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (self.len % 64)) - 1;
+            }
+        }
+        Bitmap { words, len: self.len }
+    }
+
+    /// Iterates all bits in index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| (self.words[i / 64] >> (i % 64)) & 1 == 1)
+    }
+
+    /// Iterates the indices of set bits in ascending order, skipping zero
+    /// words wholesale.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes { bitmap: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Materializes the bitmap as a bool vector (compatibility view).
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bm = Bitmap::default();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bitmap`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_push_roundtrip() {
+        let mut bm = Bitmap::new(130);
+        assert_eq!(bm.len(), 130);
+        assert_eq!(bm.count_ones(), 0);
+        bm.set(0, true);
+        bm.set(64, true);
+        bm.set(129, true);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(128));
+        assert_eq!(bm.count_ones(), 3);
+        bm.set(64, false);
+        assert_eq!(bm.count_ones(), 2);
+        bm.push(true);
+        assert_eq!(bm.len(), 131);
+        assert!(bm.get(130));
+    }
+
+    #[test]
+    fn from_bools_matches_per_bit() {
+        let bools: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let bm = Bitmap::from_bools(&bools);
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(bm.get(i), b, "bit {i}");
+        }
+        assert_eq!(bm.to_bools(), bools);
+        assert_eq!(bm, bools.iter().copied().collect::<Bitmap>());
+    }
+
+    #[test]
+    fn logic_ops_are_canonical() {
+        let a = Bitmap::from_bools(&[true, true, false, false, true]);
+        let b = Bitmap::from_bools(&[true, false, true, false, true]);
+        assert_eq!(a.and(&b).to_bools(), vec![true, false, false, false, true]);
+        assert_eq!(a.or(&b).to_bools(), vec![true, true, true, false, true]);
+        assert_eq!(a.not().to_bools(), vec![false, false, true, true, false]);
+        // Tail bits stay zero after `not`, so equality works word-wise.
+        assert_eq!(a.not().not(), a);
+        assert_eq!(a.not().count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_skips_empty_words() {
+        let mut bm = Bitmap::new(300);
+        for i in [0usize, 63, 64, 200, 299] {
+            bm.set(i, true);
+        }
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 200, 299]);
+        assert_eq!(Bitmap::new(128).iter_ones().count(), 0);
+        assert_eq!(Bitmap::new(0).iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn from_words_validates_canonical_form() {
+        assert!(Bitmap::from_words(vec![u64::MAX], 64).is_some());
+        // Tail bit set beyond len: rejected.
+        assert!(Bitmap::from_words(vec![u64::MAX], 63).is_none());
+        // Wrong word count: rejected.
+        assert!(Bitmap::from_words(vec![0, 0], 64).is_none());
+        assert!(Bitmap::from_words(vec![], 0).is_some());
+        let bm = Bitmap::from_words(vec![0b101], 3).unwrap();
+        assert_eq!(bm.to_bools(), vec![true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        Bitmap::new(8).get(8);
+    }
+}

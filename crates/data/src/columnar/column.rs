@@ -1,0 +1,524 @@
+//! Typed column vectors and batch slice views.
+//!
+//! Every column type is an immutable, `Arc`-backed vector: cloning a
+//! column (e.g. into a query plan's score source) is a pointer copy, never
+//! a data copy. [`Column`] is the type-erased union the binary file format
+//! and the generic [`crate::Table::to_columns`] accessor speak;
+//! [`ColumnSlice`] is the zero-copy view over a record-index range that
+//! batch consumers (scan kernels, scorers, the bench harness) iterate
+//! without materializing per-record structs.
+
+use super::bitmap::Bitmap;
+use super::dict::DictColumn;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// An immutable `f64` column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F64Column {
+    values: Arc<Vec<f64>>,
+}
+
+impl F64Column {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The whole column as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The value at record `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// A zero-copy view over a record-index range.
+    pub fn slice(&self, range: Range<usize>) -> &[f64] {
+        &self.values[range]
+    }
+}
+
+impl From<Vec<f64>> for F64Column {
+    fn from(values: Vec<f64>) -> Self {
+        Self { values: Arc::new(values) }
+    }
+}
+
+/// An immutable `i64` column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct I64Column {
+    values: Arc<Vec<i64>>,
+}
+
+impl I64Column {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The whole column as a slice.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// The value at record `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> i64 {
+        self.values[i]
+    }
+
+    /// A zero-copy view over a record-index range.
+    pub fn slice(&self, range: Range<usize>) -> &[i64] {
+        &self.values[range]
+    }
+}
+
+impl From<Vec<i64>> for I64Column {
+    fn from(values: Vec<i64>) -> Self {
+        Self { values: Arc::new(values) }
+    }
+}
+
+/// An immutable boolean column backed by a packed [`Bitmap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoolColumn {
+    bits: Arc<Bitmap>,
+}
+
+impl BoolColumn {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when the column holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The value at record `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// The backing bitmap (the input to word-wise predicate kernels).
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bits
+    }
+
+    /// Number of `true` records (popcount).
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Iterates all values in record order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter()
+    }
+
+    /// Iterates indices of `true` records in ascending order.
+    pub fn iter_ones(&self) -> super::bitmap::IterOnes<'_> {
+        self.bits.iter_ones()
+    }
+
+    /// Materializes a `Vec<bool>` (compatibility view; allocates).
+    pub fn to_vec(&self) -> Vec<bool> {
+        self.bits.to_bools()
+    }
+}
+
+impl From<Bitmap> for BoolColumn {
+    fn from(bits: Bitmap) -> Self {
+        Self { bits: Arc::new(bits) }
+    }
+}
+
+impl From<Vec<bool>> for BoolColumn {
+    fn from(bools: Vec<bool>) -> Self {
+        Bitmap::from_bools(&bools).into()
+    }
+}
+
+/// An immutable string column: one contiguous UTF-8 arena plus `u32`
+/// offsets (`offsets.len() == len + 1`). Replaces `Vec<String>` payloads:
+/// the text of record `i` is `bytes[offsets[i]..offsets[i+1]]`, so a batch
+/// scorer walks one cache-friendly buffer instead of chasing a pointer per
+/// record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrColumn {
+    offsets: Arc<Vec<u32>>,
+    bytes: Arc<Vec<u8>>,
+}
+
+impl StrColumn {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the column holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// The text at record `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        // Offsets were validated (or produced) on UTF-8 boundaries.
+        std::str::from_utf8(&self.bytes[lo..hi]).expect("arena is validated UTF-8")
+    }
+
+    /// Iterates texts in record order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// The offsets table (`len + 1` entries, ascending).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw UTF-8 arena.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuilds a column from its parts (the binary reader's entry point).
+    /// Returns `None` unless offsets are ascending, start at 0, end at
+    /// `bytes.len()`, and every slice is valid UTF-8.
+    pub fn from_parts(offsets: Vec<u32>, bytes: Vec<u8>) -> Option<Self> {
+        if offsets.first() != Some(&0) || *offsets.last()? as usize != bytes.len() {
+            return None;
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        for w in offsets.windows(2) {
+            std::str::from_utf8(&bytes[w[0] as usize..w[1] as usize]).ok()?;
+        }
+        Some(Self { offsets: Arc::new(offsets), bytes: Arc::new(bytes) })
+    }
+
+    /// Materializes a `Vec<String>` (compatibility view; allocates).
+    pub fn to_vec(&self) -> Vec<String> {
+        self.iter().map(str::to_string).collect()
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for StrColumn {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        let mut b = StrBuilder::new();
+        for s in iter {
+            b.push(s.as_ref());
+        }
+        b.finish()
+    }
+}
+
+/// Streaming builder for [`StrColumn`].
+#[derive(Debug)]
+pub struct StrBuilder {
+    offsets: Vec<u32>,
+    bytes: Vec<u8>,
+}
+
+impl Default for StrBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StrBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self { offsets: vec![0], bytes: Vec::new() }
+    }
+
+    /// Appends one text.
+    ///
+    /// # Panics
+    /// Panics if the arena exceeds `u32::MAX` bytes (~4 GiB of text).
+    pub fn push(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+        let end = u32::try_from(self.bytes.len()).expect("text arena exceeds u32 offsets");
+        self.offsets.push(end);
+    }
+
+    /// Number of records pushed so far.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Freezes the builder into an immutable column.
+    pub fn finish(self) -> StrColumn {
+        StrColumn { offsets: Arc::new(self.offsets), bytes: Arc::new(self.bytes) }
+    }
+}
+
+/// A type-erased column: the union the file format and generic accessors
+/// speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit floats.
+    F64(F64Column),
+    /// 64-bit signed integers.
+    I64(I64Column),
+    /// Packed booleans.
+    Bool(BoolColumn),
+    /// UTF-8 texts (offset + arena layout).
+    Str(StrColumn),
+    /// Dictionary-encoded strings with validity.
+    Dict(DictColumn),
+}
+
+impl Column {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F64(c) => c.len(),
+            Column::I64(c) => c.len(),
+            Column::Bool(c) => c.len(),
+            Column::Str(c) => c.len(),
+            Column::Dict(c) => c.len(),
+        }
+    }
+
+    /// True when the column holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stable lowercase type name (used in errors and the file format
+    /// docs).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Column::F64(_) => "f64",
+            Column::I64(_) => "i64",
+            Column::Bool(_) => "bool",
+            Column::Str(_) => "str",
+            Column::Dict(_) => "dict",
+        }
+    }
+
+    /// A zero-copy batch view over `range`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the column length.
+    pub fn slice(&self, range: Range<usize>) -> ColumnSlice<'_> {
+        assert!(range.end <= self.len(), "slice {range:?} out of range");
+        match self {
+            Column::F64(c) => ColumnSlice::F64(c.slice(range)),
+            Column::I64(c) => ColumnSlice::I64(c.slice(range)),
+            Column::Bool(c) => ColumnSlice::Bool(BoolSlice { bits: c.bitmap(), range }),
+            Column::Str(c) => ColumnSlice::Str(StrSlice { col: c, range }),
+            Column::Dict(c) => ColumnSlice::Dict(DictSlice { col: c, range }),
+        }
+    }
+}
+
+/// A zero-copy view of one column over a record-index range — the unit
+/// batch consumers (kernels, scorers, benches) operate on.
+#[derive(Debug, Clone)]
+pub enum ColumnSlice<'a> {
+    /// View of an `f64` column.
+    F64(&'a [f64]),
+    /// View of an `i64` column.
+    I64(&'a [i64]),
+    /// View of a boolean column.
+    Bool(BoolSlice<'a>),
+    /// View of a string column.
+    Str(StrSlice<'a>),
+    /// View of a dictionary column.
+    Dict(DictSlice<'a>),
+}
+
+impl ColumnSlice<'_> {
+    /// Number of records in the view.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnSlice::F64(s) => s.len(),
+            ColumnSlice::I64(s) => s.len(),
+            ColumnSlice::Bool(s) => s.range.len(),
+            ColumnSlice::Str(s) => s.range.len(),
+            ColumnSlice::Dict(s) => s.range.len(),
+        }
+    }
+
+    /// True when the view holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A range view over a boolean column.
+#[derive(Debug, Clone)]
+pub struct BoolSlice<'a> {
+    bits: &'a Bitmap,
+    range: Range<usize>,
+}
+
+impl BoolSlice<'_> {
+    /// The value at position `i` of the view.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits.get(self.range.start + i)
+    }
+
+    /// Number of `true` records in the view.
+    pub fn count_ones(&self) -> usize {
+        self.iter().filter(|&b| b).count()
+    }
+
+    /// Iterates the view's values.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.range.clone().map(|i| self.bits.get(i))
+    }
+}
+
+/// A range view over a string column.
+#[derive(Debug, Clone)]
+pub struct StrSlice<'a> {
+    col: &'a StrColumn,
+    range: Range<usize>,
+}
+
+impl<'a> StrSlice<'a> {
+    /// The text at position `i` of the view.
+    #[inline]
+    pub fn get(&self, i: usize) -> &'a str {
+        self.col.get(self.range.start + i)
+    }
+
+    /// Iterates the view's texts.
+    pub fn iter(&self) -> impl Iterator<Item = &'a str> + '_ {
+        self.range.clone().map(|i| self.col.get(i))
+    }
+}
+
+/// A range view over a dictionary column.
+#[derive(Debug, Clone)]
+pub struct DictSlice<'a> {
+    col: &'a DictColumn,
+    range: Range<usize>,
+}
+
+impl<'a> DictSlice<'a> {
+    /// The decoded value at position `i` of the view.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&'a str> {
+        self.col.value(self.range.start + i)
+    }
+
+    /// The code at position `i` of the view.
+    #[inline]
+    pub fn code(&self, i: usize) -> Option<u32> {
+        self.col.code(self.range.start + i)
+    }
+
+    /// Iterates the view's decoded values.
+    pub fn iter(&self) -> impl Iterator<Item = Option<&'a str>> + '_ {
+        self.range.clone().map(|i| self.col.value(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_column_is_cheap_to_clone_and_slices() {
+        let c = F64Column::from(vec![1.0, 2.0, 3.0, 4.0]);
+        let c2 = c.clone();
+        assert_eq!(c, c2);
+        assert!(std::ptr::eq(c.as_slice().as_ptr(), c2.as_slice().as_ptr()));
+        assert_eq!(c.slice(1..3), &[2.0, 3.0]);
+        assert_eq!(c.get(3), 4.0);
+    }
+
+    #[test]
+    fn bool_column_counts_and_iterates() {
+        let c = BoolColumn::from(vec![true, false, true, true]);
+        assert_eq!(c.count_ones(), 3);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(c.to_vec(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn str_column_arena_roundtrip() {
+        let texts = ["hello", "", "wörld", "αβ"];
+        let c: StrColumn = texts.iter().collect();
+        assert_eq!(c.len(), 4);
+        for (i, t) in texts.iter().enumerate() {
+            assert_eq!(c.get(i), *t);
+        }
+        assert_eq!(c.iter().collect::<Vec<_>>(), texts);
+        assert_eq!(c.offsets().len(), 5);
+        // from_parts validates what the builder produced.
+        let rebuilt =
+            StrColumn::from_parts(c.offsets().to_vec(), c.bytes().to_vec()).unwrap();
+        assert_eq!(rebuilt, c);
+    }
+
+    #[test]
+    fn str_from_parts_rejects_bad_offsets() {
+        assert!(StrColumn::from_parts(vec![0, 2], vec![b'a']).is_none(), "end != len");
+        assert!(StrColumn::from_parts(vec![1, 1], vec![b'a']).is_none(), "start != 0");
+        assert!(StrColumn::from_parts(vec![0, 2, 1, 3], vec![b'a'; 3]).is_none(), "descending");
+        assert!(StrColumn::from_parts(vec![0, 1], vec![0xFF]).is_none(), "invalid utf8");
+        assert!(StrColumn::from_parts(vec![], vec![]).is_none(), "missing terminal offset");
+        assert!(StrColumn::from_parts(vec![0], vec![]).is_some(), "empty column ok");
+    }
+
+    #[test]
+    fn column_slices_by_type() {
+        let col = Column::Bool(BoolColumn::from(vec![true, false, true, false, true]));
+        match col.slice(1..4) {
+            ColumnSlice::Bool(s) => {
+                assert_eq!(s.iter().collect::<Vec<_>>(), vec![false, true, false]);
+                assert_eq!(s.count_ones(), 1);
+                assert!(s.get(1));
+            }
+            other => panic!("expected bool slice, got {other:?}"),
+        }
+        let col = Column::Dict(DictColumn::encode([Some("a"), None, Some("b")]));
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.type_name(), "dict");
+        match col.slice(1..3) {
+            ColumnSlice::Dict(s) => {
+                assert_eq!(s.iter().collect::<Vec<_>>(), vec![None, Some("b")]);
+                assert_eq!(s.code(1), Some(1));
+            }
+            other => panic!("expected dict slice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slice_panics() {
+        Column::F64(F64Column::from(vec![1.0])).slice(0..2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Columnar storage primitives: typed column vectors, packed bitmaps,
+//! dictionary encoding, batch slice views, and the on-disk binary format.
+//!
+//! This module is the storage layer under [`crate::Table`]. The layout is
+//! struct-of-arrays all the way down:
+//!
+//! * [`F64Column`] / [`I64Column`] — contiguous numeric vectors.
+//! * [`BoolColumn`] — a packed [`Bitmap`] (64 records per word), so
+//!   predicate evaluation is word-wise `AND`/`OR`/`NOT` plus `popcnt`.
+//! * [`StrColumn`] — one UTF-8 arena plus `u32` offsets (no per-record
+//!   `String` allocations).
+//! * [`DictColumn`] — dictionary-encoded strings with a validity bitmap,
+//!   used for low-cardinality group keys.
+//!
+//! All columns are `Arc`-backed and immutable: cloning one into a query
+//! plan or a snapshot is O(1). [`ColumnSlice`] gives zero-copy views over
+//! record-index ranges for batch consumers. [`mod@file`] defines the
+//! mmap-friendly `.abcol` binary format (magic + versioned header +
+//! aligned per-column segments) with typed, panic-free error handling.
+//!
+//! **Bit-identity contract**: the columnar path changes memory layout and
+//! traversal only — every estimate, CI, and oracle-call count produced
+//! through these types is bit-identical to the row-record compatibility
+//! view (`Table::rows`), which `tests/columnar.rs` pins across the
+//! thread/batch matrix.
+
+mod bitmap;
+mod column;
+mod dict;
+pub mod file;
+
+pub use bitmap::{Bitmap, IterOnes};
+pub use column::{
+    BoolColumn, BoolSlice, Column, ColumnSlice, DictSlice, F64Column, I64Column, StrBuilder,
+    StrColumn, StrSlice,
+};
+pub use dict::{DictBuilder, DictColumn};
+pub use file::{
+    decode_columns, encode_columns, read_columns, write_columns, BinError, ColumnRole,
+    NamedColumn, MAGIC, VERSION,
+};

@@ -10,7 +10,13 @@
 //! The parser handles RFC-4180-style quoting (`"a,b"`, doubled quotes) but
 //! deliberately nothing more exotic; it exists so the library is usable on
 //! real exported data without pulling in a dependency.
+//!
+//! Ingestion is streaming: each parsed row goes straight into column
+//! builders (packed label bitmaps, proxy vectors, a dictionary builder for
+//! the group column, a string-arena builder for texts) — there is no
+//! intermediate per-row record vector.
 
+use crate::columnar::{Bitmap, DictBuilder, StrBuilder};
 use crate::table::{Table, TableError};
 use std::collections::HashMap;
 use std::io::BufRead;
@@ -147,10 +153,10 @@ pub fn read_table<R: BufRead>(name: &str, reader: R) -> Result<Table, CsvError> 
     }
 
     let mut statistic: Vec<f64> = Vec::new();
-    let mut labels: Vec<Vec<bool>> = vec![Vec::new(); pred_names.len()];
+    let mut labels: Vec<Bitmap> = (0..pred_names.len()).map(|_| Bitmap::default()).collect();
     let mut proxies: Vec<Vec<f64>> = vec![Vec::new(); pred_names.len()];
-    let mut groups: Vec<String> = Vec::new();
-    let mut texts: Vec<String> = Vec::new();
+    let mut groups: Option<DictBuilder> = group_col.map(|_| DictBuilder::new());
+    let mut texts: Option<StrBuilder> = text_col.map(|_| StrBuilder::new());
 
     for (i, line) in lines {
         let line = line?;
@@ -189,43 +195,30 @@ pub fn read_table<R: BufRead>(name: &str, reader: R) -> Result<Table, CsvError> 
             labels[j].push(label);
             proxies[j].push(proxy);
         }
-        if let Some(gc) = group_col {
-            groups.push(fields[gc].trim().to_string());
+        if let (Some(gc), Some(g)) = (group_col, groups.as_mut()) {
+            // The dictionary builder interns distinct non-empty names in
+            // order of appearance; empty = no group.
+            let gname = fields[gc].trim();
+            g.push((!gname.is_empty()).then_some(gname));
         }
-        if let Some(tc) = text_col {
-            texts.push(fields[tc].clone());
+        if let (Some(tc), Some(t)) = (text_col, texts.as_mut()) {
+            t.push(&fields[tc]);
         }
     }
 
     let mut builder = Table::builder(name, statistic);
     for (j, pname) in pred_names.iter().enumerate() {
-        builder = builder.predicate(
+        builder = builder.predicate_columns(
             pname.clone(),
-            std::mem::take(&mut labels[j]),
-            std::mem::take(&mut proxies[j]),
+            std::mem::take(&mut labels[j]).into(),
+            std::mem::take(&mut proxies[j]).into(),
         );
     }
-    if group_col.is_some() {
-        // Map distinct non-empty group names to ids in order of appearance.
-        let mut names: Vec<String> = Vec::new();
-        let mut ids: HashMap<String, u16> = HashMap::new();
-        let key: Vec<Option<u16>> = groups
-            .iter()
-            .map(|g| {
-                if g.is_empty() {
-                    None
-                } else {
-                    Some(*ids.entry(g.clone()).or_insert_with(|| {
-                        names.push(g.clone());
-                        (names.len() - 1) as u16
-                    }))
-                }
-            })
-            .collect();
-        builder = builder.group_key(names, key);
+    if let Some(g) = groups {
+        builder = builder.group_dict(g.finish());
     }
-    if text_col.is_some() {
-        builder = builder.texts(texts);
+    if let Some(t) = texts {
+        builder = builder.texts_column(t.finish());
     }
     Ok(builder.build()?)
 }
@@ -235,8 +228,8 @@ pub fn read_table<R: BufRead>(name: &str, reader: R) -> Result<Table, CsvError> 
 pub fn write_table<W: std::io::Write>(table: &Table, mut w: W) -> std::io::Result<()> {
     let mut header = vec!["statistic".to_string()];
     for p in table.predicates() {
-        header.push(format!("label:{}", p.name));
-        header.push(format!("proxy:{}", p.name));
+        header.push(format!("label:{}", p.name()));
+        header.push(format!("proxy:{}", p.name()));
     }
     if table.group_key().is_some() {
         header.push("group".to_string());
@@ -248,17 +241,17 @@ pub fn write_table<W: std::io::Write>(table: &Table, mut w: W) -> std::io::Resul
     for i in 0..table.len() {
         let mut row = vec![format!("{}", table.statistic(i))];
         for p in table.predicates() {
-            row.push(if p.labels[i] { "1".to_string() } else { "0".to_string() });
-            row.push(format!("{}", p.proxy[i]));
+            row.push(if p.label(i) { "1".to_string() } else { "0".to_string() });
+            row.push(format!("{}", p.proxy()[i]));
         }
         if let Some(gk) = table.group_key() {
-            row.push(match gk.key[i] {
-                Some(g) => gk.names[g as usize].clone(),
+            row.push(match gk.get(i) {
+                Some(g) => gk.names()[g as usize].clone(),
                 None => String::new(),
             });
         }
         if let Some(texts) = table.texts() {
-            let quoted = format!("\"{}\"", texts[i].replace('"', "\"\""));
+            let quoted = format!("\"{}\"", texts.get(i).replace('"', "\"\""));
             row.push(quoted);
         }
         writeln!(w, "{}", row.join(","))?;
@@ -283,18 +276,18 @@ statistic,label:spam,proxy:spam,group,text
         assert_eq!(t.len(), 3);
         assert_eq!(t.statistics(), &[3.5, 1.0, 2.0]);
         let p = t.predicate("spam").unwrap();
-        assert_eq!(p.labels, vec![true, false, true]);
-        assert_eq!(p.proxy, vec![0.9, 0.2, 0.7]);
+        assert_eq!(p.labels_vec(), vec![true, false, true]);
+        assert_eq!(p.proxy(), &[0.9, 0.2, 0.7]);
         let gk = t.group_key().unwrap();
-        assert_eq!(gk.names, vec!["a".to_string(), "b".to_string()]);
-        assert_eq!(gk.key, vec![Some(0), Some(1), None]);
-        assert_eq!(t.texts().unwrap()[0], "hello, world");
+        assert_eq!(gk.names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(gk.iter().collect::<Vec<_>>(), vec![Some(0), Some(1), None]);
+        assert_eq!(t.texts().unwrap().get(0), "hello, world");
     }
 
     #[test]
     fn quoted_fields_with_escapes() {
         let t = read_table("s", SAMPLE.as_bytes()).unwrap();
-        assert_eq!(t.texts().unwrap()[2], "quote\"inside");
+        assert_eq!(t.texts().unwrap().get(2), "quote\"inside");
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod tests {
 
     fn proxy_auc(t: &Table, pred: &str) -> f64 {
         let p = t.predicate(pred).unwrap();
-        auc(&p.proxy, &p.labels).unwrap()
+        auc(p.proxy(), &p.labels_vec()).unwrap()
     }
 
     #[test]
@@ -145,9 +145,10 @@ mod tests {
         // §5.2: "The positive rate is 0.17" for cars ∧ red light.
         let opts = EmulatorOptions { scale: 0.05, seed: 17 };
         let t = night_street(&opts);
-        let cars = &t.predicate("has_car").unwrap().labels;
-        let red = &t.predicate("red_light").unwrap().labels;
-        let both = cars.iter().zip(red).filter(|(&a, &b)| a && b).count() as f64 / t.len() as f64;
+        let cars = t.predicate("has_car").unwrap().labels();
+        let red = t.predicate("red_light").unwrap().labels();
+        // Word-wise conjunction over the packed label bitmaps.
+        let both = cars.bitmap().and(red.bitmap()).count_ones() as f64 / t.len() as f64;
         assert!((both - 0.17).abs() < 0.03, "conjunction rate {both}");
     }
 
@@ -156,11 +157,9 @@ mod tests {
         let opts = EmulatorOptions { scale: 0.02, seed: 19 };
         // Car counts are ≥ 1 for matching frames.
         let ns = night_street(&opts);
-        let cars = &ns.predicate("has_car").unwrap().labels;
-        for (i, &l) in cars.iter().enumerate() {
-            if l {
-                assert!(ns.statistic(i) >= 1.0);
-            }
+        let cars = ns.predicate("has_car").unwrap().labels();
+        for i in cars.iter_ones() {
+            assert!(ns.statistic(i) >= 1.0);
         }
         // Ratings are 1..=5.
         let movies = amazon_movies(&opts);
@@ -194,7 +193,7 @@ mod tests {
         let opts = EmulatorOptions { scale: 0.05, seed: 29 };
         let t = celeba_groupby(&opts);
         let gk = t.group_key().unwrap();
-        assert_eq!(gk.names, vec!["gray".to_string(), "blond".to_string()]);
+        assert_eq!(gk.names(), &["gray".to_string(), "blond".to_string()]);
         let gray_rate = t.exact_group_count(0).unwrap() / t.len() as f64;
         let blond_rate = t.exact_group_count(1).unwrap() / t.len() as f64;
         assert!((gray_rate - 0.042).abs() < 0.02, "gray {gray_rate}");

@@ -23,8 +23,12 @@
 //!   and the internally-synchronized [`ProxyRegistry`] the query catalog
 //!   owns, so `CREATE PROXY` can register artifacts against a frozen
 //!   catalog.
+//! * [`columnar`] — the storage layer under [`Table`]: typed `Arc`-backed
+//!   column vectors, packed bitmaps, dictionary-encoded group keys, batch
+//!   [`columnar::ColumnSlice`] views, and the mmap-friendly `.abcol`
+//!   binary file format.
 //! * [`csvio`] — a dependency-free CSV reader/writer so user datasets can
-//!   be loaded from disk.
+//!   be loaded from disk, streaming rows straight into column builders.
 //! * [`synthetic`] — seeded latent-variable generators: the joint
 //!   distribution of (proxy score, oracle label, statistic) is what ABae's
 //!   behaviour depends on, and these generators control it precisely.
@@ -35,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod csvio;
 pub mod emulators;
 pub mod oracle;

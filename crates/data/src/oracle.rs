@@ -152,7 +152,7 @@ impl Oracle for PredicateOracle<'_> {
         indices
             .iter()
             .map(|&idx| Labeled {
-                matches: self.table.predicates()[self.pred].labels[idx],
+                matches: self.table.predicates()[self.pred].label(idx),
                 value: self.table.statistic(idx),
             })
             .collect()
@@ -240,7 +240,7 @@ impl Oracle for SingleGroupOracle<'_> {
         indices
             .iter()
             .map(|&idx| Labeled {
-                matches: key.key[idx].is_some(),
+                matches: key.get(idx).is_some(),
                 value: self.table.statistic(idx),
             })
             .collect()
@@ -261,12 +261,12 @@ impl GroupOracle for SingleGroupOracle<'_> {
         self.meter.charge(indices.len());
         indices
             .iter()
-            .map(|&idx| GroupLabel { group: key.key[idx], value: self.table.statistic(idx) })
+            .map(|&idx| GroupLabel { group: key.get(idx), value: self.table.statistic(idx) })
             .collect()
     }
 
     fn group_count(&self) -> usize {
-        self.table.group_key().expect("validated at construction").names.len()
+        self.table.group_key().expect("validated at construction").num_groups()
     }
 }
 
@@ -529,7 +529,7 @@ mod tests {
     fn composed_expression_counts_once_per_record() {
         // A conjunction of two predicates is still one oracle invocation.
         let t = table();
-        let p = t.predicate("p").unwrap().labels.clone();
+        let p = t.predicate("p").unwrap().labels_vec();
         let stats = t.statistics().to_vec();
         let o = FnOracle::new(move |idx| Labeled {
             matches: p[idx] && stats[idx] > 1.5,

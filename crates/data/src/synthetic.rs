@@ -362,7 +362,7 @@ mod tests {
 
         let auc_of = |t: &Table| {
             let p = t.predicate("p").unwrap();
-            auc(&p.proxy, &p.labels).unwrap()
+            auc(p.proxy(), &p.labels_vec()).unwrap()
         };
         let a_sharp = auc_of(&sharp.generate().unwrap());
         let a_blunt = auc_of(&blunt.generate().unwrap());
@@ -377,7 +377,7 @@ mod tests {
         noisy.predicates[0].proxy_noise = 3.0;
         let auc_of = |t: &Table| {
             let p = t.predicate("p").unwrap();
-            auc(&p.proxy, &p.labels).unwrap()
+            auc(p.proxy(), &p.labels_vec()).unwrap()
         };
         assert!(auc_of(&clean.generate().unwrap()) > auc_of(&noisy.generate().unwrap()) + 0.03);
     }
@@ -408,7 +408,7 @@ mod tests {
         let pos_mean = t.exact_avg("p").unwrap();
         let all_mean: f64 = t.statistics().iter().sum::<f64>() / t.len() as f64;
         assert!(pos_mean > all_mean + 0.1, "pos {pos_mean} vs all {all_mean}");
-        assert!(p.labels.iter().any(|&l| l));
+        assert!(p.labels().count_ones() > 0);
     }
 
     #[test]
@@ -427,9 +427,9 @@ mod tests {
         assert!((t.positive_rate("a").unwrap() - 0.4).abs() < 0.03);
         assert!((t.positive_rate("b").unwrap() - 0.6).abs() < 0.03);
         // Labels should be (roughly) independent: P(a ∧ b) ≈ P(a)·P(b).
-        let a = &t.predicate("a").unwrap().labels;
-        let b = &t.predicate("b").unwrap().labels;
-        let both = a.iter().zip(b).filter(|(&x, &y)| x && y).count() as f64 / t.len() as f64;
+        let a = t.predicate("a").unwrap().labels();
+        let b = t.predicate("b").unwrap().labels();
+        let both = a.bitmap().and(b.bitmap()).count_ones() as f64 / t.len() as f64;
         assert!((both - 0.24).abs() < 0.03, "joint {both}");
     }
 
@@ -452,7 +452,7 @@ mod tests {
     fn group_key_is_disjoint_and_rates_approximate_targets() {
         let t = group_spec().generate().unwrap();
         let gk = t.group_key().unwrap();
-        assert_eq!(gk.names.len(), 4);
+        assert_eq!(gk.num_groups(), 4);
         // Group rates approximate targets (first-wins assignment shaves a
         // little off later groups).
         for (g, &target) in group_spec().rates.iter().enumerate() {
@@ -464,8 +464,8 @@ mod tests {
         }
         // Labels equal group key (disjointness).
         for (j, p) in t.predicates().iter().enumerate() {
-            for (i, &l) in p.labels.iter().enumerate() {
-                assert_eq!(l, gk.key[i] == Some(j as u16));
+            for (i, l) in p.labels().iter().enumerate() {
+                assert_eq!(l, gk.get(i) == Some(j as u16));
             }
         }
     }

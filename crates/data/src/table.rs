@@ -7,28 +7,122 @@
 //! truth stays *hidden* from the sampling algorithms — they only see it
 //! through [`crate::oracle`] implementations that charge the budget — but is
 //! available to the evaluation harness for exact answers.
+//!
+//! Storage is columnar throughout ([`crate::columnar`]): the statistic and
+//! proxy columns are contiguous `f64` vectors, labels are packed bitmaps,
+//! the group key is dictionary-encoded, and texts live in one UTF-8 arena.
+//! All columns are `Arc`-backed, so cloning a column into a query plan is
+//! O(1). The per-record [`RowRecord`] view ([`Table::rows`] /
+//! [`Table::from_rows`]) remains as a thin compatibility layer — and as the
+//! reference path the differential tests pin the columnar hot path against.
 
+use crate::columnar::{
+    read_columns, write_columns, BinError, Bitmap, BoolColumn, Column, ColumnRole, DictBuilder,
+    DictColumn, F64Column, NamedColumn, StrColumn,
+};
 use std::collections::HashMap;
+use std::path::Path;
 
-/// A named expensive predicate: ground-truth labels and exhaustively
-/// computed proxy scores.
+/// A named expensive predicate: ground-truth labels (packed bitmap) and
+/// exhaustively computed proxy scores (contiguous `f64` column).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Predicate {
-    /// Predicate name (e.g. `"contains_car"`).
-    pub name: String,
-    /// Ground-truth oracle results, one per record.
-    pub labels: Vec<bool>,
-    /// Proxy scores in `[0, 1]`, one per record.
-    pub proxy: Vec<f64>,
+    name: String,
+    labels: BoolColumn,
+    proxy: F64Column,
 }
 
-/// A group-by key column: per-record group id (or `None`) plus group names.
+impl Predicate {
+    /// Predicate name (e.g. `"contains_car"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ground-truth label of one record.
+    #[inline]
+    pub fn label(&self, idx: usize) -> bool {
+        self.labels.get(idx)
+    }
+
+    /// The packed ground-truth label column.
+    pub fn labels(&self) -> &BoolColumn {
+        &self.labels
+    }
+
+    /// Materializes the labels as a `Vec<bool>` (compatibility view;
+    /// allocates — batch consumers should use [`Predicate::labels`]).
+    pub fn labels_vec(&self) -> Vec<bool> {
+        self.labels.to_vec()
+    }
+
+    /// Proxy scores in `[0, 1]`, one per record.
+    #[inline]
+    pub fn proxy(&self) -> &[f64] {
+        self.proxy.as_slice()
+    }
+
+    /// The proxy column (O(1) to clone into a plan).
+    pub fn proxy_column(&self) -> &F64Column {
+        &self.proxy
+    }
+}
+
+/// A group-by key column: dictionary-encoded group membership per record
+/// (`None` when the record matches no group), plus the group names.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupKey {
+    dict: DictColumn,
+}
+
+impl GroupKey {
+    /// Wraps a dictionary column as a group key. Fails when the dictionary
+    /// has more than `u16::MAX + 1` distinct groups (group ids are `u16`).
+    pub fn from_dict(dict: DictColumn) -> Result<Self, TableError> {
+        if dict.distinct() > usize::from(u16::MAX) + 1 {
+            return Err(TableError::SchemaMismatch(format!(
+                "group key has {} distinct groups; at most {} supported",
+                dict.distinct(),
+                usize::from(u16::MAX) + 1
+            )));
+        }
+        Ok(Self { dict })
+    }
+
     /// Names of the groups, indexed by group id.
-    pub names: Vec<String>,
-    /// Group membership per record; `None` when the record matches no group.
-    pub key: Vec<Option<u16>>,
+    pub fn names(&self) -> &[String] {
+        self.dict.dict()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.dict.distinct()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// True when the column holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.dict.is_empty()
+    }
+
+    /// Group id of one record, or `None` when it matches no group.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<u16> {
+        self.dict.code(idx).map(|c| c as u16)
+    }
+
+    /// Iterates per-record group ids in record order.
+    pub fn iter(&self) -> impl Iterator<Item = Option<u16>> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// The backing dictionary column.
+    pub fn dict(&self) -> &DictColumn {
+        &self.dict
+    }
 }
 
 /// Errors from table construction or lookup.
@@ -56,6 +150,19 @@ pub enum TableError {
         /// The bad value.
         value: f64,
     },
+    /// A record referenced a group id outside the group-name table.
+    InvalidGroupId {
+        /// Offending record index.
+        index: usize,
+        /// The out-of-range id.
+        id: u16,
+        /// Number of known groups.
+        groups: usize,
+    },
+    /// Columns or rows did not fit the expected table shape (missing
+    /// statistic, unpaired label/proxy, wrong column type, unknown group
+    /// name, too many groups, …).
+    SchemaMismatch(String),
     /// The table has no records.
     Empty,
 }
@@ -71,6 +178,10 @@ impl std::fmt::Display for TableError {
             TableError::InvalidProxyScore { predicate, index, value } => {
                 write!(f, "proxy `{predicate}` has invalid score {value} at record {index}")
             }
+            TableError::InvalidGroupId { index, id, groups } => {
+                write!(f, "record {index} has group id {id}, but only {groups} groups exist")
+            }
+            TableError::SchemaMismatch(what) => write!(f, "schema mismatch: {what}"),
             TableError::Empty => write!(f, "table has no records"),
         }
     }
@@ -78,15 +189,89 @@ impl std::fmt::Display for TableError {
 
 impl std::error::Error for TableError {}
 
+/// Failure while persisting or loading a table in the binary format:
+/// either the storage layer rejected the bytes or the decoded columns do
+/// not assemble into a valid table.
+#[derive(Debug)]
+pub enum TableIoError {
+    /// The storage layer rejected the file.
+    Bin(BinError),
+    /// Decoded columns failed table validation.
+    Table(TableError),
+}
+
+impl std::fmt::Display for TableIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableIoError::Bin(e) => write!(f, "{e}"),
+            TableIoError::Table(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableIoError::Bin(e) => Some(e),
+            TableIoError::Table(e) => Some(e),
+        }
+    }
+}
+
+impl From<BinError> for TableIoError {
+    fn from(e: BinError) -> Self {
+        TableIoError::Bin(e)
+    }
+}
+
+impl From<TableError> for TableIoError {
+    fn from(e: TableError) -> Self {
+        TableIoError::Table(e)
+    }
+}
+
+/// The column layout of a table's row view: predicate names in column
+/// order, group names (when a group key exists), and whether records carry
+/// text payloads. [`Table::from_rows`] needs this to rebuild columns —
+/// group names must survive even when no row references them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSchema {
+    /// Predicate names, in column order.
+    pub predicates: Vec<String>,
+    /// Group names indexed by group id, when the table has a group key.
+    pub group_names: Option<Vec<String>>,
+    /// Whether records carry text payloads.
+    pub has_texts: bool,
+}
+
+/// One materialized record — the row-oriented compatibility view. This is
+/// deliberately an owned, allocating struct: it is what the columnar hot
+/// path exists to avoid, and what the differential tests and the scan
+/// bench use as the row baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowRecord {
+    /// The aggregated statistic `f(x)`.
+    pub statistic: f64,
+    /// Ground-truth labels, one per predicate in schema order.
+    pub labels: Vec<bool>,
+    /// Proxy scores, one per predicate in schema order.
+    pub proxies: Vec<f64>,
+    /// Group name, or `None` when the record matches no group (or the
+    /// table has no group key).
+    pub group: Option<String>,
+    /// Text payload, when the table carries texts.
+    pub text: Option<String>,
+}
+
 /// An immutable columnar dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     name: String,
-    statistic: Vec<f64>,
+    statistic: F64Column,
     predicates: Vec<Predicate>,
     by_name: HashMap<String, usize>,
     group_key: Option<GroupKey>,
-    texts: Option<Vec<String>>,
+    texts: Option<StrColumn>,
 }
 
 impl Table {
@@ -106,11 +291,74 @@ impl Table {
     pub fn builder(name: impl Into<String>, statistic: Vec<f64>) -> TableBuilder {
         TableBuilder {
             name: name.into(),
-            statistic,
+            statistic: statistic.into(),
             predicates: Vec::new(),
             group_key: None,
             texts: None,
         }
+    }
+
+    /// Validates columns and assembles the table (the single construction
+    /// path: the builder, `from_rows`, and `from_columns` all land here).
+    fn assemble(
+        name: String,
+        statistic: F64Column,
+        predicates: Vec<Predicate>,
+        group_key: Option<GroupKey>,
+        texts: Option<StrColumn>,
+    ) -> Result<Table, TableError> {
+        let n = statistic.len();
+        if n == 0 {
+            return Err(TableError::Empty);
+        }
+        let mut by_name = HashMap::new();
+        for (i, p) in predicates.iter().enumerate() {
+            if by_name.insert(p.name.clone(), i).is_some() {
+                return Err(TableError::DuplicatePredicate(p.name.clone()));
+            }
+            if p.labels.len() != n {
+                return Err(TableError::LengthMismatch {
+                    column: format!("{}(labels)", p.name),
+                    expected: n,
+                    actual: p.labels.len(),
+                });
+            }
+            if p.proxy.len() != n {
+                return Err(TableError::LengthMismatch {
+                    column: format!("{}(proxy)", p.name),
+                    expected: n,
+                    actual: p.proxy.len(),
+                });
+            }
+            for (idx, &s) in p.proxy.as_slice().iter().enumerate() {
+                if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+                    return Err(TableError::InvalidProxyScore {
+                        predicate: p.name.clone(),
+                        index: idx,
+                        value: s,
+                    });
+                }
+            }
+        }
+        if let Some(gk) = &group_key {
+            if gk.len() != n {
+                return Err(TableError::LengthMismatch {
+                    column: "group_key".to_string(),
+                    expected: n,
+                    actual: gk.len(),
+                });
+            }
+        }
+        if let Some(texts) = &texts {
+            if texts.len() != n {
+                return Err(TableError::LengthMismatch {
+                    column: "texts".to_string(),
+                    expected: n,
+                    actual: texts.len(),
+                });
+            }
+        }
+        Ok(Table { name, statistic, predicates, by_name, group_key, texts })
     }
 
     /// Dataset name.
@@ -131,12 +379,17 @@ impl Table {
 
     /// The statistic column.
     pub fn statistics(&self) -> &[f64] {
+        self.statistic.as_slice()
+    }
+
+    /// The statistic column as an `Arc`-backed column (O(1) to clone).
+    pub fn statistic_column(&self) -> &F64Column {
         &self.statistic
     }
 
     /// Statistic of one record.
     pub fn statistic(&self, idx: usize) -> f64 {
-        self.statistic[idx]
+        self.statistic.get(idx)
     }
 
     /// All predicates.
@@ -166,14 +419,14 @@ impl Table {
     }
 
     /// Text payloads, when present.
-    pub fn texts(&self) -> Option<&[String]> {
-        self.texts.as_deref()
+    pub fn texts(&self) -> Option<&StrColumn> {
+        self.texts.as_ref()
     }
 
     /// Exact positive rate of a predicate (ground truth).
     pub fn positive_rate(&self, pred: &str) -> Result<f64, TableError> {
         let p = self.predicate(pred)?;
-        Ok(p.labels.iter().filter(|&&l| l).count() as f64 / self.len() as f64)
+        Ok(p.labels.count_ones() as f64 / self.len() as f64)
     }
 
     /// Exact `AVG(statistic) WHERE pred` over the ground truth. Returns 0
@@ -182,11 +435,9 @@ impl Table {
         let p = self.predicate(pred)?;
         let mut sum = 0.0;
         let mut count = 0usize;
-        for (i, &l) in p.labels.iter().enumerate() {
-            if l {
-                sum += self.statistic[i];
-                count += 1;
-            }
+        for i in p.labels.iter_ones() {
+            sum += self.statistic.get(i);
+            count += 1;
         }
         Ok(if count == 0 { 0.0 } else { sum / count as f64 })
     }
@@ -194,19 +445,13 @@ impl Table {
     /// Exact `SUM(statistic) WHERE pred` over the ground truth.
     pub fn exact_sum(&self, pred: &str) -> Result<f64, TableError> {
         let p = self.predicate(pred)?;
-        Ok(p
-            .labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l)
-            .map(|(i, _)| self.statistic[i])
-            .sum())
+        Ok(p.labels.iter_ones().map(|i| self.statistic.get(i)).sum())
     }
 
     /// Exact `COUNT(*) WHERE pred` over the ground truth.
     pub fn exact_count(&self, pred: &str) -> Result<f64, TableError> {
         let p = self.predicate(pred)?;
-        Ok(p.labels.iter().filter(|&&l| l).count() as f64)
+        Ok(p.labels.count_ones() as f64)
     }
 
     /// Exact conditional average for records in group `g` (single-oracle
@@ -215,9 +460,9 @@ impl Table {
         let gk = self.group_key.as_ref()?;
         let mut sum = 0.0;
         let mut count = 0usize;
-        for (i, key) in gk.key.iter().enumerate() {
-            if *key == Some(g) {
-                sum += self.statistic[i];
+        for (i, key) in gk.iter().enumerate() {
+            if key == Some(g) {
+                sum += self.statistic.get(i);
                 count += 1;
             }
         }
@@ -227,105 +472,387 @@ impl Table {
     /// Exact count of records in group `g`.
     pub fn exact_group_count(&self, g: u16) -> Option<f64> {
         let gk = self.group_key.as_ref()?;
-        Some(gk.key.iter().filter(|k| **k == Some(g)).count() as f64)
+        Some(gk.iter().filter(|k| *k == Some(g)).count() as f64)
     }
+
+    // ------------------------------------------------------------------
+    // Row-record compatibility view
+    // ------------------------------------------------------------------
+
+    /// The table's row-view schema.
+    pub fn schema(&self) -> RowSchema {
+        RowSchema {
+            predicates: self.predicates.iter().map(|p| p.name.clone()).collect(),
+            group_names: self.group_key.as_ref().map(|gk| gk.names().to_vec()),
+            has_texts: self.texts.is_some(),
+        }
+    }
+
+    /// Materializes one record as an owned row struct.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    pub fn row(&self, idx: usize) -> RowRecord {
+        RowRecord {
+            statistic: self.statistic.get(idx),
+            labels: self.predicates.iter().map(|p| p.labels.get(idx)).collect(),
+            proxies: self.predicates.iter().map(|p| p.proxy.get(idx)).collect(),
+            group: self
+                .group_key
+                .as_ref()
+                .and_then(|gk| gk.dict().value(idx).map(str::to_string)),
+            text: self.texts.as_ref().map(|t| t.get(idx).to_string()),
+        }
+    }
+
+    /// Iterates all records as owned row structs (the row-oriented
+    /// compatibility path; allocates per record).
+    pub fn rows(&self) -> impl Iterator<Item = RowRecord> + '_ {
+        (0..self.len()).map(|i| self.row(i))
+    }
+
+    /// Rebuilds a table from a row stream and its schema — the inverse of
+    /// [`Table::rows`]: `Table::from_rows(t.name(), &t.schema(), t.rows())`
+    /// reproduces `t` exactly.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: &RowSchema,
+        rows: impl IntoIterator<Item = RowRecord>,
+    ) -> Result<Table, TableError> {
+        let n_preds = schema.predicates.len();
+        let mut statistic = Vec::new();
+        let mut labels: Vec<Bitmap> = (0..n_preds).map(|_| Bitmap::default()).collect();
+        let mut proxies: Vec<Vec<f64>> = vec![Vec::new(); n_preds];
+        let group_ids: Option<HashMap<&str, u32>> = schema.group_names.as_ref().map(|names| {
+            names.iter().enumerate().map(|(i, n)| (n.as_str(), i as u32)).collect()
+        });
+        let mut group = schema.group_names.is_some().then(DictBuilder::new);
+        let mut texts = schema.has_texts.then(crate::columnar::StrBuilder::new);
+
+        for (idx, row) in rows.into_iter().enumerate() {
+            if row.labels.len() != n_preds || row.proxies.len() != n_preds {
+                return Err(TableError::LengthMismatch {
+                    column: format!("row {idx}"),
+                    expected: n_preds,
+                    actual: row.labels.len().max(row.proxies.len()),
+                });
+            }
+            statistic.push(row.statistic);
+            for (p, &l) in labels.iter_mut().zip(&row.labels) {
+                p.push(l);
+            }
+            for (p, &s) in proxies.iter_mut().zip(&row.proxies) {
+                p.push(s);
+            }
+            match (&mut group, &row.group) {
+                (Some(b), Some(g)) => {
+                    let ids = group_ids.as_ref().expect("built alongside the dict builder");
+                    if !ids.contains_key(g.as_str()) {
+                        return Err(TableError::SchemaMismatch(format!(
+                            "row {idx} names unknown group `{g}`"
+                        )));
+                    }
+                    b.push(Some(g));
+                }
+                (Some(b), None) => b.push(None),
+                (None, Some(_)) => {
+                    return Err(TableError::SchemaMismatch(format!(
+                        "row {idx} carries a group but the schema has none"
+                    )))
+                }
+                (None, None) => {}
+            }
+            match (&mut texts, row.text) {
+                (Some(b), Some(t)) => b.push(&t),
+                (Some(b), None) => b.push(""),
+                (None, Some(_)) => {
+                    return Err(TableError::SchemaMismatch(format!(
+                        "row {idx} carries a text but the schema has none"
+                    )))
+                }
+                (None, None) => {}
+            }
+        }
+
+        // The dict builder interned in row order; remap onto the schema's
+        // group-id order so ids (and empty groups) survive the roundtrip.
+        let group_key = match (group, &schema.group_names) {
+            (Some(b), Some(names)) => {
+                let built = b.finish();
+                let ids = group_ids.expect("present when schema has groups");
+                let codes: Vec<u32> = built
+                    .codes()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        if built.validity().get(i) {
+                            ids[built.dict()[c as usize].as_str()]
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                let dict =
+                    DictColumn::from_parts(names.clone(), codes, built.validity().clone())
+                        .ok_or_else(|| {
+                            TableError::SchemaMismatch("group ids out of range".to_string())
+                        })?;
+                Some(GroupKey::from_dict(dict)?)
+            }
+            _ => None,
+        };
+
+        let predicates = schema
+            .predicates
+            .iter()
+            .zip(labels.into_iter().zip(proxies))
+            .map(|(name, (l, p))| Predicate {
+                name: name.clone(),
+                labels: BoolColumn::from(l),
+                proxy: F64Column::from(p),
+            })
+            .collect();
+        Table::assemble(
+            name.into(),
+            F64Column::from(statistic),
+            predicates,
+            group_key,
+            texts.map(|b| b.finish()),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Columnar export / import and the binary cache
+    // ------------------------------------------------------------------
+
+    /// Exports the table as named, role-tagged columns (the binary file
+    /// format's unit). Order: statistic, then label+proxy per predicate,
+    /// then group, then text.
+    pub fn to_columns(&self) -> Vec<NamedColumn> {
+        let mut out = Vec::with_capacity(2 + 2 * self.predicates.len());
+        out.push(NamedColumn {
+            name: "statistic".to_string(),
+            role: ColumnRole::Statistic,
+            column: Column::F64(self.statistic.clone()),
+        });
+        for p in &self.predicates {
+            out.push(NamedColumn {
+                name: p.name.clone(),
+                role: ColumnRole::Label,
+                column: Column::Bool(p.labels.clone()),
+            });
+            out.push(NamedColumn {
+                name: p.name.clone(),
+                role: ColumnRole::Proxy,
+                column: Column::F64(p.proxy.clone()),
+            });
+        }
+        if let Some(gk) = &self.group_key {
+            out.push(NamedColumn {
+                name: "group".to_string(),
+                role: ColumnRole::Group,
+                column: Column::Dict(gk.dict().clone()),
+            });
+        }
+        if let Some(t) = &self.texts {
+            out.push(NamedColumn {
+                name: "text".to_string(),
+                role: ColumnRole::Text,
+                column: Column::Str(t.clone()),
+            });
+        }
+        out
+    }
+
+    /// Assembles a table from named, role-tagged columns — the inverse of
+    /// [`Table::to_columns`]. Label and proxy columns pair by name; every
+    /// invariant the builder enforces is re-checked (the columns may come
+    /// from an untrusted file).
+    pub fn from_columns(
+        name: impl Into<String>,
+        columns: Vec<NamedColumn>,
+    ) -> Result<Table, TableError> {
+        let mut statistic = None;
+        let mut order: Vec<String> = Vec::new();
+        let mut label_cols: HashMap<String, BoolColumn> = HashMap::new();
+        let mut proxy_cols: HashMap<String, F64Column> = HashMap::new();
+        let mut group_key = None;
+        let mut texts = None;
+        for nc in columns {
+            match (nc.role, nc.column) {
+                (ColumnRole::Statistic, Column::F64(c)) => {
+                    if statistic.replace(c).is_some() {
+                        return Err(TableError::SchemaMismatch(
+                            "multiple statistic columns".to_string(),
+                        ));
+                    }
+                }
+                (ColumnRole::Label, Column::Bool(c)) => {
+                    if !order.contains(&nc.name) {
+                        order.push(nc.name.clone());
+                    }
+                    if label_cols.insert(nc.name.clone(), c).is_some() {
+                        return Err(TableError::DuplicatePredicate(nc.name));
+                    }
+                }
+                (ColumnRole::Proxy, Column::F64(c)) => {
+                    if !order.contains(&nc.name) {
+                        order.push(nc.name.clone());
+                    }
+                    if proxy_cols.insert(nc.name.clone(), c).is_some() {
+                        return Err(TableError::DuplicatePredicate(nc.name));
+                    }
+                }
+                (ColumnRole::Group, Column::Dict(c)) => {
+                    if group_key.replace(GroupKey::from_dict(c)?).is_some() {
+                        return Err(TableError::SchemaMismatch(
+                            "multiple group columns".to_string(),
+                        ));
+                    }
+                }
+                (ColumnRole::Text, Column::Str(c)) => {
+                    if texts.replace(c).is_some() {
+                        return Err(TableError::SchemaMismatch(
+                            "multiple text columns".to_string(),
+                        ));
+                    }
+                }
+                (role, column) => {
+                    return Err(TableError::SchemaMismatch(format!(
+                        "column `{}` has type {} which does not fit role {role:?}",
+                        nc.name,
+                        column.type_name()
+                    )))
+                }
+            }
+        }
+        let statistic = statistic.ok_or_else(|| {
+            TableError::SchemaMismatch("missing statistic column".to_string())
+        })?;
+        let mut predicates = Vec::with_capacity(order.len());
+        for pname in order {
+            let labels = label_cols.remove(&pname).ok_or_else(|| {
+                TableError::SchemaMismatch(format!("predicate `{pname}` has no label column"))
+            })?;
+            let proxy = proxy_cols.remove(&pname).ok_or_else(|| {
+                TableError::SchemaMismatch(format!("predicate `{pname}` has no proxy column"))
+            })?;
+            predicates.push(Predicate { name: pname, labels, proxy });
+        }
+        Table::assemble(name.into(), statistic, predicates, group_key, texts)
+    }
+
+    /// Writes the table to `path` in the binary `.abcol` format
+    /// (atomically; see [`crate::columnar::file`] for the layout).
+    pub fn save_binary(&self, path: &Path) -> Result<(), BinError> {
+        write_columns(path, &self.to_columns())
+    }
+
+    /// Loads a table from the binary `.abcol` format, re-validating every
+    /// table invariant (the file is untrusted input).
+    pub fn load_binary(name: impl Into<String>, path: &Path) -> Result<Table, TableIoError> {
+        let columns = read_columns(path)?;
+        Ok(Table::from_columns(name, columns)?)
+    }
+}
+
+/// The builder's group-key input: either the classic `(names, ids)` pair
+/// or a pre-encoded dictionary column.
+#[derive(Debug, Clone)]
+enum GroupInput {
+    NamesKey(Vec<String>, Vec<Option<u16>>),
+    Dict(DictColumn),
 }
 
 /// Builder for [`Table`], validating column lengths and proxy ranges.
 #[derive(Debug, Clone)]
 pub struct TableBuilder {
     name: String,
-    statistic: Vec<f64>,
+    statistic: F64Column,
     predicates: Vec<Predicate>,
-    group_key: Option<GroupKey>,
-    texts: Option<Vec<String>>,
+    group_key: Option<GroupInput>,
+    texts: Option<StrColumn>,
 }
 
 impl TableBuilder {
-    /// Adds a predicate column.
+    /// Adds a predicate column from plain vectors.
     pub fn predicate(
-        mut self,
+        self,
         name: impl Into<String>,
         labels: Vec<bool>,
         proxy: Vec<f64>,
+    ) -> Self {
+        self.predicate_columns(name, labels.into(), proxy.into())
+    }
+
+    /// Adds a predicate from already-built columns (the streaming-ingest
+    /// path: no intermediate `Vec<bool>`).
+    pub fn predicate_columns(
+        mut self,
+        name: impl Into<String>,
+        labels: BoolColumn,
+        proxy: F64Column,
     ) -> Self {
         self.predicates.push(Predicate { name: name.into(), labels, proxy });
         self
     }
 
-    /// Sets the group key column.
+    /// Sets the group key column from group names plus per-record ids.
     pub fn group_key(mut self, names: Vec<String>, key: Vec<Option<u16>>) -> Self {
-        self.group_key = Some(GroupKey { names, key });
+        self.group_key = Some(GroupInput::NamesKey(names, key));
+        self
+    }
+
+    /// Sets the group key from a pre-encoded dictionary column (the
+    /// streaming-ingest path).
+    pub fn group_dict(mut self, dict: DictColumn) -> Self {
+        self.group_key = Some(GroupInput::Dict(dict));
         self
     }
 
     /// Attaches text payloads.
     pub fn texts(mut self, texts: Vec<String>) -> Self {
+        self.texts = Some(texts.iter().collect());
+        self
+    }
+
+    /// Attaches text payloads from an already-built column (the
+    /// streaming-ingest path).
+    pub fn texts_column(mut self, texts: StrColumn) -> Self {
         self.texts = Some(texts);
         self
     }
 
     /// Validates and builds the table.
     pub fn build(self) -> Result<Table, TableError> {
-        let n = self.statistic.len();
-        if n == 0 {
-            return Err(TableError::Empty);
-        }
-        let mut by_name = HashMap::new();
-        for (i, p) in self.predicates.iter().enumerate() {
-            if by_name.insert(p.name.clone(), i).is_some() {
-                return Err(TableError::DuplicatePredicate(p.name.clone()));
-            }
-            if p.labels.len() != n {
-                return Err(TableError::LengthMismatch {
-                    column: format!("{}(labels)", p.name),
-                    expected: n,
-                    actual: p.labels.len(),
-                });
-            }
-            if p.proxy.len() != n {
-                return Err(TableError::LengthMismatch {
-                    column: format!("{}(proxy)", p.name),
-                    expected: n,
-                    actual: p.proxy.len(),
-                });
-            }
-            for (idx, &s) in p.proxy.iter().enumerate() {
-                if !s.is_finite() || !(0.0..=1.0).contains(&s) {
-                    return Err(TableError::InvalidProxyScore {
-                        predicate: p.name.clone(),
-                        index: idx,
-                        value: s,
-                    });
+        let group_key = match self.group_key {
+            Some(GroupInput::NamesKey(names, key)) => {
+                let mut validity = Bitmap::new(key.len());
+                let mut codes = Vec::with_capacity(key.len());
+                for (i, k) in key.iter().enumerate() {
+                    match k {
+                        Some(id) => {
+                            if usize::from(*id) >= names.len() {
+                                return Err(TableError::InvalidGroupId {
+                                    index: i,
+                                    id: *id,
+                                    groups: names.len(),
+                                });
+                            }
+                            validity.set(i, true);
+                            codes.push(u32::from(*id));
+                        }
+                        None => codes.push(0),
+                    }
                 }
+                let dict = DictColumn::from_parts(names, codes, validity)
+                    .expect("codes validated above");
+                Some(GroupKey::from_dict(dict)?)
             }
-        }
-        if let Some(gk) = &self.group_key {
-            if gk.key.len() != n {
-                return Err(TableError::LengthMismatch {
-                    column: "group_key".to_string(),
-                    expected: n,
-                    actual: gk.key.len(),
-                });
-            }
-        }
-        if let Some(texts) = &self.texts {
-            if texts.len() != n {
-                return Err(TableError::LengthMismatch {
-                    column: "texts".to_string(),
-                    expected: n,
-                    actual: texts.len(),
-                });
-            }
-        }
-        Ok(Table {
-            name: self.name,
-            statistic: self.statistic,
-            predicates: self.predicates,
-            by_name,
-            group_key: self.group_key,
-            texts: self.texts,
-        })
+            Some(GroupInput::Dict(dict)) => Some(GroupKey::from_dict(dict)?),
+            None => None,
+        };
+        Table::assemble(self.name, self.statistic, self.predicates, group_key, self.texts)
     }
 }
 
@@ -346,8 +873,10 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert_eq!(t.name(), "t");
         assert_eq!(t.statistic(2), 3.0);
-        assert!(t.predicate("even").unwrap().labels[1]);
+        assert!(t.predicate("even").unwrap().label(1));
         assert_eq!(t.predicate_index("even").unwrap(), 0);
+        assert_eq!(t.predicates()[0].name(), "even");
+        assert_eq!(t.predicates()[0].proxy(), &[0.1, 0.9, 0.2, 0.8]);
     }
 
     #[test]
@@ -417,6 +946,15 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_out_of_range_group_id() {
+        let err = Table::builder("g", vec![1.0, 2.0])
+            .group_key(vec!["a".into()], vec![Some(0), Some(3)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TableError::InvalidGroupId { index: 1, id: 3, groups: 1 });
+    }
+
+    #[test]
     fn group_key_aggregates() {
         let t = Table::builder("g", vec![10.0, 20.0, 30.0, 40.0])
             .group_key(
@@ -429,6 +967,11 @@ mod tests {
         assert_eq!(t.exact_group_avg(1), Some(20.0));
         assert_eq!(t.exact_group_count(0), Some(2.0));
         assert_eq!(t.exact_group_avg(9), Some(0.0)); // empty group
+        let gk = t.group_key().unwrap();
+        assert_eq!(gk.names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(gk.iter().collect::<Vec<_>>(), vec![Some(0), Some(1), Some(0), None]);
+        assert_eq!(gk.get(3), None);
+        assert_eq!(gk.num_groups(), 2);
     }
 
     #[test]
@@ -446,6 +989,95 @@ mod tests {
             .texts(vec!["hello world".into()])
             .build()
             .unwrap();
-        assert_eq!(t.texts().unwrap()[0], "hello world");
+        assert_eq!(t.texts().unwrap().get(0), "hello world");
+    }
+
+    fn full_table() -> Table {
+        Table::builder("full", vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .predicate(
+                "p",
+                vec![true, false, true, false, true],
+                vec![0.9, 0.1, 0.8, 0.2, 0.7],
+            )
+            .predicate(
+                "q",
+                vec![false, false, true, true, false],
+                vec![0.3, 0.4, 0.6, 0.9, 0.1],
+            )
+            .group_key(
+                vec!["x".into(), "y".into(), "unused".into()],
+                vec![Some(0), Some(1), None, Some(0), Some(1)],
+            )
+            .texts(vec!["a".into(), "bb".into(), "".into(), "dd d".into(), "e".into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn row_view_roundtrip_is_exact() {
+        let t = full_table();
+        let schema = t.schema();
+        assert_eq!(schema.predicates, vec!["p".to_string(), "q".to_string()]);
+        assert_eq!(schema.group_names.as_deref().unwrap().len(), 3);
+        let r = t.row(1);
+        assert_eq!(r.statistic, 2.0);
+        assert_eq!(r.labels, vec![false, false]);
+        assert_eq!(r.proxies, vec![0.1, 0.4]);
+        assert_eq!(r.group.as_deref(), Some("y"));
+        assert_eq!(r.text.as_deref(), Some("bb"));
+        let rebuilt = Table::from_rows(t.name(), &schema, t.rows()).unwrap();
+        assert_eq!(rebuilt, t, "rows() -> from_rows must reproduce the table exactly");
+        // The unused group survives via the schema.
+        assert_eq!(rebuilt.group_key().unwrap().names()[2], "unused");
+    }
+
+    #[test]
+    fn from_rows_rejects_schema_violations() {
+        let t = full_table();
+        let schema = t.schema();
+        let mut bad = t.row(0);
+        bad.labels.pop();
+        assert!(matches!(
+            Table::from_rows("t", &schema, vec![bad]),
+            Err(TableError::LengthMismatch { .. })
+        ));
+        let mut bad = t.row(0);
+        bad.group = Some("nonexistent".into());
+        assert!(matches!(
+            Table::from_rows("t", &schema, vec![bad]),
+            Err(TableError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn columns_roundtrip_is_exact() {
+        let t = full_table();
+        let cols = t.to_columns();
+        assert_eq!(cols.len(), 1 + 2 * 2 + 1 + 1);
+        let rebuilt = Table::from_columns(t.name(), cols).unwrap();
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn from_columns_rejects_unpaired_predicates() {
+        let t = full_table();
+        let mut cols = t.to_columns();
+        cols.remove(2); // p's proxy column
+        assert!(matches!(
+            Table::from_columns("t", cols),
+            Err(TableError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let t = full_table();
+        let dir = std::env::temp_dir().join("abae_table_bin_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full.abcol");
+        t.save_binary(&path).unwrap();
+        let back = Table::load_binary(t.name(), &path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,99 @@
+//! Golden-file test pinning the `.abcol` on-disk binary layout.
+//!
+//! The checked-in file `tests/golden/v1_small.abcol` was produced by
+//! `encode_columns` for the fixed table below. If an intentional format
+//! change lands, bump [`abae_data::columnar::VERSION`] and regenerate with:
+//!
+//! ```text
+//! ABAE_REGEN_GOLDEN=1 cargo test -p abae_data --test golden_file
+//! ```
+//!
+//! Any byte-level drift without a version bump is a bug: files written by
+//! older builds must keep loading in newer ones.
+
+use abae_data::columnar::{decode_columns, encode_columns, MAGIC, VERSION};
+use abae_data::table::Table;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/v1_small.abcol")
+}
+
+/// A small table exercising every column type: statistic (f64), two
+/// predicates (bool labels + f64 proxies), a dict group key with an
+/// unkeyed record and an empty group, and a UTF-8 text column.
+fn golden_table() -> Table {
+    let statistic = vec![1.0, 2.5, 0.0, -3.25, 4.0, 1e-9];
+    let names = vec!["alpha".to_string(), "beta".to_string(), "gamma".to_string()];
+    let key = vec![Some(0), Some(1), None, Some(0), Some(1), Some(0)];
+    let texts = vec![
+        "hello".to_string(),
+        "wörld".to_string(),
+        String::new(),
+        "spam spam".to_string(),
+        "日本語".to_string(),
+        "tail".to_string(),
+    ];
+    Table::builder("golden", statistic)
+        .predicate(
+            "p",
+            vec![true, false, true, false, true, false],
+            vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3],
+        )
+        .predicate(
+            "q",
+            vec![false, false, true, true, false, true],
+            vec![0.05, 0.15, 0.95, 0.85, 0.25, 0.75],
+        )
+        .group_key(names, key)
+        .texts(texts)
+        .build()
+        .expect("valid table")
+}
+
+#[test]
+fn golden_bytes_are_stable() {
+    let table = golden_table();
+    let bytes = encode_columns(&table.to_columns());
+
+    let path = golden_path();
+    if std::env::var_os("ABAE_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &bytes).expect("write golden file");
+        return;
+    }
+
+    let golden = std::fs::read(&path).expect(
+        "golden file missing; regenerate with ABAE_REGEN_GOLDEN=1 cargo test -p abae_data --test golden_file",
+    );
+    assert_eq!(
+        bytes.len(),
+        golden.len(),
+        "encoded length changed; the on-disk layout drifted without a version bump"
+    );
+    if bytes != golden {
+        let first = bytes.iter().zip(&golden).position(|(a, b)| a != b).unwrap();
+        panic!(
+            "encoded bytes differ from golden file at offset {first} \
+             (got {:#04x}, golden {:#04x}); the on-disk layout drifted without a version bump",
+            bytes[first], golden[first]
+        );
+    }
+}
+
+#[test]
+fn golden_file_loads_into_identical_table() {
+    let golden = std::fs::read(golden_path()).expect("golden file present");
+    let cols = decode_columns(&golden).expect("golden file decodes");
+    let loaded = Table::from_columns("golden", cols).expect("golden columns form a table");
+    assert_eq!(loaded, golden_table());
+}
+
+#[test]
+fn golden_header_fields_are_pinned() {
+    let golden = std::fs::read(golden_path()).expect("golden file present");
+    assert_eq!(&golden[0..8], &MAGIC);
+    assert_eq!(u32::from_le_bytes(golden[8..12].try_into().unwrap()), VERSION);
+    // statistic + 2 labels + 2 proxies + group + text = 7 columns, 6 rows.
+    assert_eq!(u32::from_le_bytes(golden[12..16].try_into().unwrap()), 7);
+    assert_eq!(u64::from_le_bytes(golden[16..24].try_into().unwrap()), 6);
+}

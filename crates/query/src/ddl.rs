@@ -31,6 +31,7 @@ use crate::plan::predicate_key;
 use abae_core::multipred::{expression_oracle, PredExpr};
 use abae_core::pipeline;
 use abae_core::proxy_select::{rank_proxies, PilotSample};
+use abae_data::columnar::StrColumn;
 use abae_data::{CachedOracle, Labeled, Oracle, TrainedProxy};
 use abae_ml::calibration::expected_calibration_error;
 use abae_ml::proxy::{Calibrated, KeywordModel, LogisticModel, ProxyModel};
@@ -71,17 +72,19 @@ fn fit_family(
     }
 }
 
-/// Scores every record of the table through the batch pipeline. Proxy
-/// scores must land in `[0, 1]` (the table builder's invariant); the
-/// models emit sigmoid outputs, and the clamp only guards float edges.
+/// Scores every record of the table through the batch pipeline, reading
+/// texts straight out of the columnar string arena (zero-copy `&str`
+/// views; no per-record `String` is materialized). Proxy scores must land
+/// in `[0, 1]` (the table builder's invariant); the models emit sigmoid
+/// outputs, and the clamp only guards float edges.
 fn score_table(
     model: &dyn ProxyModel,
-    texts: &[String],
+    texts: &StrColumn,
     opts: &EngineOptions,
 ) -> Vec<f64> {
     let all: Vec<usize> = (0..texts.len()).collect();
     pipeline::map_batched(&all, &opts.exec, |chunk| {
-        let batch: Vec<&str> = chunk.iter().map(|&i| texts[i].as_str()).collect();
+        let batch: Vec<&str> = chunk.iter().map(|&i| texts.get(i)).collect();
         model.score_batch(&batch).into_iter().map(|s| s.clamp(0.0, 1.0)).collect()
     })
 }
@@ -146,7 +149,7 @@ pub(crate) fn run_create_proxy<R: Rng + ?Sized>(
         }
     };
     let labels: Vec<bool> = labeled.iter().map(|l| l.matches).collect();
-    let train_texts: Vec<&str> = ids.iter().map(|&i| texts[i].as_str()).collect();
+    let train_texts: Vec<&str> = ids.iter().map(|&i| texts.get(i)).collect();
 
     // Fit the named family, or fit every family on the shared draw and
     // keep the §3.4 predicted-MSE winner (no extra oracle cost: the pilot
@@ -271,8 +274,8 @@ mod tests {
         // Registered and discoverable.
         assert_eq!(catalog.proxy_registry().get("emails", "spamnet").unwrap(), proxy);
         // The trained scores separate the classes (the column is flat 0.5).
-        let labels = &catalog.table("emails").unwrap().predicate("is_spam").unwrap().labels;
-        let auc = abae_ml::auc(&proxy.scores, labels).expect("both classes");
+        let labels = catalog.table("emails").unwrap().predicate("is_spam").unwrap().labels_vec();
+        let auc = abae_ml::auc(&proxy.scores, &labels).expect("both classes");
         assert!(auc > 0.95, "trained proxy AUC {auc}");
     }
 
@@ -286,8 +289,8 @@ mod tests {
                 .unwrap();
         assert!(proxy.auto_selected);
         // Whatever won must be informative on this separable corpus.
-        let labels = &catalog.table("emails").unwrap().predicate("is_spam").unwrap().labels;
-        let auc = abae_ml::auc(&proxy.scores, labels).expect("both classes");
+        let labels = catalog.table("emails").unwrap().predicate("is_spam").unwrap().labels_vec();
+        let auc = abae_ml::auc(&proxy.scores, &labels).expect("both classes");
         assert!(auc > 0.9, "auto-selected proxy AUC {auc} ({})", proxy.summary);
     }
 

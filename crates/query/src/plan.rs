@@ -27,6 +27,7 @@ use abae_core::groupby::{
 };
 use abae_core::multipred::{expression_oracle, PredExpr};
 use abae_core::two_stage::{ProgressiveOptions, Snapshot};
+use abae_data::columnar::F64Column;
 use abae_data::{CachedOracle, Oracle, SingleGroupOracle, Table, TrainedProxy};
 use abae_stats::bootstrap::ConfidenceInterval;
 use rand::Rng;
@@ -47,8 +48,9 @@ pub enum ScoreSource {
     Column {
         /// Resolved column name.
         name: String,
-        /// The column's scores, materialized at plan time.
-        scores: Vec<f64>,
+        /// The column's scores — an `Arc`-backed columnar view, so
+        /// binding it into a plan is O(1), not a copy.
+        scores: F64Column,
     },
     /// The §3.3 combination of the predicates' own columns (the default
     /// when `USING` is omitted; for a single bare atom the combination is
@@ -71,7 +73,8 @@ impl ScoreSource {
     /// The stratification scores, one per record.
     pub fn scores(&self) -> &[f64] {
         match self {
-            ScoreSource::Column { scores, .. } | ScoreSource::Combined { scores, .. } => scores,
+            ScoreSource::Column { scores, .. } => scores.as_slice(),
+            ScoreSource::Combined { scores, .. } => scores,
             ScoreSource::Model(proxy) => &proxy.scores,
         }
     }
@@ -202,7 +205,7 @@ pub(crate) fn predicate_key(expr: &PredExpr) -> String {
 /// registration order.
 pub(crate) fn available_proxies(catalog: &Catalog, table: &Table) -> Vec<String> {
     let mut names: Vec<String> =
-        table.predicates().iter().map(|p| p.name.clone()).collect();
+        table.predicates().iter().map(|p| p.name().to_string()).collect();
     let later = catalog
         .bound_keys(table.name())
         .into_iter()
@@ -249,7 +252,7 @@ pub(crate) fn plan_query(catalog: &Catalog, query: &Query) -> Result<QueryPlan, 
         let group_key = table.group_key().ok_or_else(|| {
             QueryError::Unsupported(format!("table `{}` has no group key", query.table))
         })?;
-        let groups = group_key.names.clone();
+        let groups = group_key.names().to_vec();
         if columns.len() != groups.len() {
             return Err(QueryError::Unsupported(format!(
                 "group-by query names {} predicates but table `{}` has {} groups",
@@ -269,7 +272,7 @@ pub(crate) fn plan_query(catalog: &Catalog, query: &Query) -> Result<QueryPlan, 
         let source = match query.proxy.as_deref() {
             Some(p) => match catalog.resolve(&query.table, p) {
                 Some(col) => ScoreSource::Column {
-                    scores: table.predicate(&col).map_err(QueryError::Table)?.proxy.clone(),
+                    scores: table.predicate(&col).map_err(QueryError::Table)?.proxy_column().clone(),
                     name: col,
                 },
                 None => match catalog.proxy_registry().get(&query.table, p) {
@@ -448,7 +451,7 @@ fn run_groupby<R: Rng + ?Sized>(
     let proxies: Vec<&[f64]> = plan
         .columns
         .iter()
-        .map(|&c| table.predicates()[c].proxy.as_slice())
+        .map(|&c| table.predicates()[c].proxy())
         .collect();
     let oracle = SingleGroupOracle::new(table).expect("group key validated at plan time");
     let cfg = GroupByConfig {

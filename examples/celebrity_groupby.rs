@@ -21,7 +21,7 @@ fn main() {
     let exact: Vec<(String, f64)> = images
         .group_key()
         .expect("grouped table")
-        .names
+        .names()
         .iter()
         .enumerate()
         .map(|(g, name)| {
@@ -70,7 +70,7 @@ fn main() {
 
     // Core API: Minimax vs Equal vs Uniform on the worst group.
     let proxies: Vec<&[f64]> =
-        images.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        images.predicates().iter().map(|p| p.proxy()).collect();
     for (label, alloc) in
         [("Minimax", Some(GroupAllocation::Minimax)), ("Equal", Some(GroupAllocation::Equal)), ("Uniform", None)]
     {

@@ -52,7 +52,7 @@ fn main() {
         exec: ExecOptions::new(4, 32),
         ..Default::default()
     };
-    let scores = &table.predicate("matches").expect("predicate exists").proxy;
+    let scores = table.predicate("matches").expect("predicate exists").proxy();
     let result = run_abae_with_ci(scores, &oracle, &config, Aggregate::Avg, &mut rng)
         .expect("valid configuration");
 

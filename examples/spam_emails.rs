@@ -29,12 +29,12 @@ fn main() {
 
     // Three candidate keyword proxies of varying quality.
     let candidates: Vec<&[f64]> =
-        emails.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        emails.predicates().iter().map(|p| p.proxy()).collect();
     for p in emails.predicates() {
         println!(
             "  proxy {:<14} AUC = {:.3}",
-            p.name,
-            auc(&p.proxy, &p.labels).expect("both classes present")
+            p.name(),
+            auc(p.proxy(), &p.labels_vec()).expect("both classes present")
         );
     }
 
@@ -46,14 +46,14 @@ fn main() {
     let best = ranking.best();
     println!(
         "selected proxy: {} (predicted MSE {:.5})",
-        emails.predicates()[best].name,
+        emails.predicates()[best].name(),
         ranking.predicted_mse[best]
     );
 
     // … and the same pilot trains a logistic combination of all three.
     let combined = combine_proxies(&candidates, &pilot).expect("pilot is non-empty");
-    let labels = &emails.predicates()[0].labels;
-    println!("combined proxy AUC = {:.3}", auc(&combined, labels).expect("both classes"));
+    let labels = emails.predicates()[0].labels_vec();
+    println!("combined proxy AUC = {:.3}", auc(&combined, &labels).expect("both classes"));
 
     // Run ABae with the combined proxy on the remaining budget.
     let config = AbaeConfig { budget: 3000, ..Default::default() };

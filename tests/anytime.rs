@@ -186,7 +186,7 @@ fn groupby_progressive_is_bit_identical_to_blocking() {
     // budget × trials × samples.
     let seed = 42u64;
     let t = group_table(3000, seed);
-    let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy()).collect();
     let bootstrap = BootstrapConfig { trials: 25, alpha: 0.05 };
     let cfg_for = |threads: usize| GroupByConfig {
         budget: 600,

@@ -200,7 +200,7 @@ fn multipred_charges_one_invocation_per_record() {
 #[test]
 fn groupby_single_oracle_spend_is_batch_invariant_and_bounded() {
     let t = group_table(25_000, 6);
-    let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy()).collect();
     let budget = 3000usize;
     let mut reference: Option<u64> = None;
     for threads in THREADS {
@@ -229,7 +229,7 @@ fn groupby_single_oracle_spend_is_batch_invariant_and_bounded() {
 #[test]
 fn groupby_multi_oracle_spend_is_batch_invariant_and_bounded() {
     let t = group_table(25_000, 9);
-    let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+    let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy()).collect();
     let budget = 3001usize;
     let mut reference: Option<u64> = None;
     for threads in THREADS {

@@ -37,7 +37,7 @@ fn grouped_table_roundtrips_with_group_key() {
     let avg_by_name = |t: &abae::data::Table| -> Vec<(String, f64, f64)> {
         let gk = t.group_key().expect("grouped table");
         let mut rows: Vec<(String, f64, f64)> = gk
-            .names
+            .names()
             .iter()
             .enumerate()
             .map(|(g, name)| {

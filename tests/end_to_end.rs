@@ -47,7 +47,7 @@ fn sql_query_over_emulated_dataset_converges() {
 fn abae_beats_uniform_on_an_emulated_dataset() {
     let video = night_street(&opts());
     let exact = video.exact_avg("has_car").unwrap();
-    let scores = video.predicate("has_car").unwrap().proxy.clone();
+    let scores = video.predicate("has_car").unwrap().proxy().to_vec();
     let mut rng = StdRng::seed_from_u64(2);
     let trials = 40;
     let cfg = AbaeConfig { budget: 2000, ..Default::default() };

@@ -24,7 +24,7 @@ fn opts() -> EmulatorOptions {
 fn sequential_sampler_matches_two_stage_on_emulated_data() {
     let video = night_street(&opts());
     let exact = video.exact_avg("has_car").unwrap();
-    let scores = video.predicate("has_car").unwrap().proxy.clone();
+    let scores = video.predicate("has_car").unwrap().proxy().to_vec();
     let mut rng = StdRng::seed_from_u64(1);
     let trials = 30;
 
@@ -67,7 +67,7 @@ fn sequential_sampler_matches_two_stage_on_emulated_data() {
 fn closed_form_ci_covers_on_emulated_data() {
     let video = night_street(&opts());
     let exact = video.exact_avg("has_car").unwrap();
-    let scores = video.predicate("has_car").unwrap().proxy.clone();
+    let scores = video.predicate("has_car").unwrap().proxy().to_vec();
     let strat = Stratification::by_proxy_quantile(&scores, 5);
     let mut rng = StdRng::seed_from_u64(2);
     let trials = 40;
@@ -96,15 +96,15 @@ fn naive_bayes_trained_on_emulated_text_is_a_usable_proxy() {
     // and run ABae with the learned proxy — a full learned-proxy pipeline.
     let emails = trec05p(&opts());
     let texts = emails.texts().expect("trec05p carries text");
-    let labels = &emails.predicate("is_spam").unwrap().labels;
+    let labels = emails.predicate("is_spam").unwrap().labels_vec();
 
     // Train on the first 2,000 records (in practice: a labeled subsample).
-    let train_docs: Vec<&str> = texts.iter().take(2000).map(String::as_str).collect();
+    let train_docs: Vec<&str> = texts.iter().take(2000).collect();
     let train_labels: Vec<bool> = labels.iter().take(2000).copied().collect();
     let nb = NaiveBayes::fit_text(&train_docs, &train_labels).expect("both classes present");
 
     let scores: Vec<f64> = texts.iter().map(|t| nb.score_text(t)).collect();
-    let nb_auc = auc(&scores, labels).expect("both classes present");
+    let nb_auc = auc(&scores, &labels).expect("both classes present");
     assert!(nb_auc > 0.8, "NB proxy AUC {nb_auc}");
 
     // The learned proxy drives ABae; estimate should be near the truth.

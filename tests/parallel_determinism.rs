@@ -212,7 +212,7 @@ fn multipred_is_scheduling_independent() {
 fn groupby_single_oracle_is_scheduling_independent() {
     for seed in [1u64, 42] {
         let t = group_table(10_000, seed);
-        let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy()).collect();
         let run = |threads: usize, batch: usize| {
             let oracle = SingleGroupOracle::new(&t).expect("grouped table");
             let cfg = GroupByConfig {
@@ -245,7 +245,7 @@ fn groupby_single_oracle_is_scheduling_independent() {
 fn groupby_multi_oracle_is_scheduling_independent() {
     for seed in [5u64, 23] {
         let t = group_table(10_000, seed);
-        let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy.as_slice()).collect();
+        let proxies: Vec<&[f64]> = t.predicates().iter().map(|p| p.proxy()).collect();
         let run = |threads: usize, batch: usize| {
             let o0 = PredicateOracle::new(&t, "g0").unwrap();
             let o1 = PredicateOracle::new(&t, "g1").unwrap();

@@ -218,9 +218,9 @@ fn calibrated_and_raw_scores_induce_identical_abae_runs() {
 
     let table = trec05p(&EmulatorOptions { scale: 0.05, seed: 9 });
     let texts = table.texts().expect("trec05p carries text");
-    let labels = &table.predicate("is_spam").unwrap().labels;
-    let train: Vec<&str> = texts.iter().take(800).map(String::as_str).collect();
-    let train_labels: Vec<bool> = labels.iter().take(800).copied().collect();
+    let labels = table.predicate("is_spam").unwrap().labels();
+    let train: Vec<&str> = texts.iter().take(800).collect();
+    let train_labels: Vec<bool> = labels.iter().take(800).collect();
 
     let mut raw = LogisticModel::new();
     raw.fit(&train, &train_labels).expect("fit succeeds");
@@ -228,7 +228,7 @@ fn calibrated_and_raw_scores_induce_identical_abae_runs() {
     calibrated.fit(&train, &train_labels).expect("fit succeeds");
     assert!(calibrated.scaler().expect("fitted").slope() > 0.0);
 
-    let all: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let all: Vec<&str> = texts.iter().collect();
     let raw_scores: Vec<f64> =
         raw.score_batch(&all).into_iter().map(|s| s.clamp(0.0, 1.0)).collect();
     let cal_scores: Vec<f64> =

@@ -30,8 +30,8 @@ fn measured_mse_tracks_proposition_2_prediction() {
     let table = dataset(150_000, 1);
     let exact = table.exact_avg("p").unwrap();
     let pred = table.predicate("p").unwrap();
-    let strat = Stratification::by_proxy_quantile(&pred.proxy, 5);
-    let gt = strat.ground_truth(&pred.labels, table.statistics());
+    let strat = Stratification::by_proxy_quantile(pred.proxy(), 5);
+    let gt = strat.ground_truth(&pred.labels_vec(), table.statistics());
     let p: Vec<f64> = gt.iter().map(|s| s.p).collect();
     let sigma: Vec<f64> = gt.iter().map(|s| s.sigma).collect();
 
@@ -65,7 +65,7 @@ fn doubling_the_budget_roughly_halves_the_mse() {
     let table = dataset(200_000, 3);
     let exact = table.exact_avg("p").unwrap();
     let pred = table.predicate("p").unwrap();
-    let strat = Stratification::by_proxy_quantile(&pred.proxy, 5);
+    let strat = Stratification::by_proxy_quantile(pred.proxy(), 5);
     let mut rng = StdRng::seed_from_u64(4);
 
     let mse_at = |budget: usize, rng: &mut StdRng| -> f64 {
