@@ -14,6 +14,7 @@
 //!   for the serving-oriented benches.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod artifact;
 pub mod config;

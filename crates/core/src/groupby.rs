@@ -32,7 +32,7 @@ use abae_sampling::budget::{chunk_sizes, floor_allocation};
 use abae_sampling::pool::IndexPool;
 use abae_sampling::wor::sample_without_replacement;
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How the Stage-2 budget is split across groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -140,7 +140,7 @@ struct CellStats {
     sigma_hat: f64,
 }
 
-fn cell_stats(ids: &[usize], cache: &HashMap<usize, GroupLabel>, g: u16) -> CellStats {
+fn cell_stats(ids: &[usize], cache: &BTreeMap<usize, GroupLabel>, g: u16) -> CellStats {
     let mut moments = abae_stats::StreamingMoments::new();
     let mut positives = 0usize;
     for id in ids {
@@ -225,10 +225,10 @@ fn solve_allocation(
 fn label_uncached<O: GroupOracle + ?Sized>(
     oracle: &O,
     ids: &[usize],
-    cache: &mut HashMap<usize, GroupLabel>,
+    cache: &mut BTreeMap<usize, GroupLabel>,
     cfg: &GroupByConfig,
 ) {
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let misses: Vec<usize> =
         ids.iter().copied().filter(|i| !cache.contains_key(i) && seen.insert(*i)).collect();
     let labels = crate::pipeline::label_groups_all(oracle, &misses, &cfg.exec);
@@ -244,7 +244,7 @@ struct SingleOracleRun {
     /// stratification `l` (pilot plus that stratification's Stage-2 draws).
     buckets: Vec<Vec<Vec<usize>>>,
     /// Every sampled id's group label (one oracle charge per distinct id).
-    cache: HashMap<usize, GroupLabel>,
+    cache: BTreeMap<usize, GroupLabel>,
     /// Per-group stratifications, in group order.
     stratifications: Vec<Stratification>,
 }
@@ -508,7 +508,7 @@ fn single_oracle_chunked<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
     let calls_before = oracle.calls();
     let mut run = SingleOracleRun {
         buckets: vec![vec![Vec::new(); k]; g],
-        cache: HashMap::new(),
+        cache: BTreeMap::new(),
         stratifications,
     };
     let mut stopped = false;
@@ -569,7 +569,7 @@ fn single_oracle_chunked<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
                 // bucket so the two stages stay a without-replacement
                 // sample. (A record drawn under another stratification can
                 // recur here; the label cache absorbs the duplicate.)
-                let taken: HashSet<usize> = run.buckets[l][kk].iter().copied().collect();
+                let taken: BTreeSet<usize> = run.buckets[l][kk].iter().copied().collect();
                 let fresh: Vec<usize> =
                     members.iter().copied().filter(|i| !taken.contains(i)).collect();
                 for pos in sample_without_replacement(fresh.len(), want, rng) {
@@ -613,7 +613,7 @@ fn single_oracle_chunked<O: GroupOracle + ?Sized, R: Rng + ?Sized>(
 /// on resampled buckets.
 fn single_oracle_estimates(
     buckets: &[Vec<Vec<usize>>],
-    cache: &HashMap<usize, GroupLabel>,
+    cache: &BTreeMap<usize, GroupLabel>,
     stratifications: &[Stratification],
 ) -> Vec<f64> {
     let g = stratifications.len();

@@ -37,6 +37,7 @@
 //! * [`proxy_combine`] — proxy combination via logistic regression (§3.4).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod adaptive;
 pub mod allocation;

@@ -433,6 +433,7 @@ const SNAPSHOT_STREAM: u64 = 0x5E55_3003;
 /// function of the budget spent, independent of chunk size and threads.
 /// Shared with the group-by progressive executor.
 pub(crate) fn snapshot_rng(budget_spent: u64) -> StdRng {
+    // abae-lint: allow(rng_discipline) -- deterministic fork: the seed is a pure function of budget spent, deliberately independent of the caller's stream so snapshot cadence cannot perturb the final answer
     StdRng::seed_from_u64(SNAPSHOT_STREAM ^ budget_spent.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 

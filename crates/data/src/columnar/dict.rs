@@ -8,6 +8,7 @@
 //! group g" becomes a linear scan over a dense `u32` vector.
 
 use super::bitmap::Bitmap;
+// abae-lint: allow(hash_iter) -- imported for DictBuilder's lookup-only interner below
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -112,6 +113,7 @@ impl DictColumn {
 /// ingestion never materializes a per-record `String` vector.
 #[derive(Debug, Default)]
 pub struct DictBuilder {
+    // abae-lint: allow(hash_iter) -- per-record interner on the ingest hot path; lookup/insert only, never iterated (the dictionary order is `values`, in arrival order)
     by_value: HashMap<String, u32>,
     values: Vec<String>,
     codes: Vec<u32>,

@@ -218,6 +218,7 @@ fn encode_segment(c: &Column) -> Vec<u8> {
 pub fn encode_columns(columns: &[NamedColumn]) -> Vec<u8> {
     let n_rows = columns.first().map_or(0, |c| c.column.len());
     for c in columns {
+        // abae-lint: allow(no_panic_decode) -- write path, documented "# Panics": encoding caller-validated in-memory columns, not hostile bytes
         assert_eq!(c.column.len(), n_rows, "column {} length mismatch", c.name);
     }
 
@@ -234,10 +235,12 @@ pub fn encode_columns(columns: &[NamedColumn]) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
+    // abae-lint: allow(no_panic_decode) -- write path, documented "# Panics": in-memory column counts/names exceeding u32 are caller bugs
     buf.extend_from_slice(&u32::try_from(columns.len()).expect("column count fits u32").to_le_bytes());
     buf.extend_from_slice(&(n_rows as u64).to_le_bytes());
     let mut off = seg_off;
     for (c, seg) in columns.iter().zip(&segments) {
+        // abae-lint: allow(no_panic_decode) -- write path, documented "# Panics": see above
         buf.extend_from_slice(&u32::try_from(c.name.len()).expect("name fits u32").to_le_bytes());
         buf.extend_from_slice(c.name.as_bytes());
         buf.push(type_tag(&c.column));
@@ -278,27 +281,39 @@ struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], BinError> {
         let end = self.pos.checked_add(n).ok_or(BinError::Corrupt { context })?;
-        if end > self.buf.len() {
-            return Err(BinError::Truncated { context });
-        }
-        let s = &self.buf[self.pos..end];
+        let s = self.buf.get(self.pos..end).ok_or(BinError::Truncated { context })?;
         self.pos = end;
         Ok(s)
     }
 
     fn u8(&mut self, context: &'static str) -> Result<u8, BinError> {
-        Ok(self.take(1, context)?[0])
+        self.take(1, context)?.first().copied().ok_or(BinError::Truncated { context })
     }
 
     fn u32(&mut self, context: &'static str) -> Result<u32, BinError> {
-        let b = self.take(4, context)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(arr(self.take(4, context)?, context)?))
     }
 
     fn u64(&mut self, context: &'static str) -> Result<u64, BinError> {
-        let b = self.take(8, context)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes(arr(self.take(8, context)?, context)?))
     }
+}
+
+/// Fixed-width slice-to-array conversion. The callers always hand over a
+/// slice of the right width (`take`/`chunks_exact` guarantee it), but the
+/// decode path's contract is *never panic* — even on an internal logic
+/// bug, a width mismatch surfaces as a typed error.
+fn arr<const N: usize>(b: &[u8], context: &'static str) -> Result<[u8; N], BinError> {
+    b.try_into().map_err(|_| BinError::Corrupt { context })
+}
+
+/// Decodes a packed array of fixed-width little-endian values.
+fn le_values<const N: usize, T>(
+    b: &[u8],
+    context: &'static str,
+    from_le: impl Fn([u8; N]) -> T,
+) -> Result<Vec<T>, BinError> {
+    b.chunks_exact(N).map(|c| Ok(from_le(arr(c, context)?))).collect()
 }
 
 fn usize_of(v: u64, context: &'static str) -> Result<usize, BinError> {
@@ -314,27 +329,18 @@ fn decode_segment(
     match tag {
         0 => {
             let b = cur.take(n_rows * 8, "f64 segment")?;
-            let vals: Vec<f64> = b
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-                .collect();
+            let vals = le_values(b, "f64 segment", f64::from_le_bytes)?;
             Ok(Column::F64(F64Column::from(vals)))
         }
         1 => {
             let b = cur.take(n_rows * 8, "i64 segment")?;
-            let vals: Vec<i64> = b
-                .chunks_exact(8)
-                .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-                .collect();
+            let vals = le_values(b, "i64 segment", i64::from_le_bytes)?;
             Ok(Column::I64(I64Column::from(vals)))
         }
         2 => {
             let n_words = n_rows.div_ceil(64);
             let b = cur.take(n_words * 8, "bool segment")?;
-            let words: Vec<u64> = b
-                .chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-                .collect();
+            let words = le_values(b, "bool segment", u64::from_le_bytes)?;
             let bm = Bitmap::from_words(words, n_rows)
                 .ok_or(BinError::Corrupt { context: "non-canonical bool bitmap" })?;
             Ok(Column::Bool(bm.into()))
@@ -342,10 +348,7 @@ fn decode_segment(
         3 => {
             let bytes_len = usize_of(cur.u64("str arena length")?, "str arena length")?;
             let offs_bytes = cur.take((n_rows + 1) * 4, "str offsets")?;
-            let offsets: Vec<u32> = offs_bytes
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-                .collect();
+            let offsets = le_values(offs_bytes, "str offsets", u32::from_le_bytes)?;
             cur.pos += (8 - cur.pos % 8) % 8;
             let arena = cur.take(bytes_len, "str arena")?.to_vec();
             StrColumn::from_parts(offsets, arena)
@@ -368,17 +371,11 @@ fn decode_segment(
             }
             cur.pos += (8 - cur.pos % 8) % 8;
             let codes_bytes = cur.take(n_rows * 4, "dict codes")?;
-            let codes: Vec<u32> = codes_bytes
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-                .collect();
+            let codes = le_values(codes_bytes, "dict codes", u32::from_le_bytes)?;
             cur.pos += (8 - cur.pos % 8) % 8;
             let n_words = n_rows.div_ceil(64);
             let b = cur.take(n_words * 8, "dict validity")?;
-            let words: Vec<u64> = b
-                .chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-                .collect();
+            let words = le_values(b, "dict validity", u64::from_le_bytes)?;
             let validity = Bitmap::from_words(words, n_rows)
                 .ok_or(BinError::Corrupt { context: "non-canonical dict validity bitmap" })?;
             DictColumn::from_parts(dict, codes, validity)
@@ -443,7 +440,10 @@ pub fn decode_columns(buf: &[u8]) -> Result<Vec<NamedColumn>, BinError> {
 
     let mut out = Vec::with_capacity(n_cols);
     for e in dir {
-        let seg = &buf[e.off..e.off + e.len];
+        // Bounds were validated while reading the directory, but the
+        // never-panic contract holds regardless of that logic being right.
+        let end = e.off.checked_add(e.len).ok_or(BinError::Corrupt { context: "segment bounds" })?;
+        let seg = buf.get(e.off..end).ok_or(BinError::Truncated { context: "column segment" })?;
         let column = decode_segment(seg, e.type_tag, n_rows)?;
         debug_assert_eq!(column.len(), n_rows);
         out.push(NamedColumn { name: e.name, role: e.role, column });

@@ -18,7 +18,7 @@
 
 use crate::columnar::{Bitmap, DictBuilder, StrBuilder};
 use crate::table::{Table, TableError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::BufRead;
 
 /// Errors from CSV parsing.
@@ -126,7 +126,7 @@ pub fn read_table<R: BufRead>(name: &str, reader: R) -> Result<Table, CsvError> 
         }
     };
 
-    let col_index: HashMap<String, usize> =
+    let col_index: BTreeMap<String, usize> =
         header.iter().enumerate().map(|(i, h)| (h.trim().to_string(), i)).collect();
     let stat_col = *col_index
         .get("statistic")

@@ -38,6 +38,7 @@
 //!   positive rate and proxy AUC.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod columnar;
 pub mod csvio;

@@ -24,7 +24,8 @@
 //! only for unseen records.
 
 use crate::table::Table;
-use std::collections::HashMap;
+// abae-lint: allow(hash_iter) -- HashMap is imported only for PredicateCache's lookup-only label map below
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
@@ -279,6 +280,7 @@ impl GroupOracle for SingleGroupOracle<'_> {
 /// lock for the misses they actually labeled.
 #[derive(Debug, Default)]
 pub struct PredicateCache {
+    // abae-lint: allow(hash_iter) -- per-record hot-path cache, keyed lookups and keyed inserts only; never iterated, so its order cannot reach output
     labels: RwLock<HashMap<usize, Labeled>>,
 }
 
@@ -314,7 +316,7 @@ impl PredicateCache {
 /// (`EXPLAIN`, dashboards); per-query counts live on the [`CachedOracle`].
 #[derive(Debug, Default)]
 pub struct LabelStore {
-    entries: Mutex<HashMap<(String, String), Arc<PredicateCache>>>,
+    entries: Mutex<BTreeMap<(String, String), Arc<PredicateCache>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -696,6 +698,7 @@ mod tests {
     fn latency_knob_sleeps_per_invocation() {
         let o = FnOracle::new(|idx| Labeled { matches: true, value: idx as f64 })
             .with_latency(Duration::from_millis(2));
+        // abae-lint: allow(wall_clock) -- this test exists to measure the simulated oracle latency; the clock is the subject, not an input to results
         let start = std::time::Instant::now();
         o.label_batch(&[0, 1, 2, 3, 4]);
         assert!(start.elapsed() >= Duration::from_millis(10));

@@ -16,7 +16,7 @@
 //! preserved per table so `SHOW PROXIES` output is deterministic.
 
 use abae_ml::ModelSummary;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 /// A trained, materialized proxy for one predicate of one table.
@@ -71,8 +71,9 @@ impl TrainedProxy {
 /// kept, so listing order stays stable).
 #[derive(Debug, Default)]
 pub struct ProxyRegistry {
-    /// Per-table artifacts in registration order.
-    entries: RwLock<HashMap<String, Vec<Arc<TrainedProxy>>>>,
+    /// Per-table artifacts in registration order, keyed by table name in
+    /// structural (sorted) order so iteration is deterministic.
+    entries: RwLock<BTreeMap<String, Vec<Arc<TrainedProxy>>>>,
 }
 
 impl ProxyRegistry {
@@ -108,12 +109,11 @@ impl ProxyRegistry {
     }
 
     /// All proxies of every table, sorted by table then registration
-    /// order (deterministic `SHOW PROXIES` output).
+    /// order (deterministic `SHOW PROXIES` output). The map is ordered,
+    /// so plain iteration is already table-sorted.
     pub fn list_all(&self) -> Vec<Arc<TrainedProxy>> {
         let entries = self.entries.read().expect("no panics while holding the registry lock");
-        let mut tables: Vec<&String> = entries.keys().collect();
-        tables.sort();
-        tables.into_iter().flat_map(|t| entries[t].iter().cloned()).collect()
+        entries.values().flat_map(|list| list.iter().cloned()).collect()
     }
 
     /// Names of one table's proxies, in registration order.

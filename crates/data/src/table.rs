@@ -20,7 +20,7 @@ use crate::columnar::{
     read_columns, write_columns, BinError, Bitmap, BoolColumn, Column, ColumnRole, DictBuilder,
     DictColumn, F64Column, NamedColumn, StrColumn,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// A named expensive predicate: ground-truth labels (packed bitmap) and
@@ -269,7 +269,7 @@ pub struct Table {
     name: String,
     statistic: F64Column,
     predicates: Vec<Predicate>,
-    by_name: HashMap<String, usize>,
+    by_name: BTreeMap<String, usize>,
     group_key: Option<GroupKey>,
     texts: Option<StrColumn>,
 }
@@ -311,7 +311,7 @@ impl Table {
         if n == 0 {
             return Err(TableError::Empty);
         }
-        let mut by_name = HashMap::new();
+        let mut by_name = BTreeMap::new();
         for (i, p) in predicates.iter().enumerate() {
             if by_name.insert(p.name.clone(), i).is_some() {
                 return Err(TableError::DuplicatePredicate(p.name.clone()));
@@ -523,7 +523,7 @@ impl Table {
         let mut statistic = Vec::new();
         let mut labels: Vec<Bitmap> = (0..n_preds).map(|_| Bitmap::default()).collect();
         let mut proxies: Vec<Vec<f64>> = vec![Vec::new(); n_preds];
-        let group_ids: Option<HashMap<&str, u32>> = schema.group_names.as_ref().map(|names| {
+        let group_ids: Option<BTreeMap<&str, u32>> = schema.group_names.as_ref().map(|names| {
             names.iter().enumerate().map(|(i, n)| (n.as_str(), i as u32)).collect()
         });
         let mut group = schema.group_names.is_some().then(DictBuilder::new);
@@ -674,8 +674,8 @@ impl Table {
     ) -> Result<Table, TableError> {
         let mut statistic = None;
         let mut order: Vec<String> = Vec::new();
-        let mut label_cols: HashMap<String, BoolColumn> = HashMap::new();
-        let mut proxy_cols: HashMap<String, F64Column> = HashMap::new();
+        let mut label_cols: BTreeMap<String, BoolColumn> = BTreeMap::new();
+        let mut proxy_cols: BTreeMap<String, F64Column> = BTreeMap::new();
         let mut group_key = None;
         let mut texts = None;
         for nc in columns {

@@ -1,0 +1,214 @@
+//! Diagnostics, the in-source allowlist, and JSON rendering.
+
+use crate::source::Comment;
+
+/// The canonical rule names, in report order.
+pub const RULES: &[&str] = &[
+    "hash_iter",
+    "no_panic_decode",
+    "rng_discipline",
+    "wall_clock",
+    "float_order",
+    "unsafe_safety_comment",
+    "bad_allowlist",
+];
+
+/// One finding, denied by default unless an allowlist entry covers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// `Some(reason)` when an allowlist entry suppressed this finding.
+    pub allowed: Option<String>,
+}
+
+impl Diagnostic {
+    /// Renders the conventional `path:line: [rule] message` form.
+    pub fn render(&self) -> String {
+        let status = if self.allowed.is_some() { "allowed" } else { "denied" };
+        format!("{}:{}: [{}] ({}) {}\n    | {}", self.path, self.line, self.rule, status, self.message, self.snippet)
+    }
+}
+
+/// A parsed `// abae-lint: allow(rule, …) -- reason` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Rules it suppresses.
+    pub rules: Vec<String>,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// Extracts allowlist entries from a file's comments. Malformed entries
+/// (missing `allow(...)`, unknown rule name, or a missing/empty
+/// `-- reason`) become `bad_allowlist` diagnostics instead of silently
+/// suppressing anything.
+pub fn parse_allows(path: &str, comments: &[Comment], errors: &mut Vec<Diagnostic>) -> Vec<Allow> {
+    const MARK: &str = "abae-lint:";
+    let mut allows = Vec::new();
+    for c in comments {
+        // Doc comments never carry allow entries — they are prose (and
+        // routinely *describe* the syntax, as this crate's own docs do).
+        let doc = ["///", "//!", "/**", "/*!"].iter().any(|p| c.text.starts_with(p));
+        if doc {
+            continue;
+        }
+        let Some(idx) = c.text.find(MARK) else { continue };
+        let rest = c.text[idx + MARK.len()..].trim_start();
+        let bad = |msg: String| Diagnostic {
+            rule: "bad_allowlist",
+            path: path.to_string(),
+            line: c.line,
+            message: msg,
+            snippet: c.text.trim().to_string(),
+            allowed: None,
+        };
+        let Some(args) = rest.strip_prefix("allow").map(str::trim_start) else {
+            errors.push(bad("expected `abae-lint: allow(<rule>) -- <reason>`".to_string()));
+            continue;
+        };
+        let (Some(open), Some(close)) = (args.find('('), args.find(')')) else {
+            errors.push(bad("missing `(<rule>)` after `allow`".to_string()));
+            continue;
+        };
+        if open != 0 || close < open {
+            errors.push(bad("missing `(<rule>)` after `allow`".to_string()));
+            continue;
+        }
+        let rules: Vec<String> =
+            args[open + 1..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+        if rules.is_empty() {
+            errors.push(bad("allow() names no rules".to_string()));
+            continue;
+        }
+        let mut ok = true;
+        for r in &rules {
+            if !RULES.contains(&r.as_str()) {
+                errors.push(bad(format!("unknown rule `{r}` (known: {})", RULES.join(", "))));
+                ok = false;
+            }
+        }
+        let tail = args[close + 1..].trim_start();
+        let Some(reason) = tail.strip_prefix("--").map(str::trim) else {
+            errors.push(bad("allowlist entry lacks a `-- <reason>` justification".to_string()));
+            continue;
+        };
+        if reason.is_empty() {
+            errors.push(bad("allowlist reason is empty; write why the violation is acceptable".to_string()));
+            continue;
+        }
+        if ok {
+            allows.push(Allow { line: c.line, rules, reason: reason.to_string() });
+        }
+    }
+    allows
+}
+
+/// Minimal JSON string escaping (the only JSON writer this crate needs).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one diagnostic as a JSON object.
+pub fn diagnostic_json(d: &Diagnostic) -> String {
+    let allowed = match &d.allowed {
+        Some(reason) => format!("\"{}\"", json_escape(reason)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\",\"allowed\":{}}}",
+        d.rule,
+        json_escape(&d.path),
+        d.line,
+        json_escape(&d.message),
+        json_escape(&d.snippet),
+        allowed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Scanned;
+
+    fn allows_of(src: &str) -> (Vec<Allow>, Vec<Diagnostic>) {
+        let s = Scanned::new(src);
+        let mut errs = Vec::new();
+        let allows = parse_allows("x.rs", &s.comments, &mut errs);
+        (allows, errs)
+    }
+
+    #[test]
+    fn parses_single_and_multi_rule_allows() {
+        let (allows, errs) = allows_of(
+            "// abae-lint: allow(hash_iter) -- lookup-only interner\nlet x = 1; // abae-lint: allow(wall_clock, hash_iter) -- test measures latency\n",
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rules, vec!["hash_iter"]);
+        assert_eq!(allows[0].reason, "lookup-only interner");
+        assert_eq!(allows[1].rules, vec!["wall_clock", "hash_iter"]);
+        assert_eq!(allows[1].line, 2);
+    }
+
+    #[test]
+    fn missing_reason_is_a_bad_allowlist_diagnostic() {
+        for src in [
+            "// abae-lint: allow(hash_iter)\n",
+            "// abae-lint: allow(hash_iter) --\n",
+            "// abae-lint: allow(hash_iter) --   \n",
+        ] {
+            let (allows, errs) = allows_of(src);
+            assert!(allows.is_empty(), "{src:?}");
+            assert_eq!(errs.len(), 1, "{src:?}");
+            assert_eq!(errs[0].rule, "bad_allowlist");
+        }
+    }
+
+    #[test]
+    fn unknown_rule_and_malformed_syntax_are_rejected() {
+        let (allows, errs) = allows_of("// abae-lint: allow(no_such_rule) -- why\n");
+        assert!(allows.is_empty());
+        assert!(errs[0].message.contains("unknown rule"));
+        let (allows, errs) = allows_of("// abae-lint: suppress everything\n");
+        assert!(allows.is_empty());
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let d = Diagnostic {
+            rule: "hash_iter",
+            path: "a.rs".into(),
+            line: 3,
+            message: "m".into(),
+            snippet: "s".into(),
+            allowed: None,
+        };
+        let j = diagnostic_json(&d);
+        assert!(j.contains("\"rule\":\"hash_iter\"") && j.contains("\"allowed\":null"));
+    }
+}

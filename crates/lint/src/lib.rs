@@ -1,0 +1,160 @@
+//! `abae-lint`: the workspace invariant checker.
+//!
+//! The ABAE reproduction's core promises — bit-identical estimates across
+//! thread counts and storage layouts, a `.abcol` decoder that never
+//! panics on hostile bytes, every random draw descending from the engine
+//! seed — are contracts the compiler cannot see. This crate enforces them
+//! statically: it walks the workspace source, reduces each file to masked
+//! tokens (no `syn`; the build environment is offline, so the crate is
+//! dependency-free), and applies a small deny-by-default rule set with
+//! `file:line` spans, machine-readable JSON, and an explicit in-source
+//! allowlist:
+//!
+//! ```text
+//! // abae-lint: allow(<rule>[, <rule>...]) -- <mandatory reason>
+//! ```
+//!
+//! An entry covers its own line and the next code line; a missing or
+//! empty reason is itself a denied diagnostic (`bad_allowlist`).
+//!
+//! Run it as `cargo run -p abae-lint -- --workspace --deny-all`.
+//! See DESIGN.md's "Statically enforced invariants" for the rule matrix.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod rules;
+pub mod scan;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::{classify, FileClass};
+pub use diag::{Allow, Diagnostic, RULES};
+pub use source::Scanned;
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Lints one file's source text under its workspace-relative path.
+/// Returns every diagnostic — denied ones with `allowed: None`,
+/// suppressed ones carrying the allowlist reason — plus `bad_allowlist`
+/// findings for malformed entries.
+pub fn lint_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let class = config::classify(rel_path);
+    let scanned = Scanned::new(text);
+    let ctx = rules::FileCtx { path: rel_path, class, scanned: &scanned };
+    let mut diags = rules::run_all(&ctx);
+    let mut bad = Vec::new();
+    let allows = diag::parse_allows(rel_path, &scanned.comments, &mut bad);
+    for d in &mut diags {
+        let hit = allows
+            .iter()
+            .find(|a| a.rules.iter().any(|r| r == d.rule) && allow_covers(&scanned, a, d.line));
+        if let Some(a) = hit {
+            d.allowed = Some(a.reason.clone());
+        }
+    }
+    diags.extend(bad);
+    diags.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    diags
+}
+
+/// An allow entry covers its own line and the next non-blank code line
+/// (comment-only lines are blank in the masked text, so a stack of
+/// comments between the entry and the code does not break coverage).
+fn allow_covers(scanned: &Scanned, allow: &Allow, line: usize) -> bool {
+    if line == allow.line {
+        return true;
+    }
+    let next_code = scanned
+        .masked
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .find(|(n, l)| *n > allow.line && !l.trim().is_empty())
+        .map(|(n, _)| n);
+    next_code == Some(line)
+}
+
+/// The result of linting a tree: every diagnostic plus scan statistics.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All diagnostics, in (path, line, rule) order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Diagnostics not covered by an allowlist entry.
+    pub fn denied(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.allowed.is_none())
+    }
+
+    /// Diagnostics suppressed by an allowlist entry.
+    pub fn allowed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.allowed.is_some())
+    }
+
+    /// Per-rule `(denied, allowed)` counts, every known rule present.
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> =
+            RULES.iter().map(|r| (*r, (0, 0))).collect();
+        for d in &self.diagnostics {
+            let slot = counts.entry(d.rule).or_insert((0, 0));
+            if d.allowed.is_none() {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+        }
+        counts
+    }
+
+    /// Renders the whole report as a JSON object. `wall_ms` is included
+    /// when the caller measured one (the CLI does; library users may not).
+    pub fn to_json(&self, wall_ms: Option<f64>) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        s.push_str(&format!("\"denied\":{},", self.denied().count()));
+        s.push_str(&format!("\"allowed\":{},", self.allowed().count()));
+        if let Some(ms) = wall_ms {
+            s.push_str(&format!("\"wall_ms\":{ms:.3},"));
+        }
+        s.push_str("\"rule_counts\":{");
+        let counts: Vec<String> = self
+            .rule_counts()
+            .iter()
+            .map(|(rule, (den, alw))| format!("\"{rule}\":{{\"denied\":{den},\"allowed\":{alw}}}"))
+            .collect();
+        s.push_str(&counts.join(","));
+        s.push_str("},\"diagnostics\":[");
+        let diags: Vec<String> = self.diagnostics.iter().map(diag::diagnostic_json).collect();
+        s.push_str(&diags.join(","));
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Lints every `.rs` file under `root` (skipping `vendor/`, `target/`,
+/// dot-directories).
+pub fn lint_root(root: &Path) -> io::Result<Report> {
+    let files = scan::collect_rs_files(root)?;
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for rel in &files {
+        let text = fs::read_to_string(root.join(rel))?;
+        diagnostics.extend(lint_source(rel, &text));
+    }
+    diagnostics.sort_by(|a, b| {
+        a.path.cmp(&b.path).then_with(|| a.line.cmp(&b.line)).then_with(|| a.rule.cmp(b.rule))
+    });
+    Ok(Report { files_scanned, diagnostics })
+}

@@ -1,0 +1,84 @@
+//! CLI for `abae-lint`.
+//!
+//! ```text
+//! cargo run -p abae-lint -- --workspace --deny-all
+//! cargo run -p abae-lint -- --root some/tree --json
+//! ```
+//!
+//! Diagnostics are deny-by-default: the process exits 1 whenever any
+//! unallowlisted finding (or malformed allowlist entry) exists.
+//! `--deny-all` states that explicitly and is reserved for a future
+//! per-rule severity knob; today it is the only behavior. `--json`
+//! prints the machine-readable report to stdout (human diagnostics go
+//! to stderr so the JSON stays parseable).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use abae_lint::{lint_root, workspace_root};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => root = Some(workspace_root()),
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--deny-all" => {} // deny is the default (and only) severity
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let started = Instant::now();
+    let report = match lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("abae-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    for d in report.denied() {
+        eprintln!("{}", d.render());
+    }
+    let denied = report.denied().count();
+    let allowed = report.allowed().count();
+    eprintln!(
+        "abae-lint: {} files scanned, {denied} denied, {allowed} allowed ({wall_ms:.1} ms)",
+        report.files_scanned
+    );
+    if json {
+        println!("{}", report.to_json(Some(wall_ms)));
+    }
+    if denied > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const USAGE: &str = "abae-lint: workspace invariant checker
+usage: abae-lint [--workspace | --root <dir>] [--deny-all] [--json]
+  --workspace   lint the containing cargo workspace (default)
+  --root <dir>  lint an arbitrary tree instead
+  --deny-all    deny every diagnostic (the default severity)
+  --json        print the machine-readable report to stdout";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("abae-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,30 @@
+//! `hash_iter`: no `HashMap`/`HashSet` in result-path crates.
+//!
+//! `std`'s hash containers iterate in a per-process random order
+//! (`RandomState`); if that order ever reaches query output, the engine's
+//! bit-identical-results contract breaks silently. Result-path crates
+//! must use `BTreeMap`/`BTreeSet` (structural order) or carry an
+//! allowlist entry proving the container is never iterated (e.g. a
+//! hot-path lookup-only cache).
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.class.result_path {
+        return;
+    }
+    for t in ctx.tokens() {
+        let name = t.text(ctx.masked());
+        if (name == "HashMap" || name == "HashSet") && !ctx.scanned.in_test(t.line) {
+            out.push(ctx.diag(
+                "hash_iter",
+                t.line,
+                format!(
+                    "`{name}` in a result-path crate: iteration order is per-process random and can reach \
+                     query output; use BTreeMap/BTreeSet, or allowlist with a reason if it is never iterated"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The rule set. Each rule is a function from a preprocessed file to
+//! zero or more [`Diagnostic`]s; `run_all` is the only entry point.
+
+mod float_order;
+mod hash_iter;
+mod no_panic_decode;
+mod rng_discipline;
+mod unsafe_safety;
+mod wall_clock;
+
+use crate::config::FileClass;
+use crate::diag::Diagnostic;
+use crate::source::{Scanned, Token};
+
+/// Everything a rule may look at for one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path (forward slashes).
+    pub path: &'a str,
+    /// Path-derived rule applicability.
+    pub class: FileClass,
+    /// Masked text, tokens, comments, test regions.
+    pub scanned: &'a Scanned,
+}
+
+impl FileCtx<'_> {
+    fn masked(&self) -> &str {
+        &self.scanned.masked
+    }
+
+    fn tokens(&self) -> &[Token] {
+        &self.scanned.tokens
+    }
+
+    fn diag(&self, rule: &'static str, line: usize, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: self.path.to_string(),
+            line,
+            message,
+            snippet: self.scanned.line_text(line).trim().to_string(),
+            allowed: None,
+        }
+    }
+}
+
+/// Runs every rule over one file.
+pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    hash_iter::check(ctx, &mut out);
+    no_panic_decode::check(ctx, &mut out);
+    rng_discipline::check(ctx, &mut out);
+    wall_clock::check(ctx, &mut out);
+    float_order::check(ctx, &mut out);
+    unsafe_safety::check(ctx, &mut out);
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    out
+}
+
+/// True when a token's text is an identifier or number (starts with an
+/// identifier byte), as opposed to punctuation.
+fn is_ident_text(s: &str) -> bool {
+    s.bytes().next().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// True when tokens starting at `i` spell `a :: b` (path separator).
+fn is_path_seq(ctx: &FileCtx<'_>, i: usize, a: &str, b: &str) -> bool {
+    let (m, toks) = (ctx.masked(), ctx.tokens());
+    toks.get(i).is_some_and(|t| t.is_ident(m, a))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(m, ':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(m, ':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(m, b))
+}

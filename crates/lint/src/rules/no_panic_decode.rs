@@ -1,0 +1,82 @@
+//! `no_panic_decode`: designated never-panic modules (the `.abcol`
+//! decode path) must return `BinError` on hostile bytes, never panic.
+//!
+//! Flags `.unwrap()` / `.expect()`, the panicking macros (`panic!`,
+//! `assert!`, `assert_eq!`, `assert_ne!`, `unreachable!`, `todo!`,
+//! `unimplemented!`), and direct slice indexing `x[…]`. `debug_assert*`
+//! is allowed (compiled out of release decoders), as is indexing in
+//! `#[cfg(test)]` code.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+
+const PANIC_MACROS: &[&str] =
+    &["panic", "assert", "assert_eq", "assert_ne", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that legitimately precede `[` without it being an index
+/// expression (`&mut [u8]`, `dyn [`, `impl [`, `in [..]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "ref", "dyn", "impl", "in", "as", "return", "else", "match", "where", "const",
+    "static", "let", "if", "while", "for", "loop", "move", "box", "use", "pub", "crate",
+    "fn", "type", "break", "continue", "unsafe", "yield",
+];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.class.never_panic {
+        return;
+    }
+    let (m, toks) = (ctx.masked(), ctx.tokens());
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.scanned.in_test(t.line) {
+            continue;
+        }
+        let text = t.text(m);
+        // `.unwrap(` / `.expect(`
+        if (text == "unwrap" || text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct(m, '.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(m, '('))
+        {
+            out.push(ctx.diag(
+                "no_panic_decode",
+                t.line,
+                format!("`.{text}()` in a never-panic decode module; return a `BinError` instead"),
+            ));
+            continue;
+        }
+        // `panic!` and friends (but not `debug_assert*!`).
+        if PANIC_MACROS.contains(&text) && toks.get(i + 1).is_some_and(|n| n.is_punct(m, '!')) {
+            out.push(ctx.diag(
+                "no_panic_decode",
+                t.line,
+                format!("`{text}!` in a never-panic decode module; return a `BinError` instead"),
+            ));
+            continue;
+        }
+        // Direct indexing `expr[…]`: `[` whose previous token ends an
+        // expression (identifier, `)`, `]`, or `?`) — excluding keywords,
+        // attributes (`#[`, `#![`), and macro bangs (`vec![`).
+        if t.is_punct(m, '[') && i > 0 {
+            let prev = &toks[i - 1];
+            let prev_text = prev.text(m);
+            // `&'a [u8]`: the lifetime name before `[` is not an expression.
+            let lifetime = i >= 2 && toks[i - 2].is_punct(m, '\'');
+            let ends_expr = (super::is_ident_text(prev_text)
+                && !NON_INDEX_KEYWORDS.contains(&prev_text)
+                && !lifetime)
+                || prev.is_punct(m, ')')
+                || prev.is_punct(m, ']')
+                || prev.is_punct(m, '?');
+            let macro_or_attr = prev.is_punct(m, '!') || prev.is_punct(m, '#');
+            if ends_expr && !macro_or_attr {
+                out.push(ctx.diag(
+                    "no_panic_decode",
+                    t.line,
+                    "direct slice indexing in a never-panic decode module; use `.get(..)` and map \
+                     the miss to `BinError::Truncated`"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

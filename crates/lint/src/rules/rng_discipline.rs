@@ -1,0 +1,58 @@
+//! `rng_discipline`: every random draw must descend from the engine seed.
+//!
+//! Two sub-checks:
+//!
+//! * **Entropy sources** (`thread_rng`, `from_entropy`, `OsRng`,
+//!   `getrandom`, `rand::random`, …) are banned *everywhere*, tests
+//!   included — a single OS-entropy draw makes a run unreproducible.
+//! * **Raw seeding** (`seed_from_u64`, `from_seed`) is confined to the
+//!   blessed modules (engine/session/prepared, dataset generators, bench)
+//!   where the seed demonstrably derives from the engine seed or *is* the
+//!   user-provided dataset seed. Tests, examples, binaries, and the bench
+//!   crate may seed freely — they are the roots of the seed tree.
+
+use super::{is_path_seq, FileCtx};
+use crate::diag::Diagnostic;
+
+const ENTROPY_IDENTS: &[&str] =
+    &["thread_rng", "ThreadRng", "from_entropy", "OsRng", "from_os_rng", "getrandom", "EntropyRng"];
+
+const SEED_IDENTS: &[&str] = &["seed_from_u64", "from_seed"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let (m, toks) = (ctx.masked(), ctx.tokens());
+    let seeding_exempt = ctx.class.blessed_rng || ctx.class.harness();
+    for (i, t) in toks.iter().enumerate() {
+        let text = t.text(m);
+        if ENTROPY_IDENTS.contains(&text) {
+            out.push(ctx.diag(
+                "rng_discipline",
+                t.line,
+                format!(
+                    "`{text}` draws OS entropy; every RNG must descend from the engine seed \
+                     (derive one via the session's seed tree)"
+                ),
+            ));
+            continue;
+        }
+        if is_path_seq(ctx, i, "rand", "random") {
+            out.push(ctx.diag(
+                "rng_discipline",
+                t.line,
+                "`rand::random` uses the thread-local entropy RNG; derive a seeded RNG instead"
+                    .to_string(),
+            ));
+            continue;
+        }
+        if SEED_IDENTS.contains(&text) && !seeding_exempt && !ctx.scanned.in_test(t.line) {
+            out.push(ctx.diag(
+                "rng_discipline",
+                t.line,
+                format!(
+                    "raw `{text}` outside the blessed seed modules; library code must receive an \
+                     already-derived RNG (or a derived seed) from the session"
+                ),
+            ));
+        }
+    }
+}

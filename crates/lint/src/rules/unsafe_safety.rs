@@ -1,0 +1,29 @@
+//! `unsafe_safety_comment`: every `unsafe` must be justified by a
+//! `// SAFETY:` comment on the same line or within the three lines above.
+//!
+//! Applies everywhere (tests included) — the workspace is expected to be
+//! `#![forbid(unsafe_code)]` almost universally, so the rare legitimate
+//! `unsafe` deserves a written argument.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let m = ctx.masked();
+    for t in ctx.tokens() {
+        if !t.is_ident(m, "unsafe") {
+            continue;
+        }
+        let justified = ctx.scanned.comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.line + 3 >= t.line && c.line <= t.line
+        });
+        if !justified {
+            out.push(ctx.diag(
+                "unsafe_safety_comment",
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment on the same line or the three lines above"
+                    .to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! `wall_clock`: no `Instant::now` / `SystemTime::now` outside
+//! bench/bin/example code.
+//!
+//! Result-path behavior must be a pure function of (data, query, seed);
+//! reading the clock invites time-dependent branches (and flaky tests).
+//! Benches, binaries, and examples measure wall time legitimately and are
+//! exempt wholesale. Tests are *not* exempt — a test that genuinely
+//! measures latency carries an allowlist entry saying so.
+
+use super::{is_path_seq, FileCtx};
+use crate::diag::Diagnostic;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.class.bench || ctx.class.bin || ctx.class.example {
+        return;
+    }
+    for (i, t) in ctx.tokens().iter().enumerate() {
+        for ty in ["Instant", "SystemTime"] {
+            if is_path_seq(ctx, i, ty, "now") {
+                out.push(ctx.diag(
+                    "wall_clock",
+                    t.line,
+                    format!(
+                        "`{ty}::now` outside bench/bin/example code; results must not depend on \
+                         the wall clock"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Workspace walking: find every `.rs` file under a root, in a
+//! deterministic order, skipping vendored stand-ins and build output.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::SKIP_DIRS;
+
+/// Collects workspace-relative paths (forward slashes) of every `.rs`
+/// file under `root`, sorted. Skips [`SKIP_DIRS`] and dot-directories.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, Path::new(""), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, rel: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(root.join(rel))? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let sub: PathBuf = rel.join(name.as_ref());
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &sub, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(sub.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}

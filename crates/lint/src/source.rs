@@ -1,0 +1,459 @@
+//! Lexical preprocessing: comment/string masking, tokens, and
+//! `#[cfg(test)]` region tracking.
+//!
+//! The linter has no parser dependency (the build environment is offline),
+//! so rules never see a syntax tree. Instead every file is reduced to a
+//! *masked* copy — byte-for-byte the same length as the original, with the
+//! contents of comments and string/char literals blanked to spaces — plus
+//! the comment list (rules that read comments, like the allowlist and
+//! `SAFETY:` checks, need them) and a per-line "inside `#[cfg(test)]`"
+//! flag. Rules then scan identifier/punctuation tokens of the masked text,
+//! which cannot be fooled by a flagged name appearing in a string literal
+//! or a doc comment.
+
+/// One comment (line or block) with the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Full comment text, including the `//` / `/* */` delimiters.
+    pub text: String,
+}
+
+/// A token of the masked source: an identifier/number or a single
+/// punctuation character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number.
+    pub line: usize,
+    /// Byte range start in the masked text.
+    pub start: usize,
+    /// Byte range end (exclusive).
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `masked`.
+    pub fn text<'a>(&self, masked: &'a str) -> &'a str {
+        &masked[self.start..self.end]
+    }
+
+    /// True when the token is the exact identifier `name`.
+    pub fn is_ident(&self, masked: &str, name: &str) -> bool {
+        self.text(masked) == name && starts_ident(self.text(masked))
+    }
+
+    /// True when the token is the exact punctuation character `c`.
+    pub fn is_punct(&self, masked: &str, c: char) -> bool {
+        let t = self.text(masked);
+        t.len() == c.len_utf8() && t.starts_with(c)
+    }
+}
+
+fn starts_ident(s: &str) -> bool {
+    s.bytes().next().is_some_and(|b| b.is_ascii_alphabetic() || b == b'_')
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// A preprocessed source file.
+#[derive(Debug)]
+pub struct Scanned {
+    /// Original text, split for snippet rendering.
+    pub text: String,
+    /// Masked text (comments and literals blanked, newlines kept).
+    pub masked: String,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+    /// Tokens of the masked text.
+    pub tokens: Vec<Token>,
+    /// `test_lines[line]` (1-based) is true inside a `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+}
+
+impl Scanned {
+    /// Preprocesses `text`.
+    pub fn new(text: &str) -> Scanned {
+        let (masked, comments) = mask(text);
+        let tokens = tokenize(&masked);
+        let n_lines = text.lines().count() + 1;
+        let mut test_lines = vec![false; n_lines + 1];
+        mark_cfg_test_regions(&masked, &tokens, &mut test_lines);
+        Scanned { text: text.to_string(), masked, comments, tokens, test_lines }
+    }
+
+    /// True when `line` (1-based) lies inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+
+    /// The original source line (1-based), for snippets.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.text.lines().nth(line.saturating_sub(1)).unwrap_or("")
+    }
+}
+
+fn blank(masked: &mut [u8], start: usize, end: usize) {
+    for b in masked.iter_mut().take(end).skip(start) {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Blanks comments and string/char literals, preserving length and
+/// newlines. Handles line/block (nested) comments, plain and raw strings
+/// (`r"…"`, `r#"…"#`, …), byte strings, char/byte-char literals, and
+/// distinguishes lifetimes (`'a`) from char literals (`'a'`).
+fn mask(text: &str) -> (String, Vec<Comment>) {
+    let bytes = text.as_bytes();
+    let mut masked = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            comments.push(Comment { line, text: text[start..i].to_string() });
+            blank(&mut masked, start, i);
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let (start, start_line) = (i, line);
+            let mut depth = 1usize;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push(Comment { line: start_line, text: text[start..i].to_string() });
+            blank(&mut masked, start, i);
+        } else if b == b'"' {
+            i = skip_plain_string(bytes, i, &mut masked, &mut line);
+        } else if b == b'\'' {
+            i = skip_char_or_lifetime(text, bytes, i, &mut masked);
+        } else if is_ident_byte(b) && !b.is_ascii_digit() {
+            // Scan a full identifier, then check for raw/byte literal
+            // prefixes (`r"`, `r#"`, `b"`, `br#"`, `b'`). A raw
+            // *identifier* (`r#match`) has an ident byte after the `#`s
+            // instead of a quote and is left alone.
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            let ident = &text[start..i];
+            if matches!(ident, "r" | "br") {
+                // Raw (possibly byte) string: `r"…"`, `r#"…"#`, `br##"…"##`.
+                // Raw strings have no escapes; `r#ident` (raw identifier)
+                // has an ident byte after the `#` and falls through.
+                let mut j = i;
+                while bytes.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    i = skip_raw_string(bytes, j, j - i, &mut masked, &mut line);
+                    blank(&mut masked, start, j);
+                }
+            } else if ident == "b" {
+                // Byte string / byte-char literal: escapes behave as in
+                // plain strings.
+                if bytes.get(i) == Some(&b'"') {
+                    i = skip_plain_string(bytes, i, &mut masked, &mut line);
+                    blank(&mut masked, start, start + 1);
+                } else if bytes.get(i) == Some(&b'\'') {
+                    i = skip_char_or_lifetime(text, bytes, i, &mut masked);
+                    blank(&mut masked, start, start + 1);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    let masked = String::from_utf8(masked).expect("blanking whole literals keeps UTF-8 valid");
+    (masked, comments)
+}
+
+fn skip_plain_string(bytes: &[u8], start: usize, masked: &mut [u8], line: &mut usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    blank(masked, start, i.min(bytes.len()));
+    i
+}
+
+fn skip_raw_string(
+    bytes: &[u8],
+    quote: usize,
+    hashes: usize,
+    masked: &mut [u8],
+    line: &mut usize,
+) -> usize {
+    let mut i = quote + 1;
+    'outer: while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            for k in 0..hashes {
+                if bytes.get(i + 1 + k) != Some(&b'#') {
+                    i += 1;
+                    continue 'outer;
+                }
+            }
+            i += 1 + hashes;
+            break;
+        } else {
+            i += 1;
+        }
+    }
+    blank(masked, quote, i.min(bytes.len()));
+    i
+}
+
+/// At a `'`: a char literal (blanked) or a lifetime (kept).
+fn skip_char_or_lifetime(text: &str, bytes: &[u8], start: usize, masked: &mut [u8]) -> usize {
+    let next = bytes.get(start + 1).copied();
+    if next == Some(b'\\') {
+        // Escaped char literal: scan to the closing quote.
+        let mut i = start + 2;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'\'' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        blank(masked, start, i.min(bytes.len()));
+        return i;
+    }
+    // Simple char literal `'x'` where x is one (possibly multibyte) char.
+    if let Some(c) = text[start + 1..].chars().next() {
+        let close = start + 1 + c.len_utf8();
+        if c != '\'' && bytes.get(close) == Some(&b'\'') {
+            blank(masked, start, close + 1);
+            return close + 1;
+        }
+    }
+    // Lifetime: skip just the tick.
+    start + 1
+}
+
+fn tokenize(masked: &str) -> Vec<Token> {
+    let bytes = masked.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_byte(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            tokens.push(Token { line, start, end: i });
+        } else {
+            // One punctuation token per char (multibyte chars included).
+            let len = masked[i..].chars().next().map_or(1, char::len_utf8);
+            tokens.push(Token { line, start: i, end: i + len });
+            i += len;
+        }
+    }
+    tokens
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (attribute through
+/// the item's closing brace or semicolon). In-file unit-test modules are
+/// compiled out of release artifacts, so most rules skip them; rules that
+/// deliberately cover tests ignore this flag.
+fn mark_cfg_test_regions(masked: &str, tokens: &[Token], test_lines: &mut [bool]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(masked, tokens, i) {
+            let attr_line = tokens[i].line;
+            // Skip this attribute and any further `#[...]` attributes.
+            let mut j = skip_attr(masked, tokens, i);
+            while j < tokens.len() && tokens[j].is_punct(masked, '#') {
+                j = skip_attr(masked, tokens, j);
+            }
+            // Find the item's extent: first top-level `{` brace-matched,
+            // or a `;` before any brace.
+            let mut end_line = tokens.get(j).map_or(attr_line, |t| t.line);
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                if tokens[j].is_punct(masked, '{') {
+                    depth += 1;
+                } else if tokens[j].is_punct(masked, '}') {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = tokens[j].line;
+                        break;
+                    }
+                } else if depth == 0 && tokens[j].is_punct(masked, ';') {
+                    end_line = tokens[j].line;
+                    break;
+                }
+                end_line = tokens[j].line;
+                j += 1;
+            }
+            for l in attr_line..=end_line {
+                if let Some(slot) = test_lines.get_mut(l) {
+                    *slot = true;
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// True when tokens at `i` spell `#[cfg(test)]` exactly.
+fn is_cfg_test_attr(masked: &str, tokens: &[Token], i: usize) -> bool {
+    let expect: [&dyn Fn(&Token) -> bool; 7] = [
+        &|t| t.is_punct(masked, '#'),
+        &|t| t.is_punct(masked, '['),
+        &|t| t.is_ident(masked, "cfg"),
+        &|t| t.is_punct(masked, '('),
+        &|t| t.is_ident(masked, "test"),
+        &|t| t.is_punct(masked, ')'),
+        &|t| t.is_punct(masked, ']'),
+    ];
+    expect
+        .iter()
+        .enumerate()
+        .all(|(k, check)| tokens.get(i + k).is_some_and(check))
+}
+
+/// From a `#` token, returns the index just past its `[...]` attribute.
+fn skip_attr(masked: &str, tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if !tokens.get(j).is_some_and(|t| t.is_punct(masked, '[')) {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct(masked, '[') {
+            depth += 1;
+        } else if tokens[j].is_punct(masked, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let src = "let a = 1; // HashMap here\n/* thread_rng\n spans */ let b = 2;\n";
+        let s = Scanned::new(src);
+        assert!(!s.masked.contains("HashMap"));
+        assert!(!s.masked.contains("thread_rng"));
+        assert!(s.masked.contains("let b"));
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[1].line, 2);
+        assert!(s.comments[1].text.contains("spans"));
+        assert_eq!(s.masked.len(), src.len());
+    }
+
+    #[test]
+    fn masks_string_char_and_raw_literals() {
+        let src = r####"let s = "HashMap"; let r = r#"unwrap()"#; let c = 'x'; let b = b"OsRng"; let l: &'static str = "";"####;
+        let s = Scanned::new(src);
+        for needle in ["HashMap", "unwrap", "OsRng", "'x'"] {
+            assert!(!s.masked.contains(needle), "unmasked `{needle}`: {}", s.masked);
+        }
+        assert!(s.masked.contains("static"), "lifetimes must survive");
+        assert_eq!(s.masked.len(), src.len());
+    }
+
+    #[test]
+    fn multibyte_contents_stay_valid_utf8() {
+        let src = "let s = \"wörld 🦀\"; // ünicode\nlet x = 'ß';\n";
+        let s = Scanned::new(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert!(!s.masked.contains("wörld"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_module() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = Scanned::new(src);
+        assert!(!s.in_test(1));
+        assert!(s.in_test(2), "attribute line");
+        assert!(s.in_test(3));
+        assert!(s.in_test(4));
+        assert!(s.in_test(5), "closing brace");
+        assert!(!s.in_test(6));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attributes_and_semicolon_items() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod helper;\nfn live() {}\n";
+        let s = Scanned::new(src);
+        assert!(s.in_test(1) && s.in_test(2) && s.in_test(3));
+        assert!(!s.in_test(4));
+    }
+
+    #[test]
+    fn tokens_have_lines_and_text() {
+        let s = Scanned::new("foo::bar(1);\nInstant::now()\n");
+        let texts: Vec<(&str, usize)> =
+            s.tokens.iter().map(|t| (t.text(&s.masked), t.line)).collect();
+        assert!(texts.contains(&("foo", 1)));
+        assert!(texts.contains(&("Instant", 2)));
+        assert!(texts.contains(&("now", 2)));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let s = Scanned::new("/* outer /* inner */ still comment */ let x = 1;\n");
+        assert!(s.masked.contains("let x"));
+        assert!(!s.masked.contains("outer"));
+        assert_eq!(s.comments.len(), 1);
+    }
+}

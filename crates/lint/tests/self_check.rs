@@ -1,0 +1,53 @@
+//! Self-check: the linter lints the workspace it ships in — including its
+//! own crate — and the tree is clean: zero denied diagnostics, and every
+//! allowlist suppression carries a written reason.
+
+use abae_lint::{lint_root, workspace_root};
+
+#[test]
+fn workspace_is_clean_and_lints_its_own_crate() {
+    let report = lint_root(&workspace_root()).expect("workspace scan succeeds");
+    let denied: Vec<String> = report.denied().map(|d| d.render()).collect();
+    assert!(denied.is_empty(), "workspace has denied diagnostics:\n{}", denied.join("\n"));
+
+    // The scan must have included the linter's own source (self-lint) and
+    // a representative spread of the workspace.
+    assert!(report.files_scanned > 100, "scanned only {} files", report.files_scanned);
+    let scanned_self = report.diagnostics.is_empty()
+        || report.diagnostics.iter().any(|d| d.path.starts_with("crates/"));
+    assert!(scanned_self);
+
+    // Known allowlisted sites survive as *allowed* diagnostics with
+    // non-empty reasons (the parser enforces the reason; double-check the
+    // report carries it through).
+    let allowed: Vec<_> = report.allowed().collect();
+    assert!(!allowed.is_empty(), "expected the documented allowlist sites to be visible");
+    for d in &allowed {
+        let reason = d.allowed.as_deref().unwrap_or("");
+        assert!(!reason.trim().is_empty(), "allowlist without reason at {}:{}", d.path, d.line);
+    }
+    assert!(
+        allowed.iter().any(|d| d.path == "crates/data/src/oracle.rs"),
+        "the PredicateCache hot-path allowlist should be reported"
+    );
+}
+
+#[test]
+fn report_json_is_well_formed_enough() {
+    let report = lint_root(&workspace_root()).expect("workspace scan succeeds");
+    let json = report.to_json(Some(12.5));
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    for key in ["\"files_scanned\":", "\"denied\":0", "\"rule_counts\":", "\"hash_iter\":", "\"wall_ms\":"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert_eq!(json.matches('{').count(), json.matches('}').count(), "balanced braces");
+}
+
+#[test]
+fn injected_violation_is_caught() {
+    // The CI canary in depth: linting a source string with a violation
+    // under a result-path virtual path must produce a denied finding, so
+    // the `--deny-all` gate can only pass on a genuinely clean tree.
+    let diags = abae_lint::lint_source("crates/core/src/injected.rs", "use std::collections::HashMap;\n");
+    assert!(diags.iter().any(|d| d.rule == "hash_iter" && d.allowed.is_none()));
+}

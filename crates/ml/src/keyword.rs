@@ -5,7 +5,7 @@
 //! scores a token stream by a weighted keyword hit count squashed through a
 //! logistic, yielding the `[0, 1]` proxy score ABae expects.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A proxy scoring text by weighted keyword occurrences.
 ///
@@ -20,7 +20,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct KeywordProxy {
-    weights: HashMap<String, f64>,
+    weights: BTreeMap<String, f64>,
     bias: f64,
     scale: f64,
 }

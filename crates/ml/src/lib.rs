@@ -24,6 +24,7 @@
 //!   deterministically in batches.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod calibration;
 pub mod features;

@@ -7,7 +7,7 @@
 //! candidate proxy.
 
 use crate::features::tokenize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A trained Bernoulli naive Bayes classifier over token presence.
 #[derive(Debug, Clone)]
@@ -16,7 +16,7 @@ pub struct NaiveBayes {
     log_prior_neg: f64,
     /// Per-token log-likelihood ratios `log P(t|+)/P(t|−)` with Laplace
     /// smoothing; tokens unseen at training time contribute nothing.
-    token_llr: HashMap<String, f64>,
+    token_llr: BTreeMap<String, f64>,
 }
 
 /// Training errors.
@@ -59,8 +59,8 @@ impl NaiveBayes {
 
         // Document frequency of each token per class (Bernoulli model:
         // presence, not counts).
-        let mut df_pos: HashMap<String, usize> = HashMap::new();
-        let mut df_neg: HashMap<String, usize> = HashMap::new();
+        let mut df_pos: BTreeMap<String, usize> = BTreeMap::new();
+        let mut df_neg: BTreeMap<String, usize> = BTreeMap::new();
         let mut seen: Vec<&str> = Vec::new();
         for (doc, &label) in docs.iter().zip(labels) {
             seen.clear();
@@ -74,8 +74,8 @@ impl NaiveBayes {
             }
         }
 
-        let mut token_llr = HashMap::new();
-        let vocab: std::collections::HashSet<&String> =
+        let mut token_llr = BTreeMap::new();
+        let vocab: std::collections::BTreeSet<&String> =
             df_pos.keys().chain(df_neg.keys()).collect();
         for tok in vocab {
             let p_pos =

@@ -26,7 +26,7 @@
 use crate::calibration::PlattScaler;
 use crate::features::{tokenize, HashingVectorizer};
 use crate::logistic::{LogisticRegression, TrainError, TrainOptions};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A serializable description of a fitted proxy model: the family name
@@ -99,7 +99,7 @@ fn check_training_set(texts: &[&str], labels: &[bool]) -> Result<(), TrainError>
 pub struct KeywordModel {
     /// Keyword cap; tokens beyond the top-N by |log-odds| are dropped.
     max_keywords: usize,
-    weights: HashMap<String, f64>,
+    weights: BTreeMap<String, f64>,
     link: Option<LogisticRegression>,
 }
 
@@ -109,7 +109,7 @@ impl KeywordModel {
 
     /// A model keeping at most [`Self::DEFAULT_MAX_KEYWORDS`] keywords.
     pub fn new() -> Self {
-        Self { max_keywords: Self::DEFAULT_MAX_KEYWORDS, weights: HashMap::new(), link: None }
+        Self { max_keywords: Self::DEFAULT_MAX_KEYWORDS, weights: BTreeMap::new(), link: None }
     }
 
     /// A model keeping at most `max_keywords` keywords.
@@ -138,8 +138,8 @@ impl ProxyModel for KeywordModel {
     fn fit(&mut self, texts: &[&str], labels: &[bool]) -> Result<(), TrainError> {
         check_training_set(texts, labels)?;
         // Per-token counts per class.
-        let mut pos_counts: HashMap<String, usize> = HashMap::new();
-        let mut neg_counts: HashMap<String, usize> = HashMap::new();
+        let mut pos_counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut neg_counts: BTreeMap<String, usize> = BTreeMap::new();
         let (mut pos_tokens, mut neg_tokens) = (0usize, 0usize);
         for (&text, &label) in texts.iter().zip(labels) {
             let counts = if label { &mut pos_counts } else { &mut neg_counts };

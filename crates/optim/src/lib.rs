@@ -13,6 +13,7 @@
 //!   minimization, plus helpers shared by the group-by allocator.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod nelder_mead;
 pub mod simplex;

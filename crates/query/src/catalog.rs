@@ -7,7 +7,7 @@
 //! user supplies the oracle and proxy for each predicate.
 
 use abae_data::{LabelStore, ProxyRegistry, Table};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A registry of tables and atom-key bindings, optionally carrying a
 /// cross-query [`LabelStore`] so repeated queries reuse oracle verdicts,
@@ -24,8 +24,8 @@ use std::collections::HashMap;
 /// registry, so sessions can train proxies against a frozen catalog.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
-    bindings: HashMap<(String, String), String>,
+    tables: BTreeMap<String, Table>,
+    bindings: BTreeMap<(String, String), String>,
     label_store: Option<LabelStore>,
     proxies: ProxyRegistry,
 }

@@ -86,6 +86,7 @@
 //! deprecated shim with unchanged behavior.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ast;
 pub mod catalog;

@@ -18,6 +18,7 @@
 //! * [`permute`] — Fisher–Yates shuffles.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod budget;
 pub mod permute;

@@ -11,6 +11,7 @@
 //! [`crate::pool::IndexPool`] instead.
 
 use rand::Rng;
+// abae-lint: allow(hash_iter) -- imported for Floyd's rejection set below, which is membership-only
 use std::collections::HashSet;
 
 /// Fraction of the pool above which we switch from Floyd's algorithm to a
@@ -39,6 +40,7 @@ pub fn sample_without_replacement<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut
 /// The classic formulation produces a set; to obtain a uniformly random
 /// *order* we do a final Fisher–Yates shuffle of the k-element result.
 fn floyd_sample<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    // abae-lint: allow(hash_iter) -- O(1) membership set in the per-draw loop; only `contains`/`insert`, the output order comes from `out`
     let mut chosen: HashSet<usize> = HashSet::with_capacity(k * 2);
     let mut out: Vec<usize> = Vec::with_capacity(k);
     for j in (n - k)..n {

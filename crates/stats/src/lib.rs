@@ -19,6 +19,7 @@
 //! * [`histogram`] — fixed-width histograms for diagnostics and tests.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bootstrap;
 pub mod dist;

@@ -8,6 +8,8 @@
 //! for the system inventory and `EXPERIMENTS.md` for the reproduction of the
 //! paper's tables and figures.
 
+#![forbid(unsafe_code)]
+
 pub use abae_core as core;
 pub use abae_data as data;
 pub use abae_ml as ml;

@@ -1,0 +1,157 @@
+//! Regression tests for structural (not accidental) output ordering.
+//!
+//! The catalog, group-by executor, and proxy registry used to keep state
+//! in `std::collections::HashMap`, whose iteration order is per-process
+//! random — deterministic-looking output was an accident of those maps
+//! never being iterated on the result path. They are ordered maps now
+//! (`abae-lint`'s `hash_iter` rule keeps it that way), and these tests pin
+//! the externally visible consequence: registration/insertion order and
+//! map capacity cannot perturb result ordering. Two engines whose
+//! catalogs were populated in different orders (and different map shapes,
+//! via interleaved extra tables) must answer the same seeded GROUP BY
+//! with byte-identical rows.
+
+use abae::data::{ProxyRegistry, Table, TrainedProxy};
+use abae::ml::ModelSummary;
+use abae::query::Engine;
+
+fn grouped_table(n: usize) -> Table {
+    let mut key = Vec::with_capacity(n);
+    let mut labels: Vec<Vec<bool>> = vec![Vec::new(); 2];
+    let mut proxies: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = match i % 10 {
+            0 | 3 => Some(0u16),
+            1 | 2 => Some(1),
+            _ => None,
+        };
+        key.push(g);
+        for (j, (l, p)) in labels.iter_mut().zip(proxies.iter_mut()).enumerate() {
+            let member = g == Some(j as u16);
+            l.push(member);
+            p.push(if member { 0.8 } else { 0.2 });
+        }
+        values.push(match g {
+            Some(0) => 30.0 + (i % 7) as f64,
+            Some(1) => 60.0 + (i % 5) as f64,
+            _ => 0.0,
+        });
+    }
+    Table::builder("images", values)
+        .predicate("is_gray", std::mem::take(&mut labels[0]), std::mem::take(&mut proxies[0]))
+        .predicate("is_blond", std::mem::take(&mut labels[1]), std::mem::take(&mut proxies[1]))
+        .group_key(vec!["gray".into(), "blond".into()], key)
+        .build()
+        .unwrap()
+}
+
+/// A filler table whose only job is to perturb catalog map shape
+/// (capacity, insertion history) around the table under test.
+fn filler(name: &str, n: usize) -> Table {
+    let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let proxy: Vec<f64> = labels.iter().map(|&l| if l { 0.9 } else { 0.1 }).collect();
+    let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    Table::builder(name, values).predicate("matches", labels, proxy).build().unwrap()
+}
+
+const GROUPED_SQL: &str = "SELECT AVG(smile), hair FROM images \
+     WHERE hair(img) = 'gray' OR hair(img) = 'blond' \
+     GROUP BY hair(img) ORACLE LIMIT 4000 WITH PROBABILITY 0.9";
+
+#[test]
+fn group_by_rows_are_byte_identical_across_catalog_insertion_orders() {
+    // Engine A: the grouped table first, then fillers; bindings in
+    // gray-then-blond order.
+    let a = Engine::builder()
+        .table(grouped_table(20_000))
+        .table(filler("aaa_events", 64))
+        .table(filler("zzz_events", 4096))
+        .bind_predicate("images", "hair=gray", "is_gray")
+        .bind_predicate("images", "hair=blond", "is_blond")
+        .bootstrap_trials(200)
+        .seed(31)
+        .build();
+    // Engine B: fillers straddle the grouped table (different map shapes
+    // and insertion history), bindings reversed.
+    let b = Engine::builder()
+        .table(filler("zzz_events", 4096))
+        .table(grouped_table(20_000))
+        .table(filler("aaa_events", 64))
+        .bind_predicate("images", "hair=blond", "is_blond")
+        .bind_predicate("images", "hair=gray", "is_gray")
+        .bootstrap_trials(200)
+        .seed(31)
+        .build();
+
+    let ra = a.session_with_id(7).execute(GROUPED_SQL).expect("engine A executes");
+    let rb = b.session_with_id(7).execute(GROUPED_SQL).expect("engine B executes");
+
+    let ga = ra.groups.expect("group-by query returns groups");
+    let gb = rb.groups.expect("group-by query returns groups");
+    assert!(!ga.is_empty());
+    // Byte-identical: row order, names, estimates, CIs — the full Debug
+    // rendering, not just set equality.
+    assert_eq!(format!("{ga:?}"), format!("{gb:?}"), "group rows must not depend on catalog insertion order");
+    assert_eq!(format!("{:?}", ra.rows), format!("{:?}", rb.rows));
+    assert_eq!(ra.oracle_calls, rb.oracle_calls);
+}
+
+#[test]
+fn repeated_runs_in_one_process_are_byte_identical() {
+    // Same engine construction twice in the same process: with hash maps
+    // this held only because RandomState is per-process; it must hold
+    // structurally.
+    let make = || {
+        Engine::builder()
+            .table(grouped_table(10_000))
+            .bind_predicate("images", "hair=gray", "is_gray")
+            .bind_predicate("images", "hair=blond", "is_blond")
+            .bootstrap_trials(100)
+            .seed(5)
+            .build()
+    };
+    let r1 = make().session_with_id(3).execute(GROUPED_SQL).unwrap();
+    let r2 = make().session_with_id(3).execute(GROUPED_SQL).unwrap();
+    assert_eq!(format!("{:?}", r1.groups), format!("{:?}", r2.groups));
+}
+
+fn proxy(table: &str, name: &str) -> TrainedProxy {
+    TrainedProxy {
+        name: name.to_string(),
+        table: table.to_string(),
+        predicate: "matches".to_string(),
+        summary: ModelSummary { family: "keyword".to_string(), params: vec![("w".to_string(), 1.0)] },
+        calibrated: false,
+        scores: vec![0.5; 4],
+        train_limit: 4,
+        oracle_spend: 4,
+        ece: 0.1,
+        auto_selected: false,
+    }
+}
+
+#[test]
+fn proxy_registry_listing_is_independent_of_registration_order() {
+    let forward = ProxyRegistry::new();
+    for (t, p) in [("alpha", "p1"), ("alpha", "p2"), ("mid", "m1"), ("zeta", "z1")] {
+        forward.register(proxy(t, p));
+    }
+    let reverse = ProxyRegistry::new();
+    for (t, p) in [("zeta", "z1"), ("mid", "m1"), ("alpha", "p1"), ("alpha", "p2")] {
+        reverse.register(proxy(t, p));
+    }
+    let names = |r: &ProxyRegistry| -> Vec<(String, String)> {
+        r.list_all().iter().map(|p| (p.table.clone(), p.name.clone())).collect()
+    };
+    assert_eq!(names(&forward), names(&reverse), "SHOW PROXIES order is structural: table-sorted, then registration order");
+    assert_eq!(
+        names(&forward),
+        vec![
+            ("alpha".to_string(), "p1".to_string()),
+            ("alpha".to_string(), "p2".to_string()),
+            ("mid".to_string(), "m1".to_string()),
+            ("zeta".to_string(), "z1".to_string()),
+        ]
+    );
+}

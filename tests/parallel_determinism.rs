@@ -284,6 +284,7 @@ fn eight_threads_label_at_least_4x_faster_under_latency() {
     let timed = |threads: usize| {
         let oracle = FnOracle::new(|i: usize| Labeled { matches: true, value: i as f64 })
             .with_latency(Duration::from_micros(100));
+        // abae-lint: allow(wall_clock) -- speedup test: wall time is the quantity under test, and labels are asserted thread-invariant separately
         let start = std::time::Instant::now();
         let labels = label_all(&oracle, &ids, &ExecOptions::new(threads, 32));
         let elapsed = start.elapsed();

@@ -12,6 +12,7 @@
 //! does) runs every benchmark body exactly once for a smoke check.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -16,6 +16,7 @@
 //! and case index.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod collection;
 pub mod strategy;

@@ -18,6 +18,7 @@
 //! against this generator.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod distributions;
 pub mod rngs;
