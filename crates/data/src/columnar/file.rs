@@ -320,6 +320,14 @@ fn usize_of(v: u64, context: &'static str) -> Result<usize, BinError> {
     usize::try_from(v).map_err(|_| BinError::Corrupt { context })
 }
 
+/// Segment-size arithmetic over a hostile, unvalidated element count. A
+/// plain `n * width` panics under overflow checks (and wraps in release);
+/// either breaks the never-panic decode contract, so the overflow itself
+/// must surface as a typed error.
+fn seg_bytes(n: usize, width: usize, context: &'static str) -> Result<usize, BinError> {
+    n.checked_mul(width).ok_or(BinError::Corrupt { context })
+}
+
 fn decode_segment(
     seg: &[u8],
     tag: u8,
@@ -328,18 +336,18 @@ fn decode_segment(
     let mut cur = Cursor { buf: seg, pos: 0 };
     match tag {
         0 => {
-            let b = cur.take(n_rows * 8, "f64 segment")?;
+            let b = cur.take(seg_bytes(n_rows, 8, "f64 segment")?, "f64 segment")?;
             let vals = le_values(b, "f64 segment", f64::from_le_bytes)?;
             Ok(Column::F64(F64Column::from(vals)))
         }
         1 => {
-            let b = cur.take(n_rows * 8, "i64 segment")?;
+            let b = cur.take(seg_bytes(n_rows, 8, "i64 segment")?, "i64 segment")?;
             let vals = le_values(b, "i64 segment", i64::from_le_bytes)?;
             Ok(Column::I64(I64Column::from(vals)))
         }
         2 => {
             let n_words = n_rows.div_ceil(64);
-            let b = cur.take(n_words * 8, "bool segment")?;
+            let b = cur.take(seg_bytes(n_words, 8, "bool segment")?, "bool segment")?;
             let words = le_values(b, "bool segment", u64::from_le_bytes)?;
             let bm = Bitmap::from_words(words, n_rows)
                 .ok_or(BinError::Corrupt { context: "non-canonical bool bitmap" })?;
@@ -347,7 +355,8 @@ fn decode_segment(
         }
         3 => {
             let bytes_len = usize_of(cur.u64("str arena length")?, "str arena length")?;
-            let offs_bytes = cur.take((n_rows + 1) * 4, "str offsets")?;
+            let n_offs = n_rows.checked_add(1).ok_or(BinError::Corrupt { context: "str offsets" })?;
+            let offs_bytes = cur.take(seg_bytes(n_offs, 4, "str offsets")?, "str offsets")?;
             let offsets = le_values(offs_bytes, "str offsets", u32::from_le_bytes)?;
             cur.pos += (8 - cur.pos % 8) % 8;
             let arena = cur.take(bytes_len, "str arena")?.to_vec();
@@ -370,11 +379,11 @@ fn decode_segment(
                 dict.push(s.to_string());
             }
             cur.pos += (8 - cur.pos % 8) % 8;
-            let codes_bytes = cur.take(n_rows * 4, "dict codes")?;
+            let codes_bytes = cur.take(seg_bytes(n_rows, 4, "dict codes")?, "dict codes")?;
             let codes = le_values(codes_bytes, "dict codes", u32::from_le_bytes)?;
             cur.pos += (8 - cur.pos % 8) % 8;
             let n_words = n_rows.div_ceil(64);
-            let b = cur.take(n_words * 8, "dict validity")?;
+            let b = cur.take(seg_bytes(n_words, 8, "dict validity")?, "dict validity")?;
             let words = le_values(b, "dict validity", u64::from_le_bytes)?;
             let validity = Bitmap::from_words(words, n_rows)
                 .ok_or(BinError::Corrupt { context: "non-canonical dict validity bitmap" })?;

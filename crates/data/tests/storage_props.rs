@@ -212,3 +212,28 @@ proptest! {
         prop_assert_eq!(&bytes[..8], MAGIC.as_slice());
     }
 }
+
+/// Regression: a stomped header row count (bytes 16..24, little-endian
+/// u64) must surface as a typed error, not an arithmetic-overflow panic
+/// in the segment-size math (`n_rows * 8` et al. under debug overflow
+/// checks). The proptest above only hits these bytes probabilistically;
+/// this pins every high byte deterministically.
+#[test]
+fn huge_row_count_is_typed_error_not_overflow() {
+    let cols = vec![NamedColumn {
+        name: "f".into(),
+        role: ColumnRole::Proxy,
+        column: Column::F64(F64Column::from(vec![1.0, 2.0, 3.0])),
+    }];
+    let bytes = encode_columns(&cols);
+    for byte in 16..24 {
+        let mut evil = bytes.clone();
+        evil[byte] = 0xFF;
+        let res = decode_columns(&evil);
+        assert!(res.is_err(), "row-count stomp at byte {byte} decoded: {res:?}");
+    }
+    // All-ones row count: every segment-size multiply would overflow.
+    let mut evil = bytes.clone();
+    evil[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(decode_columns(&evil).is_err());
+}

@@ -148,7 +148,7 @@ fn mask(text: &str) -> (String, Vec<Comment>) {
         } else if b == b'"' {
             i = skip_plain_string(bytes, i, &mut masked, &mut line);
         } else if b == b'\'' {
-            i = skip_char_or_lifetime(text, bytes, i, &mut masked);
+            i = skip_char_or_lifetime(text, bytes, i, &mut masked, &mut line);
         } else if is_ident_byte(b) && !b.is_ascii_digit() {
             // Scan a full identifier, then check for raw/byte literal
             // prefixes (`r"`, `r#"`, `b"`, `br#"`, `b'`). A raw
@@ -178,7 +178,7 @@ fn mask(text: &str) -> (String, Vec<Comment>) {
                     i = skip_plain_string(bytes, i, &mut masked, &mut line);
                     blank(&mut masked, start, start + 1);
                 } else if bytes.get(i) == Some(&b'\'') {
-                    i = skip_char_or_lifetime(text, bytes, i, &mut masked);
+                    i = skip_char_or_lifetime(text, bytes, i, &mut masked, &mut line);
                     blank(&mut masked, start, start + 1);
                 }
             }
@@ -194,7 +194,15 @@ fn skip_plain_string(bytes: &[u8], start: usize, masked: &mut [u8], line: &mut u
     let mut i = start + 1;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // A line continuation (`\` + newline) skips a newline; the
+                // line counter must still see it or every Comment.line
+                // after the string drifts.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => {
                 i += 1;
                 break;
@@ -240,17 +248,35 @@ fn skip_raw_string(
 }
 
 /// At a `'`: a char literal (blanked) or a lifetime (kept).
-fn skip_char_or_lifetime(text: &str, bytes: &[u8], start: usize, masked: &mut [u8]) -> usize {
+fn skip_char_or_lifetime(
+    text: &str,
+    bytes: &[u8],
+    start: usize,
+    masked: &mut [u8],
+    line: &mut usize,
+) -> usize {
     let next = bytes.get(start + 1).copied();
     if next == Some(b'\\') {
-        // Escaped char literal: scan to the closing quote.
+        // Escaped char literal: scan to the closing quote, counting any
+        // newline skipped on the way (malformed/unterminated literals can
+        // span lines; silently skipping one drifts every later
+        // Comment.line).
         let mut i = start + 2;
         while i < bytes.len() {
             match bytes[i] {
-                b'\\' => i += 2,
+                b'\\' => {
+                    if bytes.get(i + 1) == Some(&b'\n') {
+                        *line += 1;
+                    }
+                    i += 2;
+                }
                 b'\'' => {
                     i += 1;
                     break;
+                }
+                b'\n' => {
+                    *line += 1;
+                    i += 1;
                 }
                 _ => i += 1,
             }
@@ -262,6 +288,9 @@ fn skip_char_or_lifetime(text: &str, bytes: &[u8], start: usize, masked: &mut [u
     if let Some(c) = text[start + 1..].chars().next() {
         let close = start + 1 + c.len_utf8();
         if c != '\'' && bytes.get(close) == Some(&b'\'') {
+            if c == '\n' {
+                *line += 1;
+            }
             blank(masked, start, close + 1);
             return close + 1;
         }
@@ -344,21 +373,26 @@ fn mark_cfg_test_regions(masked: &str, tokens: &[Token], test_lines: &mut [bool]
     }
 }
 
-/// True when tokens at `i` spell `#[cfg(test)]` exactly.
+/// True when tokens at `i` are a `#[cfg(...)]` attribute whose predicate
+/// mentions the identifier `test` — `#[cfg(test)]`, `#[cfg(all(test,
+/// feature = "x"))]`, `#[cfg(any(test, ...))]`. A predicate containing
+/// `not` is never treated as test (over-approximating `not(test)` as a
+/// test region would *exempt* release code from lint rules; declining to
+/// match merely lints test code, which fails closed).
 fn is_cfg_test_attr(masked: &str, tokens: &[Token], i: usize) -> bool {
-    let expect: [&dyn Fn(&Token) -> bool; 7] = [
+    let head: [&dyn Fn(&Token) -> bool; 4] = [
         &|t| t.is_punct(masked, '#'),
         &|t| t.is_punct(masked, '['),
         &|t| t.is_ident(masked, "cfg"),
         &|t| t.is_punct(masked, '('),
-        &|t| t.is_ident(masked, "test"),
-        &|t| t.is_punct(masked, ')'),
-        &|t| t.is_punct(masked, ']'),
     ];
-    expect
-        .iter()
-        .enumerate()
-        .all(|(k, check)| tokens.get(i + k).is_some_and(check))
+    if !head.iter().enumerate().all(|(k, check)| tokens.get(i + k).is_some_and(check)) {
+        return false;
+    }
+    let end = skip_attr(masked, tokens, i).min(tokens.len());
+    let body = &tokens[(i + 4).min(end)..end];
+    body.iter().any(|t| t.is_ident(masked, "test"))
+        && !body.iter().any(|t| t.is_ident(masked, "not"))
 }
 
 /// From a `#` token, returns the index just past its `[...]` attribute.
@@ -437,6 +471,36 @@ mod tests {
         let s = Scanned::new(src);
         assert!(s.in_test(1) && s.in_test(2) && s.in_test(3));
         assert!(!s.in_test(4));
+    }
+
+    #[test]
+    fn line_continuation_in_string_keeps_comment_lines_aligned() {
+        // The `\` + newline continuation must count its newline, or every
+        // comment line after the string drifts by one.
+        let src = "let s = \"ab\\\ncd\";\n// marker\nlet x = 1;\n";
+        let s = Scanned::new(src);
+        let marker = s.comments.iter().find(|c| c.text.contains("marker")).expect("comment found");
+        assert_eq!(marker.line, 3, "comment line drifted: {:?}", s.comments);
+    }
+
+    #[test]
+    fn cfg_test_with_all_any_predicates() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() {} }\nfn live() {}\n";
+        let s = Scanned::new(src);
+        assert!(s.in_test(1) && s.in_test(2), "all(test, ...) is a test region");
+        assert!(!s.in_test(3));
+
+        let src = "#[cfg(any(test, fuzzing))]\nmod t;\nfn live() {}\n";
+        let s = Scanned::new(src);
+        assert!(s.in_test(1) && s.in_test(2), "any(test, ...) is a test region");
+        assert!(!s.in_test(3));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn release_only() {}\n";
+        let s = Scanned::new(src);
+        assert!(!s.in_test(1) && !s.in_test(2), "not(test) must stay linted");
     }
 
     #[test]

@@ -11,11 +11,15 @@ fn workspace_is_clean_and_lints_its_own_crate() {
     assert!(denied.is_empty(), "workspace has denied diagnostics:\n{}", denied.join("\n"));
 
     // The scan must have included the linter's own source (self-lint) and
-    // a representative spread of the workspace.
+    // a representative spread of the workspace. `lint_root` scans exactly
+    // the files `collect_rs_files` returns, so asserting on that list
+    // proves this crate was in the scan.
     assert!(report.files_scanned > 100, "scanned only {} files", report.files_scanned);
-    let scanned_self = report.diagnostics.is_empty()
-        || report.diagnostics.iter().any(|d| d.path.starts_with("crates/"));
-    assert!(scanned_self);
+    let files = abae_lint::scan::collect_rs_files(&workspace_root()).expect("file walk succeeds");
+    assert_eq!(files.len(), report.files_scanned, "report counts the walked files");
+    for own in ["crates/lint/src/lib.rs", "crates/lint/src/rules/mod.rs"] {
+        assert!(files.iter().any(|f| f == own), "self-lint: {own} missing from scan: {files:?}");
+    }
 
     // Known allowlisted sites survive as *allowed* diagnostics with
     // non-empty reasons (the parser enforces the reason; double-check the
