@@ -1,49 +1,115 @@
-//! `qps` — query throughput vs concurrent session count on one shared
-//! [`Engine`].
+//! `qps` — query throughput vs concurrent session count, in-process and
+//! over the Postgres wire.
 //!
 //! The ROADMAP's north star is a serving system, so the interesting
 //! number is not records/sec through one labeling pipeline (see the
 //! `throughput` bin) but **queries/sec across many clients sharing one
 //! engine and one label cache**. This sweep opens N sessions, hands each
-//! its own OS thread, and has every session prepare one statement and run
-//! it repeatedly — the dashboard-refresh workload the prepared-statement
-//! API exists for. A warm-up query seeds the label store and each
-//! session's repeat runs replay their own cached draws, so the sweep is
-//! dominated by real estimation work (stratification + bootstrap), not
-//! simulated oracle latency.
+//! its own OS thread, and measures the dashboard-refresh workload four
+//! ways:
+//!
+//! * **prepared** — each session prepares one statement and re-runs it
+//!   (the fastest in-process path; no re-parsing or re-planning).
+//! * **execute** — each session re-parses and re-plans per query via
+//!   `Session::run`, which is exactly the work a wire query triggers —
+//!   the apples-to-apples in-process baseline for the wire mode.
+//! * **wire** — N real TCP connections to an in-process `abae-server`,
+//!   each a `WireClient` sending the same SQL; quantifies the serving
+//!   overhead (framing + socket round-trip) the ROADMAP asks to track.
+//! * **isolated** — each thread gets its own *private* engine (own
+//!   catalog, own label store, zero shared state). This is the control
+//!   for the scaling diagnosis: if shared-engine qps matches
+//!   isolated-engine qps at every session count, the scaling ceiling is
+//!   hardware parallelism, not a shared-lock serialization point.
+//!
+//! A warm-up query seeds each label store, so all modes are dominated by
+//! real estimation work (stratification + bootstrap), not simulated
+//! oracle latency.
 //!
 //! Output: one JSON object per line (machine-readable, like a metrics
-//! scrape), after the human banner:
-//!
-//! ```text
-//! {"bench":"qps","sessions":2,"queries":40,"elapsed_ms":12.3,"qps":3252.0,...}
-//! ```
+//! scrape), after the human banner; the artifact gains a
+//! `wire_overhead` series comparing wire qps to the execute baseline at
+//! each session count.
 //!
 //! ```sh
 //! cargo run --release -p abae_bench --bin qps
 //! ABAE_QPS_QUERIES=100 ABAE_SCALE=0.2 cargo run --release -p abae_bench --bin qps
+//! ABAE_QPS_MODES=prepared,wire cargo run --release -p abae_bench --bin qps
 //! ```
 
 use abae_bench::artifact::emit_artifact;
 use abae_bench::config::ExpConfig;
 use abae_data::emulators::{trec05p, EmulatorOptions};
 use abae_query::Engine;
+use abae_server::{Server, WireClient};
 use std::time::Instant;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+const SESSION_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// (oracle_calls, cache_hits, cache_misses) summed over one thread's runs.
+type Accounting = (u64, u64, u64);
+
+fn add(a: Accounting, b: Accounting) -> Accounting {
+    (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+}
+
+/// One sweep over [`SESSION_COUNTS`]: `run(n)` performs `n × queries` and
+/// returns per-thread accounting; this wrapper times it and renders the
+/// per-point JSON (speedup is relative to the sweep's own 1-session
+/// point). Returns (points, qps-by-session-count).
+fn run_sweep(
+    mode: &str,
+    queries_per_session: usize,
+    mut run: impl FnMut(usize) -> Vec<Accounting>,
+) -> (Vec<String>, Vec<f64>) {
+    let mut baseline_qps: Option<f64> = None;
+    let mut points = Vec::new();
+    let mut qps_series = Vec::new();
+    for &sessions in &SESSION_COUNTS {
+        let start = Instant::now();
+        let per_session = run(sessions);
+        let elapsed = start.elapsed();
+        let queries = (sessions * queries_per_session) as f64;
+        let qps = queries / elapsed.as_secs_f64();
+        let speedup = qps / *baseline_qps.get_or_insert(qps);
+        let (calls, hits, misses) =
+            per_session.into_iter().fold((0, 0, 0), add);
+        let point = format!(
+            "{{\"bench\":\"qps\",\"mode\":\"{mode}\",\"sessions\":{sessions},\
+             \"queries\":{},\"elapsed_ms\":{:.3},\"qps\":{:.1},\
+             \"speedup\":{:.3},\"oracle_calls\":{calls},\
+             \"cache_hits\":{hits},\"cache_misses\":{misses}}}",
+            sessions * queries_per_session,
+            elapsed.as_secs_f64() * 1e3,
+            qps,
+            speedup,
+        );
+        println!("{point}");
+        points.push(point);
+        qps_series.push(qps);
+    }
+    (points, qps_series)
+}
+
 fn main() {
     let cfg = ExpConfig::from_env();
     cfg.banner(
-        "qps — queries/sec vs concurrent session count",
+        "qps — queries/sec vs concurrent session count (in-process and over the wire)",
         "beyond the paper: Engine/Session serving (cf. ROADMAP north star)",
     );
     let queries_per_session = env_usize("ABAE_QPS_QUERIES", 20);
     let budget = env_usize("ABAE_QPS_BUDGET", 2000);
+    let modes = std::env::var("ABAE_QPS_MODES")
+        .unwrap_or_else(|_| "prepared,execute,wire,isolated".to_string());
+    let enabled = |m: &str| modes.split(',').any(|s| s.trim() == m);
+    let nproc = std::thread::available_parallelism().map_or(0, usize::from);
 
-    let table = trec05p(&EmulatorOptions { scale: cfg.scale.max(0.02), seed: cfg.seed });
+    let scale = cfg.scale.max(0.02);
+    let table = trec05p(&EmulatorOptions { scale, seed: cfg.seed });
     let records = table.len();
     let engine = Engine::builder().table(table).label_cache(true).seed(cfg.seed).build();
     let sql = format!(
@@ -55,72 +121,198 @@ fn main() {
     let warm = engine.session().execute(&sql).expect("warm-up query executes");
     eprintln!(
         "# warm-up: {} oracle calls over {records} records; \
-         {queries_per_session} queries/session at budget {budget}",
+         {queries_per_session} queries/session at budget {budget}; {nproc} cores",
         warm.oracle_calls
     );
 
-    let mut baseline_qps: Option<f64> = None;
-    let mut points: Vec<String> = Vec::new();
-    for &sessions in &[1usize, 2, 4, 8] {
-        // Sessions are created up front (deterministic ids), then each
-        // runs on its own thread against the shared engine.
-        let mut handles: Vec<_> = (0..sessions).map(|_| engine.session()).collect();
-        let start = Instant::now();
-        let per_session: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
-            let join: Vec<_> = handles
-                .iter_mut()
-                .map(|session| {
-                    let sql = &sql;
-                    scope.spawn(move || {
-                        let stmt = session.prepare(sql).expect("statement plans");
-                        let (mut calls, mut hits, mut misses) = (0u64, 0u64, 0u64);
-                        for _ in 0..queries_per_session {
-                            let r = stmt.run().expect("prepared statement runs");
-                            calls += r.oracle_calls;
-                            hits += r.cache_hits;
-                            misses += r.cache_misses;
-                        }
-                        (calls, hits, misses)
+    // Shared-engine sweep on the prepared path (the historical series).
+    let mut prepared_points = Vec::new();
+    if enabled("prepared") {
+        (prepared_points, _) = run_sweep("prepared", queries_per_session, |n| {
+            let mut handles: Vec<_> = (0..n).map(|_| engine.session()).collect();
+            std::thread::scope(|scope| {
+                let join: Vec<_> = handles
+                    .iter_mut()
+                    .map(|session| {
+                        let sql = &sql;
+                        scope.spawn(move || {
+                            let stmt = session.prepare(sql).expect("statement plans");
+                            let mut acct = (0, 0, 0);
+                            for _ in 0..queries_per_session {
+                                let r = stmt.run().expect("prepared statement runs");
+                                acct = add(acct, (r.oracle_calls, r.cache_hits, r.cache_misses));
+                            }
+                            acct
+                        })
                     })
-                })
-                .collect();
-            join.into_iter().map(|h| h.join().expect("session thread")).collect()
+                    .collect();
+                join.into_iter().map(|h| h.join().expect("session thread")).collect()
+            })
         });
-        let elapsed = start.elapsed();
-        let queries = (sessions * queries_per_session) as f64;
-        let qps = queries / elapsed.as_secs_f64();
-        let speedup = qps / *baseline_qps.get_or_insert(qps);
-        let calls: u64 = per_session.iter().map(|r| r.0).sum();
-        let hits: u64 = per_session.iter().map(|r| r.1).sum();
-        let misses: u64 = per_session.iter().map(|r| r.2).sum();
-        let point = format!(
-            "{{\"bench\":\"qps\",\"sessions\":{sessions},\
-             \"queries\":{},\"elapsed_ms\":{:.3},\"qps\":{:.1},\
-             \"speedup\":{:.3},\"oracle_calls\":{calls},\
-             \"cache_hits\":{hits},\"cache_misses\":{misses}}}",
-            sessions * queries_per_session,
-            elapsed.as_secs_f64() * 1e3,
-            qps,
-            speedup,
-        );
-        println!("{point}");
-        points.push(point);
     }
+
+    // Shared-engine sweep on the parse-per-query path — what one wire
+    // query costs minus the network, so the wire overhead is attributable.
+    let mut execute_points = Vec::new();
+    let mut execute_qps = Vec::new();
+    if enabled("execute") {
+        (execute_points, execute_qps) = run_sweep("execute", queries_per_session, |n| {
+            let mut handles: Vec<_> = (0..n).map(|_| engine.session()).collect();
+            std::thread::scope(|scope| {
+                let join: Vec<_> = handles
+                    .iter_mut()
+                    .map(|session| {
+                        let sql = &sql;
+                        scope.spawn(move || {
+                            let mut acct = (0, 0, 0);
+                            for _ in 0..queries_per_session {
+                                let r = session.execute(sql).expect("query runs");
+                                acct = add(acct, (r.oracle_calls, r.cache_hits, r.cache_misses));
+                            }
+                            acct
+                        })
+                    })
+                    .collect();
+                join.into_iter().map(|h| h.join().expect("session thread")).collect()
+            })
+        });
+    }
+
+    // Over-the-wire sweep: same engine, but every query crosses a real
+    // TCP socket through the pgwire server. Connection setup happens
+    // outside the timed region — the series prices the per-query serving
+    // overhead, not the handshake.
+    let mut wire_points = Vec::new();
+    let mut wire_qps = Vec::new();
+    if enabled("wire") {
+        let server = Server::bind(engine.clone(), "127.0.0.1:0")
+            .expect("bind ephemeral port")
+            .spawn()
+            .expect("spawn pgwire server");
+        let addr = server.addr();
+        (wire_points, wire_qps) = run_sweep("wire", queries_per_session, |n| {
+            let mut clients: Vec<_> = (0..n)
+                .map(|_| WireClient::connect(addr).expect("wire client connects"))
+                .collect();
+            std::thread::scope(|scope| {
+                let join: Vec<_> = clients
+                    .iter_mut()
+                    .map(|client| {
+                        let sql = &sql;
+                        scope.spawn(move || {
+                            let mut acct = (0, 0, 0);
+                            for _ in 0..queries_per_session {
+                                let out = client.query(sql).expect("wire query runs");
+                                assert!(out.error.is_none(), "wire query failed: {:?}", out.error);
+                                // Accounting rides in the result columns.
+                                let col = |i| {
+                                    out.text(0, i)
+                                        .and_then(|v| v.parse::<u64>().ok())
+                                        .unwrap_or(0)
+                                };
+                                acct = add(acct, (col(5), col(6), col(7)));
+                            }
+                            acct
+                        })
+                    })
+                    .collect();
+                join.into_iter().map(|h| h.join().expect("client thread")).collect()
+            })
+        });
+        server.shutdown();
+    }
+
+    // Isolated control: one *private* engine per thread — no shared label
+    // store, no shared catalog, no shared anything — on the prepared
+    // path, warmed before the clock so every measured run replays cached
+    // draws exactly like the shared `prepared` sweep's repeat runs. The
+    // only remaining difference from `prepared` is whether the label
+    // store's locks are shared across threads; if this curve matches the
+    // shared-engine curve, the scaling ceiling is hardware parallelism,
+    // not a shared-lock serialization point.
+    let mut isolated_points = Vec::new();
+    if enabled("isolated") {
+        // All setup — private table generation, engine build, warm-up run —
+        // happens before the sweep so the timed region measures nothing
+        // but `stmt.run()` (re-runs are deterministic replays, so reusing
+        // the statements across sweep points changes nothing).
+        let max_sessions = SESSION_COUNTS.iter().copied().max().unwrap_or(1);
+        let mut stmts: Vec<_> = (0..max_sessions)
+            .map(|_| {
+                let table = trec05p(&EmulatorOptions { scale, seed: cfg.seed });
+                let private = Engine::builder()
+                    .table(table)
+                    .label_cache(true)
+                    .seed(cfg.seed)
+                    .build();
+                let stmt = private
+                    .session()
+                    .prepare(&sql)
+                    .expect("private statement plans");
+                stmt.run().expect("private warm-up");
+                stmt
+            })
+            .collect();
+        (isolated_points, _) = run_sweep("isolated", queries_per_session, |n| {
+            std::thread::scope(|scope| {
+                let join: Vec<_> = stmts[..n]
+                    .iter_mut()
+                    .map(|stmt| {
+                        scope.spawn(move || {
+                            let mut acct = (0, 0, 0);
+                            for _ in 0..queries_per_session {
+                                let r = stmt.run().expect("prepared statement runs");
+                                acct = add(acct, (r.oracle_calls, r.cache_hits, r.cache_misses));
+                            }
+                            acct
+                        })
+                    })
+                    .collect();
+                join.into_iter().map(|h| h.join().expect("session thread")).collect()
+            })
+        });
+    }
+
+    // Wire overhead per session count: execute (in-process, parse per
+    // query) vs wire (same work over TCP).
+    let mut overhead = Vec::new();
+    for (i, &sessions) in SESSION_COUNTS.iter().enumerate() {
+        if let (Some(&ip), Some(&w)) = (execute_qps.get(i), wire_qps.get(i)) {
+            let point = format!(
+                "{{\"sessions\":{sessions},\"in_process_qps\":{ip:.1},\
+                 \"wire_qps\":{w:.1},\"overhead\":{:.3}}}",
+                ip / w
+            );
+            println!("{point}");
+            overhead.push(point);
+        }
+    }
+
     emit_artifact(
         "qps",
         &format!(
             "{{\"bench\":\"qps\",\"records\":{records},\"budget\":{budget},\
              \"queries_per_session\":{queries_per_session},\"seed\":{},\
-             \"points\":[{}]}}",
+             \"nproc\":{nproc},\
+             \"points\":[{}],\
+             \"execute_points\":[{}],\
+             \"wire_points\":[{}],\
+             \"isolated_points\":[{}],\
+             \"wire_overhead\":[{}]}}",
             cfg.seed,
-            points.join(",")
+            prepared_points.join(","),
+            execute_points.join(","),
+            wire_points.join(","),
+            isolated_points.join(","),
+            overhead.join(",")
         ),
     );
     eprintln!(
-        "# expected shape: qps tracks the core count — it grows with sessions up to \
-         the hardware's parallelism, and stays flat (rather than degrading) beyond \
-         it, because sessions share no hot-path lock. Each session's first run pays \
-         for its stream's unseen records; every repeat run of a prepared statement \
-         replays cached verdicts for free."
+        "# expected shape: qps tracks min(sessions, cores) — on a multi-core box the \
+         curves grow to the core count; on a 1-core box every curve is flat at \
+         speedup ~1.0, and the isolated-engines control matching the shared-engine \
+         curves is the proof that the ceiling is hardware parallelism, not a shared \
+         lock. Wire overhead prices pgwire framing + TCP round-trip against the \
+         identical in-process call."
     );
 }

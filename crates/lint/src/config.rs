@@ -11,9 +11,12 @@
 pub const RESULT_PATH_CRATES: &[&str] =
     &["crates/core/src/", "crates/sampling/src/", "crates/query/src/", "crates/data/src/", "crates/ml/src/"];
 
-/// Never-panic modules: the `.abcol` decode path must return
-/// `BinError` on hostile bytes, never panic (`no_panic_decode`).
-pub const NEVER_PANIC_FILES: &[&str] = &["crates/data/src/columnar/file.rs"];
+/// Never-panic modules: decode paths fed by untrusted bytes must return
+/// a typed error on hostile input, never panic (`no_panic_decode`) — the
+/// `.abcol` file decoder and the Postgres-wire message codec, which any
+/// TCP peer can feed arbitrary bytes.
+pub const NEVER_PANIC_FILES: &[&str] =
+    &["crates/data/src/columnar/file.rs", "crates/server/src/codec.rs"];
 
 /// Blessed RNG modules: the only places allowed to seed a generator
 /// directly, because every seed there demonstrably descends from the
@@ -100,6 +103,8 @@ mod tests {
     #[test]
     fn special_modules() {
         assert!(classify("crates/data/src/columnar/file.rs").never_panic);
+        assert!(classify("crates/server/src/codec.rs").never_panic);
+        assert!(!classify("crates/server/src/server.rs").never_panic);
         assert!(!classify("crates/data/src/columnar/column.rs").never_panic);
         assert!(classify("crates/query/src/session.rs").blessed_rng);
         assert!(classify("crates/data/src/emulators/jackson.rs").blessed_rng);

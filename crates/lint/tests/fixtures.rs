@@ -83,6 +83,27 @@ fn no_panic_decode_negative_other_files_and_safe_forms() {
     assert!(denied(DECODE_PATH, in_test).is_empty(), "decode module's tests may assert");
 }
 
+#[test]
+fn no_panic_decode_covers_the_pgwire_codec() {
+    // The server's wire codec is the second designated never-panic file:
+    // any TCP peer can hand it arbitrary bytes, so the same hostile-input
+    // contract as the `.abcol` decoder applies.
+    let wire = "crates/server/src/codec.rs";
+    let src = "fn decode_startup(b: &[u8]) -> u32 {\n    let len = u32::from_be_bytes(b[..4].try_into().unwrap());\n    len\n}\n";
+    let rules: Vec<String> = denied(wire, src).into_iter().map(|(r, _)| r).collect();
+    assert_eq!(
+        rules,
+        vec!["no_panic_decode".to_string(), "no_panic_decode".to_string()],
+        "indexing and unwrap both flagged in the wire codec"
+    );
+    let safe = "fn decode_startup(b: &[u8]) -> Option<u32> {\n    let p: [u8; 4] = b.get(..4)?.try_into().ok()?;\n    Some(u32::from_be_bytes(p))\n}\n";
+    assert!(denied(wire, safe).is_empty(), "get-based prefix reads pass");
+    assert!(
+        denied("crates/server/src/server.rs", src).is_empty(),
+        "only the codec module carries the contract, not the whole server crate"
+    );
+}
+
 // ---------------------------------------------------------- rng_discipline
 
 #[test]

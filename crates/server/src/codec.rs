@@ -1,0 +1,578 @@
+//! PostgreSQL wire-protocol message framing: length-prefixed big-endian
+//! codecs for the **simple query** subprotocol.
+//!
+//! This module is pure bytes-in/bytes-out — no sockets — so every decode
+//! path can be exercised on hostile input. It is a designated never-panic
+//! module (see `abae-lint`'s `no_panic_decode` rule): malformed or
+//! adversarial bytes must surface as a typed [`WireError`], never as a
+//! panic, an overflow, or an out-of-bounds index. The framing layer in
+//! [`crate::server`] decides what to do with a `WireError` (answer an
+//! `ErrorResponse` and drop the connection, since framing is lost).
+//!
+//! Layout of the v3 protocol (all integers big-endian):
+//!
+//! * **Startup packet** (no type byte): `int32 len` (including itself),
+//!   `int32 code` — the protocol version `3.0` ([`PROTOCOL_VERSION_3`]) or
+//!   one of the magic request codes ([`SSL_REQUEST`], [`CANCEL_REQUEST`]) —
+//!   then NUL-terminated `key`/`value` parameter pairs ended by one
+//!   terminating NUL.
+//! * **Typed message** (everything after startup): `byte1 kind`,
+//!   `int32 len` (including itself, excluding the kind byte), payload.
+//!
+//! Encoding helpers build backend messages into a caller-owned `Vec<u8>`
+//! so one flat buffer per batch of messages reaches the socket.
+
+/// Protocol version 3.0: `3 << 16 | 0`.
+pub const PROTOCOL_VERSION_3: u32 = 196_608;
+/// Magic startup code for an SSL negotiation request (`80877103`). The
+/// server answers a single `'N'` byte and the client retries in clear.
+pub const SSL_REQUEST: u32 = 80_877_103;
+/// Magic startup code for an out-of-band cancel request (`80877102`).
+pub const CANCEL_REQUEST: u32 = 80_877_102;
+/// Magic startup code for GSSAPI encryption negotiation (`80877104`);
+/// answered `'N'` like [`SSL_REQUEST`].
+pub const GSSENC_REQUEST: u32 = 80_877_104;
+
+/// Hard ceiling on any frame length this server will buffer. A hostile
+/// length prefix larger than this is rejected before any allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+/// Startup packets are tiny (a handful of parameter strings); cap them
+/// harder than regular frames.
+pub const MAX_STARTUP_LEN: usize = 10_000;
+
+/// Decode failure on hostile or malformed bytes. Every variant is a
+/// protocol violation by the peer; none of them is recoverable within the
+/// current connection because frame synchronization is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the structure it promised.
+    Truncated,
+    /// A length prefix exceeds the hard frame ceiling.
+    Oversize {
+        /// Length the peer claimed.
+        claimed: u64,
+        /// Ceiling it violated.
+        max: usize,
+    },
+    /// A length prefix is smaller than the fixed header it must cover.
+    BadLength(u32),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A NUL-terminated field is missing its terminator.
+    MissingNul,
+    /// The startup packet's parameter section is malformed (a key without
+    /// a value, or bytes after the terminating NUL).
+    BadStartup,
+    /// The startup code is neither protocol 3.0 nor a known magic request.
+    UnknownProtocol(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::Oversize { claimed, max } => {
+                write!(f, "length prefix {claimed} exceeds the {max}-byte frame ceiling")
+            }
+            WireError::BadLength(n) => write!(f, "length prefix {n} is smaller than its header"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::MissingNul => write!(f, "string field is missing its NUL terminator"),
+            WireError::BadStartup => write!(f, "malformed startup parameter section"),
+            WireError::UnknownProtocol(code) => write!(f, "unknown protocol code {code}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Reads a big-endian `u32` at `pos`.
+fn read_u32(buf: &[u8], pos: usize) -> Result<u32, WireError> {
+    let bytes = buf.get(pos..pos.checked_add(4).ok_or(WireError::Truncated)?);
+    match bytes {
+        Some([a, b, c, d]) => Ok(u32::from_be_bytes([*a, *b, *c, *d])),
+        _ => Err(WireError::Truncated),
+    }
+}
+
+/// Reads a NUL-terminated UTF-8 string starting at `pos`; returns the
+/// string and the position just past the terminator.
+fn read_cstr(buf: &[u8], pos: usize) -> Result<(&str, usize), WireError> {
+    let tail = buf.get(pos..).ok_or(WireError::Truncated)?;
+    let nul = tail.iter().position(|&b| b == 0).ok_or(WireError::MissingNul)?;
+    let raw = tail.get(..nul).ok_or(WireError::Truncated)?;
+    let s = std::str::from_utf8(raw).map_err(|_| WireError::BadUtf8)?;
+    let next = pos.checked_add(nul).and_then(|p| p.checked_add(1)).ok_or(WireError::Truncated)?;
+    Ok((s, next))
+}
+
+/// Validates a startup packet's 4-byte length prefix and returns the
+/// number of payload bytes that follow it (the declared length minus the
+/// prefix itself). Hostile lengths (below 8, above [`MAX_STARTUP_LEN`])
+/// are rejected before any read or allocation.
+pub fn startup_payload_len(prefix: [u8; 4]) -> Result<usize, WireError> {
+    let len = u32::from_be_bytes(prefix);
+    // Minimum: the length word itself plus the 4-byte protocol code.
+    if len < 8 {
+        return Err(WireError::BadLength(len));
+    }
+    let len = len as usize;
+    if len > MAX_STARTUP_LEN {
+        return Err(WireError::Oversize { claimed: len as u64, max: MAX_STARTUP_LEN });
+    }
+    Ok(len - 4)
+}
+
+/// Validates a typed message's 4-byte length prefix and returns the number
+/// of payload bytes that follow it.
+pub fn frame_payload_len(prefix: [u8; 4]) -> Result<usize, WireError> {
+    let len = u32::from_be_bytes(prefix);
+    // Minimum: the length word itself.
+    if len < 4 {
+        return Err(WireError::BadLength(len));
+    }
+    let len = len as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversize { claimed: len as u64, max: MAX_FRAME_LEN });
+    }
+    Ok(len - 4)
+}
+
+/// A decoded startup packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Startup {
+    /// A protocol-3.0 startup with its parameter list, in wire order
+    /// (`user`, `database`, …).
+    Start(Vec<(String, String)>),
+    /// `SSLRequest` / `GSSENCRequest`: answer `'N'` and read the next
+    /// startup packet in clear.
+    TlsProbe,
+    /// `CancelRequest`: no session follows; close the connection.
+    Cancel,
+}
+
+/// Decodes a startup payload (everything after the length prefix).
+pub fn decode_startup(payload: &[u8]) -> Result<Startup, WireError> {
+    let code = read_u32(payload, 0)?;
+    match code {
+        SSL_REQUEST | GSSENC_REQUEST => Ok(Startup::TlsProbe),
+        CANCEL_REQUEST => Ok(Startup::Cancel),
+        PROTOCOL_VERSION_3 => {
+            let mut params = Vec::new();
+            let mut pos = 4;
+            loop {
+                // A single NUL here terminates the parameter section.
+                match payload.get(pos) {
+                    None => return Err(WireError::MissingNul),
+                    Some(0) => {
+                        // Nothing may follow the terminator.
+                        if pos + 1 != payload.len() {
+                            return Err(WireError::BadStartup);
+                        }
+                        return Ok(Startup::Start(params));
+                    }
+                    Some(_) => {}
+                }
+                let (key, next) = read_cstr(payload, pos)?;
+                // A key must be followed by a value, not the terminator.
+                if payload.get(next).is_none() {
+                    return Err(WireError::BadStartup);
+                }
+                let (value, after) = read_cstr(payload, next)?;
+                params.push((key.to_string(), value.to_string()));
+                pos = after;
+            }
+        }
+        other => Err(WireError::UnknownProtocol(other)),
+    }
+}
+
+/// A decoded frontend message (the client-to-server direction this server
+/// understands; anything else surfaces as [`FrontendMessage::Unknown`] so
+/// the connection loop can answer a protocol error without dying).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendMessage {
+    /// `'Q'`: one simple-protocol query string (may hold several
+    /// `;`-separated statements).
+    Query(String),
+    /// `'X'`: graceful connection shutdown.
+    Terminate,
+    /// Any other type byte (e.g. the extended protocol's `'P'`/`'B'`).
+    Unknown(u8),
+}
+
+/// Decodes a typed frontend message from its kind byte and payload.
+pub fn decode_frontend(kind: u8, payload: &[u8]) -> Result<FrontendMessage, WireError> {
+    match kind {
+        b'Q' => {
+            let (sql, next) = read_cstr(payload, 0)?;
+            if next != payload.len() {
+                return Err(WireError::Truncated);
+            }
+            Ok(FrontendMessage::Query(sql.to_string()))
+        }
+        b'X' => Ok(FrontendMessage::Terminate),
+        other => Ok(FrontendMessage::Unknown(other)),
+    }
+}
+
+// --------------------------------------------------------------- encoding
+
+/// Postgres type OIDs for the column types this server emits (text wire
+/// format for all of them).
+pub mod oid {
+    /// `text`
+    pub const TEXT: u32 = 25;
+    /// `int8` / `bigint`
+    pub const INT8: u32 = 20;
+    /// `float8` / `double precision`
+    pub const FLOAT8: u32 = 701;
+}
+
+/// One column of a [`row_description`] message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Field<'a> {
+    /// Column name.
+    pub name: &'a str,
+    /// Postgres type OID (see [`oid`]).
+    pub type_oid: u32,
+}
+
+impl<'a> Field<'a> {
+    /// A `text` column.
+    pub fn text(name: &'a str) -> Self {
+        Self { name, type_oid: oid::TEXT }
+    }
+
+    /// A `float8` column.
+    pub fn float8(name: &'a str) -> Self {
+        Self { name, type_oid: oid::FLOAT8 }
+    }
+
+    /// An `int8` column.
+    pub fn int8(name: &'a str) -> Self {
+        Self { name, type_oid: oid::INT8 }
+    }
+
+    /// The type's fixed byte width on the binary wire (`-1` for varlena);
+    /// advisory only under the text format, but clients display it.
+    fn typlen(&self) -> i16 {
+        match self.type_oid {
+            oid::INT8 => 8,
+            oid::FLOAT8 => 8,
+            _ => -1,
+        }
+    }
+}
+
+/// Appends one framed message: `kind`, `int32 len`, `body`.
+fn frame(out: &mut Vec<u8>, kind: u8, body: &[u8]) {
+    out.push(kind);
+    // Body length is bounded by MAX_FRAME_LEN at every call site; the +4
+    // counts the length word itself, per protocol.
+    out.extend_from_slice(&((body.len() as u32).wrapping_add(4)).to_be_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Appends a NUL-terminated string to a message body.
+fn put_cstr(body: &mut Vec<u8>, s: &str) {
+    body.extend_from_slice(s.as_bytes());
+    body.push(0);
+}
+
+/// `AuthenticationOk` (`'R'`, code 0): this server is auth-less.
+pub fn authentication_ok(out: &mut Vec<u8>) {
+    frame(out, b'R', &0u32.to_be_bytes());
+}
+
+/// `ParameterStatus` (`'S'`): one server parameter the client may cache.
+pub fn parameter_status(out: &mut Vec<u8>, key: &str, value: &str) {
+    let mut body = Vec::with_capacity(key.len() + value.len() + 2);
+    put_cstr(&mut body, key);
+    put_cstr(&mut body, value);
+    frame(out, b'S', &body);
+}
+
+/// `BackendKeyData` (`'K'`): cancel key for this session. This server does
+/// not implement cancellation, but well-behaved clients expect the frame;
+/// the pid slot carries the session id so `psql`'s `%p` is meaningful.
+pub fn backend_key_data(out: &mut Vec<u8>, pid: u32, secret: u32) {
+    let mut body = Vec::with_capacity(8);
+    body.extend_from_slice(&pid.to_be_bytes());
+    body.extend_from_slice(&secret.to_be_bytes());
+    frame(out, b'K', &body);
+}
+
+/// `ReadyForQuery` (`'Z'`), always idle — this server has no transactions.
+pub fn ready_for_query(out: &mut Vec<u8>) {
+    frame(out, b'Z', b"I");
+}
+
+/// `RowDescription` (`'T'`).
+pub fn row_description(out: &mut Vec<u8>, fields: &[Field<'_>]) {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(fields.len() as u16).to_be_bytes());
+    for f in fields {
+        put_cstr(&mut body, f.name);
+        body.extend_from_slice(&0u32.to_be_bytes()); // source table oid
+        body.extend_from_slice(&0u16.to_be_bytes()); // source column
+        body.extend_from_slice(&f.type_oid.to_be_bytes());
+        body.extend_from_slice(&f.typlen().to_be_bytes());
+        body.extend_from_slice(&(-1i32).to_be_bytes()); // typmod
+        body.extend_from_slice(&0u16.to_be_bytes()); // text format
+    }
+    frame(out, b'T', &body);
+}
+
+/// `DataRow` (`'D'`): text-format values, `None` encoding SQL NULL.
+pub fn data_row(out: &mut Vec<u8>, values: &[Option<&str>]) {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(values.len() as u16).to_be_bytes());
+    for v in values {
+        match v {
+            None => body.extend_from_slice(&(-1i32).to_be_bytes()),
+            Some(s) => {
+                body.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                body.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    frame(out, b'D', &body);
+}
+
+/// `CommandComplete` (`'C'`) with its command tag (`SELECT 3`, …).
+pub fn command_complete(out: &mut Vec<u8>, tag: &str) {
+    let mut body = Vec::with_capacity(tag.len() + 1);
+    put_cstr(&mut body, tag);
+    frame(out, b'C', &body);
+}
+
+/// `EmptyQueryResponse` (`'I'`): the query string held no statement.
+pub fn empty_query_response(out: &mut Vec<u8>) {
+    frame(out, b'I', &[]);
+}
+
+/// `ErrorResponse` (`'E'`) with severity `ERROR`, the given SQLSTATE code,
+/// and message.
+pub fn error_response(out: &mut Vec<u8>, sqlstate: &str, message: &str) {
+    response_fields(out, b'E', "ERROR", sqlstate, message);
+}
+
+/// `NoticeResponse` (`'N'`) with severity `NOTICE`; used for per-snapshot
+/// progress while an anytime query runs.
+pub fn notice_response(out: &mut Vec<u8>, message: &str) {
+    response_fields(out, b'N', "NOTICE", "00000", message);
+}
+
+/// Shared field layout of `ErrorResponse` / `NoticeResponse`: `S`everity
+/// (with the non-localized `V` twin), SQLSTATE `C`ode, `M`essage, NUL.
+fn response_fields(out: &mut Vec<u8>, kind: u8, severity: &str, sqlstate: &str, message: &str) {
+    let mut body = Vec::new();
+    body.push(b'S');
+    put_cstr(&mut body, severity);
+    body.push(b'V');
+    put_cstr(&mut body, severity);
+    body.push(b'C');
+    put_cstr(&mut body, sqlstate);
+    body.push(b'M');
+    put_cstr(&mut body, message);
+    body.push(0);
+    frame(out, kind, &body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn startup_length_prefix_bounds() {
+        assert_eq!(startup_payload_len(8u32.to_be_bytes()), Ok(4));
+        assert_eq!(startup_payload_len(100u32.to_be_bytes()), Ok(96));
+        assert_eq!(startup_payload_len(7u32.to_be_bytes()), Err(WireError::BadLength(7)));
+        assert_eq!(startup_payload_len(0u32.to_be_bytes()), Err(WireError::BadLength(0)));
+        assert!(matches!(
+            startup_payload_len(u32::MAX.to_be_bytes()),
+            Err(WireError::Oversize { .. })
+        ));
+        assert!(matches!(
+            startup_payload_len(((MAX_STARTUP_LEN + 1) as u32).to_be_bytes()),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_length_prefix_bounds() {
+        assert_eq!(frame_payload_len(4u32.to_be_bytes()), Ok(0));
+        assert_eq!(frame_payload_len(3u32.to_be_bytes()), Err(WireError::BadLength(3)));
+        assert!(matches!(
+            frame_payload_len(((MAX_FRAME_LEN + 1) as u32).to_be_bytes()),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+
+    fn startup_bytes(params: &[(&str, &str)]) -> Vec<u8> {
+        let mut p = PROTOCOL_VERSION_3.to_be_bytes().to_vec();
+        for (k, v) in params {
+            p.extend_from_slice(k.as_bytes());
+            p.push(0);
+            p.extend_from_slice(v.as_bytes());
+            p.push(0);
+        }
+        p.push(0);
+        p
+    }
+
+    #[test]
+    fn decodes_startup_parameters() {
+        let payload = startup_bytes(&[("user", "abae"), ("database", "demo")]);
+        let s = decode_startup(&payload).unwrap();
+        assert_eq!(
+            s,
+            Startup::Start(vec![
+                ("user".into(), "abae".into()),
+                ("database".into(), "demo".into()),
+            ])
+        );
+        // No parameters at all is legal (just the terminator).
+        assert_eq!(decode_startup(&startup_bytes(&[])).unwrap(), Startup::Start(vec![]));
+    }
+
+    #[test]
+    fn decodes_magic_requests() {
+        assert_eq!(decode_startup(&SSL_REQUEST.to_be_bytes()), Ok(Startup::TlsProbe));
+        assert_eq!(decode_startup(&GSSENC_REQUEST.to_be_bytes()), Ok(Startup::TlsProbe));
+        assert_eq!(decode_startup(&CANCEL_REQUEST.to_be_bytes()), Ok(Startup::Cancel));
+        assert_eq!(
+            decode_startup(&123u32.to_be_bytes()),
+            Err(WireError::UnknownProtocol(123))
+        );
+    }
+
+    #[test]
+    fn hostile_startup_truncation_at_every_byte_is_a_typed_error() {
+        let payload = startup_bytes(&[("user", "abae")]);
+        for cut in 0..payload.len() {
+            let hostile = &payload[..cut];
+            assert!(
+                decode_startup(hostile).is_err(),
+                "truncation at byte {cut} must be a WireError, got Ok"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_startup_shapes_are_typed_errors() {
+        // Key whose NUL is the last byte: no value can follow.
+        let mut p = PROTOCOL_VERSION_3.to_be_bytes().to_vec();
+        p.extend_from_slice(b"user\0");
+        assert_eq!(decode_startup(&p), Err(WireError::BadStartup));
+        // The two-NUL shape is ambiguous (key + empty value, or key +
+        // terminator?); it decodes as an empty value, leaving the
+        // parameter section unterminated — still a typed error.
+        let mut p = PROTOCOL_VERSION_3.to_be_bytes().to_vec();
+        p.extend_from_slice(b"user\0");
+        p.push(0);
+        assert_eq!(decode_startup(&p), Err(WireError::MissingNul));
+        // Bytes after the terminating NUL.
+        let mut p = startup_bytes(&[]);
+        p.push(7);
+        assert_eq!(decode_startup(&p), Err(WireError::BadStartup));
+        // Invalid UTF-8 in a parameter.
+        let mut p = PROTOCOL_VERSION_3.to_be_bytes().to_vec();
+        p.extend_from_slice(&[0xFF, 0xFE, 0, b'v', 0, 0]);
+        assert_eq!(decode_startup(&p), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn decodes_query_and_terminate() {
+        assert_eq!(
+            decode_frontend(b'Q', b"SELECT 1\0"),
+            Ok(FrontendMessage::Query("SELECT 1".into()))
+        );
+        assert_eq!(decode_frontend(b'X', b""), Ok(FrontendMessage::Terminate));
+        assert_eq!(decode_frontend(b'P', b"whatever"), Ok(FrontendMessage::Unknown(b'P')));
+    }
+
+    #[test]
+    fn hostile_query_payloads_are_typed_errors() {
+        // Missing NUL terminator.
+        assert_eq!(decode_frontend(b'Q', b"SELECT 1"), Err(WireError::MissingNul));
+        // Trailing bytes after the terminator.
+        assert_eq!(decode_frontend(b'Q', b"SELECT 1\0junk"), Err(WireError::Truncated));
+        // Invalid UTF-8.
+        assert_eq!(decode_frontend(b'Q', &[0xFF, 0]), Err(WireError::BadUtf8));
+    }
+
+    /// Decodes one framed message from `buf`, returning (kind, payload).
+    fn split_frame(buf: &[u8]) -> (u8, &[u8], &[u8]) {
+        let kind = buf[0];
+        let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+        (kind, &buf[5..1 + len], &buf[1 + len..])
+    }
+
+    #[test]
+    fn encoded_frames_carry_protocol_lengths() {
+        let mut out = Vec::new();
+        authentication_ok(&mut out);
+        ready_for_query(&mut out);
+        let (kind, payload, rest) = split_frame(&out);
+        assert_eq!((kind, payload), (b'R', &0u32.to_be_bytes()[..]));
+        let (kind, payload, rest) = split_frame(rest);
+        assert_eq!((kind, payload), (b'Z', &b"I"[..]));
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn row_description_and_data_row_roundtrip_shape() {
+        let mut out = Vec::new();
+        row_description(&mut out, &[Field::text("aggregate"), Field::float8("estimate")]);
+        let (kind, payload, _) = split_frame(&out);
+        assert_eq!(kind, b'T');
+        assert_eq!(u16::from_be_bytes([payload[0], payload[1]]), 2);
+        // First field name sits right after the count.
+        assert!(payload[2..].starts_with(b"aggregate\0"));
+
+        let mut out = Vec::new();
+        data_row(&mut out, &[Some("AVG(x)"), None]);
+        let (kind, payload, _) = split_frame(&out);
+        assert_eq!(kind, b'D');
+        assert_eq!(u16::from_be_bytes([payload[0], payload[1]]), 2);
+        let len1 = u32::from_be_bytes([payload[2], payload[3], payload[4], payload[5]]) as usize;
+        assert_eq!(&payload[6..6 + len1], b"AVG(x)");
+        let null = i32::from_be_bytes([
+            payload[6 + len1],
+            payload[7 + len1],
+            payload[8 + len1],
+            payload[9 + len1],
+        ]);
+        assert_eq!(null, -1, "NULL is length -1");
+    }
+
+    #[test]
+    fn error_and_notice_responses_carry_fields() {
+        let mut out = Vec::new();
+        error_response(&mut out, "42601", "syntax error");
+        let (kind, payload, _) = split_frame(&out);
+        assert_eq!(kind, b'E');
+        let text = String::from_utf8_lossy(payload);
+        assert!(text.contains("ERROR") && text.contains("42601") && text.contains("syntax error"));
+        assert_eq!(payload.last(), Some(&0));
+
+        let mut out = Vec::new();
+        notice_response(&mut out, "progress: 100 labels");
+        let (kind, payload, _) = split_frame(&out);
+        assert_eq!(kind, b'N');
+        assert!(String::from_utf8_lossy(payload).contains("progress: 100 labels"));
+    }
+
+    #[test]
+    fn command_complete_and_empty_query() {
+        let mut out = Vec::new();
+        command_complete(&mut out, "SELECT 3");
+        empty_query_response(&mut out);
+        let (kind, payload, rest) = split_frame(&out);
+        assert_eq!((kind, payload), (b'C', &b"SELECT 3\0"[..]));
+        let (kind, payload, rest) = split_frame(rest);
+        assert_eq!((kind, payload.len()), (b'I', 0));
+        assert!(rest.is_empty());
+    }
+}

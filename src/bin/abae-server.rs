@@ -1,0 +1,241 @@
+//! `abae-server` — serve ABae queries over the Postgres wire protocol.
+//!
+//! ```sh
+//! # Serve the emulated trec05p corpus on the conventional alt port:
+//! abae-server --demo --addr 127.0.0.1:5433 --cache
+//!
+//! # Then, from any stock psql:
+//! psql -h 127.0.0.1 -p 5433 -c \
+//!     "SELECT AVG(links) FROM trec05p WHERE is_spam ORACLE LIMIT 2000"
+//!
+//! # Serve your own CSV (see `abae::data::csvio` for the layout):
+//! abae-server --csv mydata.csv --table mydata --addr 127.0.0.1:5433
+//!
+//! # Built-in smoke test: bind an ephemeral port, drive one good query
+//! # and one malformed query through the in-repo wire client, shut down.
+//! abae-server --demo --self-check
+//! ```
+//!
+//! Every TCP connection gets its own engine session (accept order =
+//! session id), so results are reproducible per `--seed`: connection N of
+//! a fresh server replays the same RNG stream every run.
+
+use abae::core::pipeline::ExecOptions;
+use abae::data::csvio::read_table;
+use abae::data::emulators::{trec05p, EmulatorOptions};
+use abae::query::Engine;
+use abae::server::{Server, WireClient};
+use std::io::BufReader;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    csv: Option<String>,
+    table_name: String,
+    demo: bool,
+    cache: bool,
+    verbose: bool,
+    self_check: bool,
+    seed: u64,
+    scale: f64,
+    exec: ExecOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: abae-server [--csv FILE --table NAME | --demo] [--addr HOST:PORT]\n\
+         \x20                  [--cache] [--seed N] [--threads N] [--batch N]\n\
+         \x20                  [--scale F] [--verbose] [--self-check]\n\
+         \n\
+         Serves the ABae SQL dialect over the Postgres simple query\n\
+         protocol (auth-less, clear text) — connect with any psql:\n\
+         \x20   psql -h HOST -p PORT -c \"SELECT ...\"\n\
+         \n\
+         Statements: SELECT (multi-aggregate, GROUP BY, UNTIL CI WIDTH\n\
+         with per-chunk NOTICE progress), CREATE PROXY, SHOW PROXIES, and\n\
+         EXPLAIN. One connection = one engine session: accept order is\n\
+         session-id order, so per-connection results reproduce exactly\n\
+         for a given --seed.\n\
+         \n\
+         --addr defaults to 127.0.0.1:5433 (port 0 = ephemeral, printed\n\
+         on startup). --cache shares the cross-query oracle label store\n\
+         among all connections. --scale sizes the --demo corpus.\n\
+         --self-check binds an ephemeral port, runs one good and one\n\
+         malformed query through the in-repo wire client, and exits 0 on\n\
+         success — CI's server smoke."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:5433".to_string(),
+        csv: None,
+        table_name: "data".to_string(),
+        demo: false,
+        cache: false,
+        verbose: false,
+        self_check: false,
+        seed: 0xABAE,
+        scale: 1.0,
+        exec: ExecOptions::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    let numeric = |it: &mut dyn Iterator<Item = String>| -> usize {
+        it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = it.next().unwrap_or_else(|| usage()),
+            "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
+            "--table" => args.table_name = it.next().unwrap_or_else(|| usage()),
+            "--demo" => args.demo = true,
+            "--cache" => args.cache = true,
+            "--verbose" => args.verbose = true,
+            "--self-check" => args.self_check = true,
+            "--seed" => {
+                args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                args.scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--threads" => args.exec = args.exec.with_threads(numeric(&mut it)),
+            "--batch" => args.exec = args.exec.with_batch_size(numeric(&mut it).max(1)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.csv.is_none() && !args.demo {
+        usage();
+    }
+    args
+}
+
+/// Drives the just-spawned server through the in-repo wire client: a good
+/// query must answer framed rows, a malformed query must answer an
+/// `ErrorResponse` *without* dropping the connection, and `Terminate`
+/// must close cleanly. Returns an error message on the first deviation.
+fn self_check(addr: std::net::SocketAddr, table: &str) -> Result<(), String> {
+    let sql = format!("SELECT AVG(links) FROM {table} WHERE is_spam ORACLE LIMIT 200");
+    let mut client = WireClient::connect_opts(addr, true)
+        .map_err(|e| format!("connect (with SSL probe): {e}"))?;
+
+    let good = client.query(&sql).map_err(|e| format!("query: {e}"))?;
+    if let Some(err) = &good.error {
+        return Err(format!("good query errored: {} ({})", err.message, err.sqlstate));
+    }
+    if good.columns.first().map(|c| c.name.as_str()) != Some("aggregate") {
+        return Err(format!("unexpected columns: {:?}", good.columns));
+    }
+    if good.rows.len() != 1 || good.f64(0, 1).is_none() {
+        return Err(format!("unexpected rows: {:?}", good.rows));
+    }
+    println!(
+        "self-check: query ok — estimate {} ({})",
+        good.rows[0][1].as_deref().unwrap_or("?"),
+        good.tags.join(", ")
+    );
+
+    let bad = client.query("SELECT oops").map_err(|e| format!("bad query: {e}"))?;
+    let err = bad.error.ok_or("malformed query did not error")?;
+    if err.sqlstate != "42601" {
+        return Err(format!("expected SQLSTATE 42601, got {}", err.sqlstate));
+    }
+    println!("self-check: malformed query answered ErrorResponse {}", err.sqlstate);
+
+    // The error must not have killed the connection.
+    let again = client.query(&sql).map_err(|e| format!("query after error: {e}"))?;
+    if again.error.is_some() || again.rows.len() != 1 {
+        return Err("connection unusable after ErrorResponse".to_string());
+    }
+    println!("self-check: connection survived the error");
+
+    client.terminate().map_err(|e| format!("terminate: {e}"))?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let table = if args.demo {
+        eprintln!("[demo] generating the emulated trec05p corpus (scale {}) ...", args.scale);
+        trec05p(&EmulatorOptions { scale: args.scale, seed: args.seed })
+    } else {
+        let path = args.csv.as_deref().expect("validated in parse_args");
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match read_table(&args.table_name, BufReader::new(file)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let table_name = table.name().to_string();
+
+    let engine = Engine::builder()
+        .table(table)
+        .label_cache(args.cache)
+        .seed(args.seed)
+        .exec(args.exec)
+        .build();
+
+    // Self-check always binds an ephemeral port: it must not collide with
+    // (or be confused for) a real serving instance.
+    let addr: &str = if args.self_check { "127.0.0.1:0" } else { &args.addr };
+    let server = match Server::bind(engine, addr) {
+        Ok(s) => s.verbose(args.verbose),
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.self_check {
+        let handle = match server.spawn() {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: cannot start accept thread: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("self-check: serving {table_name} on {bound}");
+        let result = self_check(bound, &table_name);
+        handle.shutdown();
+        return match result {
+            Ok(()) => {
+                println!("self-check: PASS");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("self-check: FAIL — {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    eprintln!(
+        "abae-server: serving table `{table_name}` on {bound} \
+         (psql -h {} -p {})",
+        bound.ip(),
+        bound.port()
+    );
+    if let Err(e) = server.serve() {
+        eprintln!("error: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

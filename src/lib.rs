@@ -16,4 +16,5 @@ pub use abae_ml as ml;
 pub use abae_optim as optim;
 pub use abae_query as query;
 pub use abae_sampling as sampling;
+pub use abae_server as server;
 pub use abae_stats as stats;
