@@ -16,6 +16,13 @@
 //! * **wire** — N real TCP connections to an in-process `abae-server`,
 //!   each a `WireClient` sending the same SQL; quantifies the serving
 //!   overhead (framing + socket round-trip) the ROADMAP asks to track.
+//! * **tenants** — a fairness scenario rather than a sweep: one greedy
+//!   tenant running double-budget queries shares a *governed* engine
+//!   (oracle batcher coalescing on, simulated invocation cost, bounded
+//!   batches, the greedy session quota-capped) with three fair tenants;
+//!   records per-tenant oracle spend and p50/p95 query latency, and
+//!   asserts the batcher's spend ledger matches each tenant's own accounting
+//!   with nobody starved.
 //! * **isolated** — each thread gets its own *private* engine (own
 //!   catalog, own label store, zero shared state). This is the control
 //!   for the scaling diagnosis: if shared-engine qps matches
@@ -104,7 +111,7 @@ fn main() {
     let queries_per_session = env_usize("ABAE_QPS_QUERIES", 20);
     let budget = env_usize("ABAE_QPS_BUDGET", 2000);
     let modes = std::env::var("ABAE_QPS_MODES")
-        .unwrap_or_else(|_| "prepared,execute,wire,isolated".to_string());
+        .unwrap_or_else(|_| "prepared,execute,wire,isolated,tenants".to_string());
     let enabled = |m: &str| modes.split(',').any(|s| s.trim() == m);
     let nproc = std::thread::available_parallelism().map_or(0, usize::from);
 
@@ -273,6 +280,135 @@ fn main() {
         });
     }
 
+    // Multi-tenant fairness scenario: one greedy tenant hammering
+    // double-budget queries shares a *governed* oracle (coalescing on,
+    // 100µs serialized cost per invocation, bounded batches) with three
+    // fair tenants refreshing small dashboards. The batcher's fair-share
+    // admission — FIFO order, front ticket always admitted, the greedy
+    // session quota-capped per contended batch — must keep the fair
+    // tenants flowing while every tenant's oracle spend stays exactly
+    // attributable. Recorded: per-tenant spend and p50/p95 query latency.
+    let mut tenants_json = String::new();
+    if enabled("tenants") {
+        use abae_query::BatcherOptions;
+        use std::time::Duration;
+
+        let greedy_id: u64 = 1000;
+        let fair_ids: [u64; 3] = [1, 2, 3];
+        let greedy_queries = env_usize("ABAE_QPS_GREEDY_QUERIES", 4);
+        let fair_queries = env_usize("ABAE_QPS_FAIR_QUERIES", 8);
+        let greedy_budget = budget * 2;
+        let fair_budget = (budget / 5).max(100);
+
+        let table = trec05p(&EmulatorOptions { scale, seed: cfg.seed });
+        // Pipeline chunks of 32 records keep every ticket within the
+        // 64-record batch cap, so contended batches actually carry more
+        // than one tenant and the greedy quota has something to cap.
+        let tenant_engine = Engine::builder()
+            .table(table)
+            .seed(cfg.seed)
+            .bootstrap_trials(50)
+            .exec(abae_core::pipeline::ExecOptions::default().with_batch_size(32))
+            .batcher(
+                BatcherOptions::default()
+                    .with_coalesce(true)
+                    .with_invocation_overhead(Duration::from_micros(100))
+                    .with_max_batch_records(64),
+            )
+            .build();
+        // The priority knob: cap the greedy tenant's guaranteed share of
+        // every contended batch so it cannot crowd the fair tenants out.
+        tenant_engine.set_session_quota(greedy_id, 16);
+
+        let tenant_sql = |tenant_budget: usize| {
+            format!(
+                "SELECT COUNT(*), AVG(links) FROM trec05p WHERE is_spam \
+                 ORACLE LIMIT {tenant_budget}"
+            )
+        };
+        // Per-tenant run: latency per query plus the tenant's own
+        // oracle-call accounting, to check against the batcher's ledger.
+        let drive = |mut session: abae_query::Session, sql: String, queries: usize| {
+            let mut latencies = Vec::with_capacity(queries);
+            let mut spend = 0u64;
+            for _ in 0..queries {
+                let start = Instant::now();
+                let r = session.execute(&sql).expect("tenant query runs");
+                latencies.push(start.elapsed());
+                spend += r.oracle_calls;
+            }
+            latencies.sort_unstable();
+            (latencies, spend)
+        };
+        let pct = |sorted: &[std::time::Duration], p: usize| {
+            sorted[(sorted.len() * p / 100).min(sorted.len() - 1)].as_secs_f64() * 1e3
+        };
+
+        let (greedy_run, fair_runs) = std::thread::scope(|scope| {
+            let greedy = {
+                let session = tenant_engine.session_with_id(greedy_id);
+                let sql = tenant_sql(greedy_budget);
+                scope.spawn(move || drive(session, sql, greedy_queries))
+            };
+            let fair: Vec<_> = fair_ids
+                .iter()
+                .map(|&id| {
+                    let session = tenant_engine.session_with_id(id);
+                    let sql = tenant_sql(fair_budget);
+                    scope.spawn(move || drive(session, sql, fair_queries))
+                })
+                .collect();
+            (
+                greedy.join().expect("greedy tenant thread"),
+                fair.into_iter()
+                    .map(|h| h.join().expect("fair tenant thread"))
+                    .collect::<Vec<_>>(),
+            )
+        });
+
+        // The batcher's per-session ledger must agree exactly with each
+        // tenant's own accounting — spend attribution survives coalescing.
+        let stats = tenant_engine.stats();
+        let ledger: std::collections::BTreeMap<u64, u64> =
+            stats.per_session_spend.iter().copied().collect();
+        assert_eq!(ledger.get(&greedy_id), Some(&greedy_run.1), "greedy spend ledger");
+        for (&id, run) in fair_ids.iter().zip(&fair_runs) {
+            assert_eq!(ledger.get(&id), Some(&run.1), "fair tenant {id} spend ledger");
+            assert!(run.1 > 0, "fair tenant {id} starved: zero oracle spend");
+            assert_eq!(run.0.len(), fair_queries, "fair tenant {id} dropped queries");
+        }
+
+        let fair_points: Vec<String> = fair_ids
+            .iter()
+            .zip(&fair_runs)
+            .map(|(&id, (lat, spend))| {
+                format!(
+                    "{{\"session\":{id},\"queries\":{fair_queries},\
+                     \"budget\":{fair_budget},\"oracle_spend\":{spend},\
+                     \"p50_ms\":{:.3},\"p95_ms\":{:.3}}}",
+                    pct(lat, 50),
+                    pct(lat, 95)
+                )
+            })
+            .collect();
+        tenants_json = format!(
+            "{{\"greedy\":{{\"session\":{greedy_id},\"queries\":{greedy_queries},\
+             \"budget\":{greedy_budget},\"quota_records\":16,\"oracle_spend\":{},\
+             \"p50_ms\":{:.3},\"p95_ms\":{:.3}}},\
+             \"fair\":[{}],\
+             \"invocations\":{},\"shared_batches\":{},\"coalesced_requests\":{},\
+             \"no_starvation\":true}}",
+            greedy_run.1,
+            pct(&greedy_run.0, 50),
+            pct(&greedy_run.0, 95),
+            fair_points.join(","),
+            stats.batcher.invocations,
+            stats.batcher.shared_batches,
+            stats.batcher.coalesced_requests,
+        );
+        println!("{{\"bench\":\"qps\",\"mode\":\"tenants\",\"tenants\":{tenants_json}}}");
+    }
+
     // Wire overhead per session count: execute (in-process, parse per
     // query) vs wire (same work over TCP).
     let mut overhead = Vec::new();
@@ -298,13 +434,15 @@ fn main() {
              \"execute_points\":[{}],\
              \"wire_points\":[{}],\
              \"isolated_points\":[{}],\
-             \"wire_overhead\":[{}]}}",
+             \"wire_overhead\":[{}],\
+             \"tenants\":{}}}",
             cfg.seed,
             prepared_points.join(","),
             execute_points.join(","),
             wire_points.join(","),
             isolated_points.join(","),
-            overhead.join(",")
+            overhead.join(","),
+            if tenants_json.is_empty() { "null".to_string() } else { tenants_json }
         ),
     );
     eprintln!(

@@ -25,6 +25,9 @@
 //!   commutative monoid behind snapshots and chunked ingest.
 //! * [`pipeline`] — batch-parallel oracle labeling with deterministic
 //!   ordering; every algorithm labels its draws through it.
+//! * [`batcher`] — cross-session coalescing of labeling requests into
+//!   shared oracle invocations, with fair-share admission (the engine's
+//!   multi-tenant governor).
 //! * [`bootstrap`] — stratified bootstrap CIs over both stages
 //!   (Algorithm 2).
 //! * [`uniform`] — the uniform-sampling baseline every experiment compares
@@ -41,6 +44,7 @@
 
 pub mod adaptive;
 pub mod allocation;
+pub mod batcher;
 pub mod bootstrap;
 pub mod config;
 pub mod error_model;
@@ -57,6 +61,7 @@ pub mod stratum_stats;
 pub mod two_stage;
 pub mod uniform;
 
+pub use batcher::{BatcherOptions, BatcherStats, GovernedOracle, OracleBatcher};
 pub use config::{Aggregate, AbaeConfig, BootstrapConfig, ConfigError, Rounding, SampleReuse};
 pub use estimator::{combine_estimate, StratumEstimate};
 pub use pipeline::ExecOptions;

@@ -54,19 +54,33 @@ pub struct GroupLabel {
 }
 
 /// Thread-safe invocation meter shared by the built-in oracles: an atomic
-/// call counter plus the optional simulated per-invocation latency.
+/// per-record call counter, an atomic per-batch invocation counter, plus
+/// the optional simulated per-record latency.
+///
+/// Both counters are per-*instance*, and the engine builds one oracle
+/// instance per query: spend attribution is structural. Even when the
+/// cross-session batcher (`abae_core::batcher`) coalesces several
+/// sessions' requests into one shared device invocation, each session
+/// still labels its own records through its own instance, so `calls()`
+/// charges the *requesting* session exactly — never a co-batched tenant.
 #[derive(Debug, Default)]
 struct Meter {
     calls: AtomicU64,
+    invocations: AtomicU64,
     latency: Duration,
 }
 
 impl Meter {
-    /// Charges `n` invocations and, when a latency is configured, sleeps
-    /// `n × latency` (the batch's simulated inference time).
+    /// Charges a batch of `n` records as one invocation and, when a
+    /// latency is configured, sleeps `n × latency` (the batch's simulated
+    /// inference time). Empty batches charge nothing.
     fn charge(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
         self.calls.fetch_add(n as u64, Ordering::Relaxed);
-        if !self.latency.is_zero() && n > 0 {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        if !self.latency.is_zero() {
             std::thread::sleep(self.latency * n as u32);
         }
     }
@@ -75,8 +89,13 @@ impl Meter {
         self.calls.load(Ordering::Relaxed)
     }
 
+    fn invocations(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+
     fn reset(&self) {
         self.calls.store(0, Ordering::Relaxed);
+        self.invocations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -145,6 +164,12 @@ impl<'a> PredicateOracle<'a> {
         self.meter.latency = latency;
         self
     }
+
+    /// Batch invocations so far (each `label_batch` call with at least one
+    /// record is one device dispatch, however many records it carried).
+    pub fn invocations(&self) -> u64 {
+        self.meter.invocations()
+    }
 }
 
 impl Oracle for PredicateOracle<'_> {
@@ -191,6 +216,11 @@ impl<F> FnOracle<F> {
         self.meter.latency = latency;
         self
     }
+
+    /// Batch invocations so far (one per non-empty `label_batch` call).
+    pub fn invocations(&self) -> u64 {
+        self.meter.invocations()
+    }
 }
 
 impl<F: Fn(usize) -> Labeled + Sync> Oracle for FnOracle<F> {
@@ -230,6 +260,12 @@ impl<'a> SingleGroupOracle<'a> {
     pub fn with_latency(mut self, latency: Duration) -> Self {
         self.meter.latency = latency;
         self
+    }
+
+    /// Batch invocations so far (one per non-empty batch, shared by the
+    /// predicate and group views).
+    pub fn invocations(&self) -> u64 {
+        self.meter.invocations()
     }
 }
 
@@ -587,6 +623,48 @@ mod tests {
     fn group_oracle_requires_group_key() {
         let t = Table::builder("t", vec![1.0]).build().unwrap();
         assert!(SingleGroupOracle::new(&t).is_none());
+    }
+
+    #[test]
+    fn invocations_count_batches_not_records() {
+        let t = table();
+        let o = PredicateOracle::new(&t, "p").unwrap();
+        o.label_batch(&[0, 1, 2]);
+        o.label_batch(&[0]);
+        o.label_batch(&[]); // empty batches are not dispatches
+        assert_eq!(o.calls(), 4);
+        assert_eq!(o.invocations(), 2);
+        o.reset_calls();
+        assert_eq!((o.calls(), o.invocations()), (0, 0));
+    }
+
+    #[test]
+    fn group_oracle_attributes_spend_per_instance_under_shared_batching() {
+        // The coalescing batcher shares device *invocations* across
+        // sessions, but each session labels its own records through its
+        // own oracle instance: simulate two sessions' group-by queries
+        // running concurrently and assert neither instance's meter ever
+        // includes the other's records — QueryResult budget arithmetic
+        // relies on exactly this.
+        let t = table();
+        let a = SingleGroupOracle::new(&t).unwrap();
+        let b = SingleGroupOracle::new(&t).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for _ in 0..100 {
+                    a.label_group_batch(&[0, 1, 2]);
+                }
+            });
+            scope.spawn(|| {
+                for _ in 0..100 {
+                    b.label_group_batch(&[2, 0]);
+                }
+            });
+        });
+        assert_eq!(a.calls(), 300, "session A charged only its own records");
+        assert_eq!(b.calls(), 200, "session B charged only its own records");
+        assert_eq!(a.invocations(), 100);
+        assert_eq!(b.invocations(), 100);
     }
 
     #[test]

@@ -27,7 +27,8 @@ use crate::ast::{CreateProxyStmt, ProxyFamily};
 use crate::catalog::Catalog;
 use crate::engine::EngineOptions;
 use crate::exec::QueryError;
-use crate::plan::predicate_key;
+use crate::plan::{governor_key, predicate_key, ExecCtx};
+use abae_core::batcher::GovernedOracle;
 use abae_core::multipred::{expression_oracle, PredExpr};
 use abae_core::pipeline;
 use abae_core::proxy_select::{rank_proxies, PilotSample};
@@ -97,6 +98,7 @@ pub(crate) fn run_create_proxy<R: Rng + ?Sized>(
     stmt: &CreateProxyStmt,
     opts: &EngineOptions,
     rng: &mut R,
+    ctx: &ExecCtx<'_>,
 ) -> Result<Arc<TrainedProxy>, QueryError> {
     let table = catalog
         .table(&stmt.table)
@@ -136,7 +138,15 @@ pub(crate) fn run_create_proxy<R: Rng + ?Sized>(
     let expr = PredExpr::Pred(pred_idx);
     let pred_key = predicate_key(&expr);
     let ids = sample_without_replacement(table.len(), limit, rng);
-    let oracle = expression_oracle(table, &expr).map_err(QueryError::Table)?;
+    // Same governor key as a single-atom query over this predicate: the
+    // training labeling pass shares oracle invocations with concurrent
+    // queries over the same (table, predicate).
+    let oracle = GovernedOracle::new(
+        expression_oracle(table, &expr).map_err(QueryError::Table)?,
+        ctx.batcher,
+        governor_key(&stmt.table, &pred_key),
+        ctx.session,
+    );
     let (labeled, oracle_spend): (Vec<Labeled>, u64) = match catalog.label_store() {
         Some(store) => {
             let cached = CachedOracle::new(oracle, store, &stmt.table, &pred_key);
@@ -264,7 +274,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let opts = EngineOptions::default();
         let proxy =
-            run_create_proxy(&catalog, &stmt(Some(ProxyFamily::Logistic)), &opts, &mut rng)
+            run_create_proxy(&catalog, &stmt(Some(ProxyFamily::Logistic)), &opts, &mut rng, &ExecCtx::detached())
                 .unwrap();
         assert_eq!(proxy.scores.len(), 2000);
         assert_eq!(proxy.train_limit, 400);
@@ -285,7 +295,7 @@ mod tests {
         catalog.register_table(text_table(2000));
         let mut rng = StdRng::seed_from_u64(2);
         let proxy =
-            run_create_proxy(&catalog, &stmt(None), &EngineOptions::default(), &mut rng)
+            run_create_proxy(&catalog, &stmt(None), &EngineOptions::default(), &mut rng, &ExecCtx::detached())
                 .unwrap();
         assert!(proxy.auto_selected);
         // Whatever won must be informative on this separable corpus.
@@ -305,7 +315,7 @@ mod tests {
                 ..EngineOptions::default()
             };
             let mut rng = StdRng::seed_from_u64(7);
-            run_create_proxy(&catalog, &stmt(Some(ProxyFamily::Keyword)), &opts, &mut rng)
+            run_create_proxy(&catalog, &stmt(Some(ProxyFamily::Keyword)), &opts, &mut rng, &ExecCtx::detached())
                 .unwrap()
         };
         let reference = run(1, 64);
@@ -328,6 +338,7 @@ mod tests {
             &CreateProxyStmt { train_limit: Some(300), ..stmt(Some(ProxyFamily::Keyword)) },
             &EngineOptions::default(),
             &mut rng,
+            &ExecCtx::detached(),
         )
         .unwrap();
         assert_eq!(proxy.oracle_spend, 300);
@@ -340,6 +351,7 @@ mod tests {
             &CreateProxyStmt { train_limit: Some(300), ..stmt(Some(ProxyFamily::Keyword)) },
             &EngineOptions::default(),
             &mut rng,
+            &ExecCtx::detached(),
         )
         .unwrap();
         assert_eq!(again.oracle_spend, 0, "warm store answers the training draw");
@@ -355,25 +367,25 @@ mod tests {
         let missing_table =
             CreateProxyStmt { table: "nowhere".to_string(), ..stmt(None) };
         assert!(matches!(
-            run_create_proxy(&catalog, &missing_table, &opts, &mut rng),
+            run_create_proxy(&catalog, &missing_table, &opts, &mut rng, &ExecCtx::detached()),
             Err(QueryError::UnknownTable(t)) if t == "nowhere"
         ));
         let missing_pred =
             CreateProxyStmt { predicate: "mystery".to_string(), ..stmt(None) };
         assert!(matches!(
-            run_create_proxy(&catalog, &missing_pred, &opts, &mut rng),
+            run_create_proxy(&catalog, &missing_pred, &opts, &mut rng, &ExecCtx::detached()),
             Err(QueryError::UnresolvedPredicate { atom, .. }) if atom == "mystery"
         ));
         let zero = CreateProxyStmt { train_limit: Some(0), ..stmt(None) };
         assert!(matches!(
-            run_create_proxy(&catalog, &zero, &opts, &mut rng),
+            run_create_proxy(&catalog, &zero, &opts, &mut rng, &ExecCtx::detached()),
             Err(QueryError::Unsupported(msg)) if msg.contains("TRAIN LIMIT")
         ));
         // A name that a column or binding already answers would shadow the
         // trained artifact at USING-resolution time — rejected up front.
         let shadowing = CreateProxyStmt { name: "is_spam".to_string(), ..stmt(None) };
         assert!(matches!(
-            run_create_proxy(&catalog, &shadowing, &opts, &mut rng),
+            run_create_proxy(&catalog, &shadowing, &opts, &mut rng, &ExecCtx::detached()),
             Err(QueryError::Unsupported(msg)) if msg.contains("already a predicate column")
         ));
         let mut bound = Catalog::new();
@@ -381,7 +393,7 @@ mod tests {
         bound.bind_predicate("emails", "spamish", "is_spam");
         let shadowing_binding = CreateProxyStmt { name: "spamish".to_string(), ..stmt(None) };
         assert!(matches!(
-            run_create_proxy(&bound, &shadowing_binding, &opts, &mut rng),
+            run_create_proxy(&bound, &shadowing_binding, &opts, &mut rng, &ExecCtx::detached()),
             Err(QueryError::Unsupported(msg)) if msg.contains("binding")
         ));
         // A table without texts cannot train.
@@ -393,7 +405,7 @@ mod tests {
                 .unwrap(),
         );
         assert!(matches!(
-            run_create_proxy(&no_texts, &stmt(None), &opts, &mut rng),
+            run_create_proxy(&no_texts, &stmt(None), &opts, &mut rng, &ExecCtx::detached()),
             Err(QueryError::Unsupported(msg)) if msg.contains("text payloads")
         ));
     }
@@ -405,7 +417,7 @@ mod tests {
         let opts = EngineOptions::default();
         let mut rng = StdRng::seed_from_u64(5);
         assert!(run_show_proxies(&catalog, None).unwrap().is_empty());
-        run_create_proxy(&catalog, &stmt(Some(ProxyFamily::Keyword)), &opts, &mut rng)
+        run_create_proxy(&catalog, &stmt(Some(ProxyFamily::Keyword)), &opts, &mut rng, &ExecCtx::detached())
             .unwrap();
         let listed = run_show_proxies(&catalog, Some("emails")).unwrap();
         assert_eq!(listed.len(), 1);

@@ -37,10 +37,12 @@
 
 use crate::catalog::Catalog;
 use crate::session::Session;
+use abae_core::batcher::{BatcherOptions, BatcherStats, OracleBatcher};
 use abae_core::pipeline::ExecOptions;
 use abae_data::{LabelStore, Table};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Engine-owned tuning defaults, applied to every statement a session
 /// executes. The seed's `Executor` read `ABAE_THREADS`/`ABAE_BATCH` from
@@ -57,6 +59,12 @@ pub struct EngineOptions {
     /// Oracle-labeling execution knobs (worker threads, batch size).
     /// Results are identical for any value.
     pub exec: ExecOptions,
+    /// Oracle batcher (cross-session governor) configuration: coalescing
+    /// on/off, simulated per-invocation overhead, batch capacity, and the
+    /// default per-session fair-share quota. Results are identical for
+    /// any value — the batcher changes invocation grouping and timing
+    /// only, never what a session labels.
+    pub batcher: BatcherOptions,
 }
 
 impl Default for EngineOptions {
@@ -66,6 +74,7 @@ impl Default for EngineOptions {
             stage1_fraction: 0.5,
             bootstrap_trials: 1000,
             exec: ExecOptions::default(),
+            batcher: BatcherOptions::default(),
         }
     }
 }
@@ -93,6 +102,30 @@ struct EngineInner {
     seed: u64,
     /// Next auto-assigned session id.
     sessions: AtomicU64,
+    /// The process-wide oracle admission controller every session's
+    /// labeling routes through.
+    batcher: OracleBatcher,
+}
+
+/// One engine-wide observability snapshot: session count, the batcher's
+/// lifetime counters, the label store's lifetime hit/miss totals, and the
+/// per-session oracle spend ledger. Returned by [`Engine::stats`]; the
+/// benches serialize it into their artifacts and `EXPLAIN` prints the
+/// batcher portion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Sessions auto-assigned by [`Engine::session`] so far.
+    pub sessions_opened: u64,
+    /// The oracle batcher's lifetime counters (requests, invocations,
+    /// shared batches, coalesced requests, cache-served records).
+    pub batcher: BatcherStats,
+    /// Lifetime label-store hits (0 when the store is disabled).
+    pub label_hits: u64,
+    /// Lifetime label-store misses (0 when the store is disabled).
+    pub label_misses: u64,
+    /// Records labeled through admission per session, in session-id
+    /// order — the fair-share spend ledger.
+    pub per_session_spend: Vec<(u64, u64)>,
 }
 
 /// A shareable, thread-safe query engine: tables, bindings, label store,
@@ -149,6 +182,37 @@ impl Engine {
     /// How many sessions [`Engine::session`] has auto-assigned so far.
     pub fn sessions_opened(&self) -> u64 {
         self.inner.sessions.load(Ordering::Relaxed)
+    }
+
+    /// The engine's oracle batcher — the cross-session admission
+    /// controller every session's labeling routes through. Exposed for
+    /// observability (counters, per-session spend) and for the quota
+    /// knob; queries go through it automatically.
+    pub fn batcher(&self) -> &OracleBatcher {
+        &self.inner.batcher
+    }
+
+    /// Overrides the per-batch fair-share record quota for one session
+    /// (`0` restores the engine default). A larger quota is a larger
+    /// guaranteed share of every contended batch — the priority knob for
+    /// multi-tenant deployments.
+    pub fn set_session_quota(&self, session: u64, records: usize) {
+        self.inner.batcher.set_session_quota(session, records);
+    }
+
+    /// One observability snapshot: sessions opened, batcher counters,
+    /// label-store totals, and the per-session oracle spend ledger.
+    pub fn stats(&self) -> EngineStats {
+        let (label_hits, label_misses) = self
+            .label_store()
+            .map_or((0, 0), |store| (store.hits(), store.misses()));
+        EngineStats {
+            sessions_opened: self.sessions_opened(),
+            batcher: self.inner.batcher.stats(),
+            label_hits,
+            label_misses,
+            per_session_spend: self.inner.batcher.per_session_spend(),
+        }
     }
 
     /// RNG seed for session `id`'s stream.
@@ -255,6 +319,31 @@ impl EngineBuilder {
         self
     }
 
+    /// Turns cross-session coalescing of oracle invocations on or off
+    /// (off by default). Concurrent sessions labeling the same
+    /// `(table, predicate)` then share device invocations; per-session
+    /// results are bit-identical either way.
+    pub fn governor(mut self, on: bool) -> Self {
+        self.options.batcher.coalesce = on;
+        self
+    }
+
+    /// Simulated fixed cost per oracle invocation, charged once per
+    /// (possibly shared) batch and serialized across invocations — the
+    /// `with_latency`-style knob for the *dispatch* side of the cost
+    /// model. Zero (the default) charges nothing.
+    pub fn oracle_overhead(mut self, overhead: Duration) -> Self {
+        self.options.batcher.invocation_overhead = overhead;
+        self
+    }
+
+    /// Replaces the whole batcher options bundle (coalescing, overhead,
+    /// batch capacity, default fair-share quota).
+    pub fn batcher(mut self, batcher: BatcherOptions) -> Self {
+        self.options.batcher = batcher;
+        self
+    }
+
     /// Replaces the whole options bundle.
     pub fn options(mut self, options: EngineOptions) -> Self {
         self.options = options;
@@ -277,6 +366,7 @@ impl EngineBuilder {
         }
         Engine {
             inner: Arc::new(EngineInner {
+                batcher: OracleBatcher::new(self.options.batcher),
                 catalog: self.catalog,
                 options: self.options,
                 seed: self.seed,

@@ -281,13 +281,16 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// The executor's knobs as the planner's options bundle.
+    /// The executor's knobs as the planner's options bundle. The shim
+    /// never batches: its oracle requests run detached from any engine
+    /// governor, exactly as the seed behaved.
     fn options(&self) -> EngineOptions {
         EngineOptions {
             strata: self.strata,
             stage1_fraction: self.stage1_fraction,
             bootstrap_trials: self.bootstrap_trials,
             exec: self.exec,
+            batcher: abae_core::batcher::BatcherOptions::default(),
         }
     }
 
@@ -315,6 +318,7 @@ impl<'a> Executor<'a> {
             &plan,
             &self.options(),
             &crate::plan::Bindings::default(),
+            &crate::plan::ExecCtx::detached(),
         )
     }
 
@@ -331,6 +335,7 @@ impl<'a> Executor<'a> {
             &self.options(),
             &crate::plan::Bindings::default(),
             rng,
+            &crate::plan::ExecCtx::detached(),
         )
     }
 }

@@ -105,7 +105,8 @@ pub use ast::{
 };
 pub use catalog::Catalog;
 pub use ddl::DEFAULT_TRAIN_LIMIT;
-pub use engine::{Engine, EngineBuilder, EngineOptions};
+pub use abae_core::batcher::{BatcherOptions, BatcherStats, OracleBatcher};
+pub use engine::{Engine, EngineBuilder, EngineOptions, EngineStats};
 #[allow(deprecated)]
 pub use exec::Executor;
 pub use exec::{AggRow, GroupRow, QueryError, QueryResult, QuerySnapshot, StatementOutcome};

@@ -20,6 +20,7 @@ use crate::ast::Query;
 use crate::catalog::Catalog;
 use crate::engine::EngineOptions;
 use crate::exec::{AggRow, GroupRow, QueryError, QueryResult, QuerySnapshot};
+use abae_core::batcher::{GovernedOracle, OracleBatcher};
 use abae_core::config::{AbaeConfig, Aggregate, BootstrapConfig};
 use abae_core::groupby::{
     groupby_single_oracle_progressive, groupby_single_oracle_with_ci, GroupByConfig,
@@ -32,6 +33,46 @@ use abae_data::{CachedOracle, Oracle, SingleGroupOracle, Table, TrainedProxy};
 use abae_stats::bootstrap::ConfidenceInterval;
 use rand::Rng;
 use std::sync::Arc;
+
+/// Execution context a statement runs under: which session is asking, and
+/// the engine's oracle batcher (the cross-session admission controller).
+///
+/// Every labeling oracle the planner builds is wrapped in a
+/// [`GovernedOracle`] carrying this context, so concurrent sessions'
+/// label requests for the same `(table, predicate)` can be coalesced into
+/// shared invocations and per-session spend is attributed on the batcher's
+/// ledger. With `batcher: None` (the deprecated `Executor` shim) the wrap
+/// is a transparent passthrough — behavior is byte-identical to the
+/// pre-governor engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecCtx<'a> {
+    /// Requesting session id (0 for detached/legacy callers).
+    pub session: u64,
+    /// The engine's batcher, or `None` for detached callers.
+    pub batcher: Option<&'a OracleBatcher>,
+}
+
+impl ExecCtx<'_> {
+    /// A context with no batcher and session 0 — the deprecated
+    /// `Executor` shim's view of the world, preserved bit for bit.
+    pub fn detached() -> ExecCtx<'static> {
+        ExecCtx { session: 0, batcher: None }
+    }
+}
+
+/// The batcher coalescing key for a scalar query: requests coalesce only
+/// when both the table and the canonical predicate rendering agree —
+/// i.e. when the same oracle model would serve both.
+pub(crate) fn governor_key(table: &str, pred_key: &str) -> String {
+    format!("{table}/{pred_key}")
+}
+
+/// The coalescing key for group-by labeling: the single group oracle is
+/// per-table, so the key carries a marker no predicate rendering can
+/// produce instead of a predicate.
+fn governor_group_key(table: &str) -> String {
+    format!("{table}//group-oracle")
+}
 
 /// Where a scalar plan's stratification scores come from.
 ///
@@ -312,8 +353,9 @@ pub(crate) fn run_plan<R: Rng + ?Sized>(
     opts: &EngineOptions,
     bindings: &Bindings,
     rng: &mut R,
+    ctx: &ExecCtx<'_>,
 ) -> Result<QueryResult, QueryError> {
-    run_plan_inner(catalog, plan, opts, bindings, rng, None)
+    run_plan_inner(catalog, plan, opts, bindings, rng, ctx, None)
 }
 
 /// Executes a plan progressively: `on_snapshot` fires after every labeling
@@ -328,17 +370,20 @@ pub(crate) fn run_plan_progressive<R: Rng + ?Sized>(
     opts: &EngineOptions,
     bindings: &Bindings,
     rng: &mut R,
+    ctx: &ExecCtx<'_>,
     on_snapshot: &mut dyn FnMut(&QuerySnapshot),
 ) -> Result<QueryResult, QueryError> {
-    run_plan_inner(catalog, plan, opts, bindings, rng, Some(on_snapshot))
+    run_plan_inner(catalog, plan, opts, bindings, rng, ctx, Some(on_snapshot))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_plan_inner<R: Rng + ?Sized>(
     catalog: &Catalog,
     plan: &QueryPlan,
     opts: &EngineOptions,
     bindings: &Bindings,
     rng: &mut R,
+    ctx: &ExecCtx<'_>,
     mut observer: Option<&mut dyn FnMut(&QuerySnapshot)>,
 ) -> Result<QueryResult, QueryError> {
     let query = &plan.query;
@@ -352,7 +397,17 @@ fn run_plan_inner<R: Rng + ?Sized>(
     match &plan.kind {
         PlanKind::Scalar { expr, source, pred_key } => {
             let scores = source.scores();
-            let oracle = expression_oracle(table, expr).map_err(QueryError::Table)?;
+            // The per-query expression oracle, governed: every labeling
+            // chunk is admitted to a (possibly cross-session-shared)
+            // invocation before labeling. Layered *inside* the cached
+            // oracle below, so records the label store answers never
+            // consume a batch slot (cache-aware scheduling).
+            let oracle = GovernedOracle::new(
+                expression_oracle(table, expr).map_err(QueryError::Table)?,
+                ctx.batcher,
+                governor_key(&query.table, pred_key),
+                ctx.session,
+            );
             let config = AbaeConfig {
                 strata: opts.strata,
                 budget,
@@ -389,6 +444,14 @@ fn run_plan_inner<R: Rng + ?Sized>(
                         0,
                     ),
                 };
+                if cache_hits > 0 {
+                    if let Some(batcher) = ctx.batcher {
+                        // Cache-served records never reached the batcher;
+                        // report them so EXPLAIN/stats show the slots the
+                        // warm store saved.
+                        batcher.note_cache_served(cache_hits);
+                    }
+                }
                 let rows = agg_rows(query, &multi);
                 Ok(QueryResult::new(rows, multi.oracle_calls, cache_hits, cache_misses, None))
             } else {
@@ -422,13 +485,21 @@ fn run_plan_inner<R: Rng + ?Sized>(
                         0,
                     ),
                 };
+                if cache_hits > 0 {
+                    if let Some(batcher) = ctx.batcher {
+                        // Cache-served records never reached the batcher;
+                        // report them so EXPLAIN/stats show the slots the
+                        // warm store saved.
+                        batcher.note_cache_served(cache_hits);
+                    }
+                }
                 let rows = agg_rows(query, &multi);
                 Ok(QueryResult::new(rows, multi.oracle_calls, cache_hits, cache_misses, None))
             }
         }
-        PlanKind::GroupBy { groups } => {
-            run_groupby(plan, table, groups, budget, probability, width, opts, rng, observer)
-        }
+        PlanKind::GroupBy { groups } => run_groupby(
+            plan, table, groups, budget, probability, width, opts, rng, ctx, observer,
+        ),
     }
 }
 
@@ -442,6 +513,7 @@ fn run_groupby<R: Rng + ?Sized>(
     width: Option<f64>,
     opts: &EngineOptions,
     rng: &mut R,
+    ctx: &ExecCtx<'_>,
     mut observer: Option<&mut dyn FnMut(&QuerySnapshot)>,
 ) -> Result<QueryResult, QueryError> {
     let query = &plan.query;
@@ -453,7 +525,21 @@ fn run_groupby<R: Rng + ?Sized>(
         .iter()
         .map(|&c| table.predicates()[c].proxy())
         .collect();
-    let oracle = SingleGroupOracle::new(table).expect("group key validated at plan time");
+    // Governed like the scalar path: each batch of group labels is
+    // admitted before labeling; the instance is per-query, so its meter
+    // charges only this session's records even when invocations are
+    // shared across sessions.
+    let oracle = GovernedOracle::new(
+        SingleGroupOracle::new(table).expect("group key validated at plan time"),
+        ctx.batcher,
+        governor_group_key(&query.table),
+        ctx.session,
+    );
+    // Spend is reported as a delta from here, so attribution stays exact
+    // even for an oracle instance that has labeled before (today each
+    // query builds a fresh instance; the delta makes that structural
+    // rather than assumed).
+    let calls_before = oracle.calls();
     let cfg = GroupByConfig {
         strata: opts.strata,
         budget,
@@ -489,7 +575,7 @@ fn run_groupby<R: Rng + ?Sized>(
         let estimates = groupby_single_oracle_with_ci(&proxies, &oracle, &cfg, &bootstrap, rng)
             .map_err(QueryError::GroupBy)?;
         let (summary, rows) = to_rows(&estimates);
-        Ok(QueryResult::new(vec![summary], oracle.calls(), 0, 0, Some(rows)))
+        Ok(QueryResult::new(vec![summary], oracle.calls() - calls_before, 0, 0, Some(rows)))
     } else {
         let progressive = ProgressiveOptions { chunk: None, target_ci_width: width };
         let result = groupby_single_oracle_progressive(
@@ -527,6 +613,7 @@ pub(crate) fn explain_plan(
     plan: &QueryPlan,
     opts: &EngineOptions,
     bindings: &Bindings,
+    ctx: &ExecCtx<'_>,
 ) -> Result<String, QueryError> {
     let query = &plan.query;
     let table = catalog
@@ -611,6 +698,29 @@ pub(crate) fn explain_plan(
         ),
         (None, _) => "cache  : label store disabled (Catalog::enable_label_cache)".to_string(),
     });
+    // The engine's oracle batcher, when this statement runs under one
+    // (sessions and prepared statements do; the deprecated Executor shim
+    // does not): coalescing mode and the engine-lifetime counters.
+    if let Some(batcher) = ctx.batcher {
+        let stats = batcher.stats();
+        lines.push(if batcher.options().coalesce {
+            format!(
+                "oracle : governed, coalescing on — {} invocations for {} requests \
+                 ({} shared batches, {} requests coalesced, {} records cache-served)",
+                stats.invocations,
+                stats.requests,
+                stats.shared_batches,
+                stats.coalesced_requests,
+                stats.cache_served,
+            )
+        } else {
+            format!(
+                "oracle : governed, coalescing off — every request is its own \
+                 invocation ({} so far, {} records cache-served)",
+                stats.invocations, stats.cache_served,
+            )
+        });
+    }
     match effective_probability(query, bindings) {
         Ok(p) => lines.push(format!(
             "ci     : percentile bootstrap, {} resamples, confidence {}",
@@ -722,12 +832,14 @@ mod tests {
             &EngineOptions::default(),
             &Bindings::default(),
             &mut rng,
+            &ExecCtx::detached(),
         )
         .unwrap_err();
         assert!(matches!(err, QueryError::UnboundParameter("ORACLE LIMIT ?")), "{err}");
         // Binding the parameter makes the same plan runnable.
         let bound = Bindings { oracle_limit: Some(50), ..Default::default() };
-        let r = run_plan(&cat, &plan, &EngineOptions::default(), &bound, &mut rng).unwrap();
+        let r = run_plan(&cat, &plan, &EngineOptions::default(), &bound, &mut rng, &ExecCtx::detached())
+            .unwrap();
         assert!(r.oracle_calls <= 50);
     }
 
@@ -783,11 +895,13 @@ mod tests {
             &EngineOptions::default(),
             &Bindings::default(),
             &mut rng,
+            &ExecCtx::detached(),
         )
         .unwrap_err();
         assert!(matches!(err, QueryError::UnboundParameter("UNTIL CI WIDTH < ?")), "{err}");
         let bound = Bindings { until_width: Some(1000.0), ..Default::default() };
-        let r = run_plan(&cat, &plan, &EngineOptions::default(), &bound, &mut rng).unwrap();
+        let r = run_plan(&cat, &plan, &EngineOptions::default(), &bound, &mut rng, &ExecCtx::detached())
+            .unwrap();
         assert!(r.oracle_calls <= 50);
     }
 }

@@ -15,7 +15,7 @@
 use crate::ast::Query;
 use crate::engine::Engine;
 use crate::exec::{QueryError, QueryResult, QuerySnapshot};
-use crate::plan::{explain_plan, run_plan, run_plan_progressive, Bindings, QueryPlan};
+use crate::plan::{explain_plan, run_plan, run_plan_progressive, Bindings, ExecCtx, QueryPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,14 +33,30 @@ pub struct Prepared {
     engine: Engine,
     plan: QueryPlan,
     base_seed: u64,
+    /// Owning session's id: labeling requests from every `run` are admitted
+    /// through the engine's oracle batcher under this session, so shared
+    /// batches attribute spend to the preparing client.
+    session: u64,
     budget: Option<usize>,
     probability: Option<f64>,
     ci_width: Option<f64>,
 }
 
 impl Prepared {
-    pub(crate) fn new(engine: Engine, plan: QueryPlan, base_seed: u64) -> Self {
-        Self { engine, plan, base_seed, budget: None, probability: None, ci_width: None }
+    pub(crate) fn new(engine: Engine, plan: QueryPlan, base_seed: u64, session: u64) -> Self {
+        Self {
+            engine,
+            plan,
+            base_seed,
+            session,
+            budget: None,
+            probability: None,
+            ci_width: None,
+        }
+    }
+
+    fn ctx(&self) -> ExecCtx<'_> {
+        ExecCtx { session: self.session, batcher: Some(self.engine.batcher()) }
     }
 
     /// Binds the oracle budget (`ORACLE LIMIT ?`), or overrides a literal
@@ -77,6 +93,7 @@ impl Prepared {
             self.engine.options(),
             &self.bindings(),
             &mut rng,
+            &self.ctx(),
         )
     }
 
@@ -98,6 +115,7 @@ impl Prepared {
             self.engine.options(),
             &self.bindings(),
             &mut rng,
+            &self.ctx(),
             &mut |snap| snapshots.push(snap.clone()),
         )?;
         Ok(ProgressiveRun { snapshots, result })
@@ -107,7 +125,13 @@ impl Prepared {
     /// bindings (an unbound placeholder budget renders as `?`). Same plan
     /// [`Prepared::run`] executes — no drift possible.
     pub fn explain(&self) -> Result<String, QueryError> {
-        explain_plan(self.engine.catalog(), &self.plan, self.engine.options(), &self.bindings())
+        explain_plan(
+            self.engine.catalog(),
+            &self.plan,
+            self.engine.options(),
+            &self.bindings(),
+            &self.ctx(),
+        )
     }
 
     /// The parsed query this statement was planned from.

@@ -13,7 +13,7 @@ use crate::ddl::{run_create_proxy, run_show_proxies};
 use crate::engine::Engine;
 use crate::exec::{QueryError, QueryResult, QuerySnapshot, StatementOutcome};
 use crate::parser::{parse_query, parse_statement};
-use crate::plan::{explain_plan, plan_query, run_plan, run_plan_progressive, Bindings};
+use crate::plan::{explain_plan, plan_query, run_plan, run_plan_progressive, Bindings, ExecCtx};
 use crate::prepared::Prepared;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,6 +69,7 @@ impl Session {
             self.engine.options(),
             &Bindings::default(),
             &mut self.rng,
+            &ExecCtx { session: self.id, batcher: Some(self.engine.batcher()) },
         )
     }
 
@@ -93,6 +94,7 @@ impl Session {
             self.engine.options(),
             &Bindings::default(),
             &mut self.rng,
+            &ExecCtx { session: self.id, batcher: Some(self.engine.batcher()) },
             &mut on_snapshot,
         )
     }
@@ -115,6 +117,7 @@ impl Session {
                 &stmt,
                 self.engine.options(),
                 &mut self.rng,
+                &ExecCtx { session: self.id, batcher: Some(self.engine.batcher()) },
             )
             .map(StatementOutcome::ProxyCreated),
             Statement::ShowProxies(table) => {
@@ -131,7 +134,13 @@ impl Session {
     pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
         let query = parse_query(sql)?;
         let plan = plan_query(self.engine.catalog(), &query)?;
-        explain_plan(self.engine.catalog(), &plan, self.engine.options(), &Bindings::default())
+        explain_plan(
+            self.engine.catalog(),
+            &plan,
+            self.engine.options(),
+            &Bindings::default(),
+            &ExecCtx { session: self.id, batcher: Some(self.engine.batcher()) },
+        )
     }
 
     /// Parses and plans `sql` **once**, returning a [`Prepared`] statement
@@ -148,7 +157,7 @@ impl Session {
         let statement = self.statements;
         self.statements += 1;
         let base_seed = self.engine.prepared_seed(self.id, statement);
-        Ok(Prepared::new(self.engine.clone(), plan, base_seed))
+        Ok(Prepared::new(self.engine.clone(), plan, base_seed, self.id))
     }
 }
 

@@ -28,6 +28,12 @@
 //!   Terminate ─────────────────────────▶  (or EOF)
 //! ```
 //!
+//! Because every connection's session shares one [`Engine`], concurrent
+//! connections labeling the same `(table, predicate)` share oracle
+//! invocations whenever the engine was built with the governor on
+//! (`EngineBuilder::governor(true)`) — the batcher's counters are
+//! readable over the wire with the `SHOW STATS` utility statement.
+//!
 //! A [`QueryError`] becomes an `ErrorResponse` (SQLSTATE from
 //! [`sqlstate`]) followed by `ReadyForQuery` — the connection stays
 //! usable. A framing-level [`WireError`] is unrecoverable (message
@@ -384,6 +390,43 @@ fn run_statement(
             codec::data_row(&mut out, &[Some(line)]);
         }
         codec::command_complete(&mut out, "EXPLAIN");
+        stream.write_all(&out)?;
+        return Ok(());
+    }
+
+    // SHOW STATS is a server affordance, not engine SQL: one
+    // `(stat, value)` row per engine-wide counter — sessions opened, the
+    // oracle batcher's lifetime totals (shared batches, coalesced
+    // requests, cache-served records), label-store hits/misses, and the
+    // per-session oracle-spend ledger. A pure read of shared counters: no
+    // oracle calls, no RNG advance, so interleaving it between queries
+    // cannot perturb any session's results.
+    if keyword.eq_ignore_ascii_case("SHOW")
+        && stmt[keyword.len()..].trim().eq_ignore_ascii_case("STATS")
+    {
+        let stats = session.engine().stats();
+        let b = stats.batcher;
+        let mut rows: Vec<(String, u64)> = vec![
+            ("sessions_opened".into(), stats.sessions_opened),
+            ("batcher.requests".into(), b.requests),
+            ("batcher.invocations".into(), b.invocations),
+            ("batcher.shared_batches".into(), b.shared_batches),
+            ("batcher.coalesced_requests".into(), b.coalesced_requests),
+            ("batcher.labeled_records".into(), b.labeled_records),
+            ("batcher.cache_served".into(), b.cache_served),
+            ("label_store.hits".into(), stats.label_hits),
+            ("label_store.misses".into(), stats.label_misses),
+        ];
+        for (id, spend) in stats.per_session_spend {
+            rows.push((format!("session.{id}.oracle_spend"), spend));
+        }
+        let mut out = Vec::new();
+        codec::row_description(&mut out, &[Field::text("stat"), Field::int8("value")]);
+        for (name, value) in &rows {
+            let value = value.to_string();
+            codec::data_row(&mut out, &[Some(name.as_str()), Some(value.as_str())]);
+        }
+        codec::command_complete(&mut out, &format!("SHOW STATS {}", rows.len()));
         stream.write_all(&out)?;
         return Ok(());
     }

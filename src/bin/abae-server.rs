@@ -39,13 +39,16 @@ struct Args {
     seed: u64,
     scale: f64,
     exec: ExecOptions,
+    governor: bool,
+    oracle_overhead_us: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: abae-server [--csv FILE --table NAME | --demo] [--addr HOST:PORT]\n\
          \x20                  [--cache] [--seed N] [--threads N] [--batch N]\n\
-         \x20                  [--scale F] [--verbose] [--self-check]\n\
+         \x20                  [--scale F] [--governor] [--oracle-overhead-us N]\n\
+         \x20                  [--verbose] [--self-check]\n\
          \n\
          Serves the ABae SQL dialect over the Postgres simple query\n\
          protocol (auth-less, clear text) — connect with any psql:\n\
@@ -60,6 +63,11 @@ fn usage() -> ! {
          --addr defaults to 127.0.0.1:5433 (port 0 = ephemeral, printed\n\
          on startup). --cache shares the cross-query oracle label store\n\
          among all connections. --scale sizes the --demo corpus.\n\
+         --governor coalesces concurrent connections' oracle requests\n\
+         into shared invocations (per-session results are bit-identical\n\
+         either way; SHOW STATS reports the counters), and\n\
+         --oracle-overhead-us charges a simulated fixed cost per\n\
+         invocation so amortization is observable.\n\
          --self-check binds an ephemeral port, runs one good and one\n\
          malformed query through the in-repo wire client, and exits 0 on\n\
          success — CI's server smoke."
@@ -79,6 +87,8 @@ fn parse_args() -> Args {
         seed: 0xABAE,
         scale: 1.0,
         exec: ExecOptions::default(),
+        governor: false,
+        oracle_overhead_us: 0,
     };
     let mut it = std::env::args().skip(1);
     let numeric = |it: &mut dyn Iterator<Item = String>| -> usize {
@@ -98,6 +108,11 @@ fn parse_args() -> Args {
             }
             "--scale" => {
                 args.scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--governor" => args.governor = true,
+            "--oracle-overhead-us" => {
+                args.oracle_overhead_us =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
             "--threads" => args.exec = args.exec.with_threads(numeric(&mut it)),
             "--batch" => args.exec = args.exec.with_batch_size(numeric(&mut it).max(1)),
@@ -184,6 +199,8 @@ fn main() -> ExitCode {
         .label_cache(args.cache)
         .seed(args.seed)
         .exec(args.exec)
+        .governor(args.governor)
+        .oracle_overhead(std::time::Duration::from_micros(args.oracle_overhead_us))
         .build();
 
     // Self-check always binds an ephemeral port: it must not collide with

@@ -253,6 +253,74 @@ fn groupby_multi_oracle_spend_is_batch_invariant_and_bounded() {
     }
 }
 
+/// Spend attribution survives cross-session coalescing: two sessions'
+/// full ABae runs share device invocations through one batcher, yet each
+/// session's per-instance counter, its `oracle_calls` accounting, and the
+/// batcher's per-session ledger all agree exactly — and match a serial
+/// governor-less replay bit for bit.
+#[test]
+fn coalesced_sessions_keep_per_session_spend_exact() {
+    use abae::core::{BatcherOptions, GovernedOracle, OracleBatcher};
+    let (scores, labels, values) = population(30_000, 12);
+    let budgets = [997usize, 1409];
+
+    let run = |batcher: Option<&OracleBatcher>, session: u64, budget: usize| {
+        let oracle = GovernedOracle::new(
+            oracle_for(&labels, &values),
+            batcher,
+            "emails/is_spam",
+            session,
+        );
+        let cfg = AbaeConfig {
+            budget,
+            rounding: Rounding::LargestRemainder,
+            exec: ExecOptions::new(1, 64),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(100 + session);
+        let r = run_abae(&scores, &oracle, &cfg, Aggregate::Avg, &mut rng).unwrap();
+        assert_eq!(oracle.calls(), r.oracle_calls, "per-instance counter disagrees");
+        r
+    };
+
+    let serial: Vec<_> = budgets
+        .iter()
+        .enumerate()
+        .map(|(i, &budget)| run(None, i as u64 + 1, budget))
+        .collect();
+
+    let batcher = OracleBatcher::new(
+        BatcherOptions::default()
+            .with_coalesce(true)
+            .with_invocation_overhead(std::time::Duration::from_micros(50))
+            .with_max_batch_records(128),
+    );
+    let coalesced: Vec<_> = std::thread::scope(|scope| {
+        let join: Vec<_> = budgets
+            .iter()
+            .enumerate()
+            .map(|(i, &budget)| {
+                let batcher = &batcher;
+                scope.spawn(move || run(Some(batcher), i as u64 + 1, budget))
+            })
+            .collect();
+        join.into_iter().map(|h| h.join().expect("session thread")).collect()
+    });
+
+    assert_eq!(serial, coalesced, "coalescing must not change any result");
+    let ledger: std::collections::BTreeMap<u64, u64> =
+        batcher.per_session_spend().into_iter().collect();
+    for (i, (&budget, result)) in budgets.iter().zip(&coalesced).enumerate() {
+        assert_eq!(result.oracle_calls, budget as u64);
+        assert_eq!(
+            ledger.get(&(i as u64 + 1)),
+            Some(&result.oracle_calls),
+            "ledger entry for session {}",
+            i + 1
+        );
+    }
+}
+
 /// The atomic counter is exact under concurrent batches — the property the
 /// whole suite's accounting rests on.
 #[test]
